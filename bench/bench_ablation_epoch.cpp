@@ -1,0 +1,39 @@
+// Ablation: loss-measuring epoch length.
+//
+// The "measuring period" (§3.3) sets the granularity of the error ratio
+// both layers adapt on: short epochs are noisy and trigger overly frequent
+// application adaptations (the paper's stated reason for coarse
+// thresholds); long epochs blur congestion onsets and delay reactions.
+// This bench sweeps the epoch size on the Table 4 conflict scenario.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "iq/stats/table.hpp"
+
+int main() {
+  using namespace iq;
+  using namespace iq::harness;
+  std::printf("== Ablation: loss-epoch length (packets per measuring period) ==\n");
+
+  stats::Table table({"epoch(pkts)", "duration(s)", "recvd(%)",
+                      "tag delay(ms)", "tag jitter(ms)", "epochs",
+                      "max eratio"});
+  for (std::uint32_t epoch : {25u, 50u, 100u, 200u, 400u}) {
+    auto cfg = scenarios::table4(SchemeSpec::iq_rudp());
+    cfg.loss_epoch_packets = epoch;
+    cfg.total_frames = 3000;
+    const auto r = bench::run_and_report(cfg);
+    table.add_row({std::to_string(epoch),
+                   stats::Table::num(r.summary.duration_s),
+                   stats::Table::num(r.summary.delivered_pct),
+                   stats::Table::num(r.summary.tagged_delay_ms),
+                   stats::Table::num(r.summary.tagged_jitter_ms),
+                   std::to_string(r.epochs),
+                   stats::Table::num(r.max_epoch_loss, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpectation: shorter epochs see higher peak error ratios "
+              "(noise) and adapt more often; very long epochs react late.\n");
+  return 0;
+}

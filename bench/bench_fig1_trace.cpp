@@ -1,0 +1,39 @@
+// Figure 1 reproduction: the MBone membership-dynamics trace that drives
+// every trace-based workload. Prints the synthetic series as an ASCII plot
+// plus its summary statistics, so its shape (range + burstiness) can be
+// compared with the paper's figure.
+
+#include <cstdio>
+
+#include "iq/stats/timeseries.hpp"
+#include "iq/workload/mbone_trace.hpp"
+
+int main() {
+  using namespace iq;
+  std::printf("== Figure 1: membership dynamics (synthetic MBone trace) ==\n");
+
+  workload::MboneTrace trace;
+  stats::TimeSeries series("group size");
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    series.add_indexed(static_cast<double>(i),
+                       static_cast<double>(trace.group_at(i)));
+  }
+  std::printf("%s", series.ascii_plot(96, 16).c_str());
+  std::printf("samples=%zu  min=%d  max=%d  mean=%.1f\n", trace.size(),
+              trace.min_seen(), trace.max_seen(), trace.mean());
+
+  // Burstiness summary: distribution of step magnitudes.
+  int steps_ge5 = 0, steps_ge10 = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const int d = std::abs(trace.group_at(i) - trace.group_at(i - 1));
+    if (d >= 5) ++steps_ge5;
+    if (d >= 10) ++steps_ge10;
+  }
+  std::printf("bursts: |step|>=5 in %.1f%% of samples, |step|>=10 in %.1f%%\n",
+              100.0 * steps_ge5 / static_cast<double>(trace.size()),
+              100.0 * steps_ge10 / static_cast<double>(trace.size()));
+  std::printf(
+      "note: the original 2002 MBone trace is unavailable; this seeded "
+      "synthetic series reproduces its shape (see DESIGN.md).\n");
+  return 0;
+}

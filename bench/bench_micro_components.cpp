@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the hot components: event queue,
+// link pipeline, segment codec, attribute lists, congestion controllers.
+// These guard the simulator's capacity to run multi-million-event
+// experiments in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "iq/attr/list.hpp"
+#include "iq/common/rng.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/rudp/codec.hpp"
+#include "iq/rudp/congestion.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace {
+
+using namespace iq;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule(TimePoint::from_ns(i * 7919 % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    // Schedule + cancel churn mimicking retransmission timers.
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < state.range(0); ++i) {
+      ids.push_back(sim.after(Duration::millis(100 + i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTimerChurn)->Arg(4096);
+
+void BM_LinkPacketPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    net::Dumbbell db(net, {.pairs = 1});
+    net::CountingSink sink;
+    db.right(0).bind(7, &sink);
+    for (int i = 0; i < state.range(0); ++i) {
+      db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                      {db.right(0).id(), 7}, 1, 1400));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink.packets());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkPacketPipeline)->Arg(10000);
+
+void BM_SegmentEncode(benchmark::State& state) {
+  rudp::Segment seg;
+  seg.type = rudp::SegmentType::Data;
+  seg.seq = 123456;
+  seg.msg_id = 42;
+  seg.payload_bytes = 1400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rudp::encode_segment(seg));
+  }
+}
+BENCHMARK(BM_SegmentEncode);
+
+void BM_SegmentDecode(benchmark::State& state) {
+  rudp::Segment seg;
+  seg.type = rudp::SegmentType::Ack;
+  for (int i = 0; i < 32; ++i) seg.eacks.push_back(1000 + i);
+  const Bytes wire = rudp::encode_segment(seg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rudp::decode_segment(wire));
+  }
+}
+BENCHMARK(BM_SegmentDecode);
+
+void BM_AttrListSetGet(benchmark::State& state) {
+  for (auto _ : state) {
+    attr::AttrList list;
+    list.set("NET_LOSS_RATIO", 0.1);
+    list.set("NET_RTT_MS", 30.0);
+    list.set("ADAPT_PKTSIZE", 0.2);
+    benchmark::DoNotOptimize(list.get_double("ADAPT_PKTSIZE"));
+  }
+}
+BENCHMARK(BM_AttrListSetGet);
+
+void BM_LdaControllerEpochs(benchmark::State& state) {
+  rudp::LdaController cc;
+  Rng rng(1);
+  TimePoint now;
+  for (auto _ : state) {
+    cc.on_ack(1, now);
+    if (rng.chance(0.01)) cc.on_epoch(rng.uniform01() * 0.3, now);
+    now += Duration::micros(100);
+    benchmark::DoNotOptimize(cc.cwnd());
+  }
+}
+BENCHMARK(BM_LdaControllerEpochs);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

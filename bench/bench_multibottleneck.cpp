@@ -1,0 +1,114 @@
+// Extension experiment (beyond the paper): coordination across multiple
+// bottlenecks.
+//
+// The paper evaluates on a single bottleneck; real WAN paths traverse
+// several. This bench runs the over-reaction scenario on a parking-lot
+// topology (2 hops, each congested by its own cross flow) and checks that
+// the coordinated window rescale still helps when loss is contributed by
+// more than one queue.
+
+#include <cstdio>
+#include <memory>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/echo/sink.hpp"
+#include "iq/echo/source.hpp"
+#include "iq/net/parking_lot.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/stats/table.hpp"
+#include "iq/wire/sim_wire.hpp"
+#include "iq/workload/cbr_source.hpp"
+
+namespace {
+
+using namespace iq;
+
+struct Result {
+  stats::FlowSummary summary;
+  std::uint64_t rescales = 0;
+};
+
+Result run(core::CoordinationMode mode, std::int64_t cross_bps) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::ParkingLot pl(network, {.hops = 2});
+
+  net::CountingSink cross_sinks[2];
+  std::unique_ptr<workload::CbrSource> crosses[2];
+  for (int i = 0; i < 2; ++i) {
+    pl.cross_dst(i).bind(9, &cross_sinks[i]);
+    workload::CbrConfig cc;
+    cc.rate_bps = cross_bps;
+    cc.flow = 900 + i;
+    cc.src_port = 9;
+    cc.dst_port = 9;
+    crosses[i] = std::make_unique<workload::CbrSource>(
+        network, pl.cross_src(i), pl.cross_dst(i), cc);
+    crosses[i]->start();
+  }
+
+  wire::SimWire wsnd(network, {pl.src().id(), 21}, {pl.dst().id(), 21}, 1);
+  wire::SimWire wrcv(network, {pl.dst().id(), 21}, {pl.src().id(), 21}, 1);
+  rudp::RudpConfig rc;
+  rc.loss_epoch_packets = 50;
+  core::CoordinatorConfig cc;
+  cc.mode = mode;
+  core::IqRudpConnection snd(wsnd, rc, rudp::Role::Client, cc);
+  core::IqRudpConnection rcv(wrcv, rc, rudp::Role::Server, cc);
+
+  echo::EventChannel chan_s("viz", snd);
+  echo::EventChannel chan_r("viz", rcv);
+  stats::MessageMetrics metrics;
+  echo::MetricSink sink(chan_r, metrics);
+
+  echo::AdaptiveSourceConfig sc;
+  sc.frame_rate = 0;  // ASAP
+  sc.total_frames = 4000;
+  sc.fixed_frame_bytes = 1400;
+  sc.adaptation = echo::AdaptKind::Resolution;
+  sc.upper_threshold = 0.08;
+  sc.lower_threshold = 0.01;
+  echo::AdaptiveSource source(chan_s, nullptr, sc, &metrics);
+
+  rcv.listen();
+  snd.set_established_handler([&] { source.start(); });
+  snd.connect();
+
+  const TimePoint deadline = TimePoint::zero() + Duration::seconds(300);
+  while (sim.now() < deadline &&
+         !(source.done() && snd.transport().send_idle())) {
+    sim.run_for(Duration::millis(200));
+  }
+  metrics.finish(sim.now());
+  return Result{metrics.summary(), snd.coordinator().stats().window_rescales};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: over-reaction coordination across 2 bottlenecks ==\n");
+  iq::stats::Table table({"cross/hop", "scheme", "thr(KB/s)", "duration(s)",
+                          "jitter(ms)", "rescales"});
+  for (std::int64_t cross : {16'000'000LL, 18'000'000LL}) {
+    for (auto mode : {iq::core::CoordinationMode::Coordinated,
+                      iq::core::CoordinationMode::Uncoordinated}) {
+      const Result r = run(mode, cross);
+      table.add_row(
+          {std::to_string(cross / 1'000'000) + " Mb/s",
+           mode == iq::core::CoordinationMode::Coordinated ? "IQ-RUDP"
+                                                           : "RUDP",
+           iq::stats::Table::num(r.summary.throughput_kBps),
+           iq::stats::Table::num(r.summary.duration_s),
+           iq::stats::Table::num(r.summary.jitter_ms, 2),
+           std::to_string(r.rescales)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nfinding: with loss accumulating over two *unresponsive*-cross "
+      "queues, the window rescale's extra aggressiveness is punished at the "
+      "second queue — coordination lands at parity or slightly behind. The "
+      "single-bottleneck assumption behind eq. 1/(1−rate_chg) matters; a "
+      "multi-hop-aware rescale is an open extension.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 1 reproduction: basic performance comparison under 18 Mb UDP cross
+// traffic — TCP, IQ-RUDP (transport adaptation only), application
+// adaptation only (congestion window instrumented off), and IQ-RUDP with
+// application adaptation.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iq;
+  using namespace iq::harness;
+  std::printf("== Table 1: basic performance comparison ==\n");
+
+  const auto tcp = bench::run_and_report(scenarios::table1(SchemeSpec::tcp(), false));
+  const auto iq_only =
+      bench::run_and_report(scenarios::table1(SchemeSpec::rudp(), false));
+  const auto app_only =
+      bench::run_and_report(scenarios::table1(SchemeSpec::app_only(), true));
+  const auto iq_app =
+      bench::run_and_report(scenarios::table1(SchemeSpec::iq_rudp(), true));
+
+  Comparison cmp("Table 1: basic performance comparison",
+                 {"Time(s)", "Thr(KB/s)", "Inter-arrival(s)", "Jitter(s)"});
+  cmp.add_paper_row("TCP (1)", {313, 94.2, 0.239, 0.110});
+  cmp.add_measured_row("TCP (1)", bench::row4_pkt(tcp));
+  cmp.add_paper_row("IQ-RUDP (2)", {298, 98.2, 0.201, 0.098});
+  cmp.add_measured_row("IQ-RUDP (2)", bench::row4_pkt(iq_only));
+  cmp.add_paper_row("App adaptation only (3)", {158, 90, 0.114, 0.008});
+  cmp.add_measured_row("App adaptation only (3)", bench::row4_pkt(app_only));
+  cmp.add_paper_row("IQ-RUDP w/ app adapt (4)", {144, 95.6, 0.113, 0.058});
+  cmp.add_measured_row("IQ-RUDP w/ app adapt (4)", bench::row4_pkt(iq_app));
+  cmp.add_note(
+      "shape targets: (2) matches TCP throughput with better jitter; app "
+      "adaptation (3,4) finishes much faster; (4) beats (3) on throughput");
+  std::printf("%s", cmp.render().c_str());
+
+  const bool shape_ok =
+      app_only.summary.duration_s < tcp.summary.duration_s &&
+      iq_app.summary.duration_s < iq_only.summary.duration_s &&
+      iq_app.summary.throughput_kBps >= app_only.summary.throughput_kBps * 0.95;
+  std::printf("shape check: %s\n", shape_ok ? "PASS" : "DIVERGES");
+  return (tcp.completed && iq_only.completed && app_only.completed &&
+          iq_app.completed)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,31 @@
+// Table 2 reproduction: fairness test — the application flow (no
+// adaptation) over TCP vs over IQ-RUDP, each against one bulk TCP cross
+// flow. The claim: throughputs are close, TCP somewhat ahead.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iq;
+  using namespace iq::harness;
+  std::printf("== Table 2: fairness test (vs a TCP cross flow) ==\n");
+
+  const auto tcp = bench::run_and_report(scenarios::table2(SchemeSpec::tcp()));
+  const auto iq = bench::run_and_report(scenarios::table2(SchemeSpec::rudp()));
+
+  Comparison cmp("Table 2: fairness test",
+                 {"Time(s)", "Thr(KB/s)", "Inter-arrival(s)", "Jitter(s)"});
+  cmp.add_paper_row("TCP", {51, 118, 0.022, 0.0001});
+  cmp.add_measured_row("TCP", bench::row4_pkt(tcp));
+  cmp.add_paper_row("IQ-RUDP", {60, 99, 0.024, 0.0001});
+  cmp.add_measured_row("IQ-RUDP", bench::row4_pkt(iq));
+  cmp.add_note("shape target: throughputs within ~2x; TCP somewhat ahead");
+  std::printf("%s", cmp.render().c_str());
+
+  const double ratio =
+      tcp.summary.throughput_kBps / std::max(iq.summary.throughput_kBps, 1.0);
+  std::printf("measured TCP/IQ-RUDP throughput ratio: %.2f (paper: %.2f)\n",
+              ratio, 118.0 / 99.0);
+  return (tcp.completed && iq.completed) ? 0 : 1;
+}

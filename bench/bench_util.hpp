@@ -1,0 +1,61 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches.
+//
+// Each bench binary reproduces one table or figure: it runs every scheme of
+// the scenario on the simulated testbed, prints the paper's published rows
+// next to the measured ones, and exits nonzero if the scenario failed to
+// complete (so bench runs catch regressions).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "iq/harness/paper.hpp"
+#include "iq/harness/scenarios.hpp"
+
+namespace iq::bench {
+
+inline harness::ExperimentResult run_and_report(
+    const harness::ExperimentConfig& cfg) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  harness::ExperimentResult r = harness::run_experiment(cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  std::printf("  [%-24s] sim %.1fs, wall %.2fs, events %.2fM%s\n",
+              cfg.scheme.label.c_str(), r.sim_seconds, wall,
+              static_cast<double>(r.events_executed) / 1e6,
+              r.completed ? "" : "  ** DID NOT COMPLETE **");
+  std::fflush(stdout);
+  return r;
+}
+
+/// Standard 4-metric row most tables use: duration, throughput,
+/// inter-arrival, jitter.
+inline std::vector<double> row4(const harness::ExperimentResult& r) {
+  return {r.summary.duration_s, r.summary.throughput_kBps,
+          r.summary.interarrival_s, r.summary.jitter_s};
+}
+
+/// Table 1/2 style: the paper reports *packet* inter-arrival there.
+inline std::vector<double> row4_pkt(const harness::ExperimentResult& r) {
+  return {r.summary.duration_s, r.summary.throughput_kBps,
+          r.pkt_interarrival_s, r.pkt_jitter_s};
+}
+
+/// Table 3/4 style row: duration, %delivered, tagged delay/jitter,
+/// overall delay/jitter (all delays in ms).
+inline std::vector<double> conflict_row(const harness::ExperimentResult& r) {
+  return {r.summary.duration_s,     r.summary.delivered_pct,
+          r.summary.tagged_delay_ms, r.summary.tagged_jitter_ms,
+          r.summary.delay_ms,        r.summary.jitter_ms};
+}
+
+/// Table 5-8 style row: throughput, duration, delay, jitter (ms).
+inline std::vector<double> overreaction_row(
+    const harness::ExperimentResult& r) {
+  return {r.summary.throughput_kBps, r.summary.duration_s,
+          r.summary.delay_ms, r.summary.jitter_ms};
+}
+
+}  // namespace iq::bench

@@ -1,0 +1,42 @@
+// Real-time collaboration stream with resolution down-sampling (§3.4).
+//
+// A collaboration server streams state updates at a fixed rate. Under
+// congestion the application down-samples (smaller updates) instead of
+// dropping them; the coordinated transport grows its packet window by
+// 1/(1 − rate_chg) so the two adaptations do not compound into
+// over-reaction. The demo sweeps congestion levels and shows the window
+// rescaling in action.
+//
+//   $ ./collaborative_stream
+
+#include <cstdio>
+
+#include "iq/harness/scenarios.hpp"
+#include "iq/stats/table.hpp"
+
+int main() {
+  using namespace iq;
+  using namespace iq::harness;
+
+  std::printf("collaborative stream: resolution adaptation vs over-reaction\n\n");
+
+  stats::Table table({"cross traffic", "scheme", "thr(KB/s)", "duration(s)",
+                      "jitter(ms)", "window rescales"});
+  for (std::int64_t rate : {12'000'000LL, 16'000'000LL}) {
+    for (const auto& scheme : {SchemeSpec::iq_rudp(), SchemeSpec::rudp()}) {
+      ExperimentConfig cfg = scenarios::table6(scheme, rate);
+      cfg.total_frames = 2000;  // quick demo
+      const auto r = run_experiment(cfg);
+      table.add_row({std::to_string(rate / 1'000'000) + " Mb/s", scheme.label,
+                     stats::Table::num(r.summary.throughput_kBps),
+                     stats::Table::num(r.summary.duration_s),
+                     stats::Table::num(r.summary.jitter_ms, 2),
+                     std::to_string(r.coordination.window_rescales)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nwithout coordination, the frame shrink and the congestion-"
+              "window shrink compound; with IQ-RUDP the window rescale keeps "
+              "the bit rate at the connection's fair share.\n");
+  return 0;
+}

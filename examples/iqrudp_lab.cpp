@@ -1,0 +1,206 @@
+// iqrudp_lab: a command-line experiment runner over the harness.
+//
+// Pick any paper scenario, any transport scheme, and override the knobs
+// that matter; get the full metric set (and optional CSV time series) back.
+// This is the tool for exploring the parameter space beyond the canned
+// benches.
+//
+//   $ ./iqrudp_lab --scenario=table3 --scheme=rudp
+//   $ ./iqrudp_lab --scenario=table6 --scheme=iq --cbr=17000000
+//   $ ./iqrudp_lab --scenario=table3 --scheme=iq --frames=300
+//         --jitter-csv=/tmp/jitter.csv --cwnd-csv=/tmp/cwnd.csv --json=-
+//
+// Flags: --scenario={table1..table8,fig23}  --scheme={tcp,rudp,iq,iq_nocond,app_only}
+//        --frames=N --cbr=BPS --rtt-ms=N --upper=F --lower=F --seed=N
+//        --epoch=N --tolerance=F --jitter-csv=PATH --cwnd-csv=PATH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "iq/harness/json.hpp"
+#include "iq/harness/scenarios.hpp"
+
+namespace {
+
+using namespace iq;
+using namespace iq::harness;
+
+struct Args {
+  std::string scenario = "table3";
+  std::string scheme = "iq";
+  std::optional<std::uint64_t> frames;
+  std::optional<std::int64_t> cbr;
+  std::optional<std::int64_t> rtt_ms;
+  std::optional<double> upper;
+  std::optional<double> lower;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> epoch;
+  std::optional<double> tolerance;
+  std::string jitter_csv;
+  std::string cwnd_csv;
+  std::string json;  ///< path, or "-" for stdout
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--scenario", v)) {
+      a.scenario = v;
+    } else if (parse_flag(argv[i], "--scheme", v)) {
+      a.scheme = v;
+    } else if (parse_flag(argv[i], "--frames", v)) {
+      a.frames = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--cbr", v)) {
+      a.cbr = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--rtt-ms", v)) {
+      a.rtt_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--upper", v)) {
+      a.upper = std::strtod(v.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--lower", v)) {
+      a.lower = std::strtod(v.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--seed", v)) {
+      a.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--epoch", v)) {
+      a.epoch = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--tolerance", v)) {
+      a.tolerance = std::strtod(v.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--jitter-csv", v)) {
+      a.jitter_csv = v;
+    } else if (parse_flag(argv[i], "--cwnd-csv", v)) {
+      a.cwnd_csv = v;
+    } else if (parse_flag(argv[i], "--json", v)) {
+      a.json = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+SchemeSpec scheme_by_name(const std::string& name) {
+  if (name == "tcp") return SchemeSpec::tcp();
+  if (name == "rudp") return SchemeSpec::rudp();
+  if (name == "iq") return SchemeSpec::iq_rudp();
+  if (name == "iq_nocond") return SchemeSpec::iq_rudp_no_cond();
+  if (name == "app_only") return SchemeSpec::app_only();
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+ExperimentConfig scenario_by_name(const std::string& name,
+                                  const SchemeSpec& scheme) {
+  if (name == "table1") return scenarios::table1(scheme, true);
+  if (name == "table1_noadapt") return scenarios::table1(scheme, false);
+  if (name == "table2") return scenarios::table2(scheme);
+  if (name == "table3") return scenarios::table3(scheme);
+  if (name == "table4") return scenarios::table4(scheme);
+  if (name == "table5") return scenarios::table5(scheme);
+  if (name == "table6") return scenarios::table6(scheme, 16'000'000);
+  if (name == "table7") return scenarios::table7(scheme);
+  if (name == "table8") return scenarios::table8(scheme);
+  if (name == "fig23") return scenarios::fig23(scheme);
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const SchemeSpec scheme = scheme_by_name(args.scheme);
+  ExperimentConfig cfg = scenario_by_name(args.scenario, scheme);
+
+  if (args.frames) cfg.total_frames = *args.frames;
+  if (args.cbr) cfg.cbr_rate_bps = *args.cbr;
+  if (args.rtt_ms) cfg.net.path_rtt = Duration::millis(*args.rtt_ms);
+  if (args.upper) cfg.upper_threshold = *args.upper;
+  if (args.lower) cfg.lower_threshold = *args.lower;
+  if (args.seed) cfg.seed = *args.seed;
+  if (args.epoch) cfg.loss_epoch_packets = *args.epoch;
+  if (args.tolerance) cfg.recv_loss_tolerance = *args.tolerance;
+  if (!args.jitter_csv.empty()) cfg.collect_jitter_series = true;
+  if (!args.cwnd_csv.empty()) cfg.collect_cwnd_series = true;
+
+  std::printf("scenario=%s scheme=%s frames=%llu cbr=%lld rtt=%lldms "
+              "thresholds=%.3f/%.3f epoch=%u tolerance=%.2f seed=%llu\n",
+              args.scenario.c_str(), scheme.label.c_str(),
+              static_cast<unsigned long long>(cfg.total_frames),
+              static_cast<long long>(cfg.cbr_rate_bps),
+              static_cast<long long>(cfg.net.path_rtt.ms()),
+              cfg.upper_threshold, cfg.lower_threshold,
+              cfg.loss_epoch_packets, cfg.recv_loss_tolerance,
+              static_cast<unsigned long long>(cfg.seed));
+
+  const ExperimentResult r = run_experiment(cfg);
+
+  std::printf("\ncompleted:        %s (sim %.1f s, %.2fM events)\n",
+              r.completed ? "yes" : "NO — hit max_sim_time", r.sim_seconds,
+              static_cast<double>(r.events_executed) / 1e6);
+  std::printf("duration:         %.2f s\n", r.summary.duration_s);
+  std::printf("throughput:       %.1f KB/s\n", r.summary.throughput_kBps);
+  std::printf("delivered:        %.1f %% (%llu messages)\n",
+              r.summary.delivered_pct,
+              static_cast<unsigned long long>(r.summary.messages));
+  std::printf("inter-arrival:    %.4f s (jitter %.4f s)\n",
+              r.summary.interarrival_s, r.summary.jitter_s);
+  std::printf("tagged delay:     %.2f ms (jitter %.2f ms)\n",
+              r.summary.tagged_delay_ms, r.summary.tagged_jitter_ms);
+  std::printf("one-way delay:    mean %.2f ms, p50 %.2f ms, p95 %.2f ms\n",
+              r.summary.owd_mean_ms, r.summary.owd_p50_ms,
+              r.summary.owd_p95_ms);
+  std::printf("loss:             lifetime %.3f, max epoch %.3f over %llu epochs\n",
+              r.app_lifetime_loss_ratio, r.max_epoch_loss,
+              static_cast<unsigned long long>(r.epochs));
+  std::printf("transport:        %llu segs (%llu rexmit, %llu skipped), "
+              "%llu timeouts\n",
+              static_cast<unsigned long long>(r.rudp.segments_sent),
+              static_cast<unsigned long long>(r.rudp.segments_retransmitted),
+              static_cast<unsigned long long>(r.rudp.segments_skipped),
+              static_cast<unsigned long long>(r.rudp.timeouts));
+  std::printf("coordination:     %llu rescales, %llu discards-at-send, "
+              "%llu/%llu deferrals resolved, %llu cond compensations\n",
+              static_cast<unsigned long long>(r.coordination.window_rescales),
+              static_cast<unsigned long long>(
+                  r.rudp.messages_discarded_at_send),
+              static_cast<unsigned long long>(
+                  r.coordination.deferred_resolved),
+              static_cast<unsigned long long>(r.coordination.deferrals_noted),
+              static_cast<unsigned long long>(
+                  r.coordination.cond_compensations));
+
+  if (!args.jitter_csv.empty()) {
+    std::ofstream(args.jitter_csv) << r.jitter_series.to_csv();
+    std::printf("jitter series:    %zu points -> %s\n",
+                r.jitter_series.size(), args.jitter_csv.c_str());
+  }
+  if (!args.cwnd_csv.empty()) {
+    std::ofstream(args.cwnd_csv) << r.cwnd_series.to_csv();
+    std::printf("cwnd series:      %zu points -> %s\n", r.cwnd_series.size(),
+                args.cwnd_csv.c_str());
+  }
+  if (!args.json.empty()) {
+    const std::string json = result_to_json(cfg, r);
+    if (args.json == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream(args.json) << json << "\n";
+      std::printf("json:             -> %s\n", args.json.c_str());
+    }
+  }
+  return r.completed ? 0 : 1;
+}

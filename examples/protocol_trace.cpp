@@ -1,0 +1,76 @@
+// Protocol trace: watch an IQ-RUDP exchange segment by segment.
+//
+// Uses the connection's segment tap to print an annotated wire trace of a
+// short transfer over a lossy pipe — handshake, data, selective acks, a
+// fast retransmission, and an ADVANCE abandoning an unmarked message.
+// The tool for understanding (and debugging) the protocol's behaviour.
+//
+//   $ ./protocol_trace
+
+#include <cstdio>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+
+namespace {
+
+using namespace iq;
+
+void install_tap(rudp::RudpConnection& conn, const char* who,
+                 sim::Simulator& sim) {
+  conn.set_segment_tap([who, &sim](rudp::RudpConnection::TapDirection dir,
+                                   const rudp::Segment& seg) {
+    std::printf("%8.3f ms  %-8s %s  %s\n", sim.now().to_seconds() * 1e3, who,
+                dir == rudp::RudpConnection::TapDirection::Out ? "->" : "<-",
+                seg.describe().c_str());
+  });
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  wire::LossyConfig lcfg;
+  lcfg.one_way_delay = Duration::millis(15);
+  lcfg.drop_probability = 0.15;  // enough loss to show recovery machinery
+  lcfg.seed = 4;
+  wire::LossyWirePair pipe(sim, lcfg);
+
+  rudp::RudpConfig cfg;
+  rudp::RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.5;
+  rudp::RudpConnection client(pipe.a(), cfg, rudp::Role::Client);
+  rudp::RudpConnection server(pipe.b(), rcfg, rudp::Role::Server);
+
+  install_tap(client, "client", sim);
+  server.set_message_handler([&](const rudp::DeliveredMessage& m) {
+    std::printf("%8.3f ms  server   ** delivered msg %u (%lld bytes, %s)\n",
+                sim.now().to_seconds() * 1e3, m.msg_id,
+                static_cast<long long>(m.bytes),
+                m.marked ? "marked" : "unmarked");
+  });
+
+  server.listen();
+  client.connect();
+  sim.run_until(TimePoint::zero() + Duration::millis(200));
+
+  std::printf("--- sending 3 marked + 2 unmarked messages over a 15%%-loss "
+              "pipe ---\n");
+  client.send_message({.bytes = 3000, .marked = true});
+  client.send_message({.bytes = 1400, .marked = false});
+  client.send_message({.bytes = 3000, .marked = true});
+  client.send_message({.bytes = 1400, .marked = false});
+  client.send_message({.bytes = 3000, .marked = true});
+  sim.run_until(TimePoint::zero() + Duration::seconds(10));
+
+  const auto& st = client.stats();
+  std::printf("\nsummary: %llu data segments (%llu retransmitted, %llu "
+              "skipped), %llu advances, %llu timeouts\n",
+              static_cast<unsigned long long>(st.segments_sent),
+              static_cast<unsigned long long>(st.segments_retransmitted),
+              static_cast<unsigned long long>(st.segments_skipped),
+              static_cast<unsigned long long>(st.advances_sent),
+              static_cast<unsigned long long>(st.timeouts));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest complete IQ-RUDP program.
+//
+// Builds a two-host emulated network, opens a coordinated IQ-RUDP
+// connection across it, streams a handful of messages, and prints what
+// arrived together with the transport metrics the attribute store exposes.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/wire/sim_wire.hpp"
+
+int main() {
+  using namespace iq;
+
+  // 1. An emulated WAN: 20 Mb/s bottleneck, 30 ms RTT (the paper's testbed).
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Dumbbell db(network, {.pairs = 1});
+
+  // 2. One wire per endpoint, bound to a node and port.
+  const net::Endpoint sender_ep{db.left(0).id(), 4000};
+  const net::Endpoint receiver_ep{db.right(0).id(), 4000};
+  wire::SimWire sender_wire(network, sender_ep, receiver_ep, /*flow=*/1);
+  wire::SimWire receiver_wire(network, receiver_ep, sender_ep, /*flow=*/1);
+
+  // 3. A coordinated IQ-RUDP connection pair.
+  rudp::RudpConfig cfg;
+  core::IqRudpConnection sender(sender_wire, cfg, rudp::Role::Client);
+  rudp::RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.25;  // receiver tolerates 25 % message loss
+  core::IqRudpConnection receiver(receiver_wire, rcfg, rudp::Role::Server);
+
+  receiver.set_message_handler([&](const rudp::DeliveredMessage& msg) {
+    std::printf("  received msg %u: %lld bytes, %s, one-way %.1f ms\n",
+                msg.msg_id, static_cast<long long>(msg.bytes),
+                msg.marked ? "marked" : "unmarked",
+                (msg.delivered - msg.first_sent).to_millis());
+  });
+
+  // 4. Connect, then send once established.
+  sender.set_established_handler([&] {
+    std::printf("connection established, sending...\n");
+    for (int i = 0; i < 5; ++i) {
+      sender.send({.bytes = 40'000, .marked = true});
+    }
+    // An unmarked message may be sacrificed under congestion.
+    sender.send({.bytes = 40'000, .marked = false});
+  });
+  receiver.listen();
+  sender.connect();
+
+  // 5. Run the virtual clock.
+  sim.run_until(TimePoint::zero() + Duration::seconds(5));
+
+  // 6. Inspect the quality attributes the transport exported.
+  auto& attrs = sender.attributes();
+  std::printf("\ntransport metrics via quality attributes:\n");
+  for (const char* name : {"NET_LOSS_RATIO", "NET_RTT_MS", "NET_CWND_PKTS"}) {
+    if (auto v = attrs.query_double(name)) {
+      std::printf("  %-15s = %.3f\n", name, *v);
+    }
+  }
+  const auto& st = sender.transport().stats();
+  std::printf("\nsender stats: %llu segments sent, %llu retransmitted, "
+              "%llu acks received\n",
+              static_cast<unsigned long long>(st.segments_sent),
+              static_cast<unsigned long long>(st.segments_retransmitted),
+              static_cast<unsigned long long>(st.acks_received));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Remote visualization (the paper's §3.3 motivating scenario).
+//
+// A scientific visualization server streams frames to a remote collaborator
+// over a congested WAN. Data outside the user's focus region is expendable:
+// when the transport reports a high error ratio, the application unmarks
+// out-of-focus data (trading reliability for timeliness of the control/
+// in-focus stream), and coordinated IQ-RUDP discards unmarked traffic
+// before it wastes bottleneck bandwidth.
+//
+//   $ ./remote_visualization
+
+#include <cstdio>
+
+#include "iq/echo/channel.hpp"
+#include "iq/echo/policies.hpp"
+#include "iq/harness/scenarios.hpp"
+#include "iq/stats/table.hpp"
+
+int main() {
+  using namespace iq;
+  using namespace iq::harness;
+
+  std::printf("remote visualization under 10 Mb/s cross traffic\n");
+  std::printf("(tag every 5th frame = control data; unmark the rest when "
+              "loss exceeds 30%%; receiver tolerates 40%% loss)\n\n");
+
+  auto run = [](const SchemeSpec& scheme) {
+    ExperimentConfig cfg = scenarios::table3(scheme);
+    cfg.total_frames = 300;  // keep the demo quick
+    return run_experiment(cfg);
+  };
+  const auto iq = run(SchemeSpec::iq_rudp());
+  const auto ru = run(SchemeSpec::rudp());
+
+  stats::Table table({"scheme", "duration(s)", "frames recvd(%)",
+                      "control delay(ms)", "control jitter(ms)"});
+  auto add = [&](const char* name, const ExperimentResult& r) {
+    table.add_row({name, stats::Table::num(r.summary.duration_s),
+                   stats::Table::num(r.summary.delivered_pct),
+                   stats::Table::num(r.summary.tagged_delay_ms),
+                   stats::Table::num(r.summary.tagged_jitter_ms)});
+  };
+  add("coordinated (IQ-RUDP)", iq);
+  add("uncoordinated (RUDP)", ru);
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\ncoordination effect: the IQ run discarded %llu out-of-focus "
+              "frames before they touched the network, freeing bandwidth "
+              "for control data.\n",
+              static_cast<unsigned long long>(
+                  iq.rudp.messages_discarded_at_send));
+  return 0;
+}

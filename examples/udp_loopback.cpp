@@ -1,0 +1,66 @@
+// The same protocol engine on real UDP sockets (loopback).
+//
+// Everything else in this repository runs on the deterministic simulator;
+// this example shows the identical RudpConnection engine moving real
+// datagrams through the kernel: handshake, fragmentation, acks and
+// byte-exact wire encoding via the codec.
+//
+//   $ ./udp_loopback
+
+#include <cstdio>
+#include <vector>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/wire/udp_wire.hpp"
+
+int main() {
+  using namespace iq;
+
+  wire::RealtimeLoop loop;
+  wire::UdpWire client_wire(loop, 47101, 47102);
+  wire::UdpWire server_wire(loop, 47102, 47101);
+
+  rudp::RudpConfig cfg;
+  rudp::RudpConnection client(client_wire, cfg, rudp::Role::Client);
+  rudp::RudpConnection server(server_wire, cfg, rudp::Role::Server);
+
+  std::vector<rudp::DeliveredMessage> delivered;
+  server.set_message_handler([&](const rudp::DeliveredMessage& m) {
+    std::printf("  server: msg %u (%lld bytes) in %.2f ms\n", m.msg_id,
+                static_cast<long long>(m.bytes),
+                (m.delivered - m.first_sent).to_millis());
+    delivered.push_back(m);
+  });
+
+  server.listen();
+  client.connect();
+  if (!loop.run_until([&] { return client.established(); },
+                      Duration::seconds(5))) {
+    std::printf("handshake failed\n");
+    return 1;
+  }
+  std::printf("connected over 127.0.0.1 UDP\n");
+
+  const int kMessages = 25;
+  for (int i = 0; i < kMessages; ++i) {
+    rudp::MessageSpec spec;
+    spec.bytes = 32'000;  // 23 fragments each
+    spec.attrs.set("index", std::int64_t{i});
+    client.send_message(spec);
+  }
+  if (!loop.run_until(
+          [&] { return delivered.size() == static_cast<std::size_t>(kMessages); },
+          Duration::seconds(30))) {
+    std::printf("transfer timed out (%zu/%d delivered)\n", delivered.size(),
+                kMessages);
+    return 1;
+  }
+
+  std::printf("\nall %d messages delivered.\n", kMessages);
+  std::printf("datagrams: client sent %llu, server sent %llu (acks), "
+              "decode failures %llu\n",
+              static_cast<unsigned long long>(client_wire.datagrams_sent()),
+              static_cast<unsigned long long>(server_wire.datagrams_sent()),
+              static_cast<unsigned long long>(server_wire.decode_failures()));
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "iq/attr/callbacks.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::attr {
+
+CallbackRegistry::RegistrationId CallbackRegistry::register_threshold(
+    ThresholdPair thresholds, ThresholdCallback on_upper,
+    ThresholdCallback on_lower) {
+  IQ_CHECK_MSG(thresholds.lower <= thresholds.upper,
+               "lower threshold above upper");
+  regs_.push_back(Registration{next_id_, std::move(thresholds),
+                               std::move(on_upper), std::move(on_lower),
+                               Region::Normal});
+  return next_id_++;
+}
+
+bool CallbackRegistry::unregister(RegistrationId id) {
+  auto it = std::find_if(regs_.begin(), regs_.end(),
+                         [&](const Registration& r) { return r.id == id; });
+  if (it == regs_.end()) return false;
+  regs_.erase(it);
+  return true;
+}
+
+void CallbackRegistry::on_metric(const std::string& metric, double value,
+                                 TimePoint now) {
+  for (auto& reg : regs_) {
+    if (reg.thresholds.metric != metric) continue;
+
+    Region region = Region::Normal;
+    if (value >= reg.thresholds.upper) {
+      region = Region::High;
+    } else if (value <= reg.thresholds.lower) {
+      region = Region::Low;
+    }
+
+    const bool edge = reg.thresholds.mode == FiringMode::EdgeTriggered;
+    const bool fire = region != Region::Normal &&
+                      (!edge || region != reg.last_region);
+    reg.last_region = region;
+    if (!fire) continue;
+
+    CallbackContext ctx{metric, value,
+                        region == Region::High ? ThresholdKind::Upper
+                                               : ThresholdKind::Lower,
+                        now};
+    ThresholdCallback& cb =
+        region == Region::High ? reg.on_upper : reg.on_lower;
+    if (!cb) continue;
+    if (region == Region::High) {
+      ++fired_upper_;
+    } else {
+      ++fired_lower_;
+    }
+    AttrList result = cb(ctx);
+    if (consumer_ && !result.empty()) consumer_(result, ctx);
+  }
+}
+
+}  // namespace iq::attr

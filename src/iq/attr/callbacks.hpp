@@ -1,0 +1,85 @@
+#pragma once
+// Application-registered callbacks on network-metric thresholds (§2.1 (2)).
+//
+// The application registers a pair of thresholds on a transport metric
+// (typically the per-epoch error ratio). On every metric update the registry
+// evaluates: value ≥ upper fires the upper callback, value ≤ lower fires the
+// lower callback. The paper's applications act on *every* measuring period
+// that satisfies the condition ("increases frame size by 10% in each call"),
+// so per-epoch firing is the default; edge-triggered mode is available for
+// applications that want one shot per excursion.
+//
+// A callback returns an AttrList describing the adaptation the application
+// performs (ADAPT_MARK / ADAPT_PKTSIZE / ADAPT_FREQ / ADAPT_WHEN / ...);
+// the transport's Coordinator consumes that result.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "iq/attr/list.hpp"
+#include "iq/common/time.hpp"
+
+namespace iq::attr {
+
+enum class ThresholdKind { Upper, Lower };
+enum class FiringMode { EveryEpoch, EdgeTriggered };
+
+struct CallbackContext {
+  std::string metric;
+  double value = 0;          ///< metric value that triggered the callback
+  ThresholdKind kind = ThresholdKind::Upper;
+  TimePoint when;
+};
+
+/// Result of an application callback: the adaptation description. An empty
+/// list means "no adaptation".
+using ThresholdCallback = std::function<AttrList(const CallbackContext&)>;
+
+class CallbackRegistry {
+ public:
+  using RegistrationId = std::uint64_t;
+
+  struct ThresholdPair {
+    std::string metric;
+    double upper = 1.0;
+    double lower = 0.0;
+    FiringMode mode = FiringMode::EveryEpoch;
+  };
+
+  RegistrationId register_threshold(ThresholdPair thresholds,
+                                    ThresholdCallback on_upper,
+                                    ThresholdCallback on_lower);
+  bool unregister(RegistrationId id);
+
+  /// Consumer of callback results (the transport's coordinator).
+  using ResultFn =
+      std::function<void(const AttrList&, const CallbackContext&)>;
+  void set_result_consumer(ResultFn fn) { consumer_ = std::move(fn); }
+
+  /// Called by the transport on each metric measurement epoch.
+  void on_metric(const std::string& metric, double value, TimePoint now);
+
+  std::uint64_t fired_upper() const { return fired_upper_; }
+  std::uint64_t fired_lower() const { return fired_lower_; }
+
+ private:
+  enum class Region { Normal, High, Low };
+
+  struct Registration {
+    RegistrationId id;
+    ThresholdPair thresholds;
+    ThresholdCallback on_upper;
+    ThresholdCallback on_lower;
+    Region last_region = Region::Normal;
+  };
+
+  std::vector<Registration> regs_;
+  RegistrationId next_id_ = 1;
+  ResultFn consumer_;
+  std::uint64_t fired_upper_ = 0;
+  std::uint64_t fired_lower_ = 0;
+};
+
+}  // namespace iq::attr

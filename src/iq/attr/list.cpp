@@ -1,0 +1,102 @@
+#include "iq/attr/list.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iq::attr {
+
+AttrList::AttrList(
+    std::initializer_list<std::pair<std::string, AttrValue>> init) {
+  for (const auto& [name, value] : init) set(name, value);
+}
+
+AttrList& AttrList::set(const std::string& name, AttrValue value) {
+  for (auto& [n, v] : entries_) {
+    if (n == name) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  entries_.emplace_back(name, std::move(value));
+  return *this;
+}
+
+std::optional<AttrValue> AttrList::get(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+bool AttrList::has(const std::string& name) const {
+  return get(name).has_value();
+}
+
+bool AttrList::remove(const std::string& name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& e) { return e.first == name; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<double> AttrList::get_double(const std::string& name) const {
+  auto v = get(name);
+  return v ? v->as_double() : std::nullopt;
+}
+
+std::optional<std::int64_t> AttrList::get_int(const std::string& name) const {
+  auto v = get(name);
+  return v ? v->as_int() : std::nullopt;
+}
+
+std::optional<bool> AttrList::get_bool(const std::string& name) const {
+  auto v = get(name);
+  return v ? v->as_bool() : std::nullopt;
+}
+
+std::optional<std::string> AttrList::get_string(const std::string& name) const {
+  auto v = get(name);
+  return v ? v->as_string() : std::nullopt;
+}
+
+void AttrList::merge(const AttrList& other) {
+  for (const auto& [n, v] : other.entries_) set(n, v);
+}
+
+std::string AttrList::describe() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [n, v] : entries_) {
+    if (!first) os << ", ";
+    first = false;
+    os << n << "=" << v.describe();
+  }
+  os << "}";
+  return os.str();
+}
+
+void AttrList::encode(ByteWriter& w) const {
+  w.u16(static_cast<std::uint16_t>(entries_.size()));
+  for (const auto& [n, v] : entries_) {
+    w.str16(n);
+    v.encode(w);
+  }
+}
+
+std::optional<AttrList> AttrList::decode(ByteReader& r) {
+  auto count = r.u16();
+  if (!count) return std::nullopt;
+  AttrList list;
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto name = r.str16();
+    if (!name) return std::nullopt;
+    auto value = AttrValue::decode(r);
+    if (!value) return std::nullopt;
+    list.set(*name, std::move(*value));
+  }
+  return list;
+}
+
+}  // namespace iq::attr

@@ -1,0 +1,53 @@
+#pragma once
+// AttrList: an ordered collection of <name, value> quality attributes.
+//
+// This is the object handed to CMwritev_attr-style send calls and returned
+// from callbacks; it is small (a handful of entries), so a flat vector beats
+// a map. Encodes to a length-prefixed wire form for in-band transport.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iq/attr/value.hpp"
+
+namespace iq::attr {
+
+class AttrList {
+ public:
+  AttrList() = default;
+  AttrList(std::initializer_list<std::pair<std::string, AttrValue>> init);
+
+  /// Insert or overwrite.
+  AttrList& set(const std::string& name, AttrValue value);
+  std::optional<AttrValue> get(const std::string& name) const;
+  bool has(const std::string& name) const;
+  bool remove(const std::string& name);
+
+  /// Typed getters; nullopt when absent or the wrong type.
+  std::optional<double> get_double(const std::string& name) const;
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::optional<bool> get_bool(const std::string& name) const;
+  std::optional<std::string> get_string(const std::string& name) const;
+
+  /// Copy every entry of `other` into this list (overwriting collisions).
+  void merge(const AttrList& other);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  std::string describe() const;
+
+  void encode(ByteWriter& w) const;
+  static std::optional<AttrList> decode(ByteReader& r);
+
+  friend bool operator==(const AttrList&, const AttrList&) = default;
+
+ private:
+  std::vector<std::pair<std::string, AttrValue>> entries_;
+};
+
+}  // namespace iq::attr

@@ -1,0 +1,29 @@
+#include "iq/attr/names.hpp"
+
+namespace iq::attr {
+
+const std::string kAdaptFreq = "ADAPT_FREQ";
+const std::string kAdaptPktSize = "ADAPT_PKTSIZE";
+const std::string kAdaptMark = "ADAPT_MARK";
+const std::string kAdaptWhen = "ADAPT_WHEN";
+const std::string kAdaptCondErrorRatio = "ADAPT_COND_ERATIO";
+const std::string kAdaptCondRate = "ADAPT_COND_RATE";
+
+const std::string kMsgMarked = "MSG_MARKED";
+const std::string kMsgDeadline = "MSG_DEADLINE";
+
+const std::string kAppFrameBytes = "APP_FRAME_BYTES";
+
+const std::string kRecvLossTolerance = "RECV_LOSS_TOLERANCE";
+
+const std::string kNetLossRatio = "NET_LOSS_RATIO";
+const std::string kNetRttMs = "NET_RTT_MS";
+const std::string kNetRateBps = "NET_RATE_BPS";
+const std::string kNetCwndPkts = "NET_CWND_PKTS";
+const std::string kNetEpoch = "NET_EPOCH";
+
+const std::string kRecvRateBps = "RECV_RATE_BPS";
+const std::string kRecvMsgsDelivered = "RECV_MSGS_DELIVERED";
+const std::string kRecvMsgsDropped = "RECV_MSGS_DROPPED";
+
+}  // namespace iq::attr

@@ -1,0 +1,54 @@
+#pragma once
+// Well-known quality attribute names (§2.3.2 of the paper).
+//
+// Application → transport (describing an application adaptation):
+//   ADAPT_FREQ     degree of a frequency adaptation (new_rate / old_rate)
+//   ADAPT_PKTSIZE  degree of a resolution adaptation (fraction removed,
+//                  i.e. rate_chg: new_size = old_size * (1 - rate_chg))
+//   ADAPT_MARK     degree of a reliability adaptation (unmark probability)
+//   ADAPT_WHEN     timing: kAdaptNow | kAdaptDeferred | kAdaptNone
+//   ADAPT_COND_*   the network conditions the adaptation was based on
+//
+// Transport → application (network performance metrics):
+//   NET_*          loss ratio, RTT, rate, cwnd, etc.
+
+#include <string>
+
+namespace iq::attr {
+
+// Application adaptation description.
+extern const std::string kAdaptFreq;
+extern const std::string kAdaptPktSize;
+extern const std::string kAdaptMark;
+extern const std::string kAdaptWhen;
+extern const std::string kAdaptCondErrorRatio;
+extern const std::string kAdaptCondRate;
+
+// Values of kAdaptWhen.
+inline constexpr std::int64_t kAdaptNow = 0;
+inline constexpr std::int64_t kAdaptDeferred = 1;
+inline constexpr std::int64_t kAdaptNone = 2;
+
+// Per-message attributes.
+extern const std::string kMsgMarked;      ///< bool: tagged (must deliver)
+extern const std::string kMsgDeadline;    ///< double: seconds, soft deadline
+
+// Application state descriptions.
+extern const std::string kAppFrameBytes;  ///< int: current app frame size
+
+// Connection-level reliability settings.
+extern const std::string kRecvLossTolerance;  ///< double in [0,1]
+
+// Network performance metrics exported by the transport (sender side).
+extern const std::string kNetLossRatio;   ///< double in [0,1], per epoch
+extern const std::string kNetRttMs;       ///< double, smoothed RTT
+extern const std::string kNetRateBps;     ///< double, delivered rate estimate
+extern const std::string kNetCwndPkts;    ///< double, congestion window
+extern const std::string kNetEpoch;       ///< int, measuring-period counter
+
+// Receiver-side delivery metrics (published periodically).
+extern const std::string kRecvRateBps;       ///< double, delivery rate
+extern const std::string kRecvMsgsDelivered; ///< int, lifetime total
+extern const std::string kRecvMsgsDropped;   ///< int, lifetime total
+
+}  // namespace iq::attr

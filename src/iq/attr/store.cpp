@@ -1,0 +1,58 @@
+#include "iq/attr/store.hpp"
+
+#include <algorithm>
+
+namespace iq::attr {
+
+void AttrStore::update(const std::string& name, AttrValue value) {
+  values_[name] = value;
+  ++updates_;
+  // Copy matching callbacks first: a subscriber may (un)subscribe from
+  // within its callback.
+  std::vector<UpdateFn> to_call;
+  for (const auto& sub : subs_) {
+    if (sub.name.empty() || sub.name == name) to_call.push_back(sub.fn);
+  }
+  for (auto& fn : to_call) fn(name, value);
+}
+
+void AttrStore::update_all(const AttrList& list) {
+  for (const auto& [n, v] : list) update(n, v);
+}
+
+std::optional<AttrValue> AttrStore::query(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> AttrStore::query_double(const std::string& name) const {
+  auto v = query(name);
+  return v ? v->as_double() : std::nullopt;
+}
+
+bool AttrStore::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+AttrList AttrStore::snapshot() const {
+  AttrList list;
+  for (const auto& [n, v] : values_) list.set(n, v);
+  return list;
+}
+
+AttrStore::SubscriptionId AttrStore::subscribe(const std::string& name,
+                                               UpdateFn fn) {
+  subs_.push_back(Subscription{next_id_, name, std::move(fn)});
+  return next_id_++;
+}
+
+bool AttrStore::unsubscribe(SubscriptionId id) {
+  auto it = std::find_if(subs_.begin(), subs_.end(),
+                         [&](const Subscription& s) { return s.id == id; });
+  if (it == subs_.end()) return false;
+  subs_.erase(it);
+  return true;
+}
+
+}  // namespace iq::attr

@@ -1,0 +1,55 @@
+#pragma once
+// AttrStore: the "distributed service" through which attributes are
+// registered, updated and queried (§2.2). In this library-level build it is
+// a per-connection shared store: the transport publishes NET_* metrics into
+// it, the application publishes its reliability settings, and either side
+// can subscribe to updates.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iq/attr/list.hpp"
+
+namespace iq::attr {
+
+class AttrStore {
+ public:
+  using SubscriptionId = std::uint64_t;
+  using UpdateFn =
+      std::function<void(const std::string& name, const AttrValue& value)>;
+
+  /// Insert or overwrite; notifies subscribers (even on equal value — a
+  /// fresh measurement of an unchanged metric is still a new epoch).
+  void update(const std::string& name, AttrValue value);
+  void update_all(const AttrList& list);
+
+  std::optional<AttrValue> query(const std::string& name) const;
+  std::optional<double> query_double(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Snapshot of every attribute.
+  AttrList snapshot() const;
+
+  /// Subscribe to updates of one attribute name ("" = all names).
+  SubscriptionId subscribe(const std::string& name, UpdateFn fn);
+  bool unsubscribe(SubscriptionId id);
+
+  std::uint64_t updates_seen() const { return updates_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    std::string name;  // empty = wildcard
+    UpdateFn fn;
+  };
+
+  std::unordered_map<std::string, AttrValue> values_;
+  std::vector<Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace iq::attr

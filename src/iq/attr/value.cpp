@@ -1,0 +1,93 @@
+#include "iq/attr/value.hpp"
+
+#include <sstream>
+
+namespace iq::attr {
+
+namespace {
+enum Tag : std::uint8_t { kInt = 1, kDouble = 2, kBool = 3, kString = 4 };
+}
+
+std::optional<std::int64_t> AttrValue::as_int() const {
+  if (auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+  return std::nullopt;
+}
+
+std::optional<double> AttrValue::as_double() const {
+  if (auto* p = std::get_if<double>(&v_)) return *p;
+  if (auto* p = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*p);
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> AttrValue::as_bool() const {
+  if (auto* p = std::get_if<bool>(&v_)) return *p;
+  return std::nullopt;
+}
+
+std::optional<std::string> AttrValue::as_string() const {
+  if (auto* p = std::get_if<std::string>(&v_)) return *p;
+  return std::nullopt;
+}
+
+std::string AttrValue::describe() const {
+  std::ostringstream os;
+  if (auto* p = std::get_if<std::int64_t>(&v_)) {
+    os << *p;
+  } else if (auto* p2 = std::get_if<double>(&v_)) {
+    os << *p2;
+  } else if (auto* p3 = std::get_if<bool>(&v_)) {
+    os << (*p3 ? "true" : "false");
+  } else if (auto* p4 = std::get_if<std::string>(&v_)) {
+    os << '"' << *p4 << '"';
+  }
+  return os.str();
+}
+
+void AttrValue::encode(ByteWriter& w) const {
+  if (auto* p = std::get_if<std::int64_t>(&v_)) {
+    w.u8(kInt);
+    w.i64(*p);
+  } else if (auto* p2 = std::get_if<double>(&v_)) {
+    w.u8(kDouble);
+    w.f64(*p2);
+  } else if (auto* p3 = std::get_if<bool>(&v_)) {
+    w.u8(kBool);
+    w.u8(*p3 ? 1 : 0);
+  } else if (auto* p4 = std::get_if<std::string>(&v_)) {
+    w.u8(kString);
+    w.str16(*p4);
+  }
+}
+
+std::optional<AttrValue> AttrValue::decode(ByteReader& r) {
+  auto tag = r.u8();
+  if (!tag) return std::nullopt;
+  switch (*tag) {
+    case kInt: {
+      auto v = r.i64();
+      if (!v) return std::nullopt;
+      return AttrValue(*v);
+    }
+    case kDouble: {
+      auto v = r.f64();
+      if (!v) return std::nullopt;
+      return AttrValue(*v);
+    }
+    case kBool: {
+      auto v = r.u8();
+      if (!v) return std::nullopt;
+      return AttrValue(*v != 0);
+    }
+    case kString: {
+      auto v = r.str16();
+      if (!v) return std::nullopt;
+      return AttrValue(std::move(*v));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace iq::attr

@@ -1,0 +1,50 @@
+#pragma once
+// AttrValue: the value half of an ECho quality attribute <name, value> tuple.
+//
+// Attributes carry small scalars (rates, ratios, flags) across the
+// application/transport boundary; the variant covers everything the paper's
+// coordination schemes exchange. Values serialize to a tagged wire format so
+// attributes can also travel inside segments (receiver-side adaptations).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "iq/common/bytes.hpp"
+
+namespace iq::attr {
+
+class AttrValue {
+ public:
+  AttrValue() : v_(std::int64_t{0}) {}
+  AttrValue(std::int64_t v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  AttrValue(int v) : v_(std::int64_t{v}) {}     // NOLINT
+  AttrValue(double v) : v_(v) {}                // NOLINT
+  AttrValue(bool v) : v_(v) {}                  // NOLINT
+  AttrValue(std::string v) : v_(std::move(v)) {}  // NOLINT
+  AttrValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  std::optional<std::int64_t> as_int() const;
+  /// Numeric coercion: int or double both convert.
+  std::optional<double> as_double() const;
+  std::optional<bool> as_bool() const;
+  std::optional<std::string> as_string() const;
+
+  std::string describe() const;
+
+  void encode(ByteWriter& w) const;
+  static std::optional<AttrValue> decode(ByteReader& r);
+
+  friend bool operator==(const AttrValue&, const AttrValue&) = default;
+
+ private:
+  std::variant<std::int64_t, double, bool, std::string> v_;
+};
+
+}  // namespace iq::attr

@@ -1,0 +1,100 @@
+#include "iq/common/bytes.hpp"
+
+#include <bit>
+
+namespace iq {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes16(BytesView v) {
+  u16(static_cast<std::uint16_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::str16(const std::string& s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<double> ByteReader::f64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return std::bit_cast<double>(*v);
+}
+
+std::optional<Bytes> ByteReader::bytes16() {
+  auto len = u16();
+  if (!len || !need(*len)) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::optional<std::string> ByteReader::str16() {
+  auto len = u16();
+  if (!len || !need(*len)) return std::nullopt;
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+}  // namespace iq

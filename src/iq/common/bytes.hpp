@@ -1,0 +1,66 @@
+#pragma once
+// Byte-order-safe serialization helpers for wire formats.
+//
+// All multi-byte fields are big-endian (network order). ByteWriter grows an
+// owned buffer; ByteReader is a bounds-checked cursor over a span and reports
+// truncation instead of crashing, since readers face untrusted input.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iq {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u16) byte string.
+  void bytes16(BytesView v);
+  /// Length-prefixed (u16) UTF-8 string.
+  void str16(const std::string& s);
+  /// Raw bytes, no prefix.
+  void raw(BytesView v);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  std::optional<double> f64();
+  std::optional<Bytes> bytes16();
+  std::optional<std::string> str16();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  bool need(std::size_t n) const { return remaining() >= n; }
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace iq

@@ -1,0 +1,28 @@
+#pragma once
+// Lightweight always-on invariant checks.
+//
+// Protocol state machines are full of invariants that, if broken, produce
+// silently-wrong experiment numbers; these checks stay on in release builds.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iq::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "IQ_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace iq::detail
+
+#define IQ_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::iq::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define IQ_CHECK_MSG(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::iq::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

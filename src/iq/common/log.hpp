@@ -1,0 +1,37 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Experiments are driven by metrics, not logs; logging exists for debugging
+// protocol traces. Off (Warn) by default so benchmark output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace iq {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::Debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::Info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::Warn, args...); }
+
+}  // namespace iq

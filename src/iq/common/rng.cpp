@@ -1,0 +1,37 @@
+#include "iq/common/rng.hpp"
+
+#include <algorithm>
+
+namespace iq {
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw a fresh seed; the child stream is effectively independent.
+  return Rng(engine_());
+}
+
+}  // namespace iq

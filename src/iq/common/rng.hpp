@@ -1,0 +1,40 @@
+#pragma once
+// Seeded random number generation for deterministic experiments.
+//
+// Every stochastic component takes an explicit Rng (or a seed), never a
+// global generator, so experiments replay bit-exactly and components can be
+// re-seeded independently.
+
+#include <cstdint>
+#include <random>
+
+namespace iq {
+
+/// Thin wrapper over mt19937_64 with the distributions the codebase needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child generator (splitmix-style).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace iq

@@ -1,0 +1,52 @@
+#include "iq/common/time.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace iq {
+
+Duration Duration::from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+Duration Duration::scaled(double f) const {
+  return Duration{static_cast<std::int64_t>(
+      std::llround(static_cast<double>(ns_) * f))};
+}
+
+std::string Duration::str() const {
+  std::ostringstream os;
+  const std::int64_t n = ns_;
+  if (n % 1'000'000'000 == 0) {
+    os << n / 1'000'000'000 << "s";
+  } else if (n % 1'000'000 == 0) {
+    os << n / 1'000'000 << "ms";
+  } else if (n % 1000 == 0) {
+    os << n / 1000 << "us";
+  } else {
+    os << n << "ns";
+  }
+  return os.str();
+}
+
+std::string TimePoint::str() const {
+  std::ostringstream os;
+  os << to_seconds() << "s";
+  return os.str();
+}
+
+Duration transmission_time(std::int64_t bytes, std::int64_t bits_per_sec) {
+  // ns = bytes*8 * 1e9 / bps, computed without overflow for realistic sizes.
+  const long double ns =
+      static_cast<long double>(bytes) * 8.0L * 1e9L /
+      static_cast<long double>(bits_per_sec);
+  return Duration::nanos(static_cast<std::int64_t>(ns + 0.5L));
+}
+
+std::int64_t bytes_in(Duration d, std::int64_t bits_per_sec) {
+  const long double b = static_cast<long double>(d.ns()) *
+                        static_cast<long double>(bits_per_sec) / (8.0L * 1e9L);
+  return static_cast<std::int64_t>(b);
+}
+
+}  // namespace iq

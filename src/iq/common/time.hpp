@@ -1,0 +1,91 @@
+#pragma once
+// Strong time types for simulation and measurement.
+//
+// All simulation logic uses TimePoint/Duration in integer nanoseconds so that
+// experiments are bit-exact across runs and platforms. Wall-clock time never
+// enters protocol or simulator code.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace iq {
+
+/// A span of simulated time, in nanoseconds. Signed so differences are safe.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  static Duration from_seconds(double s);
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr std::int64_t us() const { return ns_ / 1000; }
+  constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  /// Scale by a double (used by RTO backoff and smoothing); rounds to ns.
+  Duration scaled(double f) const;
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering, e.g. "30ms", "1.5s".
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time: nanoseconds since the start of a run.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t n) { return TimePoint{n}; }
+  static constexpr TimePoint zero() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Wire-transmission helpers ---------------------------------------------
+
+/// Time to serialize `bytes` onto a link of `bits_per_sec`.
+Duration transmission_time(std::int64_t bytes, std::int64_t bits_per_sec);
+
+/// Bytes that fit through `bits_per_sec` in `d` (floor).
+std::int64_t bytes_in(Duration d, std::int64_t bits_per_sec);
+
+}  // namespace iq

@@ -1,0 +1,46 @@
+#include "iq/core/adaptation.hpp"
+
+#include <sstream>
+
+namespace iq::core {
+
+AdaptationRecord AdaptationRecord::from_attrs(const attr::AttrList& attrs) {
+  AdaptationRecord rec;
+  rec.freq_ratio = attrs.get_double(attr::kAdaptFreq);
+  rec.resolution_change = attrs.get_double(attr::kAdaptPktSize);
+  rec.mark_degree = attrs.get_double(attr::kAdaptMark);
+  if (auto when = attrs.get_int(attr::kAdaptWhen)) rec.when = *when;
+  rec.cond_error_ratio = attrs.get_double(attr::kAdaptCondErrorRatio);
+  rec.cond_rate_bps = attrs.get_double(attr::kAdaptCondRate);
+  rec.frame_bytes = attrs.get_int(attr::kAppFrameBytes);
+  return rec;
+}
+
+attr::AttrList AdaptationRecord::to_attrs() const {
+  attr::AttrList attrs;
+  if (freq_ratio) attrs.set(attr::kAdaptFreq, *freq_ratio);
+  if (resolution_change) attrs.set(attr::kAdaptPktSize, *resolution_change);
+  if (mark_degree) attrs.set(attr::kAdaptMark, *mark_degree);
+  if (when != attr::kAdaptNow) attrs.set(attr::kAdaptWhen, when);
+  if (cond_error_ratio) {
+    attrs.set(attr::kAdaptCondErrorRatio, *cond_error_ratio);
+  }
+  if (cond_rate_bps) attrs.set(attr::kAdaptCondRate, *cond_rate_bps);
+  if (frame_bytes) attrs.set(attr::kAppFrameBytes, *frame_bytes);
+  return attrs;
+}
+
+std::string AdaptationRecord::describe() const {
+  std::ostringstream os;
+  os << "adaptation{";
+  if (freq_ratio) os << " freq=" << *freq_ratio;
+  if (resolution_change) os << " pktsize=" << *resolution_change;
+  if (mark_degree) os << " mark=" << *mark_degree;
+  os << " when=" << when;
+  if (cond_error_ratio) os << " cond_eratio=" << *cond_error_ratio;
+  if (frame_bytes) os << " frame=" << *frame_bytes;
+  os << " }";
+  return os.str();
+}
+
+}  // namespace iq::core

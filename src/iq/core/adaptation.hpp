@@ -1,0 +1,51 @@
+#pragma once
+// AdaptationRecord: the parsed form of an application adaptation described
+// through quality attributes (§2.3.2).
+//
+// An application adaptation affects the traffic it hands to IQ-RUDP along
+// three axes — message frequency (ADAPT_FREQ), message size / resolution
+// (ADAPT_PKTSIZE), reliability (ADAPT_MARK) — plus two meta aspects: when
+// the adaptation happens (ADAPT_WHEN) and the network conditions it was
+// based on (ADAPT_COND_*). The Coordinator consumes these records.
+
+#include <optional>
+#include <string>
+
+#include "iq/attr/list.hpp"
+#include "iq/attr/names.hpp"
+
+namespace iq::core {
+
+struct AdaptationRecord {
+  /// ADAPT_FREQ: new_rate / old_rate (0.5 = half the message frequency).
+  std::optional<double> freq_ratio;
+  /// ADAPT_PKTSIZE: rate_chg — fraction of resolution removed
+  /// (new_size = old_size * (1 - rate_chg); negative = size increase).
+  std::optional<double> resolution_change;
+  /// ADAPT_MARK: unmark probability now applied by the application
+  /// (0 = everything marked again).
+  std::optional<double> mark_degree;
+  /// ADAPT_WHEN: kAdaptNow | kAdaptDeferred | kAdaptNone.
+  std::int64_t when = attr::kAdaptNow;
+  /// ADAPT_COND_ERATIO: the error ratio the application based this
+  /// adaptation on (may be stale by the time the adaptation lands).
+  std::optional<double> cond_error_ratio;
+  /// ADAPT_COND_RATE: the data rate the application assumed, bps.
+  std::optional<double> cond_rate_bps;
+  /// APP_FRAME_BYTES: the application's frame size after the adaptation —
+  /// the window rescale only applies when this is below the segment size.
+  std::optional<std::int64_t> frame_bytes;
+
+  /// True if any adaptation axis is present.
+  bool any() const {
+    return freq_ratio || resolution_change || mark_degree ||
+           when != attr::kAdaptNow;
+  }
+  bool deferred() const { return when == attr::kAdaptDeferred; }
+
+  static AdaptationRecord from_attrs(const attr::AttrList& attrs);
+  attr::AttrList to_attrs() const;
+  std::string describe() const;
+};
+
+}  // namespace iq::core

@@ -1,0 +1,111 @@
+#include "iq/core/coordinator.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+#include "iq/common/log.hpp"
+
+namespace iq::core {
+
+Coordinator::Coordinator(rudp::RudpConnection& conn,
+                         const CoordinatorConfig& cfg)
+    : conn_(conn), cfg_(cfg) {}
+
+void Coordinator::on_callback_result(const attr::AttrList& result,
+                                     const attr::CallbackContext&) {
+  apply(AdaptationRecord::from_attrs(result), /*from_send_call=*/false);
+}
+
+void Coordinator::on_send_attrs(const attr::AttrList& attrs) {
+  AdaptationRecord rec = AdaptationRecord::from_attrs(attrs);
+  if (!rec.any()) return;
+  apply(rec, /*from_send_call=*/true);
+}
+
+void Coordinator::on_epoch(const rudp::EpochReport& report) {
+  current_eratio_ = report.loss_ratio;
+}
+
+double Coordinator::rescale_factor(double rate_chg, double eratio_then,
+                                   double eratio_now, bool compensate) {
+  double factor = 1.0 / (1.0 - rate_chg);
+  if (compensate) {
+    const double then_term = std::clamp(1.0 - eratio_then, 0.05, 1.0);
+    const double now_term = std::clamp(1.0 - eratio_now, 0.05, 1.0);
+    factor *= now_term / then_term;
+  }
+  return factor;
+}
+
+void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
+  ++stats_.records_seen;
+  const bool coordinated = cfg_.mode == CoordinationMode::Coordinated;
+
+  // Scheme 3 bookkeeping: a deferred announcement means the application
+  // will adapt on a later send call; the transport keeps adapting alone
+  // until then.
+  if (rec.deferred() && !from_send_call) {
+    ++stats_.deferrals_noted;
+    deferral_pending_ = true;
+    return;
+  }
+
+  // Scheme 1: reliability adaptation → send-side discard of unmarked data.
+  if (rec.mark_degree.has_value() && coordinated &&
+      cfg_.enable_conflict_scheme) {
+    const bool enable = *rec.mark_degree > 0.0;
+    if (enable != conn_.discard_unmarked()) {
+      conn_.set_discard_unmarked(enable);
+      if (enable) {
+        ++stats_.discard_enables;
+      } else {
+        ++stats_.discard_disables;
+      }
+    }
+  }
+
+  // Frequency adaptation: explicitly no window change — the reduced message
+  // frequency already reduces the offered bit rate. (The ablation flag
+  // applies the rescale anyway, to measure why the paper forbids it.)
+  if (rec.freq_ratio.has_value()) {
+    ++stats_.freq_adaptations;
+    if (coordinated && cfg_.rescale_on_frequency && *rec.freq_ratio > 0.0) {
+      const double factor =
+          std::clamp(1.0 / *rec.freq_ratio, 1.0 / 8.0, 8.0);
+      stats_.last_rescale_factor = factor;
+      ++stats_.window_rescales;
+      conn_.scale_congestion_window(factor);
+    }
+  }
+
+  // Schemes 2/3: resolution adaptation → packet-window rescale.
+  if (rec.resolution_change.has_value()) {
+    if (from_send_call && deferral_pending_) {
+      deferral_pending_ = false;
+      ++stats_.deferred_resolved;
+    }
+    if (coordinated && cfg_.enable_overreaction_scheme) {
+      // Rescale only when the (post-adaptation) frame is below the segment
+      // size; above it, packets stay MSS-sized and the bit rate is already
+      // governed by the packet window.
+      const bool frame_small =
+          !rec.frame_bytes.has_value() || *rec.frame_bytes < cfg_.mss;
+      const double rate_chg =
+          std::clamp(*rec.resolution_change, -cfg_.max_resolution_change,
+                     cfg_.max_resolution_change);
+      const bool compensate = cfg_.enable_cond_compensation &&
+                              rec.cond_error_ratio.has_value();
+      if (frame_small) {
+        const double factor = rescale_factor(
+            rate_chg, rec.cond_error_ratio.value_or(current_eratio_),
+            current_eratio_, compensate);
+        if (compensate) ++stats_.cond_compensations;
+        stats_.last_rescale_factor = factor;
+        ++stats_.window_rescales;
+        conn_.scale_congestion_window(factor);
+      }
+    }
+  }
+}
+
+}  // namespace iq::core

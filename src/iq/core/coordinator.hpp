@@ -1,0 +1,105 @@
+#pragma once
+// Coordinator: the paper's contribution — transport re-adaptation driven by
+// application adaptation descriptions (§2.3).
+//
+// The transport is "the final point of regulation before data is sent onto
+// the network", so coordination lives here. Application adaptations reach
+// the coordinator through two paths:
+//   * callback results — the return value of a threshold callback
+//     (asynchronous notification), and
+//   * send-call attributes — the AttrList parameter of
+//     IqRudpConnection::send_with_attrs (the CMwritev_attr path), which is
+//     how deferred adaptations announce that they have actually landed.
+//
+// Schemes implemented:
+//   1. Conflicting interests (§3.3): a reliability adaptation
+//      (ADAPT_MARK > 0) switches the transport to *discarding unmarked
+//      messages before they enter the network* so tagged traffic sees the
+//      freed bandwidth; ADAPT_MARK == 0 switches back.
+//   2. Over-reaction (§3.4): a resolution adaptation that shrinks frames by
+//      rate_chg gets the packet window rescaled by 1/(1 − rate_chg) —
+//      applied only when the application frame is below the segment size,
+//      because larger frames still fill MSS-sized packets. Frequency
+//      adaptations get *no* rescale (the paper is explicit about this).
+//   3. Limited granularity (§3.5): ADAPT_WHEN = deferred from a callback
+//      means "the application will adapt later"; the transport keeps
+//      adapting on its own. When the adaptation lands on a send call, the
+//      window is rescaled immediately; if ADAPT_COND carries the error
+//      ratio the application based its decision on, the rescale also
+//      compensates for network drift during the deferral (eq. 1):
+//        w ← w · 1/(1 − rate_chg) · (1 − eratio_now)/(1 − eratio_then).
+//
+// In Uncoordinated mode (plain RUDP) every record is parsed and counted but
+// no transport re-adaptation happens — the experimental control.
+
+#include <cstdint>
+
+#include "iq/attr/callbacks.hpp"
+#include "iq/core/adaptation.hpp"
+#include "iq/rudp/connection.hpp"
+
+namespace iq::core {
+
+enum class CoordinationMode { Uncoordinated, Coordinated };
+
+struct CoordinatorConfig {
+  CoordinationMode mode = CoordinationMode::Coordinated;
+  bool enable_conflict_scheme = true;      ///< scheme 1
+  bool enable_overreaction_scheme = true;  ///< schemes 2/3 window rescale
+  bool enable_cond_compensation = true;    ///< eq. (1) drift compensation
+  /// Ablation of the paper's design decision that frequency adaptations
+  /// need NO window change (§3.4): when set, a frequency adaptation gets
+  /// the same 1/ratio rescale a resolution adaptation would — the paper
+  /// argues this double-compensates; the ablation bench measures it.
+  bool rescale_on_frequency = false;
+  /// rate_chg is clamped to this to keep 1/(1-rate_chg) sane.
+  double max_resolution_change = 0.9;
+  /// Maximum segment payload; window rescale applies only to frames below
+  /// it (§3.4). Keep in sync with RudpConfig::max_segment_payload.
+  std::int64_t mss = 1400;
+};
+
+struct CoordinatorStats {
+  std::uint64_t records_seen = 0;
+  std::uint64_t window_rescales = 0;
+  std::uint64_t discard_enables = 0;
+  std::uint64_t discard_disables = 0;
+  std::uint64_t deferrals_noted = 0;
+  std::uint64_t deferred_resolved = 0;
+  std::uint64_t cond_compensations = 0;
+  std::uint64_t freq_adaptations = 0;  ///< seen, intentionally no rescale
+  double last_rescale_factor = 1.0;
+};
+
+class Coordinator {
+ public:
+  Coordinator(rudp::RudpConnection& conn, const CoordinatorConfig& cfg);
+
+  /// Asynchronous path: the AttrList a threshold callback returned.
+  void on_callback_result(const attr::AttrList& result,
+                          const attr::CallbackContext& ctx);
+  /// Send path: attributes passed with a send call.
+  void on_send_attrs(const attr::AttrList& attrs);
+  /// Track the transport's current error ratio for eq. (1).
+  void on_epoch(const rudp::EpochReport& report);
+
+  const CoordinatorStats& stats() const { return stats_; }
+  const CoordinatorConfig& config() const { return cfg_; }
+  bool deferral_pending() const { return deferral_pending_; }
+  double current_error_ratio() const { return current_eratio_; }
+
+  /// The window factor eq. (1) prescribes (exposed for tests).
+  static double rescale_factor(double rate_chg, double eratio_then,
+                               double eratio_now, bool compensate);
+
+ private:
+  void apply(const AdaptationRecord& rec, bool from_send_call);
+
+  rudp::RudpConnection& conn_;
+  CoordinatorConfig cfg_;
+  CoordinatorStats stats_;
+  bool deferral_pending_ = false;
+  double current_eratio_ = 0.0;
+};
+
+}  // namespace iq::core

@@ -1,0 +1,66 @@
+#include "iq/core/iq_connection.hpp"
+
+namespace iq::core {
+
+IqRudpConnection::IqRudpConnection(rudp::SegmentWire& wire,
+                                   const rudp::RudpConfig& rcfg,
+                                   rudp::Role role,
+                                   const CoordinatorConfig& ccfg)
+    : conn_(wire, rcfg, role),
+      coordinator_(conn_, [&] {
+        CoordinatorConfig c = ccfg;
+        c.mss = rcfg.max_segment_payload;
+        return c;
+      }()),
+      exporter_(conn_, store_, registry_),
+      recv_export_(conn_.executor(), Duration::seconds(1),
+                   [this] { export_recv_metrics(); }) {
+  conn_.set_epoch_handler(
+      [this](const rudp::EpochReport& report) { on_epoch(report); });
+  registry_.set_result_consumer(
+      [this](const attr::AttrList& result, const attr::CallbackContext& ctx) {
+        coordinator_.on_callback_result(result, ctx);
+      });
+  recv_export_.start();
+}
+
+void IqRudpConnection::export_recv_metrics() {
+  const auto& st = conn_.stats();
+  const std::int64_t bytes = st.payload_bytes_delivered;
+  store_.update(attr::kRecvRateBps,
+                static_cast<double>(bytes - last_recv_bytes_) * 8.0);
+  last_recv_bytes_ = bytes;
+  store_.update(attr::kRecvMsgsDelivered,
+                static_cast<std::int64_t>(st.messages_delivered));
+  store_.update(attr::kRecvMsgsDropped,
+                static_cast<std::int64_t>(st.messages_dropped));
+}
+
+rudp::RudpConnection::SendResult IqRudpConnection::send_with_attrs(
+    const rudp::MessageSpec& spec, const attr::AttrList& adaptation_attrs) {
+  coordinator_.on_send_attrs(adaptation_attrs);
+  rudp::MessageSpec enriched = spec;
+  enriched.attrs.merge(adaptation_attrs);
+  return conn_.send_message(enriched);
+}
+
+attr::CallbackRegistry::RegistrationId
+IqRudpConnection::register_error_ratio_callbacks(
+    double upper, double lower, attr::ThresholdCallback on_upper,
+    attr::ThresholdCallback on_lower, attr::FiringMode mode) {
+  attr::CallbackRegistry::ThresholdPair thresholds;
+  thresholds.metric = attr::kNetLossRatio;
+  thresholds.upper = upper;
+  thresholds.lower = lower;
+  thresholds.mode = mode;
+  return registry_.register_threshold(thresholds, std::move(on_upper),
+                                      std::move(on_lower));
+}
+
+void IqRudpConnection::on_epoch(const rudp::EpochReport& report) {
+  coordinator_.on_epoch(report);
+  exporter_.on_epoch(report);
+  if (epoch_observer_) epoch_observer_(report);
+}
+
+}  // namespace iq::core

@@ -1,0 +1,103 @@
+#pragma once
+// IqRudpConnection: the public facade of the library — RUDP plus the IQ
+// coordination machinery, assembled.
+//
+// Owns the transport connection, the shared attribute store, the callback
+// registry, the metrics exporter and the coordinator, and wires them
+// together:
+//
+//        application
+//      ┌───────────────────────────────────────────────┐
+//      │  send_with_attrs(msg, attrs)   callbacks(fn)  │
+//      └───────┬───────────────────────────▲───────────┘
+//              │ ADAPT_*                   │ NET_* thresholds
+//        ┌─────▼────────┐   results  ┌─────┴──────────┐
+//        │ Coordinator  │◄───────────┤CallbackRegistry│
+//        └─────┬────────┘            └─────▲──────────┘
+//              │ rescale/discard           │ epochs
+//        ┌─────▼────────────────────-──────┴──────┐
+//        │           RudpConnection               │
+//        └────────────────────────────────────────┘
+//
+// Constructed Coordinated (IQ-RUDP) or Uncoordinated (plain RUDP); every
+// experiment in the paper compares the two.
+
+#include <memory>
+
+#include "iq/attr/callbacks.hpp"
+#include "iq/attr/store.hpp"
+#include "iq/core/coordinator.hpp"
+#include "iq/core/metrics_export.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/timer.hpp"
+
+namespace iq::core {
+
+class IqRudpConnection {
+ public:
+  IqRudpConnection(rudp::SegmentWire& wire, const rudp::RudpConfig& rcfg,
+                   rudp::Role role, const CoordinatorConfig& ccfg = {});
+  IqRudpConnection(const IqRudpConnection&) = delete;
+  IqRudpConnection& operator=(const IqRudpConnection&) = delete;
+
+  // ------------------------------------------------------------ control --
+  void connect() { conn_.connect(); }
+  void listen() { conn_.listen(); }
+  void close() { conn_.close(); }
+  bool established() const { return conn_.established(); }
+
+  // ------------------------------------------------------------- sending --
+  /// CMwritev_attr analog: send a message, passing quality attributes that
+  /// describe any application adaptation taking effect with this message.
+  /// The coordinator consumes the attributes *before* the message is
+  /// queued, so a window rescale applies to this very send.
+  rudp::RudpConnection::SendResult send_with_attrs(
+      const rudp::MessageSpec& spec, const attr::AttrList& adaptation_attrs);
+  /// Plain send (no adaptation description).
+  rudp::RudpConnection::SendResult send(const rudp::MessageSpec& spec) {
+    return conn_.send_message(spec);
+  }
+
+  // ----------------------------------------------------------- callbacks --
+  /// Register upper/lower error-ratio threshold callbacks (the common case;
+  /// arbitrary metrics can be registered directly on callbacks()).
+  attr::CallbackRegistry::RegistrationId register_error_ratio_callbacks(
+      double upper, double lower, attr::ThresholdCallback on_upper,
+      attr::ThresholdCallback on_lower,
+      attr::FiringMode mode = attr::FiringMode::EveryEpoch);
+
+  // ------------------------------------------------------------- access ---
+  rudp::RudpConnection& transport() { return conn_; }
+  const rudp::RudpConnection& transport() const { return conn_; }
+  attr::AttrStore& attributes() { return store_; }
+  attr::CallbackRegistry& callbacks() { return registry_; }
+  Coordinator& coordinator() { return coordinator_; }
+  const Coordinator& coordinator() const { return coordinator_; }
+
+  void set_message_handler(rudp::RudpConnection::MessageFn fn) {
+    conn_.set_message_handler(std::move(fn));
+  }
+  void set_established_handler(rudp::RudpConnection::EstablishedFn fn) {
+    conn_.set_established_handler(std::move(fn));
+  }
+  /// Observe epoch reports (in addition to the internal export pipeline).
+  void set_epoch_observer(rudp::RudpConnection::EpochFn fn) {
+    epoch_observer_ = std::move(fn);
+  }
+
+ private:
+  void on_epoch(const rudp::EpochReport& report);
+  void export_recv_metrics();
+
+  rudp::RudpConnection conn_;
+  attr::AttrStore store_;
+  attr::CallbackRegistry registry_;
+  Coordinator coordinator_;
+  MetricsExporter exporter_;
+  rudp::RudpConnection::EpochFn epoch_observer_;
+  /// Receiver-side delivery metrics, published once per second.
+  sim::PeriodicTask recv_export_;
+  std::int64_t last_recv_bytes_ = 0;
+};
+
+}  // namespace iq::core

@@ -1,0 +1,16 @@
+#include "iq/core/metrics_export.hpp"
+
+namespace iq::core {
+
+void MetricsExporter::on_epoch(const rudp::EpochReport& report) {
+  ++epochs_;
+  store_.update(attr::kNetLossRatio, report.loss_ratio);
+  store_.update(attr::kNetRttMs, conn_.srtt().to_millis());
+  store_.update(attr::kNetRateBps, report.delivered_rate_bps);
+  store_.update(attr::kNetCwndPkts, conn_.congestion().cwnd());
+  store_.update(attr::kNetEpoch,
+                static_cast<std::int64_t>(report.epoch));
+  registry_.on_metric(attr::kNetLossRatio, report.loss_ratio, report.at);
+}
+
+}  // namespace iq::core

@@ -1,0 +1,34 @@
+#pragma once
+// MetricsExporter: the transport → application half of the quality-attribute
+// flow (§2.1 (1)).
+//
+// On every loss-measuring epoch it publishes the transport's performance
+// metrics (NET_*) into the shared AttrStore — queryable by the application
+// at any time — and feeds the CallbackRegistry so threshold callbacks fire.
+
+#include "iq/attr/callbacks.hpp"
+#include "iq/attr/names.hpp"
+#include "iq/attr/store.hpp"
+#include "iq/rudp/connection.hpp"
+
+namespace iq::core {
+
+class MetricsExporter {
+ public:
+  MetricsExporter(rudp::RudpConnection& conn, attr::AttrStore& store,
+                  attr::CallbackRegistry& registry)
+      : conn_(conn), store_(store), registry_(registry) {}
+
+  /// Install as (or call from) the connection's epoch handler.
+  void on_epoch(const rudp::EpochReport& report);
+
+  std::uint64_t epochs_exported() const { return epochs_; }
+
+ private:
+  rudp::RudpConnection& conn_;
+  attr::AttrStore& store_;
+  attr::CallbackRegistry& registry_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace iq::core

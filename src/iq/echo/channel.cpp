@@ -1,0 +1,42 @@
+#include "iq/echo/channel.hpp"
+
+namespace iq::echo {
+
+EventChannel::EventChannel(std::string name,
+                           core::IqRudpConnection& transport)
+    : name_(std::move(name)), transport_(transport) {}
+
+EventChannel::SubmitResult EventChannel::submit(
+    const Event& ev, const attr::AttrList& adaptation) {
+  rudp::MessageSpec spec;
+  spec.bytes = ev.bytes;
+  spec.marked = ev.tagged;
+  spec.attrs = ev.meta;
+  spec.attrs.set(attr::kMsgMarked, ev.tagged);
+
+  auto result = transport_.send_with_attrs(spec, adaptation);
+  ++submitted_;
+  SubmitResult out;
+  out.event_id = next_event_id_++;
+  out.discarded = result.discarded;
+  if (result.discarded) ++discarded_;
+  return out;
+}
+
+void EventChannel::set_event_handler(EventFn fn) {
+  on_event_ = std::move(fn);
+  transport_.set_message_handler([this](const rudp::DeliveredMessage& msg) {
+    ++received_;
+    if (!on_event_) return;
+    ReceivedEvent rx;
+    rx.event.id = msg.msg_id;
+    rx.event.bytes = msg.bytes;
+    rx.event.tagged = msg.marked;
+    rx.event.meta = msg.attrs;
+    rx.sent = msg.first_sent;
+    rx.delivered = msg.delivered;
+    on_event_(rx);
+  });
+}
+
+}  // namespace iq::echo

@@ -1,0 +1,55 @@
+#pragma once
+// EventChannel: the IQ-ECho channel abstraction over an IQ-RUDP connection.
+//
+// A channel is named and directional here (the paper's experiments are all
+// single-producer streams to remote collaborators): the source process
+// constructs a channel over its sending connection and submits events; the
+// sink process constructs a channel over its receiving connection and
+// installs an event handler. Quality attributes passed to submit() are the
+// CMwritev_attr path into the coordinator.
+
+#include <functional>
+#include <string>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/echo/event.hpp"
+
+namespace iq::echo {
+
+class EventChannel {
+ public:
+  EventChannel(std::string name, core::IqRudpConnection& transport);
+
+  const std::string& name() const { return name_; }
+  core::IqRudpConnection& transport() { return transport_; }
+
+  // ---------------------------------------------------------- source side --
+  struct SubmitResult {
+    std::uint64_t event_id = 0;
+    bool discarded = false;  ///< dropped before send by coordination
+  };
+  /// Submit an event, optionally with attributes describing an application
+  /// adaptation taking effect now.
+  SubmitResult submit(const Event& ev,
+                      const attr::AttrList& adaptation = {});
+
+  // ------------------------------------------------------------ sink side --
+  using EventFn = std::function<void(const ReceivedEvent&)>;
+  /// Install the sink handler (translates transport deliveries to events).
+  void set_event_handler(EventFn fn);
+
+  std::uint64_t events_submitted() const { return submitted_; }
+  std::uint64_t events_discarded() const { return discarded_; }
+  std::uint64_t events_received() const { return received_; }
+
+ private:
+  std::string name_;
+  core::IqRudpConnection& transport_;
+  std::uint64_t next_event_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t received_ = 0;
+  EventFn on_event_;
+};
+
+}  // namespace iq::echo

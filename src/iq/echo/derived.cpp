@@ -1,0 +1,64 @@
+#include "iq/echo/derived.hpp"
+
+#include <algorithm>
+
+namespace iq::echo {
+
+void DerivedChannel::add_transform(std::string stage_name, EventTransform fn) {
+  transforms_.push_back(std::move(fn));
+  StageStats s;
+  s.name = std::move(stage_name);
+  stats_.push_back(std::move(s));
+}
+
+std::optional<EventChannel::SubmitResult> DerivedChannel::submit(
+    Event ev, const attr::AttrList& adaptation) {
+  for (std::size_t i = 0; i < transforms_.size(); ++i) {
+    StageStats& st = stats_[i];
+    ++st.seen;
+    st.bytes_in += ev.bytes;
+    std::optional<Event> out = transforms_[i](std::move(ev));
+    if (!out.has_value()) {
+      ++st.suppressed;
+      return std::nullopt;
+    }
+    ev = std::move(*out);
+    st.bytes_out += ev.bytes;
+  }
+  return base_.submit(ev, adaptation);
+}
+
+EventTransform DerivedChannel::filter(
+    std::function<bool(const Event&)> pred) {
+  return [pred = std::move(pred)](Event ev) -> std::optional<Event> {
+    if (!pred(ev)) return std::nullopt;
+    return ev;
+  };
+}
+
+EventTransform DerivedChannel::downsample(double factor) {
+  return [factor](Event ev) -> std::optional<Event> {
+    const double scaled = static_cast<double>(ev.bytes) * factor;
+    ev.bytes = std::max<std::int64_t>(1, static_cast<std::int64_t>(scaled));
+    return ev;
+  };
+}
+
+EventTransform DerivedChannel::prioritize(
+    std::function<bool(const Event&)> critical) {
+  return [critical = std::move(critical)](Event ev) -> std::optional<Event> {
+    ev.tagged = critical(ev);
+    return ev;
+  };
+}
+
+EventTransform DerivedChannel::thin(std::uint64_t keep_one_in) {
+  auto counter = std::make_shared<std::uint64_t>(0);
+  return [keep_one_in, counter](Event ev) -> std::optional<Event> {
+    const std::uint64_t index = (*counter)++;
+    if (keep_one_in == 0 || index % keep_one_in != 0) return std::nullopt;
+    return ev;
+  };
+}
+
+}  // namespace iq::echo

@@ -1,0 +1,69 @@
+#pragma once
+// Derived event channels — the ECho concept the paper's middleware builds
+// on: a derived channel applies a user-supplied transform (filter,
+// down-sampler, re-prioritizer) to every event before it reaches the
+// underlying channel. Transforms compose; each keeps its own counters so
+// an application can see what its adaptation pipeline is doing.
+//
+// This is how "user-provided functions select the most critical file
+// contents" (the paper's IQ-FTP sketch) and focus-region filtering are
+// expressed without touching transport code.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iq/echo/channel.hpp"
+
+namespace iq::echo {
+
+/// A transform takes an event and returns the event to forward, possibly
+/// modified — or nullopt to suppress it entirely.
+using EventTransform = std::function<std::optional<Event>(Event)>;
+
+class DerivedChannel {
+ public:
+  DerivedChannel(std::string name, EventChannel& base)
+      : name_(std::move(name)), base_(base) {}
+
+  /// Append a transform stage; stages run in registration order.
+  void add_transform(std::string stage_name, EventTransform fn);
+
+  /// Run the event through the transform chain and submit the survivor.
+  /// Returns nullopt if a stage suppressed the event.
+  std::optional<EventChannel::SubmitResult> submit(
+      Event ev, const attr::AttrList& adaptation = {});
+
+  const std::string& name() const { return name_; }
+  EventChannel& base() { return base_; }
+
+  struct StageStats {
+    std::string name;
+    std::uint64_t seen = 0;
+    std::uint64_t suppressed = 0;
+    std::int64_t bytes_in = 0;
+    std::int64_t bytes_out = 0;
+  };
+  const std::vector<StageStats>& stages() const { return stats_; }
+
+  // ---- ready-made transforms ------------------------------------------
+
+  /// Keep only events the predicate accepts.
+  static EventTransform filter(std::function<bool(const Event&)> pred);
+  /// Scale every event's size by `factor` (resolution down-sampling).
+  static EventTransform downsample(double factor);
+  /// Tag events the predicate marks critical; unmark the rest.
+  static EventTransform prioritize(std::function<bool(const Event&)> critical);
+  /// Keep every k-th event (frequency thinning).
+  static EventTransform thin(std::uint64_t keep_one_in);
+
+ private:
+  std::string name_;
+  EventChannel& base_;
+  std::vector<EventTransform> transforms_;
+  std::vector<StageStats> stats_;
+};
+
+}  // namespace iq::echo

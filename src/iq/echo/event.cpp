@@ -1,0 +1,3 @@
+#include "iq/echo/event.hpp"
+
+// Event is a plain aggregate; this translation unit anchors the library.

@@ -1,0 +1,28 @@
+#pragma once
+// IQ-ECho events: the middleware's unit of exchange.
+//
+// An event is an application payload (a visualization frame, a data slice)
+// plus metadata attributes. Payload contents are virtual in simulation —
+// only sizes drive the network — mirroring how the rest of the stack works.
+
+#include <cstdint>
+
+#include "iq/attr/list.hpp"
+#include "iq/common/time.hpp"
+
+namespace iq::echo {
+
+struct Event {
+  std::uint64_t id = 0;       ///< source-assigned, monotonically increasing
+  std::int64_t bytes = 0;     ///< payload size
+  bool tagged = true;         ///< control/essential data (must deliver)
+  attr::AttrList meta;        ///< application metadata, rides in-band
+};
+
+struct ReceivedEvent {
+  Event event;
+  TimePoint sent;
+  TimePoint delivered;
+};
+
+}  // namespace iq::echo

@@ -1,0 +1,75 @@
+#include "iq/echo/mux.hpp"
+
+namespace iq::echo {
+
+const std::string kChannelAttr = "ECHO_CHANNEL";
+
+MuxChannel::SubmitResult MuxChannel::submit(
+    const Event& ev, const attr::AttrList& adaptation) {
+  rudp::MessageSpec spec;
+  spec.bytes = ev.bytes;
+  spec.marked = ev.tagged;
+  spec.attrs = ev.meta;
+  spec.attrs.set(kChannelAttr, name_);
+
+  auto result = mux_.conn_.send_with_attrs(spec, adaptation);
+  ++submitted_;
+  if (result.discarded) ++discarded_;
+  return SubmitResult{result.discarded};
+}
+
+ChannelMux::ChannelMux(core::IqRudpConnection& conn) : conn_(conn) {
+  conn_.set_message_handler(
+      [this](const rudp::DeliveredMessage& msg) { on_message(msg); });
+}
+
+MuxChannel& ChannelMux::channel(const std::string& name) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(name, std::unique_ptr<MuxChannel>(
+                                new MuxChannel(*this, name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void ChannelMux::subscribe(const std::string& name, EventFn fn) {
+  subscribers_[name] = std::move(fn);
+}
+
+bool ChannelMux::unsubscribe(const std::string& name) {
+  return subscribers_.erase(name) > 0;
+}
+
+std::uint64_t ChannelMux::delivered_on(const std::string& name) const {
+  auto it = delivered_per_channel_.find(name);
+  return it == delivered_per_channel_.end() ? 0 : it->second;
+}
+
+void ChannelMux::on_message(const rudp::DeliveredMessage& msg) {
+  auto name = msg.attrs.get_string(kChannelAttr);
+  if (!name) {
+    ++unrouted_;
+    return;
+  }
+  auto sub = subscribers_.find(*name);
+  if (sub == subscribers_.end()) {
+    ++unrouted_;
+    return;
+  }
+  ++delivered_;
+  ++delivered_per_channel_[*name];
+
+  ReceivedEvent rx;
+  rx.event.id = msg.msg_id;
+  rx.event.bytes = msg.bytes;
+  rx.event.tagged = msg.marked;
+  rx.event.meta = msg.attrs;
+  rx.event.meta.remove(kChannelAttr);
+  rx.sent = msg.first_sent;
+  rx.delivered = msg.delivered;
+  sub->second(rx);
+}
+
+}  // namespace iq::echo

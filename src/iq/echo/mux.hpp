@@ -1,0 +1,85 @@
+#pragma once
+// ChannelMux: many named event channels over one IQ-RUDP connection.
+//
+// Real collaborations move several streams between the same pair of hosts —
+// control, geometry, diagnostics — and ECho multiplexes its channels over
+// shared transport. The mux stamps each event with its channel name (an
+// in-band attribute riding the first fragment) and dispatches deliveries to
+// per-channel subscribers on the far side. Marked/unmarked reliability and
+// coordination work per event exactly as on a bare channel; all streams
+// share the connection's congestion state, so one hot channel cannot
+// out-compete its siblings at the transport level.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/echo/event.hpp"
+
+namespace iq::echo {
+
+/// Attribute carrying the channel name.
+extern const std::string kChannelAttr;
+
+class ChannelMux;
+
+/// Sender-side handle to one named channel of a mux.
+class MuxChannel {
+ public:
+  struct SubmitResult {
+    bool discarded = false;
+  };
+  SubmitResult submit(const Event& ev, const attr::AttrList& adaptation = {});
+
+  const std::string& name() const { return name_; }
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  friend class ChannelMux;
+  MuxChannel(ChannelMux& mux, std::string name)
+      : mux_(mux), name_(std::move(name)) {}
+
+  ChannelMux& mux_;
+  std::string name_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+class ChannelMux {
+ public:
+  /// Takes over the connection's message handler.
+  explicit ChannelMux(core::IqRudpConnection& conn);
+  ChannelMux(const ChannelMux&) = delete;
+  ChannelMux& operator=(const ChannelMux&) = delete;
+
+  /// Sender side: create or fetch the handle for a named channel.
+  MuxChannel& channel(const std::string& name);
+
+  /// Receiver side: deliver events of `name` to `fn`.
+  using EventFn = std::function<void(const ReceivedEvent&)>;
+  void subscribe(const std::string& name, EventFn fn);
+  bool unsubscribe(const std::string& name);
+
+  core::IqRudpConnection& transport() { return conn_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+  /// Deliveries with no subscriber (or no channel attribute).
+  std::uint64_t unrouted() const { return unrouted_; }
+  std::uint64_t delivered_on(const std::string& name) const;
+
+ private:
+  friend class MuxChannel;
+  void on_message(const rudp::DeliveredMessage& msg);
+
+  core::IqRudpConnection& conn_;
+  std::map<std::string, std::unique_ptr<MuxChannel>> channels_;
+  std::map<std::string, EventFn> subscribers_;
+  std::map<std::string, std::uint64_t> delivered_per_channel_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace iq::echo

@@ -1,0 +1,41 @@
+#include "iq/echo/sink.hpp"
+
+#include <cmath>
+
+namespace iq::echo {
+
+MetricSink::MetricSink(EventChannel& channel, stats::MessageMetrics& metrics,
+                       stats::TimeSeries* jitter_series)
+    : metrics_(metrics), jitter_series_(jitter_series) {
+  channel.set_event_handler(
+      [this](const ReceivedEvent& ev) { on_event(ev); });
+}
+
+void MetricSink::on_event(const ReceivedEvent& ev) {
+  ++events_;
+  stats::MessageRecord rec;
+  rec.arrival = ev.delivered;
+  rec.bytes = ev.event.bytes;
+  rec.tagged = ev.event.tagged;
+  rec.sent = ev.sent;
+  metrics_.on_message(rec);
+
+  if (jitter_series_ != nullptr) {
+    if (have_last_) {
+      const Duration gap = ev.delivered - last_arrival_;
+      if (have_prev_gap_) {
+        const double jitter_ms =
+            std::abs((gap - prev_gap_).to_seconds()) * 1e3;
+        jitter_series_->add_indexed(static_cast<double>(events_), jitter_ms);
+      }
+      prev_gap_ = gap;
+      have_prev_gap_ = true;
+    }
+    have_last_ = true;
+  } else {
+    have_last_ = true;
+  }
+  last_arrival_ = ev.delivered;
+}
+
+}  // namespace iq::echo

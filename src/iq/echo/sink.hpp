@@ -1,0 +1,34 @@
+#pragma once
+// MetricSink: the receiving application — feeds every delivered event into
+// a MessageMetrics collector and optionally into per-packet time series
+// (the figures' jitter traces).
+
+#include "iq/echo/channel.hpp"
+#include "iq/stats/metrics.hpp"
+#include "iq/stats/timeseries.hpp"
+
+namespace iq::echo {
+
+class MetricSink {
+ public:
+  /// `jitter_series` may be null; when set, records |gap - prev_gap| per
+  /// delivery indexed by packet number (the paper's Figures 2/3).
+  MetricSink(EventChannel& channel, stats::MessageMetrics& metrics,
+             stats::TimeSeries* jitter_series = nullptr);
+
+  std::uint64_t events() const { return events_; }
+  TimePoint last_arrival() const { return last_arrival_; }
+
+ private:
+  void on_event(const ReceivedEvent& ev);
+
+  stats::MessageMetrics& metrics_;
+  stats::TimeSeries* jitter_series_;
+  std::uint64_t events_ = 0;
+  TimePoint last_arrival_;
+  Duration prev_gap_ = Duration::zero();
+  bool have_prev_gap_ = false;
+  bool have_last_ = false;
+};
+
+}  // namespace iq::echo

@@ -1,0 +1,145 @@
+#include "iq/ftp/iq_ftp.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::ftp {
+
+const std::string kFtpManifest = "FTP_MANIFEST";
+const std::string kFtpBlockBytes = "FTP_BLOCK_BYTES";
+const std::string kFtpBlock = "FTP_BLOCK";
+
+std::int64_t FileSpec::bytes_of_block(std::uint64_t index) const {
+  const std::uint64_t count = block_count();
+  IQ_CHECK(index < count);
+  if (index + 1 < count) return block_bytes;
+  const std::int64_t rem = total_bytes % block_bytes;
+  return rem == 0 ? block_bytes : rem;
+}
+
+// --------------------------------------------------------------- sender ---
+
+IqFtpSender::IqFtpSender(core::IqRudpConnection& conn, const FileSpec& file,
+                         CriticalFn critical)
+    : conn_(conn),
+      file_(file),
+      critical_(std::move(critical)),
+      refill_task_(conn.transport().executor(), Duration::millis(1),
+                   [this] { refill(); }) {
+  IQ_CHECK(file_.total_bytes > 0 && file_.block_bytes > 0);
+}
+
+void IqFtpSender::start() { refill_task_.start(/*fire_now=*/true); }
+
+void IqFtpSender::stop() { refill_task_.stop(); }
+
+bool IqFtpSender::done() const {
+  return manifest_sent_ && next_block_ >= file_.block_count() &&
+         hole_queue_.empty() && conn_.transport().send_idle();
+}
+
+void IqFtpSender::fill_holes(const std::vector<std::uint64_t>& blocks) {
+  for (std::uint64_t b : blocks) {
+    if (b < file_.block_count()) hole_queue_.push_back(b);
+  }
+  if (!hole_queue_.empty()) refill_task_.start(/*fire_now=*/true);
+}
+
+void IqFtpSender::refill() {
+  auto& transport = conn_.transport();
+  if (!transport.established()) return;
+
+  if (!manifest_sent_) {
+    rudp::MessageSpec manifest;
+    manifest.bytes = 64;  // small control message
+    manifest.marked = true;
+    manifest.attrs.set(kFtpManifest,
+                       static_cast<std::int64_t>(file_.block_count()));
+    manifest.attrs.set(kFtpBlockBytes, file_.block_bytes);
+    transport.send_message(manifest);
+    manifest_sent_ = true;
+  }
+
+  const std::uint64_t total = file_.block_count();
+  while (next_block_ < total && transport.queued_segments() < 64) {
+    const std::uint64_t index = next_block_++;
+    const bool is_critical = critical_(index);
+    if (is_critical) ++critical_count_;
+    rudp::MessageSpec block;
+    block.bytes = file_.bytes_of_block(index);
+    block.marked = is_critical;
+    block.attrs.set(kFtpBlock, static_cast<std::int64_t>(index));
+    auto result = transport.send_message(block);
+    if (result.discarded) ++discarded_;
+  }
+  // Second pass: hole fills go out fully reliable.
+  while (next_block_ >= total && !hole_queue_.empty() &&
+         transport.queued_segments() < 64) {
+    const std::uint64_t index = hole_queue_.back();
+    hole_queue_.pop_back();
+    rudp::MessageSpec block;
+    block.bytes = file_.bytes_of_block(index);
+    block.marked = true;
+    block.attrs.set(kFtpBlock, static_cast<std::int64_t>(index));
+    transport.send_message(block);
+  }
+  if (next_block_ >= total && hole_queue_.empty()) refill_task_.stop();
+}
+
+// ------------------------------------------------------------- receiver ---
+
+IqFtpReceiver::IqFtpReceiver(core::IqRudpConnection& conn)
+    : conn_(conn), poll_(conn.transport().executor(), Duration::millis(50),
+                         [this] { check_complete(); }) {
+  conn_.set_message_handler(
+      [this](const rudp::DeliveredMessage& msg) { on_message(msg); });
+  poll_.start();
+}
+
+void IqFtpReceiver::on_message(const rudp::DeliveredMessage& msg) {
+  if (auto blocks = msg.attrs.get_int(kFtpManifest)) {
+    if (!manifest_seen_) {
+      manifest_seen_ = true;
+      report_.blocks_total = static_cast<std::uint64_t>(*blocks);
+      have_.assign(report_.blocks_total, false);
+      report_.started = msg.delivered;
+      // Drops that happened before the manifest cannot be blocks (the
+      // manifest goes first and is marked); start the baseline here.
+      dropped_baseline_ = conn_.transport().stats().messages_dropped;
+    }
+    return;
+  }
+  auto index = msg.attrs.get_int(kFtpBlock);
+  if (!index || !manifest_seen_) return;
+  const auto i = static_cast<std::uint64_t>(*index);
+  if (i >= have_.size() || have_[i]) return;
+  have_[i] = true;
+  ++report_.blocks_received;
+  if (msg.marked) ++report_.critical_received;
+  report_.bytes_received += msg.bytes;
+  report_.finished = msg.delivered;
+  if (complete_) {
+    // A second-pass hole fill: keep the report's hole list current.
+    std::erase(report_.missing, i);
+    return;
+  }
+  check_complete();
+}
+
+void IqFtpReceiver::check_complete() {
+  if (complete_ || !manifest_seen_) return;
+  const std::uint64_t dropped =
+      conn_.transport().stats().messages_dropped - dropped_baseline_;
+  if (report_.blocks_received + dropped < report_.blocks_total) return;
+
+  complete_ = true;
+  poll_.stop();
+  report_.missing.clear();
+  for (std::uint64_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) report_.missing.push_back(i);
+  }
+  if (on_complete_) on_complete_(report_);
+}
+
+}  // namespace iq::ftp

@@ -1,0 +1,120 @@
+#pragma once
+// IQ-FTP: selectively lossy bulk file transfer over IQ-RUDP — the concrete
+// system the paper's conclusion announces ("end users can dynamically
+// select, with user-provided functions, the most critical file contents to
+// be transferred").
+//
+// The file is divided into fixed-size blocks. A user-supplied criticality
+// function marks the blocks that must arrive; the rest ride unmarked and
+// may be abandoned under congestion within the receiver's loss tolerance.
+// The receiver reassembles a block map and reports completion with the
+// exact set of holes, so a later pass (or a different channel) can fill
+// them.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/sim/timer.hpp"
+
+namespace iq::ftp {
+
+struct FileSpec {
+  std::int64_t total_bytes = 0;
+  std::int64_t block_bytes = 16 * 1024;
+
+  std::uint64_t block_count() const {
+    if (total_bytes <= 0) return 0;
+    return static_cast<std::uint64_t>((total_bytes + block_bytes - 1) /
+                                      block_bytes);
+  }
+  std::int64_t bytes_of_block(std::uint64_t index) const;
+};
+
+/// True for blocks that must be delivered reliably.
+using CriticalFn = std::function<bool(std::uint64_t block_index)>;
+
+// Attribute names used by the IQ-FTP framing.
+extern const std::string kFtpManifest;   ///< int: block count (manifest msg)
+extern const std::string kFtpBlockBytes; ///< int: nominal block size
+extern const std::string kFtpBlock;      ///< int: block index (data msg)
+
+class IqFtpSender {
+ public:
+  IqFtpSender(core::IqRudpConnection& conn, const FileSpec& file,
+              CriticalFn critical);
+
+  /// Send the manifest, then stream blocks (paced by transport backlog).
+  void start();
+  void stop();
+  /// All blocks handed over and the transport drained.
+  bool done() const;
+
+  std::uint64_t blocks_sent() const { return next_block_; }
+  std::uint64_t blocks_discarded_at_send() const { return discarded_; }
+  std::uint64_t critical_blocks() const { return critical_count_; }
+
+  /// Second pass: re-send specific blocks (the receiver's hole report)
+  /// fully reliably, regardless of their original criticality. May be
+  /// called after done(); restarts the pacing task.
+  void fill_holes(const std::vector<std::uint64_t>& blocks);
+
+ private:
+  void refill();
+
+  core::IqRudpConnection& conn_;
+  FileSpec file_;
+  CriticalFn critical_;
+  sim::PeriodicTask refill_task_;
+  bool manifest_sent_ = false;
+  std::uint64_t next_block_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t critical_count_ = 0;
+  std::vector<std::uint64_t> hole_queue_;  ///< reliable second-pass blocks
+};
+
+class IqFtpReceiver {
+ public:
+  struct Report {
+    std::uint64_t blocks_total = 0;
+    std::uint64_t blocks_received = 0;
+    std::uint64_t critical_received = 0;
+    std::int64_t bytes_received = 0;
+    std::vector<std::uint64_t> missing;  ///< abandoned block indices
+    TimePoint started;
+    TimePoint finished;
+
+    double received_fraction() const {
+      return blocks_total == 0
+                 ? 0.0
+                 : static_cast<double>(blocks_received) /
+                       static_cast<double>(blocks_total);
+    }
+    double duration_s() const { return (finished - started).to_seconds(); }
+  };
+
+  using CompleteFn = std::function<void(const Report&)>;
+
+  explicit IqFtpReceiver(core::IqRudpConnection& conn);
+
+  void set_complete_handler(CompleteFn fn) { on_complete_ = std::move(fn); }
+  bool complete() const { return complete_; }
+  const Report& report() const { return report_; }
+
+ private:
+  void on_message(const rudp::DeliveredMessage& msg);
+  void check_complete();
+
+  core::IqRudpConnection& conn_;
+  sim::PeriodicTask poll_;
+  std::vector<bool> have_;
+  std::uint64_t dropped_baseline_ = 0;
+  bool manifest_seen_ = false;
+  bool complete_ = false;
+  Report report_;
+  CompleteFn on_complete_;
+};
+
+}  // namespace iq::ftp

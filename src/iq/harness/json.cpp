@@ -1,0 +1,166 @@
+#include "iq/harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iq::harness {
+
+void JsonWriter::comma_if_needed() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::take() { return std::move(out_); }
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string result_to_json(const ExperimentConfig& cfg,
+                           const ExperimentResult& r) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("config").begin_object();
+  w.field("scheme", cfg.scheme.label);
+  w.field("bottleneck_bps", static_cast<std::int64_t>(cfg.net.bottleneck_bps));
+  w.field("rtt_ms", static_cast<std::int64_t>(cfg.net.path_rtt.ms()));
+  w.field("cbr_bps", static_cast<std::int64_t>(cfg.cbr_rate_bps));
+  w.field("vbr_cross", cfg.vbr_cross);
+  w.field("tcp_cross", cfg.tcp_cross);
+  w.field("frame_rate", cfg.frame_rate);
+  w.field("total_frames", static_cast<std::uint64_t>(cfg.total_frames));
+  w.field("upper_threshold", cfg.upper_threshold);
+  w.field("lower_threshold", cfg.lower_threshold);
+  w.field("adapt_granularity",
+          static_cast<std::uint64_t>(cfg.adapt_granularity));
+  w.field("recv_loss_tolerance", cfg.recv_loss_tolerance);
+  w.field("seed", static_cast<std::uint64_t>(cfg.seed));
+  w.end_object();
+
+  w.key("summary").begin_object();
+  w.field("completed", r.completed);
+  w.field("duration_s", r.summary.duration_s);
+  w.field("throughput_kBps", r.summary.throughput_kBps);
+  w.field("delivered_pct", r.summary.delivered_pct);
+  w.field("messages", r.summary.messages);
+  w.field("interarrival_s", r.summary.interarrival_s);
+  w.field("jitter_s", r.summary.jitter_s);
+  w.field("tagged_delay_ms", r.summary.tagged_delay_ms);
+  w.field("tagged_jitter_ms", r.summary.tagged_jitter_ms);
+  w.field("owd_mean_ms", r.summary.owd_mean_ms);
+  w.field("owd_p50_ms", r.summary.owd_p50_ms);
+  w.field("owd_p95_ms", r.summary.owd_p95_ms);
+  w.end_object();
+
+  w.key("transport").begin_object();
+  w.field("segments_sent", r.rudp.segments_sent);
+  w.field("segments_retransmitted", r.rudp.segments_retransmitted);
+  w.field("segments_skipped", r.rudp.segments_skipped);
+  w.field("timeouts", r.rudp.timeouts);
+  w.field("messages_skipped", r.rudp.messages_skipped);
+  w.field("messages_discarded_at_send", r.rudp.messages_discarded_at_send);
+  w.field("lifetime_loss_ratio", r.app_lifetime_loss_ratio);
+  w.field("epochs", r.epochs);
+  w.field("max_epoch_loss", r.max_epoch_loss);
+  w.field("mean_epoch_loss", r.mean_epoch_loss);
+  w.end_object();
+
+  w.key("coordination").begin_object();
+  w.field("window_rescales", r.coordination.window_rescales);
+  w.field("discard_enables", r.coordination.discard_enables);
+  w.field("deferrals_noted", r.coordination.deferrals_noted);
+  w.field("deferred_resolved", r.coordination.deferred_resolved);
+  w.field("cond_compensations", r.coordination.cond_compensations);
+  w.field("freq_adaptations", r.coordination.freq_adaptations);
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace iq::harness

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal JSON emission for experiment results — machine-readable output
+// for scripting around the lab CLI and benches. Writer only (the library
+// never consumes JSON); no external dependencies.
+
+#include <string>
+
+#include "iq/harness/experiment.hpp"
+
+namespace iq::harness {
+
+/// A tiny ordered-object JSON writer with correct string escaping.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string take();
+
+ private:
+  void comma_if_needed();
+  static std::string escape(const std::string& s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Serialize an experiment's configuration summary and full result set.
+std::string result_to_json(const ExperimentConfig& cfg,
+                           const ExperimentResult& result);
+
+}  // namespace iq::harness

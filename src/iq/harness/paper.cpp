@@ -1,0 +1,56 @@
+#include "iq/harness/paper.hpp"
+
+#include <sstream>
+
+#include "iq/stats/table.hpp"
+
+namespace iq::harness {
+
+Comparison::Comparison(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Comparison::add_paper_row(const std::string& label,
+                               std::vector<double> values) {
+  rows_.push_back(Row{label, /*measured=*/false, std::move(values)});
+}
+
+void Comparison::add_measured_row(const std::string& label,
+                                  std::vector<double> values) {
+  rows_.push_back(Row{label, /*measured=*/true, std::move(values)});
+}
+
+void Comparison::add_note(std::string note) {
+  notes_.push_back(std::move(note));
+}
+
+std::string Comparison::render() const {
+  std::vector<std::string> headers;
+  headers.push_back("scheme");
+  headers.push_back("source");
+  for (const auto& c : columns_) headers.push_back(c);
+
+  stats::Table table(headers);
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells;
+    cells.push_back(row.label);
+    cells.push_back(row.measured ? "measured" : "paper");
+    for (double v : row.values) {
+      // Pick precision by magnitude so small jitters stay readable.
+      const double a = v < 0 ? -v : v;
+      cells.push_back(stats::Table::num(v, a >= 100 ? 0 : (a >= 1 ? 1 : 3)));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n" << table.render();
+  for (const auto& n : notes_) os << "note: " << n << "\n";
+  return os.str();
+}
+
+std::vector<double> basic_metrics(const ExperimentResult& r) {
+  return {r.summary.duration_s, r.summary.throughput_kBps,
+          r.summary.interarrival_s, r.summary.jitter_s};
+}
+
+}  // namespace iq::harness

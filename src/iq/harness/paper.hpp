@@ -1,0 +1,41 @@
+#pragma once
+// Paper-vs-measured reporting: renders each reproduced table with the
+// published values next to the values this build measured, so the shape of
+// every claim can be checked at a glance.
+
+#include <string>
+#include <vector>
+
+#include "iq/harness/experiment.hpp"
+
+namespace iq::harness {
+
+class Comparison {
+ public:
+  /// `columns` are the metric names (e.g. "Time(s)", "Thr(KB/s)").
+  Comparison(std::string title, std::vector<std::string> columns);
+
+  /// A published row (from the paper's table).
+  void add_paper_row(const std::string& label, std::vector<double> values);
+  /// A measured row (from this run).
+  void add_measured_row(const std::string& label, std::vector<double> values);
+  void add_note(std::string note);
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::string label;
+    bool measured;
+    std::vector<double> values;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// The standard four metrics most tables report, from a result.
+std::vector<double> basic_metrics(const ExperimentResult& r);
+
+}  // namespace iq::harness

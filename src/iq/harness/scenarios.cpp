@@ -1,0 +1,159 @@
+#include "iq/harness/scenarios.hpp"
+
+namespace iq::harness::scenarios {
+
+ExperimentConfig base() {
+  ExperimentConfig cfg;
+  cfg.net.pairs = 3;
+  cfg.net.bottleneck_bps = 20'000'000;
+  cfg.net.path_rtt = Duration::millis(30);
+  return cfg;
+}
+
+ExperimentConfig table1(const SchemeSpec& scheme, bool app_adaptation) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  cfg.cbr_rate_bps = 18'000'000;
+  cfg.frame_rate = 10.0;
+  cfg.total_frames = 300;
+  cfg.trace_bytes_per_member = 3000;
+  if (app_adaptation) {
+    cfg.adaptation = echo::AdaptKind::Resolution;
+    cfg.upper_threshold = 0.15;
+    cfg.lower_threshold = 0.01;
+  }
+  cfg.max_sim_time = Duration::seconds(900);
+  return cfg;
+}
+
+ExperimentConfig table2(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  cfg.tcp_cross = true;
+  cfg.cross_start = Duration::millis(100);
+  cfg.frame_rate = 0.0;  // as fast as the transport allows
+  cfg.fixed_frame_bytes = 1400;
+  cfg.total_frames = 8000;
+  cfg.max_sim_time = Duration::seconds(300);
+  return cfg;
+}
+
+ExperimentConfig table3(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  // Calibration substitution (see DESIGN.md): the paper used 10 Mb cross
+  // traffic with 30 %/5 % thresholds on Emulab; our LDA controller keeps
+  // epoch loss ratios below ~25 % in any drop-tail configuration, so the
+  // same adaptation dynamics are induced with heavier cross traffic and
+  // proportionally scaled thresholds.
+  cfg.cbr_rate_bps = 16'000'000;
+  cfg.frame_rate = 20.0;
+  cfg.total_frames = 600;
+  cfg.trace_bytes_per_member = 3000;
+  cfg.adaptation = echo::AdaptKind::Marking;
+  cfg.upper_threshold = 0.15;
+  cfg.lower_threshold = 0.03;
+  cfg.recv_loss_tolerance = 0.40;
+  cfg.max_sim_time = Duration::seconds(900);
+  return cfg;
+}
+
+ExperimentConfig table4(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  cfg.cbr_rate_bps = 14'000'000;
+  cfg.vbr_cross = true;
+  cfg.vbr_bytes_per_member = 500;   // scaled: mean ≈ 6 Mb/s, bursty
+  cfg.vbr_frames_per_sec = 50.0;
+  cfg.frame_rate = 0.0;
+  cfg.fixed_frame_bytes = 1400;
+  cfg.total_frames = 6000;
+  cfg.adaptation = echo::AdaptKind::Marking;
+  // Thresholds scaled to the loss ratios an ASAP LDA flow actually sees
+  // here (see the table3 note on threshold calibration).
+  cfg.upper_threshold = 0.08;
+  cfg.lower_threshold = 0.01;
+  cfg.recv_loss_tolerance = 0.40;
+  cfg.max_sim_time = Duration::seconds(600);
+  return cfg;
+}
+
+ExperimentConfig fig23(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = table3(scheme);
+  cfg.collect_jitter_series = true;
+  return cfg;
+}
+
+ExperimentConfig table5(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  // Calibration substitution: the window rescale only applies to frames
+  // below the segment size (§3.4), so this scenario scales the trace-driven
+  // frames to straddle the MSS once downsampled (100 B per group member
+  // instead of 3000), keeps the app rate-based slightly above the residual
+  // capacity, and scales thresholds to the observed loss ratios.
+  cfg.cbr_rate_bps = 16'000'000;
+  cfg.frame_rate = 400.0;
+  cfg.total_frames = 8000;
+  cfg.trace_bytes_per_member = 100;
+  cfg.loss_epoch_packets = 50;
+  cfg.adaptation = echo::AdaptKind::Resolution;
+  cfg.upper_threshold = 0.04;
+  cfg.lower_threshold = 0.003;
+  cfg.resolution.min_scale = 0.5;
+  cfg.firing = attr::FiringMode::EdgeTriggered;
+  cfg.max_sim_time = Duration::seconds(900);
+  return cfg;
+}
+
+ExperimentConfig table6(const SchemeSpec& scheme, std::int64_t iperf_bps) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  cfg.cbr_rate_bps = iperf_bps;
+  cfg.vbr_cross = true;
+  cfg.vbr_bytes_per_member = 300;   // scaled VBR share on top of the sweep
+  cfg.vbr_frames_per_sec = 50.0;
+  cfg.frame_rate = 0.0;
+  cfg.fixed_frame_bytes = 1400;
+  cfg.total_frames = 6000;
+  cfg.adaptation = echo::AdaptKind::Resolution;
+  cfg.upper_threshold = 0.15;
+  cfg.lower_threshold = 0.01;
+  cfg.max_sim_time = Duration::seconds(600);
+  return cfg;
+}
+
+ExperimentConfig table7(const SchemeSpec& scheme) {
+  // Same changing-application workload as table5, with the application
+  // only able to adapt at every 20th frame.
+  ExperimentConfig cfg = table5(scheme);
+  cfg.adapt_granularity = 20;
+  return cfg;
+}
+
+ExperimentConfig table8(const SchemeSpec& scheme) {
+  ExperimentConfig cfg = base();
+  cfg.scheme = scheme;
+  cfg.net.path_rtt = Duration::millis(250);  // paper: 125 ms one-way
+  // Calibration substitution: the paper's 14 Mb cross traffic leaves the
+  // long-RTT LDA flow loss-free in our simulator (its slow 1-pkt/RTT ramp
+  // never fills the pipe), so congestion is induced with 18 Mb cross
+  // traffic, a rate-based app slightly above the residual capacity, and a
+  // larger initial window; thresholds are scaled to the loss ratios this
+  // actually produces.
+  cfg.cbr_rate_bps = 18'000'000;
+  cfg.frame_rate = 200.0;  // rate-based app offering ≈ 2.3 Mb/s vs 2 Mb/s
+  cfg.fixed_frame_bytes = 1400;
+  cfg.total_frames = 12000;
+  cfg.initial_cwnd = 64;
+  cfg.loss_epoch_packets = 50;
+  cfg.adaptation = echo::AdaptKind::Resolution;
+  cfg.upper_threshold = 0.08;
+  cfg.lower_threshold = 0.004;
+  cfg.adapt_granularity = 20;
+  cfg.attach_cond = scheme.enable_cond;
+  cfg.max_sim_time = Duration::seconds(600);
+  return cfg;
+}
+
+}  // namespace iq::harness::scenarios

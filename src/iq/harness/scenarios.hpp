@@ -1,0 +1,52 @@
+#pragma once
+// Canned experiment configurations — one per table/figure of the paper.
+//
+// Parameters follow §3.1 where they transfer directly (20 Mb/s bottleneck,
+// 30 ms RTT, 1400 B MSS, iperf-style CBR rates, threshold values); workload
+// sizes are scaled so each scenario runs in seconds of wall time, and the
+// VBR cross-traffic volume is scaled to fit a 20 Mb/s link (the paper's
+// literal group×2000 B × 500 fps would exceed the link many times over —
+// see DESIGN.md). Every scheme variant of a scenario shares the same seeds,
+// so deltas isolate the coordination effect.
+
+#include "iq/harness/experiment.hpp"
+
+namespace iq::harness::scenarios {
+
+/// Shared baseline: dumbbell, 20 Mb/s / 30 ms RTT, trace seed.
+ExperimentConfig base();
+
+/// Table 1: trace-driven frames vs 18 Mb CBR cross traffic.
+/// Rows: TCP / IQ-RUDP (no app adapt) / app-only / IQ-RUDP + app adapt.
+ExperimentConfig table1(const SchemeSpec& scheme, bool app_adaptation);
+
+/// Table 2: fairness — bulk-ish app flow vs one TCP cross flow.
+ExperimentConfig table2(const SchemeSpec& scheme);
+
+/// Table 3: conflicting interests, changing application (marking
+/// adaptation, 10 Mb CBR, 40 % receiver tolerance).
+ExperimentConfig table3(const SchemeSpec& scheme);
+
+/// Table 4: conflicting interests, changing network (ASAP fixed-size
+/// frames, VBR + 10 Mb CBR cross).
+ExperimentConfig table4(const SchemeSpec& scheme);
+
+/// Figures 2/3: Table 3 scenario with per-packet jitter collection.
+ExperimentConfig fig23(const SchemeSpec& scheme);
+
+/// Table 5: over-reaction, changing application (resolution adaptation).
+ExperimentConfig table5(const SchemeSpec& scheme);
+
+/// Table 6 / Figure 4: over-reaction, changing network; CBR swept
+/// {12, 16, 18} Mb/s on top of VBR cross traffic.
+ExperimentConfig table6(const SchemeSpec& scheme, std::int64_t iperf_bps);
+
+/// Table 7: limited granularity, changing application (defer to frame
+/// index % 20 == 0).
+ExperimentConfig table7(const SchemeSpec& scheme);
+
+/// Table 8: limited granularity, changing network — 125 ms one-way delay,
+/// rate-based app, 14 Mb CBR; three schemes (RUDP / IQ w/o COND / IQ w/).
+ExperimentConfig table8(const SchemeSpec& scheme);
+
+}  // namespace iq::harness::scenarios

@@ -1,0 +1,44 @@
+#include "iq/net/dumbbell.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::net {
+
+Dumbbell::Dumbbell(Network& net, const DumbbellConfig& cfg) : cfg_(cfg) {
+  IQ_CHECK(cfg.pairs >= 1);
+
+  router_left_ = &net.add_node("RA");
+  router_right_ = &net.add_node("RB");
+
+  // One-way path delay = rtt/2 across three hops: access, bottleneck, access.
+  // Give the bottleneck the bulk of it; accesses get a token 1/10 share each.
+  const Duration one_way = cfg.path_rtt / 2;
+  const Duration access_delay = one_way / 10;
+  const Duration bottleneck_delay = one_way - access_delay * 2;
+
+  LinkConfig bottleneck_cfg{
+      .rate_bps = cfg.bottleneck_bps,
+      .propagation = bottleneck_delay,
+      .queue_capacity_bytes = cfg.bottleneck_queue_bytes,
+  };
+  bottleneck_ = &net.add_link(*router_left_, *router_right_, bottleneck_cfg);
+  bottleneck_rev_ = &net.add_link(*router_right_, *router_left_,
+                                  bottleneck_cfg);
+
+  LinkConfig access_cfg{
+      .rate_bps = cfg.access_bps,
+      .propagation = access_delay,
+      .queue_capacity_bytes = cfg.access_queue_bytes,
+  };
+  for (std::size_t i = 0; i < cfg.pairs; ++i) {
+    Node& l = net.add_node("L" + std::to_string(i));
+    Node& r = net.add_node("R" + std::to_string(i));
+    net.add_duplex_link(l, *router_left_, access_cfg);
+    net.add_duplex_link(r, *router_right_, access_cfg);
+    left_.push_back(&l);
+    right_.push_back(&r);
+  }
+  net.compute_routes();
+}
+
+}  // namespace iq::net

@@ -1,0 +1,56 @@
+#pragma once
+// Dumbbell topology builder: N left hosts and N right hosts joined by a pair
+// of routers and a shared bottleneck. This is the standard shape for the
+// paper's Emulab experiments: the application flow plus cross traffic share
+// one 20 Mb/s bottleneck; access links are fast and short.
+//
+//   L0 ─┐                   ┌─ R0
+//   L1 ─┤── RA ══bottleneck══ RB ──├─ R1
+//   L2 ─┘                   └─ R2
+//
+// The path RTT (default 30 ms, as in the paper) is split between the
+// bottleneck propagation delay and the access links.
+
+#include <cstdint>
+#include <vector>
+
+#include "iq/net/network.hpp"
+
+namespace iq::net {
+
+struct DumbbellConfig {
+  std::size_t pairs = 2;
+  std::int64_t bottleneck_bps = 20'000'000;
+  std::int64_t access_bps = 100'000'000;
+  /// Path round-trip time, split across the 3 hops in each direction.
+  Duration path_rtt = Duration::millis(30);
+  std::int64_t bottleneck_queue_bytes = 64 * 1500;
+  std::int64_t access_queue_bytes = 256 * 1500;
+};
+
+class Dumbbell {
+ public:
+  Dumbbell(Network& net, const DumbbellConfig& cfg);
+
+  Node& left(std::size_t i) { return *left_.at(i); }
+  Node& right(std::size_t i) { return *right_.at(i); }
+  Node& router_left() { return *router_left_; }
+  Node& router_right() { return *router_right_; }
+
+  /// The left→right bottleneck link (the congested one in all experiments).
+  Link& bottleneck() { return *bottleneck_; }
+  Link& bottleneck_reverse() { return *bottleneck_rev_; }
+
+  const DumbbellConfig& config() const { return cfg_; }
+
+ private:
+  DumbbellConfig cfg_;
+  std::vector<Node*> left_;
+  std::vector<Node*> right_;
+  Node* router_left_ = nullptr;
+  Node* router_right_ = nullptr;
+  Link* bottleneck_ = nullptr;
+  Link* bottleneck_rev_ = nullptr;
+};
+
+}  // namespace iq::net

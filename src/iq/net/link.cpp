@@ -1,0 +1,52 @@
+#include "iq/net/link.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::net {
+
+Link::Link(sim::Simulator& sim, std::string name, LinkConfig cfg,
+           PacketSink& dst)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      dst_(dst),
+      queue_(cfg.queue_capacity_bytes) {
+  IQ_CHECK(cfg_.rate_bps > 0);
+  IQ_CHECK(!cfg_.propagation.is_negative());
+}
+
+void Link::deliver(PacketPtr packet) {
+  if (busy_) {
+    if (!queue_.enqueue(packet)) {
+      if (tracer_ != nullptr) tracer_->on_drop(*this, *packet);
+    }
+    return;
+  }
+  start_transmission(std::move(packet));
+}
+
+void Link::start_transmission(PacketPtr p) {
+  busy_ = true;
+  if (tracer_ != nullptr) tracer_->on_transmit(*this, *p);
+  const Duration tx = transmission_time(p->wire_bytes, cfg_.rate_bps);
+  sim_.after(tx, [this, p = std::move(p)]() mutable {
+    transmission_done(std::move(p));
+  });
+}
+
+void Link::transmission_done(PacketPtr p) {
+  ++transmitted_;
+  transmitted_bytes_ += p->wire_bytes;
+  // Propagation: the packet is in flight; the transmitter is free now.
+  sim_.after(cfg_.propagation, [this, p = std::move(p)]() mutable {
+    if (tracer_ != nullptr) tracer_->on_deliver(*this, *p);
+    dst_.deliver(std::move(p));
+  });
+  if (!queue_.empty()) {
+    start_transmission(queue_.dequeue());
+  } else {
+    busy_ = false;
+  }
+}
+
+}  // namespace iq::net

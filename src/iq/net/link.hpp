@@ -1,0 +1,53 @@
+#pragma once
+// Unidirectional link: serialization at a fixed bit rate, a drop-tail queue
+// in front of the transmitter, and a fixed propagation delay. This is the
+// same model Emulab's delay nodes impose, which is what the paper ran on.
+
+#include <cstdint>
+#include <string>
+
+#include "iq/net/queue.hpp"
+#include "iq/net/tracer.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace iq::net {
+
+struct LinkConfig {
+  std::int64_t rate_bps = 20'000'000;            ///< 20 Mb/s default (paper)
+  Duration propagation = Duration::millis(5);
+  std::int64_t queue_capacity_bytes = 100 * 1500;  ///< ~100 MTU-sized slots
+};
+
+class Link final : public PacketSink {
+ public:
+  Link(sim::Simulator& sim, std::string name, LinkConfig cfg, PacketSink& dst);
+
+  /// Enqueue for transmission; drops (drop-tail) when the queue is full.
+  void deliver(PacketPtr packet) override;
+
+  const std::string& name() const { return name_; }
+  const LinkConfig& config() const { return cfg_; }
+  const DropTailQueue& queue() const { return queue_; }
+  bool busy() const { return busy_; }
+
+  std::uint64_t transmitted() const { return transmitted_; }
+  std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  void start_transmission(PacketPtr p);
+  void transmission_done(PacketPtr p);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  LinkConfig cfg_;
+  PacketSink& dst_;
+  DropTailQueue queue_;
+  bool busy_ = false;
+  std::uint64_t transmitted_ = 0;
+  std::int64_t transmitted_bytes_ = 0;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace iq::net

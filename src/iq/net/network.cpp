@@ -1,0 +1,95 @@
+#include "iq/net/network.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "iq/common/check.hpp"
+
+namespace iq::net {
+
+Node& Network::add_node(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, name));
+  return *nodes_.back();
+}
+
+Link& Network::add_link(Node& from, Node& to, const LinkConfig& cfg) {
+  auto link = std::make_unique<Link>(
+      sim_, from.name() + "->" + to.name(), cfg, to);
+  link->set_tracer(tracer_);
+  links_.push_back(std::move(link));
+  edges_.push_back(Edge{from.id(), to.id(), links_.back().get()});
+  return *links_.back();
+}
+
+void Network::add_duplex_link(Node& a, Node& b, const LinkConfig& cfg) {
+  add_link(a, b, cfg);
+  add_link(b, a, cfg);
+}
+
+void Network::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // Adjacency: for each node, outgoing edges.
+  std::vector<std::vector<const Edge*>> adj(n);
+  for (const Edge& e : edges_) adj[e.from].push_back(&e);
+
+  // For each destination, BFS on the reversed graph to find, for every
+  // source, the first-hop link of a shortest path.
+  std::vector<std::vector<const Edge*>> radj(n);
+  for (const Edge& e : edges_) radj[e.to].push_back(&e);
+
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  for (NodeId dst = 0; dst < n; ++dst) {
+    std::vector<std::uint32_t> dist(n, kInf);
+    std::deque<NodeId> bfs;
+    dist[dst] = 0;
+    bfs.push_back(dst);
+    while (!bfs.empty()) {
+      NodeId cur = bfs.front();
+      bfs.pop_front();
+      for (const Edge* e : radj[cur]) {
+        if (dist[e->from] == kInf) {
+          dist[e->from] = dist[cur] + 1;
+          bfs.push_back(e->from);
+        }
+      }
+    }
+    // First hop at each source: any outgoing edge that decreases distance.
+    for (NodeId src = 0; src < n; ++src) {
+      if (src == dst || dist[src] == kInf) continue;
+      for (const Edge* e : adj[src]) {
+        if (dist[e->to] != kInf && dist[e->to] + 1 == dist[src]) {
+          nodes_[src]->set_route(dst, e->link);
+          break;
+        }
+      }
+    }
+  }
+}
+
+PacketPtr Network::make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
+                               std::int64_t wire_bytes,
+                               std::shared_ptr<const PacketBody> body) {
+  IQ_CHECK(wire_bytes > 0);
+  auto p = std::make_shared<Packet>();
+  p->id = next_packet_id_++;
+  p->src = src;
+  p->dst = dst;
+  p->flow = flow;
+  p->wire_bytes = wire_bytes;
+  p->created = sim_.now();
+  p->body = std::move(body);
+  return p;
+}
+
+void Network::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& link : links_) link->set_tracer(tracer);
+}
+
+Node& Network::node(NodeId id) {
+  IQ_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+}  // namespace iq::net

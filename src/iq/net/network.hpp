@@ -1,0 +1,62 @@
+#pragma once
+// Network: owner of nodes and links, route computation, packet factory.
+//
+// Topologies are built by adding nodes and (unidirectional) links, then
+// calling compute_routes() which installs shortest-path (hop-count) static
+// routes at every node — the equivalent of Emulab's static topology routing.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iq/net/link.hpp"
+#include "iq/net/node.hpp"
+#include "iq/net/tracer.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace iq::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Node& add_node(const std::string& name);
+  /// Add a one-way link from `from` to `to`. Returns the link for stats.
+  Link& add_link(Node& from, Node& to, const LinkConfig& cfg);
+  /// Add a symmetric pair of links with identical configs.
+  void add_duplex_link(Node& a, Node& b, const LinkConfig& cfg);
+
+  /// Install hop-count shortest-path routes at every node (BFS per node).
+  void compute_routes();
+
+  /// Create a packet stamped with a fresh id and the current sim time.
+  PacketPtr make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
+                        std::int64_t wire_bytes,
+                        std::shared_ptr<const PacketBody> body = nullptr);
+
+  /// Install a tracer on every link (and future links).
+  void set_tracer(Tracer* tracer);
+
+  sim::Simulator& sim() { return sim_; }
+  Node& node(NodeId id);
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    Link* link;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Edge> edges_;
+  std::uint64_t next_packet_id_ = 1;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace iq::net

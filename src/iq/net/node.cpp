@@ -1,0 +1,59 @@
+#include "iq/net/node.hpp"
+
+#include "iq/common/check.hpp"
+#include "iq/common/log.hpp"
+
+namespace iq::net {
+
+void Node::bind(std::uint16_t port, PacketSink* sink) {
+  IQ_CHECK(sink != nullptr);
+  ports_[port] = sink;
+}
+
+void Node::unbind(std::uint16_t port) { ports_.erase(port); }
+
+void Node::set_route(NodeId dst, Link* link) {
+  IQ_CHECK(link != nullptr);
+  routes_[dst] = link;
+}
+
+Link* Node::route(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Node::send(PacketPtr packet) {
+  if (packet->dst.node == id_) {
+    deliver(std::move(packet));
+    return;
+  }
+  route_or_drop(std::move(packet));
+}
+
+void Node::deliver(PacketPtr packet) {
+  if (packet->dst.node != id_) {
+    ++forwarded_;
+    route_or_drop(std::move(packet));
+    return;
+  }
+  auto it = ports_.find(packet->dst.port);
+  if (it == ports_.end()) {
+    ++dead_lettered_;
+    log_debug("node ", name_, ": no sink on port ", packet->dst.port);
+    return;
+  }
+  ++delivered_local_;
+  it->second->deliver(std::move(packet));
+}
+
+void Node::route_or_drop(PacketPtr packet) {
+  Link* link = route(packet->dst.node);
+  if (link == nullptr) {
+    ++dead_lettered_;
+    log_debug("node ", name_, ": no route to ", packet->dst.node);
+    return;
+  }
+  link->deliver(std::move(packet));
+}
+
+}  // namespace iq::net

@@ -1,0 +1,54 @@
+#pragma once
+// Node: a host or router. Hosts bind local ports to sinks (sockets); routers
+// forward by destination node id through a static routing table. The same
+// class serves both roles — a host with routes forwards, a router with bound
+// ports delivers locally — mirroring how Emulab end hosts and delay nodes
+// are all just machines.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "iq/net/link.hpp"
+#include "iq/net/packet.hpp"
+
+namespace iq::net {
+
+class Node final : public PacketSink {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Attach a local sink to a port. Overwrites any existing binding.
+  void bind(std::uint16_t port, PacketSink* sink);
+  void unbind(std::uint16_t port);
+
+  /// Set the outgoing link used to reach `dst`.
+  void set_route(NodeId dst, Link* link);
+  Link* route(NodeId dst) const;
+
+  /// Inject a locally-originated packet (from a socket on this node).
+  void send(PacketPtr packet);
+
+  /// PacketSink: a packet arrived from a link.
+  void deliver(PacketPtr packet) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t delivered_local() const { return delivered_local_; }
+  std::uint64_t dead_lettered() const { return dead_lettered_; }
+
+ private:
+  void route_or_drop(PacketPtr packet);
+
+  NodeId id_;
+  std::string name_;
+  std::unordered_map<std::uint16_t, PacketSink*> ports_;
+  std::unordered_map<NodeId, Link*> routes_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t delivered_local_ = 0;
+  std::uint64_t dead_lettered_ = 0;
+};
+
+}  // namespace iq::net

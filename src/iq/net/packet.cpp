@@ -1,0 +1,14 @@
+#include "iq/net/packet.hpp"
+
+#include <sstream>
+
+namespace iq::net {
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << "pkt#" << id << " " << src.node << ":" << src.port << "->" << dst.node
+     << ":" << dst.port << " flow=" << flow << " " << wire_bytes << "B";
+  return os.str();
+}
+
+}  // namespace iq::net

@@ -1,0 +1,48 @@
+#include "iq/net/parking_lot.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::net {
+
+ParkingLot::ParkingLot(Network& net, const ParkingLotConfig& cfg)
+    : cfg_(cfg) {
+  IQ_CHECK(cfg.hops >= 1);
+
+  for (std::size_t i = 0; i <= cfg.hops; ++i) {
+    routers_.push_back(&net.add_node("R" + std::to_string(i)));
+  }
+
+  const LinkConfig bottleneck_cfg{
+      .rate_bps = cfg.bottleneck_bps,
+      .propagation = cfg.hop_delay,
+      .queue_capacity_bytes = cfg.bottleneck_queue_bytes,
+  };
+  for (std::size_t i = 0; i < cfg.hops; ++i) {
+    bottlenecks_.push_back(
+        &net.add_link(*routers_[i], *routers_[i + 1], bottleneck_cfg));
+    // Reverse direction (acks) at the same rate, separate queue.
+    net.add_link(*routers_[i + 1], *routers_[i], bottleneck_cfg);
+  }
+
+  const LinkConfig access_cfg{
+      .rate_bps = cfg.access_bps,
+      .propagation = cfg.access_delay,
+      .queue_capacity_bytes = cfg.access_queue_bytes,
+  };
+  src_ = &net.add_node("S");
+  dst_ = &net.add_node("D");
+  net.add_duplex_link(*src_, *routers_.front(), access_cfg);
+  net.add_duplex_link(*dst_, *routers_.back(), access_cfg);
+
+  for (std::size_t i = 0; i < cfg.hops; ++i) {
+    Node& xs = net.add_node("X" + std::to_string(i) + "s");
+    Node& xd = net.add_node("X" + std::to_string(i) + "d");
+    net.add_duplex_link(xs, *routers_[i], access_cfg);
+    net.add_duplex_link(xd, *routers_[i + 1], access_cfg);
+    cross_src_.push_back(&xs);
+    cross_dst_.push_back(&xd);
+  }
+  net.compute_routes();
+}
+
+}  // namespace iq::net

@@ -1,0 +1,56 @@
+#pragma once
+// Parking-lot topology: a chain of routers with one bottleneck per hop, an
+// end-to-end flow crossing every hop, and per-hop cross flows that each
+// traverse exactly one bottleneck.
+//
+//   S ── R0 ══b0══ R1 ══b1══ R2 ══b2══ R3 ── D
+//         ▲ x0 ▼    ▲ x1 ▼    ▲ x2 ▼
+//
+// The classic multi-bottleneck stress for end-to-end congestion control:
+// the through flow competes at every hop, the cross flows at one. Used by
+// the multi-bottleneck extension experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "iq/net/network.hpp"
+
+namespace iq::net {
+
+struct ParkingLotConfig {
+  std::size_t hops = 3;  ///< number of bottleneck links
+  std::int64_t bottleneck_bps = 20'000'000;
+  std::int64_t access_bps = 100'000'000;
+  Duration hop_delay = Duration::millis(5);
+  Duration access_delay = Duration::millis(1);
+  std::int64_t bottleneck_queue_bytes = 64 * 1500;
+  std::int64_t access_queue_bytes = 256 * 1500;
+};
+
+class ParkingLot {
+ public:
+  ParkingLot(Network& net, const ParkingLotConfig& cfg);
+
+  /// End-to-end endpoints (cross every bottleneck).
+  Node& src() { return *src_; }
+  Node& dst() { return *dst_; }
+
+  /// Cross-flow endpoints for hop i (enter before b_i, exit after it).
+  Node& cross_src(std::size_t hop) { return *cross_src_.at(hop); }
+  Node& cross_dst(std::size_t hop) { return *cross_dst_.at(hop); }
+
+  Link& bottleneck(std::size_t hop) { return *bottlenecks_.at(hop); }
+  std::size_t hops() const { return cfg_.hops; }
+  const ParkingLotConfig& config() const { return cfg_; }
+
+ private:
+  ParkingLotConfig cfg_;
+  Node* src_ = nullptr;
+  Node* dst_ = nullptr;
+  std::vector<Node*> routers_;
+  std::vector<Node*> cross_src_;
+  std::vector<Node*> cross_dst_;
+  std::vector<Link*> bottlenecks_;
+};
+
+}  // namespace iq::net

@@ -1,0 +1,32 @@
+#include "iq/net/queue.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::net {
+
+bool DropTailQueue::enqueue(PacketPtr p) {
+  IQ_CHECK(p != nullptr && p->wire_bytes > 0);
+  if (bytes_ + p->wire_bytes > capacity_bytes_) {
+    ++dropped_;
+    dropped_bytes_ += p->wire_bytes;
+    return false;
+  }
+  bytes_ += p->wire_bytes;
+  max_bytes_seen_ = std::max(max_bytes_seen_, bytes_);
+  ++enqueued_;
+  items_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr DropTailQueue::dequeue() {
+  IQ_CHECK_MSG(!items_.empty(), "dequeue from empty queue");
+  PacketPtr p = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= p->wire_bytes;
+  IQ_CHECK(bytes_ >= 0);
+  return p;
+}
+
+}  // namespace iq::net

@@ -1,0 +1,55 @@
+#include "iq/net/recording_tracer.hpp"
+
+#include <sstream>
+
+#include "iq/net/link.hpp"
+
+namespace iq::net {
+
+namespace {
+const char* kind_name(RecordingTracer::EventKind k) {
+  switch (k) {
+    case RecordingTracer::EventKind::Transmit: return "tx";
+    case RecordingTracer::EventKind::Drop: return "drop";
+    case RecordingTracer::EventKind::Deliver: return "rx";
+  }
+  return "?";
+}
+}  // namespace
+
+void RecordingTracer::record(EventKind kind, const Link& link,
+                             const Packet& p) {
+  if (events_.size() >= capacity_) {
+    // Drop the oldest half in one move to amortize.
+    const std::size_t keep = capacity_ / 2;
+    discarded_ += events_.size() - keep;
+    events_.erase(events_.begin(),
+                  events_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  events_.push_back(
+      Event{sim_.now(), kind, p.flow, p.id, p.wire_bytes, &link});
+}
+
+std::vector<RecordingTracer::Event> RecordingTracer::filter(
+    EventKind kind, std::uint32_t flow) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind && (flow == 0xffffffff || e.flow == flow)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string RecordingTracer::to_csv() const {
+  std::ostringstream os;
+  os << "time_s,kind,flow,packet,bytes,link\n";
+  for (const Event& e : events_) {
+    os << e.at.to_seconds() << "," << kind_name(e.kind) << "," << e.flow
+       << "," << e.packet_id << "," << e.wire_bytes << ","
+       << (e.link != nullptr ? e.link->name() : "?") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iq::net

@@ -1,0 +1,63 @@
+#pragma once
+// RecordingTracer: a pcap-style per-packet event log for the simulated
+// network — every transmit/drop/deliver with timestamp, link, flow and
+// size. Bounded ring so multi-million-packet runs stay cheap; dumps CSV
+// for offline analysis and powers per-flow loss accounting in tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iq/common/time.hpp"
+#include "iq/net/tracer.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace iq::net {
+
+class RecordingTracer final : public Tracer {
+ public:
+  enum class EventKind : std::uint8_t { Transmit, Drop, Deliver };
+
+  struct Event {
+    TimePoint at;
+    EventKind kind;
+    std::uint32_t flow;
+    std::uint64_t packet_id;
+    std::int64_t wire_bytes;
+    const Link* link;
+  };
+
+  /// `capacity` bounds memory; older events are discarded once full.
+  explicit RecordingTracer(sim::Simulator& sim, std::size_t capacity = 1 << 20)
+      : sim_(sim), capacity_(capacity) {}
+
+  void on_transmit(const Link& link, const Packet& p) override {
+    record(EventKind::Transmit, link, p);
+  }
+  void on_drop(const Link& link, const Packet& p) override {
+    record(EventKind::Drop, link, p);
+  }
+  void on_deliver(const Link& link, const Packet& p) override {
+    record(EventKind::Deliver, link, p);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t discarded() const { return discarded_; }
+
+  /// Events of one kind for one flow (0xffffffff = any flow).
+  std::vector<Event> filter(EventKind kind,
+                            std::uint32_t flow = 0xffffffff) const;
+
+  /// "time_s,kind,flow,packet,bytes,link" rows with a header.
+  std::string to_csv() const;
+
+ private:
+  void record(EventKind kind, const Link& link, const Packet& p);
+
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace iq::net

@@ -1,0 +1,40 @@
+#pragma once
+// Simple terminal sinks for raw (non-transport) packet flows: cross-traffic
+// receivers and test endpoints.
+
+#include <cstdint>
+#include <functional>
+
+#include "iq/net/packet.hpp"
+
+namespace iq::net {
+
+/// Swallows packets, counting them.
+class CountingSink final : public PacketSink {
+ public:
+  void deliver(PacketPtr packet) override {
+    ++packets_;
+    bytes_ += packet->wire_bytes;
+    last_arrival_ = packet->created;
+  }
+  std::uint64_t packets() const { return packets_; }
+  std::int64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::int64_t bytes_ = 0;
+  TimePoint last_arrival_;
+};
+
+/// Forwards packets to a callback.
+class CallbackSink final : public PacketSink {
+ public:
+  using Fn = std::function<void(PacketPtr)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void deliver(PacketPtr packet) override { fn_(std::move(packet)); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace iq::net

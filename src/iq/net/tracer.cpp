@@ -1,0 +1,42 @@
+#include "iq/net/tracer.hpp"
+
+namespace iq::net {
+
+CountingTracer::FlowCounts& CountingTracer::at(std::uint32_t flow_id) {
+  return flows_[flow_id];
+}
+
+void CountingTracer::on_transmit(const Link&, const Packet& p) {
+  auto& c = at(p.flow);
+  ++c.transmitted;
+  c.transmitted_bytes += p.wire_bytes;
+}
+
+void CountingTracer::on_drop(const Link&, const Packet& p) {
+  auto& c = at(p.flow);
+  ++c.dropped;
+  c.dropped_bytes += p.wire_bytes;
+}
+
+void CountingTracer::on_deliver(const Link&, const Packet& p) {
+  ++at(p.flow).delivered;
+}
+
+CountingTracer::FlowCounts CountingTracer::flow(std::uint32_t flow_id) const {
+  auto it = flows_.find(flow_id);
+  return it == flows_.end() ? FlowCounts{} : it->second;
+}
+
+CountingTracer::FlowCounts CountingTracer::total() const {
+  FlowCounts t;
+  for (const auto& [_, c] : flows_) {
+    t.transmitted += c.transmitted;
+    t.dropped += c.dropped;
+    t.delivered += c.delivered;
+    t.transmitted_bytes += c.transmitted_bytes;
+    t.dropped_bytes += c.dropped_bytes;
+  }
+  return t;
+}
+
+}  // namespace iq::net

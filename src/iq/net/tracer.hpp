@@ -1,0 +1,51 @@
+#pragma once
+// Optional observer of network-level packet events (transmit, drop, deliver).
+//
+// Links invoke the tracer when one is installed on the Network; experiments
+// use it for per-flow loss accounting and time-series plots without touching
+// protocol internals.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "iq/net/packet.hpp"
+
+namespace iq::net {
+
+class Link;
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  /// Packet started transmission on a link.
+  virtual void on_transmit(const Link& link, const Packet& p) = 0;
+  /// Packet dropped at a link's queue.
+  virtual void on_drop(const Link& link, const Packet& p) = 0;
+  /// Packet handed to the link's destination sink.
+  virtual void on_deliver(const Link& link, const Packet& p) = 0;
+};
+
+/// A tracer that counts per-flow transmit/drop/deliver totals.
+class CountingTracer final : public Tracer {
+ public:
+  struct FlowCounts {
+    std::uint64_t transmitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delivered = 0;
+    std::int64_t transmitted_bytes = 0;
+    std::int64_t dropped_bytes = 0;
+  };
+
+  void on_transmit(const Link& link, const Packet& p) override;
+  void on_drop(const Link& link, const Packet& p) override;
+  void on_deliver(const Link& link, const Packet& p) override;
+
+  FlowCounts flow(std::uint32_t flow_id) const;
+  FlowCounts total() const;
+
+ private:
+  FlowCounts& at(std::uint32_t flow_id);
+  std::unordered_map<std::uint32_t, FlowCounts> flows_;
+};
+
+}  // namespace iq::net

@@ -1,0 +1,158 @@
+#include "iq/rudp/codec.hpp"
+
+#include <algorithm>
+
+namespace iq::rudp {
+
+namespace {
+constexpr std::uint8_t kFlagMarked = 0x01;
+constexpr std::uint8_t kFlagAttrs = 0x02;
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(SegmentType::Syn) &&
+         t <= static_cast<std::uint8_t>(SegmentType::Rst);
+}
+}  // namespace
+
+Bytes encode_segment(const Segment& seg, BytesView payload) {
+  ByteWriter w;
+  w.u16(kWireMagic);
+  w.u8(static_cast<std::uint8_t>(seg.type));
+  std::uint8_t flags = 0;
+  if (seg.marked) flags |= kFlagMarked;
+  if (!seg.attrs.empty()) flags |= kFlagAttrs;
+  w.u8(flags);
+  w.u32(seg.conn_id);
+  w.u32(seg.seq);
+  w.u32(seg.cum_ack);
+  w.u32(seg.rwnd_packets);
+  w.u64(seg.ts_us);
+  w.u64(seg.ts_echo_us);
+
+  switch (seg.type) {
+    case SegmentType::Data:
+      w.u32(seg.msg_id);
+      w.u16(seg.frag_index);
+      w.u16(seg.frag_count);
+      w.u32(static_cast<std::uint32_t>(seg.payload_bytes));
+      break;
+    case SegmentType::Ack:
+      w.u16(static_cast<std::uint16_t>(seg.eacks.size()));
+      for (WireSeq e : seg.eacks) w.u32(e);
+      break;
+    case SegmentType::Advance:
+      w.u16(static_cast<std::uint16_t>(seg.skipped.size()));
+      for (const SkippedSeq& s : seg.skipped) {
+        w.u32(s.seq);
+        w.u32(s.msg_id);
+        w.u16(s.frag_count);
+      }
+      break;
+    case SegmentType::SynAck:
+      w.f64(seg.recv_loss_tolerance);
+      break;
+    default:
+      break;
+  }
+
+  if (!seg.attrs.empty()) seg.attrs.encode(w);
+
+  if (seg.type == SegmentType::Data && seg.payload_bytes > 0) {
+    const auto want = static_cast<std::size_t>(seg.payload_bytes);
+    const std::size_t real = std::min(payload.size(), want);
+    w.raw(payload.subspan(0, real));
+    for (std::size_t i = real; i < want; ++i) w.u8(0);
+  }
+  return w.take();
+}
+
+std::optional<DecodedSegment> decode_segment(BytesView datagram) {
+  ByteReader r(datagram);
+  auto magic = r.u16();
+  if (!magic || *magic != kWireMagic) return std::nullopt;
+  auto type = r.u8();
+  if (!type || !valid_type(*type)) return std::nullopt;
+  auto flags = r.u8();
+  auto conn = r.u32();
+  auto seq = r.u32();
+  auto cum = r.u32();
+  auto rwnd = r.u32();
+  auto ts = r.u64();
+  auto ts_echo = r.u64();
+  if (!flags || !conn || !seq || !cum || !rwnd || !ts || !ts_echo) {
+    return std::nullopt;
+  }
+
+  DecodedSegment out;
+  Segment& seg = out.segment;
+  seg.type = static_cast<SegmentType>(*type);
+  seg.marked = (*flags & kFlagMarked) != 0;
+  seg.conn_id = *conn;
+  seg.seq = *seq;
+  seg.cum_ack = *cum;
+  seg.rwnd_packets = *rwnd;
+  seg.ts_us = *ts;
+  seg.ts_echo_us = *ts_echo;
+
+  switch (seg.type) {
+    case SegmentType::Data: {
+      auto msg = r.u32();
+      auto fi = r.u16();
+      auto fc = r.u16();
+      auto len = r.u32();
+      if (!msg || !fi || !fc || !len) return std::nullopt;
+      if (*fc == 0 || *fi >= *fc) return std::nullopt;
+      seg.msg_id = *msg;
+      seg.frag_index = *fi;
+      seg.frag_count = *fc;
+      seg.payload_bytes = static_cast<std::int32_t>(*len);
+      break;
+    }
+    case SegmentType::Ack: {
+      auto n = r.u16();
+      if (!n) return std::nullopt;
+      for (std::uint16_t i = 0; i < *n; ++i) {
+        auto e = r.u32();
+        if (!e) return std::nullopt;
+        seg.eacks.push_back(*e);
+      }
+      break;
+    }
+    case SegmentType::Advance: {
+      auto n = r.u16();
+      if (!n) return std::nullopt;
+      for (std::uint16_t i = 0; i < *n; ++i) {
+        auto s = r.u32();
+        auto m = r.u32();
+        auto fc = r.u16();
+        if (!s || !m || !fc || *fc == 0) return std::nullopt;
+        seg.skipped.push_back(SkippedSeq{*s, *m, *fc});
+      }
+      break;
+    }
+    case SegmentType::SynAck: {
+      auto tol = r.f64();
+      if (!tol) return std::nullopt;
+      seg.recv_loss_tolerance = *tol;
+      break;
+    }
+    default:
+      break;
+  }
+
+  if ((*flags & kFlagAttrs) != 0) {
+    auto attrs = attr::AttrList::decode(r);
+    if (!attrs) return std::nullopt;
+    seg.attrs = std::move(*attrs);
+  }
+
+  if (seg.type == SegmentType::Data && seg.payload_bytes > 0) {
+    const auto want = static_cast<std::size_t>(seg.payload_bytes);
+    if (r.remaining() < want) return std::nullopt;
+    out.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                       datagram.begin() + static_cast<std::ptrdiff_t>(r.position() + want));
+  }
+  return out;
+}
+
+}  // namespace iq::rudp

@@ -1,0 +1,43 @@
+#pragma once
+// Byte-level wire codec for RUDP segments.
+//
+// Used by the real-socket backend (iq/wire/udp_wire) and by codec round-trip
+// property tests. The simulation backend carries Segment structs directly
+// and only charges Segment::wire_bytes() to the links, so encode/decode stay
+// off the simulation hot path.
+//
+// Layout (big-endian):
+//   magic  u16  = 0x4951 ("IQ")
+//   type   u8
+//   flags  u8   bit0 = marked, bit1 = has-attrs
+//   conn   u32
+//   seq    u32
+//   cum    u32
+//   rwnd   u32
+//   ts     u64  (µs)
+//   ts_echo u64 (µs)
+//   [type-specific fields, then optional attrs, then payload]
+
+#include <optional>
+
+#include "iq/common/bytes.hpp"
+#include "iq/rudp/segment.hpp"
+
+namespace iq::rudp {
+
+inline constexpr std::uint16_t kWireMagic = 0x4951;
+
+/// Serialize. `payload` supplies real payload bytes for the socket backend;
+/// when it is shorter than seg.payload_bytes the remainder is zero-filled
+/// (virtual payload), when longer it is truncated.
+Bytes encode_segment(const Segment& seg, BytesView payload = {});
+
+struct DecodedSegment {
+  Segment segment;
+  Bytes payload;
+};
+
+/// Parse; nullopt on truncation, bad magic, or malformed fields.
+std::optional<DecodedSegment> decode_segment(BytesView datagram);
+
+}  // namespace iq::rudp

@@ -1,0 +1,139 @@
+#include "iq/rudp/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iq/common/check.hpp"
+
+namespace iq::rudp {
+
+// ---------------------------------------------------------------- LDA ----
+
+LdaController::LdaController(const LdaConfig& cfg)
+    : cfg_(cfg), cwnd_(cfg.initial_cwnd) {
+  IQ_CHECK(cfg.min_cwnd >= 1.0 && cfg.max_cwnd >= cfg.min_cwnd);
+}
+
+void LdaController::clamp() {
+  cwnd_ = std::clamp(cwnd_, cfg_.min_cwnd, cfg_.max_cwnd);
+}
+
+void LdaController::on_ack(int newly_acked, TimePoint) {
+  // +additive_per_rtt per window's worth of acks ≈ +additive_per_rtt / RTT.
+  cwnd_ += cfg_.additive_per_rtt * static_cast<double>(newly_acked) / cwnd_;
+  clamp();
+}
+
+void LdaController::on_loss(TimePoint) {
+  // Individual losses are absorbed into the epoch ratio; the decrease is
+  // applied once per epoch in on_epoch() — this is what keeps the window
+  // evolution smooth relative to TCP.
+}
+
+void LdaController::on_timeout(TimePoint) {
+  cwnd_ *= cfg_.timeout_factor;
+  clamp();
+}
+
+void LdaController::on_epoch(double loss_ratio, TimePoint) {
+  if (loss_ratio <= 0.0) return;
+  double factor = 1.0 - cfg_.decrease_beta * loss_ratio;
+  factor = std::max(factor, cfg_.min_decrease_factor);
+  double next = cwnd_ * factor;
+  if (cfg_.tcp_friendly_floor) {
+    next = std::max(next, std::min(cwnd_, tcp_friendly_window(loss_ratio)));
+  }
+  cwnd_ = next;
+  clamp();
+}
+
+void LdaController::scale_window(double factor) {
+  IQ_CHECK_MSG(factor > 0.0, "window scale factor must be positive");
+  cwnd_ *= factor;
+  clamp();
+}
+
+double LdaController::tcp_friendly_window(double loss_ratio) {
+  // W = sqrt(3 / (2p)) packets — the simple TCP throughput equation
+  // (Mahdavi & Floyd) expressed as a window.
+  if (loss_ratio <= 0.0) return 4096.0;
+  return std::sqrt(1.5 / loss_ratio);
+}
+
+// --------------------------------------------------------------- AIMD ----
+
+AimdController::AimdController(const AimdConfig& cfg)
+    : cfg_(cfg), cwnd_(cfg.initial_cwnd), ssthresh_(cfg.initial_ssthresh) {}
+
+void AimdController::clamp() {
+  cwnd_ = std::clamp(cwnd_, cfg_.min_cwnd, cfg_.max_cwnd);
+}
+
+void AimdController::on_ack(int newly_acked, TimePoint) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<double>(newly_acked);  // slow start
+  } else {
+    cwnd_ += static_cast<double>(newly_acked) / cwnd_;  // CA
+  }
+  clamp();
+}
+
+void AimdController::on_loss(TimePoint now) {
+  // One multiplicative decrease per RTT, mirroring Reno's once-per-window
+  // halving.
+  if (decreased_once_ && now - last_decrease_ < srtt_) return;
+  last_decrease_ = now;
+  decreased_once_ = true;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+  clamp();
+}
+
+void AimdController::on_timeout(TimePoint now) {
+  last_decrease_ = now;
+  decreased_once_ = true;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = cfg_.min_cwnd;
+  clamp();
+}
+
+void AimdController::on_epoch(double, TimePoint) {}
+
+void AimdController::scale_window(double factor) {
+  IQ_CHECK_MSG(factor > 0.0, "window scale factor must be positive");
+  cwnd_ *= factor;
+  ssthresh_ = std::max(ssthresh_, cwnd_);
+  clamp();
+}
+
+// -------------------------------------------------------------- Fixed ----
+
+void FixedWindowController::scale_window(double factor) {
+  IQ_CHECK_MSG(factor > 0.0, "window scale factor must be positive");
+  cwnd_ = std::clamp(cwnd_ * factor, 1.0, 65536.0);
+}
+
+// ------------------------------------------------------------- factory ---
+
+std::unique_ptr<CongestionController> make_controller(CcKind kind,
+                                                      double initial_or_fixed) {
+  switch (kind) {
+    case CcKind::Lda: {
+      LdaConfig cfg;
+      if (initial_or_fixed > 0) cfg.initial_cwnd = initial_or_fixed;
+      return std::make_unique<LdaController>(cfg);
+    }
+    case CcKind::Aimd: {
+      AimdConfig cfg;
+      if (initial_or_fixed > 0) cfg.initial_cwnd = initial_or_fixed;
+      return std::make_unique<AimdController>(cfg);
+    }
+    case CcKind::Fixed:
+      return std::make_unique<FixedWindowController>(
+          initial_or_fixed > 0 ? initial_or_fixed : 64.0);
+  }
+  IQ_CHECK_MSG(false, "unknown CcKind");
+  return nullptr;
+}
+
+}  // namespace iq::rudp

@@ -1,0 +1,144 @@
+#pragma once
+// Window-based congestion controllers for RUDP.
+//
+// LdaController (the default, per the paper: "TCP-like congestion control
+// using an algorithm resembling Loss-Delay Adjustment"): additive increase
+// of ~1 packet per RTT — the same average rate of increase as TCP (§3.2) —
+// but a *loss-proportional* multiplicative decrease applied once per
+// measuring epoch, which produces the smoother window evolution the paper
+// credits for IQ-RUDP's better delay/jitter. The decrease is bounded below
+// by a TCP-friendly window so the flow never takes more than a TCP-fair
+// share under sustained loss.
+//
+// AimdController: classic Reno-style slow start + AIMD (halve per loss
+// event), provided as an ablation baseline.
+//
+// FixedWindowController: a constant window; used for the paper's
+// "application adaptation only" row, where IQ-RUDP's adaptive congestion
+// window is instrumented off but metrics still flow to the application.
+//
+// All controllers expose scale_window(), the hook the IQ coordinator uses to
+// re-adapt the transport after an application adaptation (§3.4, §3.5).
+
+#include <memory>
+#include <string>
+
+#include "iq/common/time.hpp"
+
+namespace iq::rudp {
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  /// A cumulative/selective ack newly covered `newly_acked` segments.
+  virtual void on_ack(int newly_acked, TimePoint now) = 0;
+  /// Fast-retransmit-detected loss of one segment.
+  virtual void on_loss(TimePoint now) = 0;
+  /// Retransmission timeout.
+  virtual void on_timeout(TimePoint now) = 0;
+  /// Close of a loss-measuring epoch with the epoch's loss ratio.
+  virtual void on_epoch(double loss_ratio, TimePoint now) = 0;
+  /// The smoothed RTT, needed by per-RTT guards and TCP-friendly bounds.
+  virtual void set_srtt(Duration srtt) = 0;
+
+  /// Congestion window, in packets (fractional internally).
+  virtual double cwnd() const = 0;
+  /// IQ coordination hook: multiply the window by `factor` (clamped).
+  virtual void scale_window(double factor) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct LdaConfig {
+  double initial_cwnd = 2.0;
+  double min_cwnd = 1.0;
+  double max_cwnd = 4096.0;
+  double additive_per_rtt = 1.0;   ///< packets added per RTT when loss-free
+  double decrease_beta = 1.0;      ///< factor = 1 - beta * loss_ratio
+  double min_decrease_factor = 0.5;
+  double timeout_factor = 0.5;     ///< multiplier on RTO (smoother than Reno)
+  bool tcp_friendly_floor = true;  ///< never shrink below the TCP-fair window
+};
+
+class LdaController final : public CongestionController {
+ public:
+  explicit LdaController(const LdaConfig& cfg = {});
+
+  void on_ack(int newly_acked, TimePoint now) override;
+  void on_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+  void on_epoch(double loss_ratio, TimePoint now) override;
+  void set_srtt(Duration srtt) override { srtt_ = srtt; }
+  double cwnd() const override { return cwnd_; }
+  void scale_window(double factor) override;
+  std::string name() const override { return "lda"; }
+
+  /// TCP-throughput-equation window for the given loss ratio (packets).
+  static double tcp_friendly_window(double loss_ratio);
+
+ private:
+  void clamp();
+
+  LdaConfig cfg_;
+  double cwnd_;
+  Duration srtt_ = Duration::millis(100);
+};
+
+struct AimdConfig {
+  double initial_cwnd = 2.0;
+  double min_cwnd = 1.0;
+  double max_cwnd = 4096.0;
+  double initial_ssthresh = 64.0;
+};
+
+class AimdController final : public CongestionController {
+ public:
+  explicit AimdController(const AimdConfig& cfg = {});
+
+  void on_ack(int newly_acked, TimePoint now) override;
+  void on_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+  void on_epoch(double loss_ratio, TimePoint now) override;
+  void set_srtt(Duration srtt) override { srtt_ = srtt; }
+  double cwnd() const override { return cwnd_; }
+  void scale_window(double factor) override;
+  std::string name() const override { return "aimd"; }
+
+  double ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  void clamp();
+
+  AimdConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+  Duration srtt_ = Duration::millis(100);
+  TimePoint last_decrease_;
+  bool decreased_once_ = false;
+};
+
+class FixedWindowController final : public CongestionController {
+ public:
+  explicit FixedWindowController(double window) : cwnd_(window) {}
+
+  void on_ack(int, TimePoint) override {}
+  void on_loss(TimePoint) override {}
+  void on_timeout(TimePoint) override {}
+  void on_epoch(double, TimePoint) override {}
+  void set_srtt(Duration) override {}
+  double cwnd() const override { return cwnd_; }
+  void scale_window(double factor) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double cwnd_;
+};
+
+enum class CcKind { Lda, Aimd, Fixed };
+
+std::unique_ptr<CongestionController> make_controller(CcKind kind,
+                                                      double initial_or_fixed);
+
+}  // namespace iq::rudp

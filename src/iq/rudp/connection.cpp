@@ -1,0 +1,515 @@
+#include "iq/rudp/connection.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+#include "iq/common/log.hpp"
+
+namespace iq::rudp {
+
+RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
+    : wire_(wire),
+      cfg_(cfg),
+      role_(role),
+      cc_(make_controller(cfg.cc_kind, cfg.cc_kind == CcKind::Fixed
+                                           ? cfg.fixed_cwnd
+                                           : cfg.initial_cwnd)),
+      rtt_(cfg.rtt),
+      loss_(cfg.loss_epoch_packets),
+      recv_buf_(cfg.recv_window_packets, cfg.initial_seq),
+      budget_(0.0),
+      rto_timer_(wire.executor(), [this] { on_rto(); }),
+      connect_timer_(wire.executor(), [this] { send_syn(); }),
+      keepalive_timer_(wire.executor(), [this] {
+        if (established() && send_idle()) {
+          send_control(SegmentType::Nul);
+          ++stats_.nuls_sent;
+        }
+        if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
+      }),
+      ack_timer_(wire.executor(), [this] {
+        if (unacked_arrivals_ > 0) send_ack(last_ts_to_echo_);
+      }) {
+  IQ_CHECK(cfg_.max_segment_payload > 0);
+  IQ_CHECK(cfg_.initial_seq >= 1);
+  next_seq_ = cfg_.initial_seq;
+  wire_.set_receiver([this](const Segment& seg) { on_segment(seg); });
+  loss_.set_epoch_handler(
+      [this](const EpochReport& report) { on_epoch_report(report); });
+}
+
+RudpConnection::~RudpConnection() = default;
+
+std::uint64_t RudpConnection::now_us() const {
+  return static_cast<std::uint64_t>(wire_.executor().now().ns() / 1000);
+}
+
+// ------------------------------------------------------------- control ----
+
+void RudpConnection::connect() {
+  IQ_CHECK_MSG(role_ == Role::Client, "connect() on a server connection");
+  IQ_CHECK(state_ == ConnState::Closed);
+  state_ = ConnState::SynSent;
+  connect_attempts_ = 0;
+  send_syn();
+}
+
+void RudpConnection::listen() {
+  IQ_CHECK_MSG(role_ == Role::Server, "listen() on a client connection");
+  IQ_CHECK(state_ == ConnState::Closed);
+  state_ = ConnState::Listening;
+}
+
+void RudpConnection::close() {
+  if (state_ == ConnState::Established || state_ == ConnState::SynSent) {
+    send_control(SegmentType::Rst);
+  }
+  state_ = ConnState::Closed;
+  rto_timer_.stop();
+  connect_timer_.stop();
+  keepalive_timer_.stop();
+  ack_timer_.stop();
+}
+
+void RudpConnection::send_syn() {
+  if (state_ != ConnState::SynSent) return;
+  if (connect_attempts_ >= cfg_.max_connect_attempts) {
+    log_warn("rudp conn ", cfg_.conn_id, ": connect gave up after ",
+             connect_attempts_, " attempts");
+    state_ = ConnState::Closed;
+    if (on_closed_) on_closed_();
+    return;
+  }
+  ++connect_attempts_;
+  send_control(SegmentType::Syn);
+  connect_timer_.start(cfg_.connect_retry);
+}
+
+void RudpConnection::become_established() {
+  if (state_ == ConnState::Established) return;
+  state_ = ConnState::Established;
+  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
+  if (on_established_) on_established_();
+}
+
+// ------------------------------------------------------------- sending ----
+
+RudpConnection::SendResult RudpConnection::send_message(
+    const MessageSpec& spec) {
+  IQ_CHECK_MSG(spec.bytes >= 0, "negative message size");
+  const std::uint32_t msg_id = next_msg_id_++;
+  ++stats_.messages_offered;
+  budget_.on_message_offered();
+
+  // IQ coordination scheme 1: while the application trades reliability for
+  // timeliness, unmarked data is discarded *before* it enters the network,
+  // within the receiver's loss tolerance.
+  if (discard_unmarked_ && !spec.marked && budget_.may_skip_message()) {
+    budget_.on_message_skipped(msg_id);
+    ++stats_.messages_discarded_at_send;
+    return SendResult{msg_id, /*discarded=*/true};
+  }
+
+  const std::int64_t mss = cfg_.max_segment_payload;
+  const auto frag_count = static_cast<std::uint16_t>(
+      std::max<std::int64_t>(1, (spec.bytes + mss - 1) / mss));
+  std::int64_t remaining = spec.bytes;
+  for (std::uint16_t i = 0; i < frag_count; ++i) {
+    PendingSegment p;
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = frag_count;
+    p.payload_bytes = static_cast<std::int32_t>(std::min(remaining, mss));
+    p.marked = spec.marked;
+    if (i == 0) p.attrs = spec.attrs;
+    remaining -= p.payload_bytes;
+    pending_.push_back(std::move(p));
+  }
+  ++stats_.messages_enqueued;
+  pump();
+  return SendResult{msg_id, /*discarded=*/false};
+}
+
+void RudpConnection::emit(const Segment& seg) {
+  if (tap_) tap_(TapDirection::Out, seg);
+  wire_.send(seg);
+}
+
+void RudpConnection::pump() {
+  if (state_ != ConnState::Established) return;
+  for (;;) {
+    if (pending_.empty()) {
+      window_limited_ = false;
+      return;
+    }
+    const int wnd = std::max(1, static_cast<int>(cc_->cwnd()));
+    const int limit = std::min<int>(wnd, static_cast<int>(
+                                             std::max(1u, peer_rwnd_)));
+    if (send_buf_.inflight() >= limit) {
+      window_limited_ = true;
+      return;
+    }
+    PendingSegment p = std::move(pending_.front());
+    pending_.pop_front();
+
+    Outstanding o;
+    o.seq = next_seq_++;
+    o.msg_id = p.msg_id;
+    o.frag_index = p.frag_index;
+    o.frag_count = p.frag_count;
+    o.payload_bytes = p.payload_bytes;
+    o.marked = p.marked;
+    o.attrs = std::move(p.attrs);
+    o.first_sent = wire_.executor().now();
+    o.last_sent = o.first_sent;
+    send_buf_.add(o);
+    transmit(*send_buf_.find(o.seq), /*retransmission=*/false);
+  }
+}
+
+void RudpConnection::transmit(Outstanding& o, bool retransmission) {
+  Segment seg;
+  seg.type = SegmentType::Data;
+  seg.conn_id = cfg_.conn_id;
+  seg.seq = to_wire(o.seq);
+  seg.msg_id = o.msg_id;
+  seg.frag_index = o.frag_index;
+  seg.frag_count = o.frag_count;
+  seg.marked = o.marked;
+  seg.payload_bytes = o.payload_bytes;
+  seg.cum_ack = to_wire(recv_buf_.cum());
+  seg.ts_us = now_us();
+  seg.attrs = o.attrs;
+
+  ++stats_.segments_sent;
+  stats_.payload_bytes_sent += o.payload_bytes;
+  if (retransmission) ++stats_.segments_retransmitted;
+
+  o.last_sent = wire_.executor().now();
+  emit(seg);
+  rto_timer_.start_if_idle(rtt_.rto());
+}
+
+void RudpConnection::send_ack(std::uint64_t ts_echo_us) {
+  unacked_arrivals_ = 0;
+  ack_timer_.stop();
+  Segment seg;
+  seg.type = SegmentType::Ack;
+  seg.conn_id = cfg_.conn_id;
+  seg.cum_ack = to_wire(recv_buf_.cum());
+  for (Seq e : recv_buf_.eacks(cfg_.max_eacks_per_ack)) {
+    seg.eacks.push_back(to_wire(e));
+  }
+  seg.rwnd_packets = recv_buf_.rwnd();
+  seg.ts_us = now_us();
+  seg.ts_echo_us = ts_echo_us;
+  ++stats_.acks_sent;
+  emit(seg);
+}
+
+void RudpConnection::send_advance(const std::vector<SkippedSeq>& skipped) {
+  Segment seg;
+  seg.type = SegmentType::Advance;
+  seg.conn_id = cfg_.conn_id;
+  seg.skipped = skipped;
+  seg.cum_ack = to_wire(recv_buf_.cum());
+  seg.ts_us = now_us();
+  ++stats_.advances_sent;
+  emit(seg);
+  // ADVANCE is not individually acked; keep a timer alive so lost ones are
+  // re-advertised from on_rto().
+  rto_timer_.start_if_idle(rtt_.rto());
+}
+
+void RudpConnection::resend_outstanding_skips() {
+  if (skip_outstanding_.empty()) return;
+  std::vector<SkippedSeq> skips;
+  skips.reserve(skip_outstanding_.size());
+  for (const auto& [_, rec] : skip_outstanding_) skips.push_back(rec);
+  last_skip_resend_ = wire_.executor().now();
+  send_advance(skips);
+}
+
+void RudpConnection::send_control(SegmentType type) {
+  Segment seg;
+  seg.type = type;
+  seg.conn_id = cfg_.conn_id;
+  seg.cum_ack = to_wire(recv_buf_.cum());
+  seg.ts_us = now_us();
+  if (type == SegmentType::SynAck) {
+    seg.recv_loss_tolerance = cfg_.recv_loss_tolerance;
+  }
+  emit(seg);
+}
+
+// -------------------------------------------------------------- inbound ---
+
+void RudpConnection::on_segment(const Segment& seg) {
+  if (seg.conn_id != cfg_.conn_id) return;  // not ours
+  if (tap_) tap_(TapDirection::In, seg);
+  switch (seg.type) {
+    case SegmentType::Syn:
+      on_syn(seg);
+      break;
+    case SegmentType::SynAck:
+      on_syn_ack(seg);
+      break;
+    case SegmentType::Data:
+      on_data(seg);
+      break;
+    case SegmentType::Ack:
+      on_ack(seg);
+      break;
+    case SegmentType::Advance:
+      on_advance(seg);
+      break;
+    case SegmentType::Nul:
+      if (established()) send_ack(seg.ts_us);
+      break;
+    case SegmentType::Rst:
+      if (state_ != ConnState::Closed) {
+        state_ = ConnState::Closed;
+        rto_timer_.stop();
+        keepalive_timer_.stop();
+        if (on_closed_) on_closed_();
+      }
+      break;
+  }
+}
+
+void RudpConnection::on_syn(const Segment&) {
+  if (role_ != Role::Server) return;
+  if (state_ != ConnState::Listening && state_ != ConnState::Established) {
+    return;
+  }
+  // Duplicate SYNs simply re-elicit the SYN-ACK.
+  send_control(SegmentType::SynAck);
+  become_established();
+}
+
+void RudpConnection::on_syn_ack(const Segment& seg) {
+  if (role_ != Role::Client) return;
+  if (state_ == ConnState::Established) {
+    // The receiver re-advertised its loss tolerance mid-connection.
+    budget_.set_tolerance(seg.recv_loss_tolerance);
+    return;
+  }
+  if (state_ != ConnState::SynSent) return;
+  budget_.set_tolerance(seg.recv_loss_tolerance);
+  connect_timer_.stop();
+  become_established();
+  pump();
+}
+
+void RudpConnection::on_data(const Segment& seg) {
+  if (!established()) {
+    // Data racing ahead of the handshake: for a listening server the SYN
+    // was lost; ignore, the client will retry.
+    return;
+  }
+  RecvSegment rs;
+  rs.seq = unwrap(seg.seq, recv_buf_.cum());
+  rs.msg_id = seg.msg_id;
+  rs.frag_index = seg.frag_index;
+  rs.frag_count = seg.frag_count;
+  rs.payload_bytes = seg.payload_bytes;
+  rs.marked = seg.marked;
+  rs.ts_us = seg.ts_us;
+  rs.attrs = seg.attrs;
+
+  auto result = recv_buf_.on_data(rs, wire_.executor().now());
+  if (result.duplicate) ++stats_.duplicates_received;
+  deliver(result);
+
+  // Delayed acks: in-order arrivals may be batched; anything unusual
+  // (duplicate, reordering hole) acks immediately so the sender's loss
+  // detection stays sharp.
+  ++unacked_arrivals_;
+  last_ts_to_echo_ = seg.ts_us;
+  const bool unusual = result.duplicate || recv_buf_.buffered() > 0;
+  if (cfg_.ack_every <= 1 || unacked_arrivals_ >= cfg_.ack_every || unusual) {
+    send_ack(seg.ts_us);
+  } else {
+    ack_timer_.start_if_idle(cfg_.ack_delay);
+  }
+}
+
+void RudpConnection::on_advance(const Segment& seg) {
+  if (!established()) return;
+  std::vector<RecvBuffer::SkipInfo> skips;
+  skips.reserve(seg.skipped.size());
+  for (const SkippedSeq& s : seg.skipped) {
+    skips.push_back(RecvBuffer::SkipInfo{unwrap(s.seq, recv_buf_.cum()),
+                                         s.msg_id, s.frag_count});
+  }
+  auto result = recv_buf_.on_skip(skips, wire_.executor().now());
+  deliver(result);
+  send_ack(seg.ts_us);
+}
+
+void RudpConnection::deliver(RecvBuffer::Result& result) {
+  stats_.messages_dropped += result.dropped_messages;
+  stats_.messages_delivered += result.delivered.size();
+  for (const DeliveredMessage& msg : result.delivered) {
+    stats_.payload_bytes_delivered += msg.bytes;
+    if (on_message_) on_message_(msg);
+  }
+}
+
+void RudpConnection::on_ack(const Segment& seg) {
+  ++stats_.acks_received;
+  if (seg.rwnd_packets > 0) peer_rwnd_ = seg.rwnd_packets;
+
+  const TimePoint now = wire_.executor().now();
+  if (seg.ts_echo_us > 0) {
+    const Duration sample =
+        now - TimePoint::from_ns(static_cast<std::int64_t>(seg.ts_echo_us) * 1000);
+    rtt_.add_sample(sample);
+    cc_->set_srtt(rtt_.srtt());
+  }
+
+  const Seq ref = send_buf_.lowest_or(next_seq_);
+  const Seq cum = unwrap(seg.cum_ack, ref);
+  std::vector<Seq> eacks;
+  eacks.reserve(seg.eacks.size());
+  for (WireSeq e : seg.eacks) eacks.push_back(unwrap(e, cum));
+
+  // Skips the peer's cumulative ack has passed are settled; if the peer is
+  // stuck exactly on a skipped sequence, the ADVANCE was lost — resend it
+  // (at most once per RTO interval).
+  skip_outstanding_.erase(skip_outstanding_.begin(),
+                          skip_outstanding_.lower_bound(cum));
+  if (!skip_outstanding_.empty() &&
+      cum >= skip_outstanding_.begin()->first &&
+      now - last_skip_resend_ >= rtt_.rto()) {
+    resend_outstanding_skips();
+  }
+
+  auto outcome = send_buf_.on_ack(cum, eacks, cfg_.dup_threshold);
+  if (outcome.newly_acked > 0) {
+    stats_.payload_bytes_acked += outcome.newly_acked_bytes;
+    // Grow the window only when the window is what limits us; an
+    // application-limited sender must not inflate cwnd (window validation).
+    if (window_limited_) {
+      cc_->on_ack(outcome.newly_acked, now);
+    }
+    loss_.on_acked(static_cast<std::uint32_t>(outcome.newly_acked),
+                   outcome.newly_acked_bytes, now);
+  }
+  handle_lost_segments(outcome.lost);
+
+  if (send_buf_.empty() && skip_outstanding_.empty()) {
+    rto_timer_.stop();
+  } else if (outcome.cum_advanced) {
+    rto_timer_.start(rtt_.rto());
+  } else {
+    rto_timer_.start_if_idle(rtt_.rto());
+  }
+  pump();
+}
+
+// ---------------------------------------------------------------- loss ----
+
+void RudpConnection::handle_lost_segments(const std::vector<Seq>& lost) {
+  if (lost.empty()) return;
+  std::vector<SkippedSeq> skips;
+  for (Seq seq : lost) {
+    if (auto skip = resolve_loss(seq, /*from_timeout=*/false)) {
+      skips.push_back(*skip);
+    }
+  }
+  if (!skips.empty()) send_advance(skips);
+}
+
+std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
+                                                       bool from_timeout) {
+  Outstanding* o = send_buf_.find(seq);
+  if (o == nullptr || o->counted_received) return std::nullopt;
+  const TimePoint now = wire_.executor().now();
+  loss_.on_lost(1, now);
+  if (!from_timeout) cc_->on_loss(now);
+
+  const bool can_skip =
+      !o->marked &&
+      (budget_.is_skipped(o->msg_id) || budget_.may_skip_message());
+  if (can_skip) {
+    SkippedSeq rec{to_wire(seq), o->msg_id, o->frag_count};
+    if (budget_.on_message_skipped(o->msg_id)) ++stats_.messages_skipped;
+    ++stats_.segments_skipped;
+    send_buf_.remove(seq);
+    skip_outstanding_.emplace(seq, rec);
+    return rec;
+  }
+
+  o->loss_reported = true;
+  ++o->transmissions;
+  if (!from_timeout) ++stats_.fast_retransmits;
+  transmit(*o, /*retransmission=*/true);
+  return std::nullopt;
+}
+
+void RudpConnection::on_rto() {
+  if (!established()) return;
+  if (send_buf_.empty()) {
+    // Only skips outstanding: the ADVANCE (or its ack) was lost.
+    if (!skip_outstanding_.empty()) {
+      rtt_.backoff();
+      resend_outstanding_skips();
+      arm_rto();
+    }
+    return;
+  }
+  Outstanding* o = send_buf_.first_unacked();
+  if (o == nullptr) {
+    // Everything still buffered is sacked — the cumulative ack is blocked.
+    // If a skipped sequence is the blocker, its ADVANCE was lost; resend.
+    if (!skip_outstanding_.empty()) {
+      rtt_.backoff();
+      resend_outstanding_skips();
+    }
+    arm_rto();
+    return;
+  }
+  ++stats_.timeouts;
+  rtt_.backoff();
+  cc_->on_timeout(wire_.executor().now());
+  if (auto skip = resolve_loss(o->seq, /*from_timeout=*/true)) {
+    std::vector<SkippedSeq> skips{*skip};
+    // Consecutive unmarked losses are common under a burst; sweep the rest
+    // of the timed-out window head in the same ADVANCE.
+    while (Outstanding* next = send_buf_.first_unacked()) {
+      if (next->marked || next->counted_received) break;
+      auto more = resolve_loss(next->seq, /*from_timeout=*/true);
+      if (!more) break;
+      skips.push_back(*more);
+    }
+    send_advance(skips);
+  }
+  if (!send_buf_.empty() || !skip_outstanding_.empty()) arm_rto();
+  pump();
+}
+
+void RudpConnection::arm_rto() { rto_timer_.start(rtt_.rto()); }
+
+// --------------------------------------------------------- adaptation -----
+
+void RudpConnection::scale_congestion_window(double factor) {
+  cc_->scale_window(factor);
+  pump();
+}
+
+void RudpConnection::set_local_recv_tolerance(double tolerance) {
+  cfg_.recv_loss_tolerance = tolerance;
+  if (role_ == Role::Server && established()) {
+    // Re-advertise so the sender's budget tracks the change.
+    send_control(SegmentType::SynAck);
+  }
+}
+
+void RudpConnection::on_epoch_report(const EpochReport& report) {
+  cc_->on_epoch(report.loss_ratio, report.at);
+  if (on_epoch_) on_epoch_(report);
+  pump();
+}
+
+}  // namespace iq::rudp

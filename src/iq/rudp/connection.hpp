@@ -1,0 +1,259 @@
+#pragma once
+// RudpConnection: the RUDP protocol engine.
+//
+// A connection-oriented, datagram-based transport providing in-order
+// reliable message delivery with flow control and window-based congestion
+// control (draft-ietf-sigtran-reliable-udp mechanics), extended with the
+// paper's adaptive-reliability features:
+//   * per-message marked/unmarked reliability (sender priority marking),
+//   * receiver loss tolerance (advertised at handshake, enforced by the
+//     sender's SkipBudget),
+//   * ADVANCE segments that abandon lost unmarked data,
+//   * send-side discard of unmarked messages (enabled by the IQ
+//     coordinator, §3.3),
+//   * an external window-rescale hook (used by coordination schemes 2/3).
+//
+// The same engine runs over the simulator (iq::wire::SimWire) and over real
+// UDP sockets (iq::wire::UdpWire); it is written against SegmentWire and
+// Executor only. Single-threaded: all entry points must be called from the
+// wire's executor context.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "iq/rudp/congestion.hpp"
+#include "iq/rudp/loss_monitor.hpp"
+#include "iq/rudp/message.hpp"
+#include "iq/rudp/recv_buffer.hpp"
+#include "iq/rudp/reliability.hpp"
+#include "iq/rudp/rtt_estimator.hpp"
+#include "iq/rudp/segment_wire.hpp"
+#include "iq/rudp/send_buffer.hpp"
+#include "iq/sim/timer.hpp"
+
+namespace iq::rudp {
+
+struct RudpConfig {
+  std::uint32_t conn_id = 1;
+  std::int64_t max_segment_payload = 1400;  ///< paper's maximum segment size
+  std::uint32_t recv_window_packets = 4096;
+  std::uint32_t loss_epoch_packets = 100;
+  std::size_t max_eacks_per_ack = 64;
+  int dup_threshold = 3;
+
+  CcKind cc_kind = CcKind::Lda;
+  double initial_cwnd = 2.0;
+  /// Window when cc_kind == Fixed (the "congestion control disabled" rows).
+  double fixed_cwnd = 256.0;
+
+  /// This endpoint's loss tolerance *as a receiver*, advertised in SYN-ACK.
+  double recv_loss_tolerance = 0.0;
+
+  RttConfig rtt;
+  Duration connect_retry = Duration::millis(500);
+  int max_connect_attempts = 20;
+  /// NUL keepalive interval; zero disables keepalives.
+  Duration keepalive = Duration::zero();
+  /// First data sequence number (must match on both endpoints); set close
+  /// to 2^32 to exercise wire-sequence wraparound.
+  Seq initial_seq = 1;
+
+  /// Delayed acks: acknowledge every Nth in-order data segment (1 = every
+  /// segment, the default). Out-of-order arrivals, duplicates and skips
+  /// always ack immediately; a flush timer bounds ack latency.
+  std::uint32_t ack_every = 1;
+  Duration ack_delay = Duration::millis(100);
+};
+
+enum class Role { Client, Server };
+
+enum class ConnState { Closed, SynSent, Listening, Established };
+
+struct RudpStats {
+  std::uint64_t messages_offered = 0;
+  std::uint64_t messages_enqueued = 0;
+  std::uint64_t messages_discarded_at_send = 0;
+  std::uint64_t messages_skipped = 0;       ///< via ADVANCE after loss
+  std::uint64_t segments_sent = 0;          ///< data transmissions incl. rexmit
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t segments_skipped = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t advances_sent = 0;
+  std::uint64_t nuls_sent = 0;
+  std::int64_t payload_bytes_sent = 0;
+  std::int64_t payload_bytes_acked = 0;
+  std::uint64_t duplicates_received = 0;
+  std::uint64_t messages_delivered = 0;     ///< as a receiver
+  std::uint64_t messages_dropped = 0;       ///< as a receiver (skipped)
+  std::int64_t payload_bytes_delivered = 0; ///< as a receiver
+};
+
+class RudpConnection {
+ public:
+  RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role);
+  ~RudpConnection();
+  RudpConnection(const RudpConnection&) = delete;
+  RudpConnection& operator=(const RudpConnection&) = delete;
+
+  // ------------------------------------------------------------ control --
+  /// Client: begin the SYN handshake.
+  void connect();
+  /// Server: accept the first matching SYN.
+  void listen();
+  /// Send RST and drop all state.
+  void close();
+
+  ConnState state() const { return state_; }
+  bool established() const { return state_ == ConnState::Established; }
+
+  // ------------------------------------------------------------- sending --
+  struct SendResult {
+    std::uint32_t msg_id = 0;
+    bool discarded = false;  ///< dropped before send (IQ scheme 1)
+  };
+  /// Queue a message for transmission (fragmented to MSS). When send-side
+  /// discard is active and the message is unmarked, it may be dropped here
+  /// within the receiver's loss tolerance.
+  SendResult send_message(const MessageSpec& spec);
+
+  std::size_t queued_segments() const { return pending_.size(); }
+  bool send_idle() const {
+    return pending_.empty() && send_buf_.empty() && skip_outstanding_.empty();
+  }
+
+  // ----------------------------------------------------------- callbacks --
+  using MessageFn = std::function<void(const DeliveredMessage&)>;
+  using EstablishedFn = std::function<void()>;
+  using EpochFn = std::function<void(const EpochReport&)>;
+  using ClosedFn = std::function<void()>;
+
+  /// Protocol tap: observes every segment leaving and entering this
+  /// endpoint (before loss — taps see what the engine does, not what the
+  /// network delivers). For debugging, tracing and tests.
+  enum class TapDirection { Out, In };
+  using SegmentTap = std::function<void(TapDirection, const Segment&)>;
+  void set_segment_tap(SegmentTap fn) { tap_ = std::move(fn); }
+
+  void set_message_handler(MessageFn fn) { on_message_ = std::move(fn); }
+  void set_established_handler(EstablishedFn fn) {
+    on_established_ = std::move(fn);
+  }
+  /// Fires once per loss-measuring epoch with transport metrics — the feed
+  /// for quality attributes and application callbacks.
+  void set_epoch_handler(EpochFn fn) { on_epoch_ = std::move(fn); }
+  void set_closed_handler(ClosedFn fn) { on_closed_ = std::move(fn); }
+
+  // ----------------------------------------- coordination / adaptation ---
+  /// IQ scheme 1: discard unmarked messages at send time while true.
+  void set_discard_unmarked(bool enabled) { discard_unmarked_ = enabled; }
+  bool discard_unmarked() const { return discard_unmarked_; }
+  /// IQ schemes 2/3: multiply the congestion window.
+  void scale_congestion_window(double factor);
+  /// Update this endpoint's receiver tolerance (advertised value is from
+  /// the handshake; the sender-side budget follows the peer's SYN-ACK).
+  void set_local_recv_tolerance(double tolerance);
+
+  // -------------------------------------------------------------- status --
+  CongestionController& congestion() { return *cc_; }
+  const CongestionController& congestion() const { return *cc_; }
+  const RudpStats& stats() const { return stats_; }
+  Duration srtt() const { return rtt_.srtt(); }
+  Duration rto() const { return rtt_.rto(); }
+  double last_loss_ratio() const { return loss_.last_loss_ratio(); }
+  double lifetime_loss_ratio() const { return loss_.lifetime_loss_ratio(); }
+  double peer_recv_tolerance() const { return budget_.tolerance(); }
+  int inflight() const { return send_buf_.inflight(); }
+  const SkipBudget& skip_budget() const { return budget_; }
+  sim::Executor& executor() { return wire_.executor(); }
+
+ private:
+  struct PendingSegment {
+    std::uint32_t msg_id;
+    std::uint16_t frag_index;
+    std::uint16_t frag_count;
+    std::int32_t payload_bytes;
+    bool marked;
+    attr::AttrList attrs;  ///< only on frag 0
+  };
+
+  // Inbound dispatch.
+  void on_segment(const Segment& seg);
+  void on_syn(const Segment& seg);
+  void on_syn_ack(const Segment& seg);
+  void on_data(const Segment& seg);
+  void on_ack(const Segment& seg);
+  void on_advance(const Segment& seg);
+
+  // Outbound helpers.
+  void emit(const Segment& seg);
+  void pump();
+  void transmit(Outstanding& o, bool retransmission);
+  void send_ack(std::uint64_t ts_echo_us);
+  void send_advance(const std::vector<SkippedSeq>& skipped);
+  /// Re-advertise every still-unacknowledged skip (lost-ADVANCE recovery).
+  void resend_outstanding_skips();
+  void send_syn();
+  void send_control(SegmentType type);
+
+  // Loss handling.
+  void handle_lost_segments(const std::vector<Seq>& lost);
+  /// Retransmit or skip one condemned segment; returns a skip record if the
+  /// segment was abandoned.
+  std::optional<SkippedSeq> resolve_loss(Seq seq, bool from_timeout);
+  void on_rto();
+  void arm_rto();
+
+  void on_epoch_report(const EpochReport& report);
+  void deliver(RecvBuffer::Result& result);
+  void become_established();
+
+  std::uint64_t now_us() const;
+
+  SegmentWire& wire_;
+  RudpConfig cfg_;
+  Role role_;
+  ConnState state_ = ConnState::Closed;
+
+  std::unique_ptr<CongestionController> cc_;
+  RttEstimator rtt_;
+  LossMonitor loss_;
+  SendBuffer send_buf_;
+  RecvBuffer recv_buf_;
+  SkipBudget budget_;  ///< sender-side budget; tolerance = peer's advertised
+
+  std::deque<PendingSegment> pending_;
+  /// Skips announced via ADVANCE but not yet covered by the peer's
+  /// cumulative ack; ADVANCE itself can be lost, so these are
+  /// re-advertised until acknowledged (keyed by unwrapped seq).
+  std::map<Seq, SkippedSeq> skip_outstanding_;
+  TimePoint last_skip_resend_;
+  Seq next_seq_ = 1;
+  std::uint32_t next_msg_id_ = 1;
+  std::uint32_t peer_rwnd_ = 4096;
+  bool window_limited_ = false;
+  bool discard_unmarked_ = false;
+  int connect_attempts_ = 0;
+
+  sim::Timer rto_timer_;
+  sim::Timer connect_timer_;
+  sim::Timer keepalive_timer_;
+  sim::Timer ack_timer_;
+  std::uint32_t unacked_arrivals_ = 0;
+  std::uint64_t last_ts_to_echo_ = 0;
+
+  RudpStats stats_;
+
+  MessageFn on_message_;
+  EstablishedFn on_established_;
+  EpochFn on_epoch_;
+  ClosedFn on_closed_;
+  SegmentTap tap_;
+};
+
+}  // namespace iq::rudp

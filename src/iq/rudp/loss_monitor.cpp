@@ -1,0 +1,70 @@
+#include "iq/rudp/loss_monitor.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::rudp {
+
+LossMonitor::LossMonitor(std::uint32_t epoch_packets, double ewma_gain)
+    : epoch_packets_(epoch_packets), ewma_gain_(ewma_gain) {
+  IQ_CHECK(epoch_packets_ > 0);
+}
+
+void LossMonitor::on_acked(std::uint32_t count, std::int64_t payload_bytes,
+                           TimePoint now) {
+  if (count == 0) return;
+  acked_ += count;
+  total_acked_ += count;
+  acked_bytes_ += payload_bytes;
+  resolve(now);
+}
+
+void LossMonitor::on_lost(std::uint32_t count, TimePoint now) {
+  if (count == 0) return;
+  lost_ += count;
+  total_lost_ += count;
+  resolve(now);
+}
+
+void LossMonitor::resolve(TimePoint now) {
+  if (!epoch_started_) {
+    epoch_start_ = now;
+    epoch_started_ = true;
+  }
+  if (acked_ + lost_ >= epoch_packets_) close_epoch(now);
+}
+
+void LossMonitor::close_epoch(TimePoint now) {
+  EpochReport report;
+  report.epoch = ++epoch_;
+  report.acked = acked_;
+  report.lost = lost_;
+  report.acked_payload_bytes = acked_bytes_;
+  report.loss_ratio =
+      static_cast<double>(lost_) / static_cast<double>(acked_ + lost_);
+  smoothed_ = epoch_ == 1
+                  ? report.loss_ratio
+                  : (1.0 - ewma_gain_) * smoothed_ + ewma_gain_ * report.loss_ratio;
+  report.smoothed_loss_ratio = smoothed_;
+  report.elapsed = now - epoch_start_;
+  if (!report.elapsed.is_zero()) {
+    report.delivered_rate_bps = static_cast<double>(acked_bytes_) * 8.0 /
+                                report.elapsed.to_seconds();
+  }
+  report.at = now;
+  last_ratio_ = report.loss_ratio;
+
+  acked_ = 0;
+  lost_ = 0;
+  acked_bytes_ = 0;
+  epoch_start_ = now;
+
+  if (on_epoch_) on_epoch_(report);
+}
+
+double LossMonitor::lifetime_loss_ratio() const {
+  const std::uint64_t total = total_acked_ + total_lost_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(total_lost_) / static_cast<double>(total);
+}
+
+}  // namespace iq::rudp

@@ -1,0 +1,71 @@
+#pragma once
+// Per-epoch loss-ratio measurement — the "error ratio as seen by the end
+// system" that drives every adaptation in the paper.
+//
+// An epoch closes after `epoch_packets` data segments have been resolved
+// (acknowledged or declared lost). The epoch's loss ratio
+// lost / (lost + acked) is the eratio reported to callbacks, and a smoothed
+// EWMA is kept for consumers that want stability.
+
+#include <cstdint>
+#include <functional>
+
+#include "iq/common/time.hpp"
+
+namespace iq::rudp {
+
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  double loss_ratio = 0.0;         ///< eratio for this epoch
+  double smoothed_loss_ratio = 0.0;
+  std::uint64_t acked = 0;
+  std::uint64_t lost = 0;
+  std::int64_t acked_payload_bytes = 0;
+  Duration elapsed = Duration::zero();  ///< wall span of the epoch
+  double delivered_rate_bps = 0.0;
+  TimePoint at;
+};
+
+class LossMonitor {
+ public:
+  using EpochFn = std::function<void(const EpochReport&)>;
+
+  explicit LossMonitor(std::uint32_t epoch_packets = 100,
+                       double ewma_gain = 0.3);
+
+  void set_epoch_handler(EpochFn fn) { on_epoch_ = std::move(fn); }
+
+  void on_acked(std::uint32_t count, std::int64_t payload_bytes,
+                TimePoint now);
+  void on_lost(std::uint32_t count, TimePoint now);
+
+  double last_loss_ratio() const { return last_ratio_; }
+  double smoothed_loss_ratio() const { return smoothed_; }
+  std::uint64_t epochs_closed() const { return epoch_; }
+  std::uint64_t total_acked() const { return total_acked_; }
+  std::uint64_t total_lost() const { return total_lost_; }
+  /// Lifetime loss ratio across all epochs.
+  double lifetime_loss_ratio() const;
+
+ private:
+  void resolve(TimePoint now);
+  void close_epoch(TimePoint now);
+
+  std::uint32_t epoch_packets_;
+  double ewma_gain_;
+  EpochFn on_epoch_;
+
+  std::uint64_t acked_ = 0;
+  std::uint64_t lost_ = 0;
+  std::int64_t acked_bytes_ = 0;
+  TimePoint epoch_start_;
+  bool epoch_started_ = false;
+
+  double last_ratio_ = 0.0;
+  double smoothed_ = 0.0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t total_acked_ = 0;
+  std::uint64_t total_lost_ = 0;
+};
+
+}  // namespace iq::rudp

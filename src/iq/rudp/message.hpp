@@ -1,0 +1,32 @@
+#pragma once
+// Application-facing message types for RUDP.
+//
+// A "message" is the application's unit (a frame, an event): it is
+// fragmented into <= MSS segments for transmission and reassembled in order
+// at the receiver. Reliability is per message: unmarked messages may be
+// abandoned under loss (within the receiver's tolerance), and a message is
+// either delivered whole or counted dropped.
+
+#include <cstdint>
+
+#include "iq/attr/list.hpp"
+#include "iq/common/time.hpp"
+
+namespace iq::rudp {
+
+struct MessageSpec {
+  std::int64_t bytes = 0;   ///< application payload size
+  bool marked = true;       ///< tagged: must be delivered reliably
+  attr::AttrList attrs;     ///< in-band attributes (ride the first fragment)
+};
+
+struct DeliveredMessage {
+  std::uint32_t msg_id = 0;
+  std::int64_t bytes = 0;
+  bool marked = true;
+  TimePoint first_sent;     ///< sender clock at first fragment's transmission
+  TimePoint delivered;      ///< receiver clock at in-order completion
+  attr::AttrList attrs;
+};
+
+}  // namespace iq::rudp

@@ -1,0 +1,93 @@
+#pragma once
+// Receiver-side reassembly with adaptive-reliability skips.
+//
+// Segments arrive out of order; the cumulative point advances over
+// contiguous received-or-skipped sequences. Messages occupy contiguous
+// sequence ranges, so as the point advances, per-message accumulators fill
+// up; a message completes as *delivered* when all fragments were received,
+// or as *dropped* when any fragment was skipped (sender ADVANCE). Messages
+// therefore finalize in order — the in-order delivery RUDP promises.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "iq/rudp/message.hpp"
+#include "iq/rudp/seq.hpp"
+
+namespace iq::rudp {
+
+struct RecvSegment {
+  Seq seq = 0;
+  std::uint32_t msg_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  std::int32_t payload_bytes = 0;
+  bool marked = true;
+  std::uint64_t ts_us = 0;   ///< sender timestamp of this transmission
+  attr::AttrList attrs;      ///< non-empty only on the first fragment
+};
+
+class RecvBuffer {
+ public:
+  explicit RecvBuffer(std::uint32_t max_buffered_packets = 4096,
+                      Seq initial_seq = 1);
+
+  struct Result {
+    std::vector<DeliveredMessage> delivered;
+    std::uint32_t dropped_messages = 0;
+    bool duplicate = false;
+    bool advanced = false;   ///< cumulative point moved
+  };
+
+  /// One abandoned sequence, with the owning message's identity and size.
+  struct SkipInfo {
+    Seq seq = 0;
+    std::uint32_t msg_id = 0;
+    std::uint16_t frag_count = 1;
+  };
+
+  Result on_data(const RecvSegment& seg, TimePoint now);
+  /// Sender abandoned these sequences (ADVANCE segment contents).
+  Result on_skip(std::span<const SkipInfo> skipped, TimePoint now);
+
+  /// Next expected sequence (the cumulative ack we advertise).
+  Seq cum() const { return cum_; }
+  /// Out-of-order sequences currently buffered, ascending, at most `max_n`.
+  std::vector<Seq> eacks(std::size_t max_n) const;
+  /// Advertised receive window, packets.
+  std::uint32_t rwnd() const;
+
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t delivered_messages() const { return delivered_count_; }
+  std::uint64_t dropped_messages() const { return dropped_count_; }
+  std::size_t buffered() const { return buffered_.size(); }
+
+ private:
+  struct MsgAccumulator {
+    std::uint16_t frag_count = 1;
+    std::uint16_t received = 0;
+    std::uint16_t skipped = 0;
+    std::int64_t bytes = 0;
+    bool marked = true;
+    std::uint64_t first_ts_us = 0;
+    attr::AttrList attrs;
+  };
+
+  void advance(Result& out, TimePoint now);
+  void account(Result& out, Seq seq, TimePoint now);
+
+  std::uint32_t max_buffered_;
+  Seq cum_;
+  std::map<Seq, RecvSegment> buffered_;  ///< received, >= cum_
+  std::map<Seq, SkipInfo> skip_pending_;
+  std::map<std::uint32_t, MsgAccumulator> accumulators_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t dropped_count_ = 0;
+};
+
+}  // namespace iq::rudp

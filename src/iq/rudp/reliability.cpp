@@ -1,0 +1,23 @@
+#include "iq/rudp/reliability.hpp"
+
+namespace iq::rudp {
+
+bool SkipBudget::may_skip_message() const {
+  if (tolerance_ <= 0.0) return false;
+  if (offered_ == 0) return false;
+  return static_cast<double>(skipped_ + 1) / static_cast<double>(offered_) <=
+         tolerance_;
+}
+
+bool SkipBudget::on_message_skipped(std::uint32_t msg_id) {
+  auto [_, inserted] = skipped_ids_.insert(msg_id);
+  if (inserted) ++skipped_;
+  return inserted;
+}
+
+double SkipBudget::skipped_fraction() const {
+  if (offered_ == 0) return 0.0;
+  return static_cast<double>(skipped_) / static_cast<double>(offered_);
+}
+
+}  // namespace iq::rudp

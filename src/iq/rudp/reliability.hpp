@@ -1,0 +1,49 @@
+#pragma once
+// Adaptive-reliability policy pieces (§2.1 (3)).
+//
+// SkipBudget enforces the *receiver loss tolerance*: the fraction of offered
+// messages the sender may abandon (skip on loss, or discard before send when
+// the IQ coordinator enables send-side discard). Once the skipped share
+// would exceed the advertised tolerance, unmarked traffic is handled
+// reliably again — this is what keeps §3.3's undelivered percentage "within
+// the loss tolerance".
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace iq::rudp {
+
+class SkipBudget {
+ public:
+  explicit SkipBudget(double tolerance = 0.0) : tolerance_(tolerance) {}
+
+  void set_tolerance(double tolerance) { tolerance_ = tolerance; }
+  double tolerance() const { return tolerance_; }
+
+  /// Count a message entering the system (called once per send_message).
+  void on_message_offered() { ++offered_; }
+
+  /// Would skipping (one more) message stay within tolerance?
+  bool may_skip_message() const;
+
+  /// Record that `msg_id` was abandoned; idempotent per message (a message
+  /// with several skipped fragments counts once). Returns true if this call
+  /// newly counted the message.
+  bool on_message_skipped(std::uint32_t msg_id);
+  /// True if this message was already counted as skipped.
+  bool is_skipped(std::uint32_t msg_id) const {
+    return skipped_ids_.contains(msg_id);
+  }
+
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t skipped() const { return skipped_; }
+  double skipped_fraction() const;
+
+ private:
+  double tolerance_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::unordered_set<std::uint32_t> skipped_ids_;
+};
+
+}  // namespace iq::rudp

@@ -1,0 +1,38 @@
+#include "iq/rudp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq::rudp {
+
+RttEstimator::RttEstimator(const RttConfig& cfg) : cfg_(cfg) {}
+
+void RttEstimator::add_sample(Duration rtt) {
+  if (rtt.is_negative()) return;
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    const Duration err = rtt - srtt_;
+    const Duration abs_err = err.is_negative() ? -err : err;
+    rttvar_ = rttvar_.scaled(1.0 - cfg_.beta) + abs_err.scaled(cfg_.beta);
+    srtt_ = srtt_.scaled(1.0 - cfg_.alpha) + rtt.scaled(cfg_.alpha);
+  }
+  ++samples_;
+  backoff_multiplier_ = 1;
+}
+
+void RttEstimator::backoff() {
+  if (backoff_multiplier_ < 64) backoff_multiplier_ *= 2;
+}
+
+Duration RttEstimator::rto() const {
+  Duration base = samples_ == 0
+                      ? cfg_.initial_rto
+                      : srtt_ + rttvar_.scaled(cfg_.k);
+  base = std::clamp(base, cfg_.min_rto, cfg_.max_rto);
+  Duration backed = base * backoff_multiplier_;
+  return std::min(backed, cfg_.max_rto);
+}
+
+}  // namespace iq::rudp

@@ -1,0 +1,45 @@
+#pragma once
+// Jacobson/Karels RTT estimation with exponential RTO backoff.
+//
+// Samples come from the timestamp-echo mechanism (the ACK echoes the ts of
+// the segment that triggered it), so every sample is unambiguous and Karn's
+// rule is unnecessary — retransmitted segments carry a fresh timestamp.
+
+#include "iq/common/time.hpp"
+
+namespace iq::rudp {
+
+struct RttConfig {
+  Duration initial_rto = Duration::millis(1000);
+  Duration min_rto = Duration::millis(200);
+  Duration max_rto = Duration::seconds(60);
+  double alpha = 1.0 / 8.0;  ///< SRTT gain
+  double beta = 1.0 / 4.0;   ///< RTTVAR gain
+  double k = 4.0;            ///< RTO = SRTT + k·RTTVAR
+};
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(const RttConfig& cfg = {});
+
+  void add_sample(Duration rtt);
+  /// Double the RTO (called on retransmission timeout), capped at max_rto.
+  void backoff();
+  /// Reset the backoff multiplier (called when a fresh sample arrives).
+  void reset_backoff() { backoff_multiplier_ = 1; }
+
+  bool has_sample() const { return samples_ > 0; }
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  Duration rto() const;
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  RttConfig cfg_;
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  std::uint64_t samples_ = 0;
+  int backoff_multiplier_ = 1;
+};
+
+}  // namespace iq::rudp

@@ -1,0 +1,72 @@
+#include "iq/rudp/segment.hpp"
+
+#include <sstream>
+
+#include "iq/common/bytes.hpp"
+
+namespace iq::rudp {
+
+const char* segment_type_name(SegmentType t) {
+  switch (t) {
+    case SegmentType::Syn: return "SYN";
+    case SegmentType::SynAck: return "SYN-ACK";
+    case SegmentType::Data: return "DATA";
+    case SegmentType::Ack: return "ACK";
+    case SegmentType::Advance: return "ADVANCE";
+    case SegmentType::Nul: return "NUL";
+    case SegmentType::Rst: return "RST";
+  }
+  return "?";
+}
+
+std::int64_t Segment::header_bytes() const {
+  // Fixed part: magic(2) + type(1) + flags(1) + conn(4) + seq(4) +
+  // cum_ack(4) + rwnd(4) + ts(8) + ts_echo(8) = 36 bytes.
+  std::int64_t n = 36;
+  switch (type) {
+    case SegmentType::Data:
+      n += 4 /*msg_id*/ + 2 /*frag_index*/ + 2 /*frag_count*/ +
+           4 /*payload len*/;
+      break;
+    case SegmentType::Ack:
+      n += 2 + static_cast<std::int64_t>(eacks.size()) * 4;
+      break;
+    case SegmentType::Advance:
+      n += 2 + static_cast<std::int64_t>(skipped.size()) * 10;
+      break;
+    case SegmentType::SynAck:
+      n += 8 /*tolerance*/;
+      break;
+    default:
+      break;
+  }
+  if (!attrs.empty()) {
+    ByteWriter w;
+    attrs.encode(w);
+    n += static_cast<std::int64_t>(w.size());
+  }
+  return n;
+}
+
+std::string Segment::describe() const {
+  std::ostringstream os;
+  os << segment_type_name(type) << " conn=" << conn_id;
+  switch (type) {
+    case SegmentType::Data:
+      os << " seq=" << seq << " msg=" << msg_id << " frag=" << frag_index
+         << "/" << frag_count << (marked ? " marked" : " unmarked") << " "
+         << payload_bytes << "B";
+      break;
+    case SegmentType::Ack:
+      os << " cum=" << cum_ack << " eacks=" << eacks.size();
+      break;
+    case SegmentType::Advance:
+      os << " skipped=" << skipped.size();
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace iq::rudp

@@ -1,0 +1,92 @@
+#pragma once
+// RUDP segment model.
+//
+// Follows the shape of draft-ietf-sigtran-reliable-udp-00: SYN handshake,
+// sequence-numbered DATA, cumulative ACK with extended (selective) acks,
+// NUL keepalive, RST teardown — extended with the paper's adaptive
+// reliability: a per-segment marked/unmarked bit and an ADVANCE segment (in
+// the spirit of PR-SCTP forward-TSN) that tells the receiver which unmarked
+// sequence numbers the sender has abandoned.
+//
+// Segments exist as structs in simulation (only sizes hit the simulated
+// wire) and serialize to a real byte format via codec.hpp for the UDP-socket
+// backend. Payload bytes are virtual in simulation: `payload_bytes` is the
+// length the wire accounts for.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iq/attr/list.hpp"
+#include "iq/common/time.hpp"
+#include "iq/net/packet.hpp"
+#include "iq/rudp/seq.hpp"
+
+namespace iq::rudp {
+
+enum class SegmentType : std::uint8_t {
+  Syn = 1,
+  SynAck = 2,
+  Data = 3,
+  Ack = 4,
+  Advance = 5,
+  Nul = 6,
+  Rst = 7,
+};
+
+const char* segment_type_name(SegmentType t);
+
+/// A sequence abandoned by the sender, with the message it belonged to and
+/// that message's fragment count, so the receiver can finalize partially- or
+/// fully-skipped messages as dropped exactly once.
+struct SkippedSeq {
+  WireSeq seq = 0;
+  std::uint32_t msg_id = 0;
+  std::uint16_t frag_count = 1;
+  friend bool operator==(const SkippedSeq&, const SkippedSeq&) = default;
+};
+
+struct Segment : net::PacketBody {
+  SegmentType type = SegmentType::Data;
+  std::uint32_t conn_id = 0;
+
+  // Data.
+  WireSeq seq = 0;
+  std::uint32_t msg_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  bool marked = true;
+  std::int32_t payload_bytes = 0;
+
+  // Ack.
+  WireSeq cum_ack = 0;               ///< next expected sequence
+  std::vector<WireSeq> eacks;        ///< out-of-order sequences held
+  std::uint32_t rwnd_packets = 0;    ///< advertised receive window
+  /// Echo of the sender timestamp that triggered this ack (µs since run
+  /// start, 0 = none) — RTT measurement without Karn ambiguity.
+  std::uint64_t ts_echo_us = 0;
+
+  // Advance.
+  std::vector<SkippedSeq> skipped;
+
+  // Handshake.
+  double recv_loss_tolerance = 0.0;  ///< SynAck: receiver's tolerance
+
+  /// Sender clock at transmission, µs since run start (also the ts that
+  /// ts_echo_us echoes back).
+  std::uint64_t ts_us = 0;
+
+  /// Optional in-band quality attributes (first fragment of a message).
+  attr::AttrList attrs;
+
+  /// Header size on the wire (excl. payload, excl. UDP/IP encapsulation).
+  std::int64_t header_bytes() const;
+  /// Full wire footprint: header + payload + UDP/IP.
+  std::int64_t wire_bytes() const {
+    return header_bytes() + payload_bytes + net::kUdpIpHeaderBytes;
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace iq::rudp

@@ -1,0 +1,31 @@
+#pragma once
+// SegmentWire: the boundary between the RUDP protocol engine and whatever
+// carries its datagrams.
+//
+// The engine pushes Segments out and receives Segments in; it gets its clock
+// and timers from the wire's Executor. Implementations: iq/wire/sim_wire
+// (simulated network), iq/wire/udp_wire (real UDP sockets via the codec),
+// iq/wire/lossy_wire (failure injection for tests).
+
+#include <functional>
+
+#include "iq/rudp/segment.hpp"
+#include "iq/sim/executor.hpp"
+
+namespace iq::rudp {
+
+class SegmentWire {
+ public:
+  virtual ~SegmentWire() = default;
+
+  using RecvFn = std::function<void(const Segment&)>;
+
+  /// Transmit a segment toward the peer (may be silently lost en route).
+  virtual void send(const Segment& segment) = 0;
+  /// Install the handler invoked for each segment arriving from the peer.
+  virtual void set_receiver(RecvFn fn) = 0;
+  /// The clock/timer service this wire lives on.
+  virtual sim::Executor& executor() = 0;
+};
+
+}  // namespace iq::rudp

@@ -1,0 +1,16 @@
+#include "iq/rudp/seq.hpp"
+
+namespace iq::rudp {
+
+Seq unwrap(WireSeq wire, Seq reference) {
+  // Candidate in the same 2^32 era as the reference, then shift to whichever
+  // neighbouring era is closest.
+  const Seq era = reference >> 32;
+  const WireSeq ref_wire = static_cast<WireSeq>(reference);
+  const std::int64_t delta = static_cast<std::int32_t>(wire - ref_wire);
+  const std::int64_t candidate =
+      static_cast<std::int64_t>((era << 32) | ref_wire) + delta;
+  return candidate < 0 ? 0 : static_cast<Seq>(candidate);
+}
+
+}  // namespace iq::rudp

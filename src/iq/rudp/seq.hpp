@@ -1,0 +1,34 @@
+#pragma once
+// 32-bit serial sequence-number arithmetic (RFC 1982 style) and unwrapping.
+//
+// On the wire RUDP carries 32-bit sequence numbers; internally the connection
+// works with 64-bit "unwrapped" values so ordered containers and arithmetic
+// are straightforward. unwrap() maps a wire seq to the 64-bit value closest
+// to a reference point, which is exact while the reordering window stays
+// under 2^31 packets (always true in practice).
+
+#include <cstdint>
+
+namespace iq::rudp {
+
+using WireSeq = std::uint32_t;
+using Seq = std::uint64_t;  ///< unwrapped, monotonically increasing
+
+/// a < b in serial arithmetic.
+constexpr bool wire_seq_lt(WireSeq a, WireSeq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+constexpr bool wire_seq_gt(WireSeq a, WireSeq b) { return wire_seq_lt(b, a); }
+
+/// Signed distance b - a in serial arithmetic.
+constexpr std::int32_t wire_seq_diff(WireSeq b, WireSeq a) {
+  return static_cast<std::int32_t>(b - a);
+}
+
+constexpr WireSeq to_wire(Seq s) { return static_cast<WireSeq>(s); }
+
+/// Unwrap `wire` to the 64-bit sequence closest to `reference`.
+Seq unwrap(WireSeq wire, Seq reference);
+
+}  // namespace iq::rudp

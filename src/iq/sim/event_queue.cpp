@@ -1,0 +1,51 @@
+#include "iq/sim/event_queue.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::sim {
+
+EventId EventQueue::schedule(TimePoint at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Only record ids that might still be in the heap.
+  auto [_, inserted] = cancelled_.insert(id);
+  if (!inserted) return false;
+  IQ_CHECK(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  IQ_CHECK_MSG(!heap_.empty(), "pop() on empty EventQueue");
+  // priority_queue::top() is const; the Entry must be copied-out before pop.
+  // Move the function out via const_cast — safe because we pop immediately.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.at, std::move(top.fn)};
+  heap_.pop();
+  --live_count_;
+  return out;
+}
+
+}  // namespace iq::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Cancellable priority event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a strictly increasing
+// sequence number breaks ties) so runs are deterministic. Cancellation is
+// lazy: a cancelled entry stays in the heap and is skipped on pop, which
+// keeps cancel O(1) — important because retransmission timers are cancelled
+// far more often than they fire.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "iq/common/time.hpp"
+
+namespace iq::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle identifying a scheduled event; 0 is never used.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventId schedule(TimePoint at, EventFn fn);
+  /// Cancel a pending event; returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+  /// Timestamp of the earliest live event; max() when empty.
+  TimePoint next_time();
+
+  struct Popped {
+    TimePoint at;
+    EventFn fn;
+  };
+  /// Remove and return the earliest live event. Queue must not be empty.
+  Popped pop();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace iq::sim

@@ -1,0 +1,33 @@
+#pragma once
+// Executor: the clock + scheduler interface protocol code is written against.
+//
+// The RUDP engine, congestion controllers and middleware never touch the
+// Simulator directly; they see an Executor. In simulation the Executor is the
+// Simulator itself (virtual time); over real sockets it is a poll-loop with a
+// timer heap (iq/wire/udp_wire). This is what lets one protocol engine run
+// both in the deterministic testbed and on a live network.
+
+#include <cstdint>
+#include <functional>
+
+#include "iq/common/time.hpp"
+
+namespace iq::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual TimePoint now() const = 0;
+  virtual EventId schedule_at(TimePoint t, EventFn fn) = 0;
+  virtual bool cancel_event(EventId id) = 0;
+
+  EventId schedule_after(Duration d, EventFn fn) {
+    return schedule_at(now() + d, std::move(fn));
+  }
+};
+
+}  // namespace iq::sim

@@ -1,0 +1,46 @@
+#include "iq/sim/simulator.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::sim {
+
+EventId Simulator::at(TimePoint t, EventFn fn) {
+  IQ_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::after(Duration d, EventFn fn) {
+  IQ_CHECK_MSG(!d.is_negative(), "negative delay");
+  return queue_.schedule(now_ + d, std::move(fn));
+}
+
+void Simulator::execute_next() {
+  auto ev = queue_.pop();
+  IQ_CHECK(ev.at >= now_);
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    if (event_budget_ != 0 && executed_ >= event_budget_) return;
+    execute_next();
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    if (event_budget_ != 0 && executed_ >= event_budget_) return;
+    execute_next();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  execute_next();
+  return true;
+}
+
+}  // namespace iq::sim

@@ -1,0 +1,60 @@
+#pragma once
+// The discrete-event simulator: a virtual clock plus an event queue.
+//
+// Components schedule callbacks at absolute or relative times; run() advances
+// the clock event by event. A single Simulator instance is single-threaded by
+// design — determinism comes from total event ordering, not locks.
+
+#include <cstdint>
+#include <functional>
+
+#include "iq/common/time.hpp"
+#include "iq/sim/event_queue.hpp"
+#include "iq/sim/executor.hpp"
+
+namespace iq::sim {
+
+class Simulator final : public Executor {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const override { return now_; }
+
+  EventId at(TimePoint t, EventFn fn);
+  EventId after(Duration d, EventFn fn);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Executor interface (aliases of the above).
+  EventId schedule_at(TimePoint t, EventFn fn) override {
+    return at(t, std::move(fn));
+  }
+  bool cancel_event(EventId id) override { return cancel(id); }
+
+  /// Run until the queue empties or the event budget is exhausted.
+  void run();
+  /// Run events with timestamp <= deadline; the clock ends at `deadline`
+  /// even if no event lies exactly there.
+  void run_until(TimePoint deadline);
+  /// Run for `d` of simulated time from now.
+  void run_for(Duration d) { run_until(now() + d); }
+  /// Execute at most one event; returns false if none are pending.
+  bool step();
+
+  bool idle() { return queue_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Safety valve: stop the run loop after this many events (0 = unlimited).
+  void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+
+ private:
+  void execute_next();
+
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::zero();
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_budget_ = 0;
+};
+
+}  // namespace iq::sim

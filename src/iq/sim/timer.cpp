@@ -1,0 +1,47 @@
+#include "iq/sim/timer.hpp"
+
+namespace iq::sim {
+
+void Timer::start(Duration d) {
+  stop();
+  expiry_ = exec_.now() + d;
+  id_ = exec_.schedule_at(expiry_, [this] {
+    id_ = 0;
+    fn_();
+  });
+}
+
+void Timer::start_if_idle(Duration d) {
+  if (!pending()) start(d);
+}
+
+void Timer::stop() {
+  if (id_ != 0) {
+    exec_.cancel_event(id_);
+    id_ = 0;
+  }
+}
+
+void PeriodicTask::start(bool fire_now) {
+  stop();
+  if (fire_now) {
+    id_ = exec_.schedule_after(Duration::zero(), [this] { fire(); });
+  } else {
+    id_ = exec_.schedule_after(interval_, [this] { fire(); });
+  }
+}
+
+void PeriodicTask::stop() {
+  if (id_ != 0) {
+    exec_.cancel_event(id_);
+    id_ = 0;
+  }
+}
+
+void PeriodicTask::fire() {
+  // Re-arm before invoking so the callback may call stop() to end the task.
+  id_ = exec_.schedule_after(interval_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace iq::sim

@@ -1,0 +1,62 @@
+#pragma once
+// RAII timers on top of an Executor.
+//
+// Timer: one-shot, restartable; cancels itself on destruction so protocol
+// objects can own timers without leak-on-teardown hazards.
+// PeriodicTask: fixed-interval repeating callback (sources, samplers).
+
+#include <functional>
+
+#include "iq/sim/executor.hpp"
+
+namespace iq::sim {
+
+class Timer {
+ public:
+  Timer(Executor& exec, EventFn fn) : exec_(exec), fn_(std::move(fn)) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm to fire `d` from now; a pending shot is cancelled first.
+  void start(Duration d);
+  /// Arm only if not already pending.
+  void start_if_idle(Duration d);
+  void stop();
+  bool pending() const { return id_ != 0; }
+  /// Absolute expiry of the pending shot (only valid when pending()).
+  TimePoint expiry() const { return expiry_; }
+
+ private:
+  Executor& exec_;
+  EventFn fn_;
+  EventId id_ = 0;
+  TimePoint expiry_;
+};
+
+class PeriodicTask {
+ public:
+  /// fn is called every `interval`, first firing `interval` after start()
+  /// (or immediately at start when `fire_now`).
+  PeriodicTask(Executor& exec, Duration interval, EventFn fn)
+      : exec_(exec), interval_(interval), fn_(std::move(fn)) {}
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start(bool fire_now = false);
+  void stop();
+  bool running() const { return id_ != 0; }
+  void set_interval(Duration interval) { interval_ = interval; }
+  Duration interval() const { return interval_; }
+
+ private:
+  void fire();
+
+  Executor& exec_;
+  Duration interval_;
+  EventFn fn_;
+  EventId id_ = 0;
+};
+
+}  // namespace iq::sim

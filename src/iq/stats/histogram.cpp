@@ -1,0 +1,98 @@
+#include "iq/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "iq/common/check.hpp"
+
+namespace iq::stats {
+
+Histogram::Histogram(double min_value, double max_value, std::size_t buckets)
+    : min_value_(min_value),
+      log_min_(std::log(min_value)),
+      log_step_((std::log(max_value) - std::log(min_value)) /
+                static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  IQ_CHECK(min_value > 0 && max_value > min_value && buckets >= 2);
+}
+
+std::size_t Histogram::bucket_for(double value) const {
+  if (value <= min_value_) return 0;
+  const double idx = (std::log(value) - log_min_) / log_step_;
+  const auto i = static_cast<std::size_t>(std::max(idx, 0.0));
+  return std::min(i, counts_.size() - 1);
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  return std::exp(log_min_ + log_step_ * static_cast<double>(i));
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  return std::exp(log_min_ + log_step_ * static_cast<double>(i + 1));
+}
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++counts_[bucket_for(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  IQ_CHECK_MSG(counts_.size() == other.counts_.size(),
+               "merging differently-shaped histograms");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Interpolate within the bucket, clamped to observed extremes.
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - before) / static_cast<double>(counts_[i]);
+      const double lo = std::max(bucket_lower(i), min_);
+      const double hi = std::min(bucket_upper(i), max_);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min_,
+                        max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "n=" << count_ << " mean=" << mean() << unit << " p50=" << p50()
+     << unit << " p95=" << p95() << unit << " p99=" << p99() << unit
+     << " max=" << max() << unit;
+  return os.str();
+}
+
+}  // namespace iq::stats

@@ -1,0 +1,53 @@
+#pragma once
+// Log-bucketed histogram with quantile estimates, for latency-style
+// distributions (inter-arrival, one-way delay) where tails matter and the
+// range spans decades. Buckets grow geometrically between configurable
+// bounds; quantiles interpolate within a bucket.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iq::stats {
+
+class Histogram {
+ public:
+  /// Buckets span [min_value, max_value] geometrically; values outside are
+  /// clamped into the edge buckets.
+  Histogram(double min_value = 1e-6, double max_value = 1e3,
+            std::size_t buckets = 128);
+
+  void add(double value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const { return empty() ? 0.0 : min_; }
+  double max() const { return empty() ? 0.0 : max_; }
+  double mean() const { return empty() ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Quantile in [0, 1]; interpolated within the containing bucket.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// One-line summary, e.g. "n=100 mean=3.1 p50=2.9 p95=8.2 p99=12".
+  std::string summary(const std::string& unit = "") const;
+
+ private:
+  std::size_t bucket_for(double value) const;
+  double bucket_lower(std::size_t i) const;
+  double bucket_upper(std::size_t i) const;
+
+  double min_value_;
+  double log_min_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace iq::stats

@@ -1,0 +1,15 @@
+#include "iq/stats/interarrival.hpp"
+
+namespace iq::stats {
+
+void InterarrivalTracker::arrival(TimePoint t) {
+  ++arrivals_;
+  if (last_.has_value()) {
+    gaps_.add((t - *last_).to_seconds());
+  }
+  last_ = t;
+}
+
+void InterarrivalTracker::reset() { *this = InterarrivalTracker{}; }
+
+}  // namespace iq::stats

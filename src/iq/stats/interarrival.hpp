@@ -1,0 +1,34 @@
+#pragma once
+// Inter-arrival tracker: feeds receiver-side arrival timestamps and produces
+// the paper's delay/jitter metrics — mean packet inter-arrival ("delay") and
+// the standard deviation of inter-arrival ("jitter", per §3).
+
+#include <optional>
+
+#include "iq/common/time.hpp"
+#include "iq/stats/running_stats.hpp"
+
+namespace iq::stats {
+
+class InterarrivalTracker {
+ public:
+  void arrival(TimePoint t);
+  void reset();
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  /// Mean inter-arrival, seconds. 0 until two arrivals have been seen.
+  double mean_seconds() const { return gaps_.mean(); }
+  double mean_millis() const { return gaps_.mean() * 1e3; }
+  /// Std-dev of inter-arrival, seconds.
+  double jitter_seconds() const { return gaps_.stddev(); }
+  double jitter_millis() const { return gaps_.stddev() * 1e3; }
+  const RunningStats& gaps() const { return gaps_; }
+  std::optional<TimePoint> last_arrival() const { return last_; }
+
+ private:
+  std::optional<TimePoint> last_;
+  RunningStats gaps_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace iq::stats

@@ -1,0 +1,60 @@
+#include "iq/stats/metrics.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::stats {
+
+void MessageMetrics::start(TimePoint t) {
+  start_ = t;
+  started_ = true;
+}
+
+void MessageMetrics::on_message(const MessageRecord& rec) {
+  ++delivered_;
+  delivered_bytes_ += rec.bytes;
+  all_.arrival(rec.arrival);
+  if (rec.tagged) {
+    ++tagged_delivered_;
+    tagged_.arrival(rec.arrival);
+  }
+  if (rec.sent.ns() > 0) {
+    one_way_delay_.add((rec.arrival - rec.sent).to_seconds());
+    one_way_delay_hist_.add((rec.arrival - rec.sent).to_millis());
+  }
+  end_ = std::max(end_, rec.arrival);
+  finished_ = true;
+}
+
+void MessageMetrics::finish(TimePoint t) {
+  end_ = std::max(end_, t);
+  finished_ = true;
+}
+
+FlowSummary MessageMetrics::summary() const {
+  FlowSummary s;
+  s.messages = delivered_;
+  s.tagged_messages = tagged_delivered_;
+  if (started_ && finished_ && end_ > start_) {
+    s.duration_s = (end_ - start_).to_seconds();
+    s.throughput_kBps =
+        static_cast<double>(delivered_bytes_) / 1000.0 / s.duration_s;
+  }
+  s.interarrival_s = all_.mean_seconds();
+  s.jitter_s = all_.jitter_seconds();
+  s.delay_ms = all_.mean_millis();
+  s.jitter_ms = all_.jitter_millis();
+  s.tagged_delay_ms = tagged_.mean_millis();
+  s.tagged_jitter_ms = tagged_.jitter_millis();
+  s.owd_mean_ms = one_way_delay_hist_.mean();
+  s.owd_p50_ms = one_way_delay_hist_.p50();
+  s.owd_p95_ms = one_way_delay_hist_.p95();
+  if (offered_ > 0) {
+    s.delivered_pct =
+        100.0 * static_cast<double>(delivered_) / static_cast<double>(offered_);
+  }
+  return s;
+}
+
+}  // namespace iq::stats

@@ -1,0 +1,81 @@
+#pragma once
+// Experiment-level metrics: the quantities every table in the paper reports.
+//
+// A MessageMetrics instance lives at the receiving application and is fed a
+// record per delivered message; it derives duration, goodput, inter-arrival
+// delay/jitter, delivery percentage and the tagged-only variants used by the
+// conflicting-interests experiments (§3.3).
+
+#include <cstdint>
+#include <string>
+
+#include "iq/common/time.hpp"
+#include "iq/stats/histogram.hpp"
+#include "iq/stats/interarrival.hpp"
+#include "iq/stats/running_stats.hpp"
+
+namespace iq::stats {
+
+struct MessageRecord {
+  TimePoint arrival;
+  std::int64_t bytes = 0;
+  bool tagged = false;
+  /// Sender timestamp, for one-way delay when available.
+  TimePoint sent;
+};
+
+/// Snapshot of the table metrics for one flow/run.
+struct FlowSummary {
+  double duration_s = 0;          ///< first send → last delivery
+  double throughput_kBps = 0;     ///< delivered bytes / duration
+  double interarrival_s = 0;      ///< mean gap between deliveries
+  double jitter_s = 0;            ///< stddev of delivery gaps
+  double delivered_pct = 0;       ///< messages delivered / offered
+  double tagged_delay_ms = 0;     ///< mean gap between *tagged* deliveries
+  double tagged_jitter_ms = 0;
+  double delay_ms = 0;            ///< mean gap, in ms (paper tables 3/4)
+  double jitter_ms = 0;
+  /// One-way delay distribution (sender clock → delivery), milliseconds.
+  double owd_mean_ms = 0;
+  double owd_p50_ms = 0;
+  double owd_p95_ms = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t tagged_messages = 0;
+};
+
+class MessageMetrics {
+ public:
+  /// Call when the sender starts offering load (duration starts here).
+  void start(TimePoint t);
+  /// Count a message offered by the sender (delivered or not).
+  void offered(std::uint64_t n = 1) { offered_ += n; }
+  void on_message(const MessageRecord& rec);
+  /// Freeze the end of the run; later calls to summary() use this.
+  void finish(TimePoint t);
+
+  FlowSummary summary() const;
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t offered_count() const { return offered_; }
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  const InterarrivalTracker& all_gaps() const { return all_; }
+  const InterarrivalTracker& tagged_gaps() const { return tagged_; }
+  const Histogram& one_way_delay() const { return one_way_delay_hist_; }
+
+ private:
+  TimePoint start_;
+  TimePoint end_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t tagged_delivered_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+  InterarrivalTracker all_;
+  InterarrivalTracker tagged_;
+  RunningStats one_way_delay_;
+  /// Milliseconds, 1 µs .. 100 s log buckets.
+  Histogram one_way_delay_hist_{1e-3, 1e5, 160};
+};
+
+}  // namespace iq::stats

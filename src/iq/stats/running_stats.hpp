@@ -1,0 +1,35 @@
+#pragma once
+// Streaming summary statistics (Welford) — numerically stable mean/variance
+// without storing samples, plus min/max. Used for inter-arrival, delay and
+// jitter metrics over runs of hundreds of thousands of packets.
+
+#include <cstdint>
+
+namespace iq::stats {
+
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace iq::stats

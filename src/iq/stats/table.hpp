@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text table rendering for benchmark output: fixed column widths,
+// right-aligned numbers, a header rule — the same look as the paper's tables
+// so measured rows can be eyeballed against published ones.
+
+#include <string>
+#include <vector>
+
+namespace iq::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iq::stats

@@ -1,0 +1,83 @@
+#include "iq/stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace iq::stats {
+
+void TimeSeries::add(TimePoint t, double value) {
+  add_indexed(t.to_seconds(), value);
+}
+
+void TimeSeries::add_indexed(double index, double value) {
+  xs_.push_back(index);
+  vs_.push_back(value);
+}
+
+double TimeSeries::mean_in(double lo, double hi) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] >= lo && xs_[i] < hi) {
+      sum += vs_[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::max_value() const {
+  if (vs_.empty()) return 0.0;
+  return *std::max_element(vs_.begin(), vs_.end());
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  os << "x," << name_ << "\n";
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    os << xs_[i] << "," << vs_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string TimeSeries::ascii_plot(std::size_t buckets, std::size_t height) const {
+  if (xs_.empty() || buckets == 0 || height == 0) return "(empty series)\n";
+
+  const double xlo = xs_.front();
+  const double xhi = xs_.back();
+  const double span = std::max(xhi - xlo, 1e-12);
+
+  std::vector<double> sums(buckets, 0.0);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    auto b = static_cast<std::size_t>((xs_[i] - xlo) / span * static_cast<double>(buckets));
+    b = std::min(b, buckets - 1);
+    sums[b] += vs_[i];
+    ++counts[b];
+  }
+  std::vector<double> means(buckets, 0.0);
+  double vmax = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (counts[b] > 0) means[b] = sums[b] / static_cast<double>(counts[b]);
+    vmax = std::max(vmax, means[b]);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::ostringstream os;
+  os << name_ << " (max " << vmax << ")\n";
+  for (std::size_t row = height; row-- > 0;) {
+    const double threshold =
+        vmax * (static_cast<double>(row) + 0.5) / static_cast<double>(height);
+    os << "|";
+    for (std::size_t b = 0; b < buckets; ++b) {
+      os << (means[b] >= threshold ? '*' : ' ');
+    }
+    os << "\n";
+  }
+  os << "+" << std::string(buckets, '-') << "\n";
+  os << " x: " << xlo << " .. " << xhi << "\n";
+  return os.str();
+}
+
+}  // namespace iq::stats

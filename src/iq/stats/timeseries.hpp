@@ -1,0 +1,42 @@
+#pragma once
+// Time series collection for figure reproduction (per-packet jitter traces,
+// window evolution). Stores (t, value) points and renders CSV or a coarse
+// ASCII sparkline for terminal output.
+
+#include <string>
+#include <vector>
+
+#include "iq/common/time.hpp"
+
+namespace iq::stats {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(TimePoint t, double value);
+  void add_indexed(double index, double value);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& values() const { return vs_; }
+
+  /// Average of values whose x lies in [lo, hi).
+  double mean_in(double lo, double hi) const;
+  double max_value() const;
+
+  /// "x,value" lines, preceded by a header.
+  std::string to_csv() const;
+  /// Coarse terminal plot: `buckets` columns, bucket means scaled to
+  /// `height` rows.
+  std::string ascii_plot(std::size_t buckets = 72, std::size_t height = 12) const;
+
+ private:
+  std::string name_;
+  std::vector<double> xs_;
+  std::vector<double> vs_;
+};
+
+}  // namespace iq::stats

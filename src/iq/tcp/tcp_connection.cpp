@@ -1,0 +1,264 @@
+#include "iq/tcp/tcp_connection.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::tcp {
+
+TcpConnection::TcpConnection(net::Network& net, net::Endpoint local,
+                             net::Endpoint remote, std::uint32_t flow,
+                             const TcpConfig& cfg, TcpRole role)
+    : net_(net),
+      local_(local),
+      remote_(remote),
+      flow_(flow),
+      cfg_(cfg),
+      role_(role),
+      cwnd_(cfg.initial_cwnd_segments * static_cast<double>(cfg.mss)),
+      ssthresh_(cfg.initial_ssthresh_segments * static_cast<double>(cfg.mss)),
+      rtt_(cfg.rtt),
+      rto_timer_(net.sim(), [this] { on_rto(); }),
+      connect_timer_(net.sim(), [this] {
+        if (!established_ && syn_sent_) {
+          send_control(TcpHeader::Type::Syn);
+          connect_timer_.start(cfg_.connect_retry);
+        }
+      }) {
+  net_.node(local_.node).bind(local_.port, this);
+}
+
+TcpConnection::~TcpConnection() {
+  net_.node(local_.node).unbind(local_.port);
+}
+
+std::uint64_t TcpConnection::now_us() const {
+  return static_cast<std::uint64_t>(net_.sim().now().ns() / 1000);
+}
+
+void TcpConnection::connect() {
+  IQ_CHECK(role_ == TcpRole::Client);
+  syn_sent_ = true;
+  send_control(TcpHeader::Type::Syn);
+  connect_timer_.start(cfg_.connect_retry);
+}
+
+void TcpConnection::listen() {
+  IQ_CHECK(role_ == TcpRole::Server);
+  listening_ = true;
+}
+
+void TcpConnection::send_bytes(std::int64_t n) {
+  IQ_CHECK(n >= 0);
+  write_limit_ += static_cast<std::uint64_t>(n);
+  pump();
+}
+
+// -------------------------------------------------------------- output ----
+
+void TcpConnection::pump() {
+  if (!established_) return;
+  for (;;) {
+    const std::int64_t inflight =
+        static_cast<std::int64_t>(snd_nxt_ - snd_una_);
+    const std::int64_t window = static_cast<std::int64_t>(cwnd_);
+    if (snd_nxt_ >= write_limit_) return;
+    const std::int64_t len = std::min<std::int64_t>(
+        cfg_.mss, static_cast<std::int64_t>(write_limit_ - snd_nxt_));
+    if (inflight + len > window) return;
+    send_segment(snd_nxt_, len, /*retransmission=*/false);
+    snd_nxt_ += static_cast<std::uint64_t>(len);
+  }
+}
+
+void TcpConnection::send_segment(std::uint64_t seq, std::int64_t len,
+                                 bool retransmission) {
+  auto h = std::make_shared<TcpHeader>();
+  h->type = TcpHeader::Type::Data;
+  h->conn_id = cfg_.conn_id;
+  h->seq = seq;
+  h->ack = rcv_nxt_;
+  h->payload_bytes = static_cast<std::int32_t>(len);
+  h->ts_us = now_us();
+  ++stats_.segments_sent;
+  if (retransmission) ++stats_.retransmissions;
+  auto p = net_.make_packet(local_, remote_, flow_, len + kTcpIpHeaderBytes,
+                            std::move(h));
+  net_.node(local_.node).send(std::move(p));
+  rto_timer_.start_if_idle(rtt_.rto());
+}
+
+void TcpConnection::send_control(TcpHeader::Type type) {
+  auto h = std::make_shared<TcpHeader>();
+  h->type = type;
+  h->conn_id = cfg_.conn_id;
+  h->ack = rcv_nxt_;
+  h->ts_us = now_us();
+  auto p = net_.make_packet(local_, remote_, flow_, kTcpIpHeaderBytes,
+                            std::move(h));
+  net_.node(local_.node).send(std::move(p));
+}
+
+void TcpConnection::send_ack(std::uint64_t ts_echo) {
+  auto h = std::make_shared<TcpHeader>();
+  h->type = TcpHeader::Type::Ack;
+  h->conn_id = cfg_.conn_id;
+  h->ack = rcv_nxt_;
+  h->ts_us = now_us();
+  h->ts_echo_us = ts_echo;
+  auto p = net_.make_packet(local_, remote_, flow_, kTcpIpHeaderBytes,
+                            std::move(h));
+  net_.node(local_.node).send(std::move(p));
+}
+
+// -------------------------------------------------------------- input -----
+
+void TcpConnection::deliver(net::PacketPtr packet) {
+  const auto* h = dynamic_cast<const TcpHeader*>(packet->body.get());
+  IQ_CHECK_MSG(h != nullptr, "non-TCP packet delivered to TcpConnection");
+  if (h->conn_id != cfg_.conn_id) return;
+  switch (h->type) {
+    case TcpHeader::Type::Syn: on_syn(*h); break;
+    case TcpHeader::Type::SynAck: on_syn_ack(*h); break;
+    case TcpHeader::Type::Data: on_data(*h); break;
+    case TcpHeader::Type::Ack: on_ack(*h); break;
+  }
+}
+
+void TcpConnection::on_syn(const TcpHeader&) {
+  if (role_ != TcpRole::Server || !listening_) return;
+  send_control(TcpHeader::Type::SynAck);
+  if (!established_) {
+    established_ = true;
+    if (on_established_) on_established_();
+  }
+}
+
+void TcpConnection::on_syn_ack(const TcpHeader&) {
+  if (role_ != TcpRole::Client || !syn_sent_) return;
+  connect_timer_.stop();
+  if (!established_) {
+    established_ = true;
+    if (on_established_) on_established_();
+    pump();
+  }
+}
+
+void TcpConnection::on_data(const TcpHeader& h) {
+  if (!established_) return;
+  if (on_data_packet_) on_data_packet_(net_.sim().now());
+  const std::uint64_t start = h.seq;
+  const std::uint64_t end = h.seq + static_cast<std::uint64_t>(h.payload_bytes);
+  if (end > rcv_nxt_) {
+    // Insert/merge [max(start, rcv_nxt_), end) into the out-of-order set.
+    std::uint64_t s = std::max(start, rcv_nxt_);
+    std::uint64_t e = end;
+    auto it = ooo_.lower_bound(s);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= s) {
+        s = prev->first;
+        e = std::max(e, prev->second);
+        it = ooo_.erase(prev);
+      }
+    }
+    while (it != ooo_.end() && it->first <= e) {
+      e = std::max(e, it->second);
+      it = ooo_.erase(it);
+    }
+    ooo_[s] = e;
+    // Advance the in-order point over any now-contiguous prefix.
+    auto head = ooo_.begin();
+    if (head != ooo_.end() && head->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, head->second);
+      ooo_.erase(head);
+      if (on_delivered_) on_delivered_(rcv_nxt_, net_.sim().now());
+    }
+  }
+  send_ack(h.ts_us);
+}
+
+void TcpConnection::on_ack(const TcpHeader& h) {
+  if (!established_) return;
+  ++stats_.acks_received;
+  if (h.ts_echo_us > 0) {
+    rtt_.add_sample(net_.sim().now() -
+                    TimePoint::from_ns(
+                        static_cast<std::int64_t>(h.ts_echo_us) * 1000));
+  }
+  const double mss = static_cast<double>(cfg_.mss);
+
+  if (h.ack > snd_una_) {
+    const std::int64_t newly =
+        static_cast<std::int64_t>(h.ack - snd_una_);
+    snd_una_ = h.ack;
+    stats_.bytes_acked += newly;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (snd_una_ >= recovery_point_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;  // deflate
+      } else {
+        // Partial ack: retransmit the next hole (NewReno-style).
+        retransmit_head();
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newly);  // slow start
+    } else {
+      cwnd_ += mss * static_cast<double>(newly) / cwnd_;  // CA
+    }
+    if (snd_una_ == snd_nxt_) {
+      rto_timer_.stop();
+    } else {
+      rto_timer_.start(rtt_.rto());
+    }
+  } else if (h.ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dup_acks_;
+    if (in_recovery_) {
+      cwnd_ += mss;  // inflate per dupack
+    } else if (dup_acks_ >= cfg_.dup_ack_threshold) {
+      enter_recovery();
+    }
+  }
+  pump();
+}
+
+void TcpConnection::enter_recovery() {
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  const double mss = static_cast<double>(cfg_.mss);
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ = std::max(flight / 2.0, 2.0 * mss);
+  cwnd_ = ssthresh_ + 3.0 * mss;
+  ++stats_.fast_retransmits;
+  retransmit_head();
+}
+
+void TcpConnection::retransmit_head() {
+  const std::int64_t len = std::min<std::int64_t>(
+      cfg_.mss, static_cast<std::int64_t>(write_limit_ - snd_una_));
+  if (len <= 0) return;
+  send_segment(snd_una_, len, /*retransmission=*/true);
+  rto_timer_.start(rtt_.rto());
+}
+
+void TcpConnection::on_rto() {
+  if (!established_ || snd_una_ == snd_nxt_) return;
+  ++stats_.timeouts;
+  rtt_.backoff();
+  const double mss = static_cast<double>(cfg_.mss);
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ = std::max(flight / 2.0, 2.0 * mss);
+  cwnd_ = mss;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  // Go-back-N: rewind and resend from the hole.
+  snd_nxt_ = snd_una_;
+  retransmit_head();
+  snd_nxt_ = snd_una_ + static_cast<std::uint64_t>(std::min<std::int64_t>(
+                            cfg_.mss,
+                            static_cast<std::int64_t>(write_limit_ - snd_una_)));
+  rto_timer_.start(rtt_.rto());
+}
+
+}  // namespace iq::tcp

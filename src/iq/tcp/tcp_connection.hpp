@@ -1,0 +1,154 @@
+#pragma once
+// TCP baseline: a Reno-style byte-stream model on the simulated network.
+//
+// Implements the mechanisms that give TCP its characteristic behaviour in
+// the paper's comparisons — slow start, congestion avoidance, 3-dupack fast
+// retransmit + fast recovery, RTO with exponential backoff and go-back to
+// slow start — at segment granularity. It is a model of kernel TCP adequate
+// for throughput/fairness/burstiness comparisons, not a full TCP (no
+// window scaling negotiation, no SACK, no Nagle).
+//
+// Simulation-only: it talks straight to a Node/port, no SegmentWire.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "iq/net/network.hpp"
+#include "iq/rudp/rtt_estimator.hpp"
+#include "iq/sim/timer.hpp"
+
+namespace iq::tcp {
+
+struct TcpHeader final : net::PacketBody {
+  enum class Type : std::uint8_t { Syn, SynAck, Data, Ack };
+  Type type = Type::Data;
+  std::uint32_t conn_id = 0;
+  std::uint64_t seq = 0;        ///< byte offset of first payload byte
+  std::uint64_t ack = 0;        ///< next expected byte
+  std::int32_t payload_bytes = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t ts_echo_us = 0;
+};
+
+/// TCP header + IP header wire overhead per segment.
+inline constexpr std::int64_t kTcpIpHeaderBytes = 40;
+
+struct TcpConfig {
+  std::uint32_t conn_id = 1;
+  std::int64_t mss = 1400;
+  double initial_cwnd_segments = 2.0;
+  double initial_ssthresh_segments = 64.0;
+  int dup_ack_threshold = 3;
+  rudp::RttConfig rtt;
+  Duration connect_retry = Duration::millis(500);
+};
+
+enum class TcpRole { Client, Server };
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_received = 0;
+  std::int64_t bytes_acked = 0;
+};
+
+class TcpConnection final : public net::PacketSink {
+ public:
+  TcpConnection(net::Network& net, net::Endpoint local, net::Endpoint remote,
+                std::uint32_t flow, const TcpConfig& cfg, TcpRole role);
+  ~TcpConnection() override;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  void connect();
+  void listen();
+  bool established() const { return established_; }
+
+  /// Append `n` bytes to the outgoing stream.
+  void send_bytes(std::int64_t n);
+  /// Bytes written but not yet acknowledged.
+  std::int64_t unacked_bytes() const {
+    return static_cast<std::int64_t>(write_limit_ - snd_una_);
+  }
+  bool send_idle() const { return snd_una_ == write_limit_; }
+
+  using EstablishedFn = std::function<void()>;
+  /// Receiver side: the in-order delivered prefix advanced to `offset`.
+  using DeliveredFn = std::function<void(std::uint64_t offset, TimePoint now)>;
+  void set_established_handler(EstablishedFn fn) {
+    on_established_ = std::move(fn);
+  }
+  void set_delivered_handler(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+  /// Receiver side: invoked for every arriving data segment (packet-level
+  /// inter-arrival measurement).
+  using DataPacketFn = std::function<void(TimePoint now)>;
+  void set_data_packet_observer(DataPacketFn fn) {
+    on_data_packet_ = std::move(fn);
+  }
+
+  net::Network& network() { return net_; }
+  double cwnd_bytes() const { return cwnd_; }
+  double cwnd_segments() const {
+    return cwnd_ / static_cast<double>(cfg_.mss);
+  }
+  Duration srtt() const { return rtt_.srtt(); }
+  const TcpStats& stats() const { return stats_; }
+  std::uint64_t delivered_offset() const { return rcv_nxt_; }
+
+  // PacketSink.
+  void deliver(net::PacketPtr packet) override;
+
+ private:
+  void on_syn(const TcpHeader& h);
+  void on_syn_ack(const TcpHeader& h);
+  void on_data(const TcpHeader& h);
+  void on_ack(const TcpHeader& h);
+
+  void pump();
+  void send_segment(std::uint64_t seq, std::int64_t len, bool retransmission);
+  void send_control(TcpHeader::Type type);
+  void send_ack(std::uint64_t ts_echo);
+  void retransmit_head();
+  void on_rto();
+  void enter_recovery();
+
+  std::uint64_t now_us() const;
+
+  net::Network& net_;
+  net::Endpoint local_;
+  net::Endpoint remote_;
+  std::uint32_t flow_;
+  TcpConfig cfg_;
+  TcpRole role_;
+
+  bool established_ = false;
+  bool listening_ = false;
+  bool syn_sent_ = false;
+
+  // Sender.
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t write_limit_ = 0;
+  double cwnd_;      ///< bytes
+  double ssthresh_;  ///< bytes
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  rudp::RttEstimator rtt_;
+  sim::Timer rto_timer_;
+  sim::Timer connect_timer_;
+
+  // Receiver: out-of-order byte ranges [start, end).
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+
+  TcpStats stats_;
+  EstablishedFn on_established_;
+  DeliveredFn on_delivered_;
+  DataPacketFn on_data_packet_;
+};
+
+}  // namespace iq::tcp

@@ -1,0 +1,43 @@
+#include "iq/tcp/tcp_source.hpp"
+
+namespace iq::tcp {
+
+BulkTcpSource::BulkTcpSource(TcpConnection& conn, std::int64_t chunk,
+                             std::int64_t backlog_target)
+    : conn_(conn),
+      chunk_(chunk),
+      backlog_target_(backlog_target),
+      task_(conn.network().sim(), Duration::millis(5), [this] { refill(); }) {}
+
+void BulkTcpSource::start() { task_.start(/*fire_now=*/true); }
+
+void BulkTcpSource::stop() { task_.stop(); }
+
+void BulkTcpSource::refill() {
+  if (!conn_.established()) return;
+  while (conn_.unacked_bytes() < backlog_target_) {
+    conn_.send_bytes(chunk_);
+    offered_ += chunk_;
+  }
+}
+
+TcpMessageStream::TcpMessageStream(TcpConnection& sender) : sender_(sender) {}
+
+std::uint32_t TcpMessageStream::send_message(std::int64_t bytes) {
+  const std::uint32_t id = next_id_++;
+  stream_offset_ += static_cast<std::uint64_t>(bytes);
+  boundaries_.push_back(Boundary{stream_offset_, id, bytes});
+  sender_.send_bytes(bytes);
+  return id;
+}
+
+void TcpMessageStream::on_delivered(std::uint64_t offset, TimePoint now) {
+  while (!boundaries_.empty() && boundaries_.front().end_offset <= offset) {
+    const Boundary b = boundaries_.front();
+    boundaries_.pop_front();
+    ++delivered_;
+    if (on_message_) on_message_(b.msg_id, b.bytes, now);
+  }
+}
+
+}  // namespace iq::tcp

@@ -1,0 +1,74 @@
+#pragma once
+// Application adapters over the TCP byte stream.
+//
+// BulkTcpSource keeps the pipe full (cross traffic / fairness tests).
+// TcpMessageStream frames application messages onto the stream: the sender
+// records byte boundaries, the receiver reports a message delivered when the
+// in-order point passes its end — how a real receiver with length-prefixed
+// framing would behave.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "iq/tcp/tcp_connection.hpp"
+
+namespace iq::tcp {
+
+/// Writes `chunk` bytes whenever the unacked backlog falls below
+/// `backlog_target`, emulating a greedy bulk sender.
+class BulkTcpSource {
+ public:
+  BulkTcpSource(TcpConnection& conn, std::int64_t chunk = 64 * 1400,
+                std::int64_t backlog_target = 128 * 1400);
+
+  void start();
+  void stop();
+  std::int64_t offered_bytes() const { return offered_; }
+
+ private:
+  void refill();
+
+  TcpConnection& conn_;
+  std::int64_t chunk_;
+  std::int64_t backlog_target_;
+  std::int64_t offered_ = 0;
+  sim::PeriodicTask task_;
+};
+
+/// Sender half: frames messages as byte ranges on the stream.
+/// Receiver half: turns in-order delivery offsets back into messages.
+class TcpMessageStream {
+ public:
+  /// Attach to the *receiving* connection to observe message completions.
+  using MessageFn = std::function<void(std::uint32_t msg_id,
+                                       std::int64_t bytes, TimePoint now)>;
+
+  explicit TcpMessageStream(TcpConnection& sender);
+
+  /// Queue one message of `bytes` onto the stream; returns its id.
+  std::uint32_t send_message(std::int64_t bytes);
+
+  /// Call from the receiver connection's delivered handler.
+  void on_delivered(std::uint64_t offset, TimePoint now);
+  void set_message_handler(MessageFn fn) { on_message_ = std::move(fn); }
+
+  std::uint64_t messages_sent() const { return next_id_ - 1; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct Boundary {
+    std::uint64_t end_offset;
+    std::uint32_t msg_id;
+    std::int64_t bytes;
+  };
+
+  TcpConnection& sender_;
+  std::deque<Boundary> boundaries_;
+  std::uint64_t stream_offset_ = 0;
+  std::uint32_t next_id_ = 1;
+  std::uint64_t delivered_ = 0;
+  MessageFn on_message_;
+};
+
+}  // namespace iq::tcp

@@ -1,0 +1,43 @@
+#include "iq/wire/demux_wire.hpp"
+
+namespace iq::wire {
+
+void VirtualWire::send(const rudp::Segment& segment) {
+  demux_.underlying_.send(segment);
+}
+
+sim::Executor& VirtualWire::executor() {
+  return demux_.underlying_.executor();
+}
+
+DemuxWire::DemuxWire(rudp::SegmentWire& underlying) : underlying_(underlying) {
+  underlying_.set_receiver(
+      [this](const rudp::Segment& seg) { on_segment(seg); });
+}
+
+VirtualWire& DemuxWire::lane(std::uint32_t conn_id) {
+  auto it = lanes_.find(conn_id);
+  if (it == lanes_.end()) {
+    it = lanes_
+             .emplace(conn_id, std::unique_ptr<VirtualWire>(
+                                   new VirtualWire(*this, conn_id)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool DemuxWire::remove_lane(std::uint32_t conn_id) {
+  return lanes_.erase(conn_id) > 0;
+}
+
+void DemuxWire::on_segment(const rudp::Segment& seg) {
+  auto it = lanes_.find(seg.conn_id);
+  if (it == lanes_.end()) {
+    ++unrouted_;
+    return;
+  }
+  ++routed_;
+  if (it->second->recv_) it->second->recv_(seg);
+}
+
+}  // namespace iq::wire

@@ -1,0 +1,66 @@
+#pragma once
+// DemuxWire: several RUDP connections over one underlying wire.
+//
+// Segments already carry a connection id; the demux routes inbound segments
+// to the virtual wire registered for that id and funnels all outbound
+// segments into the shared underlying wire. This is how several transport
+// connections (e.g. one per collaboration session) share a single UDP
+// socket pair or simulated port.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "iq/rudp/segment_wire.hpp"
+
+namespace iq::wire {
+
+class DemuxWire;
+
+/// The per-connection virtual wire handed to a RudpConnection.
+class VirtualWire final : public rudp::SegmentWire {
+ public:
+  void send(const rudp::Segment& segment) override;
+  void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  sim::Executor& executor() override;
+
+  std::uint32_t conn_id() const { return conn_id_; }
+
+ private:
+  friend class DemuxWire;
+  VirtualWire(DemuxWire& demux, std::uint32_t conn_id)
+      : demux_(demux), conn_id_(conn_id) {}
+
+  DemuxWire& demux_;
+  std::uint32_t conn_id_;
+  RecvFn recv_;
+};
+
+class DemuxWire {
+ public:
+  /// Takes over the underlying wire's receiver.
+  explicit DemuxWire(rudp::SegmentWire& underlying);
+  DemuxWire(const DemuxWire&) = delete;
+  DemuxWire& operator=(const DemuxWire&) = delete;
+
+  /// Create (or fetch) the virtual wire for a connection id. The
+  /// RudpConnection built on it must use the same id in its config.
+  VirtualWire& lane(std::uint32_t conn_id);
+  bool remove_lane(std::uint32_t conn_id);
+
+  std::uint64_t routed() const { return routed_; }
+  /// Inbound segments whose conn id has no lane.
+  std::uint64_t unrouted() const { return unrouted_; }
+  std::size_t lanes() const { return lanes_.size(); }
+
+ private:
+  friend class VirtualWire;
+  void on_segment(const rudp::Segment& seg);
+
+  rudp::SegmentWire& underlying_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<VirtualWire>> lanes_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace iq::wire

@@ -1,0 +1,43 @@
+#include "iq/wire/lossy_wire.hpp"
+
+namespace iq::wire {
+
+LossyWire::LossyWire(LossyWirePair& pair, int side)
+    : pair_(pair), side_(side) {}
+
+void LossyWire::send(const rudp::Segment& segment) {
+  pair_.carry(side_, segment);
+}
+
+sim::Executor& LossyWire::executor() { return pair_.exec_; }
+
+LossyWirePair::LossyWirePair(sim::Executor& exec, const LossyConfig& cfg)
+    : exec_(exec), cfg_(cfg), rng_(cfg.seed), a_(*this, 0), b_(*this, 1) {}
+
+void LossyWirePair::carry(int from_side, const rudp::Segment& segment) {
+  const int to_side = from_side == 0 ? 1 : 0;
+  if (rng_.chance(cfg_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  ++carried_;
+  deliver_later(to_side, segment);
+  if (rng_.chance(cfg_.duplicate_probability)) {
+    ++duplicated_;
+    deliver_later(to_side, segment);
+  }
+}
+
+void LossyWirePair::deliver_later(int to_side, const rudp::Segment& segment) {
+  Duration delay = cfg_.one_way_delay;
+  if (!cfg_.reorder_jitter.is_zero()) {
+    delay += Duration::nanos(
+        rng_.uniform_int(0, cfg_.reorder_jitter.ns()));
+  }
+  LossyWire& dst = to_side == 0 ? a_ : b_;
+  exec_.schedule_after(delay, [&dst, seg = segment] {
+    if (dst.recv_) dst.recv_(seg);
+  });
+}
+
+}  // namespace iq::wire

@@ -1,0 +1,69 @@
+#pragma once
+// LossyWirePair: failure injection for protocol tests — independent drop,
+// duplication and reordering on each direction of an in-memory pipe, all
+// seeded and deterministic.
+
+#include <memory>
+
+#include "iq/common/rng.hpp"
+#include "iq/rudp/segment_wire.hpp"
+
+namespace iq::wire {
+
+struct LossyConfig {
+  Duration one_way_delay = Duration::millis(15);
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// Extra, uniformly distributed delay [0, reorder_jitter] per segment —
+  /// nonzero values cause reordering.
+  Duration reorder_jitter = Duration::zero();
+  std::uint64_t seed = 42;
+};
+
+class LossyWirePair;
+
+class LossyWire final : public rudp::SegmentWire {
+ public:
+  LossyWire(LossyWirePair& pair, int side);
+
+  void send(const rudp::Segment& segment) override;
+  void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  sim::Executor& executor() override;
+
+ private:
+  friend class LossyWirePair;
+  LossyWirePair& pair_;
+  int side_;
+  RecvFn recv_;
+};
+
+class LossyWirePair {
+ public:
+  LossyWirePair(sim::Executor& exec, const LossyConfig& cfg);
+
+  LossyWire& a() { return a_; }
+  LossyWire& b() { return b_; }
+
+  /// Change loss characteristics mid-run (e.g. congestion phases).
+  void set_drop_probability(double p) { cfg_.drop_probability = p; }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t carried() const { return carried_; }
+
+ private:
+  friend class LossyWire;
+  void carry(int from_side, const rudp::Segment& segment);
+  void deliver_later(int to_side, const rudp::Segment& segment);
+
+  sim::Executor& exec_;
+  LossyConfig cfg_;
+  Rng rng_;
+  LossyWire a_;
+  LossyWire b_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t carried_ = 0;
+};
+
+}  // namespace iq::wire

@@ -1,0 +1,30 @@
+#include "iq/wire/sim_wire.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::wire {
+
+SimWire::SimWire(net::Network& net, net::Endpoint local, net::Endpoint remote,
+                 std::uint32_t flow)
+    : net_(net), local_(local), remote_(remote), flow_(flow) {
+  net_.node(local_.node).bind(local_.port, this);
+}
+
+SimWire::~SimWire() { net_.node(local_.node).unbind(local_.port); }
+
+void SimWire::send(const rudp::Segment& segment) {
+  auto body = std::make_shared<rudp::Segment>(segment);
+  auto packet =
+      net_.make_packet(local_, remote_, flow_, segment.wire_bytes(), body);
+  ++sent_;
+  net_.node(local_.node).send(std::move(packet));
+}
+
+void SimWire::deliver(net::PacketPtr packet) {
+  const auto* seg = dynamic_cast<const rudp::Segment*>(packet->body.get());
+  IQ_CHECK_MSG(seg != nullptr, "non-RUDP packet delivered to SimWire");
+  ++received_;
+  if (recv_) recv_(*seg);
+}
+
+}  // namespace iq::wire

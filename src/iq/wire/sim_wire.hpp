@@ -1,0 +1,45 @@
+#pragma once
+// SimWire: plugs the RUDP engine into the simulated network.
+//
+// One SimWire per endpoint: it binds a node port, addresses a fixed peer,
+// and carries Segment structs as packet bodies — links and queues account
+// for Segment::wire_bytes() without byte serialization.
+
+#include <memory>
+
+#include "iq/net/network.hpp"
+#include "iq/rudp/segment_wire.hpp"
+
+namespace iq::wire {
+
+class SimWire final : public rudp::SegmentWire, public net::PacketSink {
+ public:
+  /// Binds `local` on its node; traffic is labelled with `flow` for stats.
+  SimWire(net::Network& net, net::Endpoint local, net::Endpoint remote,
+          std::uint32_t flow);
+  ~SimWire() override;
+  SimWire(const SimWire&) = delete;
+  SimWire& operator=(const SimWire&) = delete;
+
+  // SegmentWire.
+  void send(const rudp::Segment& segment) override;
+  void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  sim::Executor& executor() override { return net_.sim(); }
+
+  // PacketSink (inbound from the node).
+  void deliver(net::PacketPtr packet) override;
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+
+ private:
+  net::Network& net_;
+  net::Endpoint local_;
+  net::Endpoint remote_;
+  std::uint32_t flow_;
+  RecvFn recv_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace iq::wire

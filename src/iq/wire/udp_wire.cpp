@@ -1,0 +1,157 @@
+#include "iq/wire/udp_wire.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "iq/common/check.hpp"
+#include "iq/common/log.hpp"
+#include "iq/rudp/codec.hpp"
+
+namespace iq::wire {
+
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// -------------------------------------------------------- RealtimeLoop ----
+
+RealtimeLoop::RealtimeLoop() : epoch_ns_(steady_ns()) {}
+
+TimePoint RealtimeLoop::now() const {
+  return TimePoint::from_ns(steady_ns() - epoch_ns_);
+}
+
+sim::EventId RealtimeLoop::schedule_at(TimePoint t, sim::EventFn fn) {
+  return timers_.schedule(t, std::move(fn));
+}
+
+bool RealtimeLoop::cancel_event(sim::EventId id) { return timers_.cancel(id); }
+
+void RealtimeLoop::add_fd(int fd, std::function<void()> on_readable) {
+  fds_.push_back(Watched{fd, std::move(on_readable)});
+}
+
+void RealtimeLoop::remove_fd(int fd) {
+  std::erase_if(fds_, [fd](const Watched& w) { return w.fd == fd; });
+}
+
+void RealtimeLoop::fire_due_timers() {
+  while (!timers_.empty() && timers_.next_time() <= now()) {
+    auto ev = timers_.pop();
+    ev.fn();
+  }
+}
+
+void RealtimeLoop::poll_once(Duration max_wait) {
+  Duration wait = max_wait;
+  if (!timers_.empty()) {
+    const Duration until_timer = timers_.next_time() - now();
+    wait = std::clamp(until_timer, Duration::zero(), max_wait);
+  }
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const Watched& w : fds_) {
+    pfds.push_back(pollfd{w.fd, POLLIN, 0});
+  }
+  const int timeout_ms =
+      static_cast<int>(std::max<std::int64_t>(0, wait.ms()));
+  const int rc = ::poll(pfds.empty() ? nullptr : pfds.data(),
+                        static_cast<nfds_t>(pfds.size()),
+                        std::max(timeout_ms, 1));
+  if (rc > 0) {
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & POLLIN) != 0) fds_[i].on_readable();
+    }
+  }
+  fire_due_timers();
+}
+
+bool RealtimeLoop::run_until(const std::function<bool()>& done,
+                             Duration max_wall) {
+  const TimePoint deadline = now() + max_wall;
+  while (!done()) {
+    if (now() >= deadline) return false;
+    poll_once(Duration::millis(20));
+  }
+  return true;
+}
+
+void RealtimeLoop::run_for(Duration wall) {
+  const TimePoint deadline = now() + wall;
+  while (now() < deadline) poll_once(Duration::millis(20));
+}
+
+// -------------------------------------------------------------- UdpWire ---
+
+UdpWire::UdpWire(RealtimeLoop& loop, std::uint16_t local_port,
+                 std::uint16_t remote_port)
+    : loop_(loop), remote_port_(remote_port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  IQ_CHECK_MSG(fd_ >= 0, "socket() failed");
+
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(local_port);
+  const int rc =
+      ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  IQ_CHECK_MSG(rc == 0, "bind() failed");
+
+  loop_.add_fd(fd_, [this] { on_readable(); });
+}
+
+UdpWire::~UdpWire() {
+  if (fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void UdpWire::send(const rudp::Segment& segment) {
+  const Bytes wire = rudp::encode_segment(segment);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(remote_port_);
+  const ssize_t n =
+      ::sendto(fd_, wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) {
+    log_warn("udp_wire: sendto failed: ", std::strerror(errno));
+    return;
+  }
+  ++sent_;
+}
+
+void UdpWire::on_readable() {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) break;  // EWOULDBLOCK or error — drained
+    auto decoded = rudp::decode_segment(
+        BytesView(buf, static_cast<std::size_t>(n)));
+    if (!decoded) {
+      ++decode_failures_;
+      continue;
+    }
+    ++received_;
+    if (recv_) recv_(decoded->segment);
+  }
+}
+
+}  // namespace iq::wire

@@ -1,0 +1,80 @@
+#pragma once
+// Real-socket backend: the identical RUDP engine over UDP on localhost.
+//
+// RealtimeLoop implements the Executor interface against the monotonic
+// clock with a poll(2)-driven event loop; UdpWire encodes segments with the
+// wire codec and moves them through an actual AF_INET datagram socket.
+// Used by the loopback example and integration test to demonstrate the
+// protocol is a deployable transport, not only a simulation artifact.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "iq/rudp/segment_wire.hpp"
+#include "iq/sim/event_queue.hpp"
+
+namespace iq::wire {
+
+class RealtimeLoop final : public sim::Executor {
+ public:
+  RealtimeLoop();
+
+  TimePoint now() const override;
+  sim::EventId schedule_at(TimePoint t, sim::EventFn fn) override;
+  bool cancel_event(sim::EventId id) override;
+
+  /// Watch a file descriptor; `on_readable` runs when it has data.
+  void add_fd(int fd, std::function<void()> on_readable);
+  void remove_fd(int fd);
+
+  /// Run until `done()` returns true or `max_wall` elapses.
+  /// Returns true if `done()` was satisfied.
+  bool run_until(const std::function<bool()>& done,
+                 Duration max_wall = Duration::seconds(30));
+  /// Run for a fixed wall-clock span.
+  void run_for(Duration wall);
+
+ private:
+  void poll_once(Duration max_wait);
+  void fire_due_timers();
+
+  std::int64_t epoch_ns_;  ///< steady-clock origin of TimePoint zero
+  sim::EventQueue timers_;
+  struct Watched {
+    int fd;
+    std::function<void()> on_readable;
+  };
+  std::vector<Watched> fds_;
+};
+
+class UdpWire final : public rudp::SegmentWire {
+ public:
+  /// Binds 127.0.0.1:`local_port`; sends to 127.0.0.1:`remote_port`.
+  UdpWire(RealtimeLoop& loop, std::uint16_t local_port,
+          std::uint16_t remote_port);
+  ~UdpWire() override;
+  UdpWire(const UdpWire&) = delete;
+  UdpWire& operator=(const UdpWire&) = delete;
+
+  void send(const rudp::Segment& segment) override;
+  void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  sim::Executor& executor() override { return loop_; }
+
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_received() const { return received_; }
+  std::uint64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  void on_readable();
+
+  RealtimeLoop& loop_;
+  int fd_ = -1;
+  std::uint16_t remote_port_;
+  RecvFn recv_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t decode_failures_ = 0;
+};
+
+}  // namespace iq::wire

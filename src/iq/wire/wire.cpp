@@ -1,0 +1,26 @@
+#include "iq/wire/wire.hpp"
+
+namespace iq::wire {
+
+DirectWire::DirectWire(DirectWirePair& pair, int side)
+    : pair_(pair), side_(side) {}
+
+void DirectWire::send(const rudp::Segment& segment) {
+  pair_.carry(side_, segment);
+}
+
+sim::Executor& DirectWire::executor() { return pair_.exec_; }
+
+DirectWirePair::DirectWirePair(sim::Executor& exec, Duration one_way_delay)
+    : exec_(exec), delay_(one_way_delay), a_(*this, 0), b_(*this, 1) {}
+
+void DirectWirePair::carry(int from_side, const rudp::Segment& segment) {
+  ++carried_;
+  DirectWire& dst = from_side == 0 ? b_ : a_;
+  // Copy the segment; delivery happens after the one-way delay.
+  exec_.schedule_after(delay_, [&dst, seg = segment] {
+    if (dst.recv_) dst.recv_(seg);
+  });
+}
+
+}  // namespace iq::wire

@@ -1,0 +1,50 @@
+#pragma once
+// In-memory wires for unit tests: a DirectWirePair connects two RUDP
+// endpoints through the executor with a fixed one-way delay and no loss.
+
+#include <memory>
+
+#include "iq/rudp/segment_wire.hpp"
+
+namespace iq::wire {
+
+class DirectWirePair;
+
+/// One endpoint of a DirectWirePair.
+class DirectWire final : public rudp::SegmentWire {
+ public:
+  DirectWire(DirectWirePair& pair, int side);
+
+  void send(const rudp::Segment& segment) override;
+  void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  sim::Executor& executor() override;
+
+ private:
+  friend class DirectWirePair;
+  DirectWirePair& pair_;
+  int side_;
+  RecvFn recv_;
+};
+
+/// A pair of endpoints joined by a fixed-delay, loss-free pipe.
+class DirectWirePair {
+ public:
+  DirectWirePair(sim::Executor& exec, Duration one_way_delay);
+
+  DirectWire& a() { return a_; }
+  DirectWire& b() { return b_; }
+
+  std::uint64_t segments_carried() const { return carried_; }
+
+ private:
+  friend class DirectWire;
+  void carry(int from_side, const rudp::Segment& segment);
+
+  sim::Executor& exec_;
+  Duration delay_;
+  DirectWire a_;
+  DirectWire b_;
+  std::uint64_t carried_ = 0;
+};
+
+}  // namespace iq::wire

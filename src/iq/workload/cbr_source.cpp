@@ -1,0 +1,33 @@
+#include "iq/workload/cbr_source.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::workload {
+
+CbrSource::CbrSource(net::Network& net, net::Node& src, net::Node& dst,
+                     const CbrConfig& cfg)
+    : net_(net),
+      src_(src),
+      dst_(dst),
+      cfg_(cfg),
+      task_(net.sim(),
+            transmission_time(cfg.payload_bytes + net::kUdpIpHeaderBytes,
+                              cfg.rate_bps),
+            [this] { emit(); }) {
+  IQ_CHECK(cfg.rate_bps > 0 && cfg.payload_bytes > 0);
+}
+
+void CbrSource::start() { task_.start(/*fire_now=*/true); }
+
+void CbrSource::stop() { task_.stop(); }
+
+void CbrSource::emit() {
+  const std::int64_t wire = cfg_.payload_bytes + net::kUdpIpHeaderBytes;
+  auto p = net_.make_packet({src_.id(), cfg_.src_port},
+                            {dst_.id(), cfg_.dst_port}, cfg_.flow, wire);
+  ++sent_;
+  sent_bytes_ += wire;
+  src_.send(std::move(p));
+}
+
+}  // namespace iq::workload

@@ -1,0 +1,48 @@
+#pragma once
+// Constant-bit-rate UDP source — the simulation stand-in for `iperf -u -b N`
+// cross traffic used throughout the paper's evaluation.
+//
+// Sends fixed-size datagrams at evenly spaced intervals so that the offered
+// load equals `rate_bps` including per-packet UDP/IP overhead.
+
+#include <cstdint>
+
+#include "iq/net/network.hpp"
+#include "iq/sim/timer.hpp"
+
+namespace iq::workload {
+
+struct CbrConfig {
+  std::int64_t rate_bps = 10'000'000;
+  std::int64_t payload_bytes = 1400;
+  std::uint32_t flow = 900;
+  std::uint16_t src_port = 9000;
+  std::uint16_t dst_port = 9000;
+};
+
+class CbrSource {
+ public:
+  CbrSource(net::Network& net, net::Node& src, net::Node& dst,
+            const CbrConfig& cfg);
+
+  void start();
+  void stop();
+  bool running() const { return task_.running(); }
+
+  std::uint64_t sent() const { return sent_; }
+  std::int64_t sent_bytes() const { return sent_bytes_; }
+  const CbrConfig& config() const { return cfg_; }
+
+ private:
+  void emit();
+
+  net::Network& net_;
+  net::Node& src_;
+  net::Node& dst_;
+  CbrConfig cfg_;
+  sim::PeriodicTask task_;
+  std::uint64_t sent_ = 0;
+  std::int64_t sent_bytes_ = 0;
+};
+
+}  // namespace iq::workload

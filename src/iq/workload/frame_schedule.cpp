@@ -1,0 +1,4 @@
+#include "iq/workload/frame_schedule.hpp"
+
+// FrameSchedule is header-only today; this translation unit anchors the
+// library target and keeps a stable home for future out-of-line logic.

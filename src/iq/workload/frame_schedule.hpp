@@ -1,0 +1,31 @@
+#pragma once
+// FrameSchedule: maps elapsed time to an application frame size, driven by
+// the MBone trace. The paper's "changing application" experiments send
+// frames of size (group × multiplier) bytes at a fixed frame rate.
+
+#include <cstdint>
+
+#include "iq/common/time.hpp"
+#include "iq/workload/mbone_trace.hpp"
+
+namespace iq::workload {
+
+class FrameSchedule {
+ public:
+  FrameSchedule(const MboneTrace& trace, std::int64_t bytes_per_member)
+      : trace_(trace), bytes_per_member_(bytes_per_member) {}
+
+  std::int64_t frame_bytes_at(Duration elapsed) const {
+    return static_cast<std::int64_t>(trace_.group_at_time(elapsed)) *
+           bytes_per_member_;
+  }
+
+  std::int64_t bytes_per_member() const { return bytes_per_member_; }
+  const MboneTrace& trace() const { return trace_; }
+
+ private:
+  const MboneTrace& trace_;
+  std::int64_t bytes_per_member_;
+};
+
+}  // namespace iq::workload

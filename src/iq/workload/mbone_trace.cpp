@@ -1,0 +1,91 @@
+#include "iq/workload/mbone_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "iq/common/check.hpp"
+
+namespace iq::workload {
+
+MboneTrace::MboneTrace(const MboneTraceConfig& cfg) {
+  IQ_CHECK(cfg.samples > 0);
+  IQ_CHECK(cfg.min_group >= 1 && cfg.max_group > cfg.min_group);
+  Rng rng(cfg.seed);
+  groups_.reserve(cfg.samples);
+
+  const double mid = 0.5 * (cfg.min_group + cfg.max_group);
+  double g = std::clamp<double>(cfg.start_group, cfg.min_group, cfg.max_group);
+  for (std::size_t i = 0; i < cfg.samples; ++i) {
+    // Slow drift with mean reversion.
+    g += rng.normal(0.0, cfg.drift_sigma);
+    g += cfg.mean_reversion * (mid - g);
+    // Occasional sharp join/leave burst, as MBone sessions show.
+    if (rng.chance(cfg.burst_probability)) {
+      const int magnitude = static_cast<int>(rng.uniform_int(3, cfg.max_burst));
+      g += rng.chance(0.5) ? magnitude : -magnitude;
+    }
+    g = std::clamp<double>(g, cfg.min_group, cfg.max_group);
+    groups_.push_back(static_cast<int>(std::lround(g)));
+  }
+}
+
+MboneTrace::MboneTrace(std::vector<int> groups) : groups_(std::move(groups)) {
+  IQ_CHECK_MSG(!groups_.empty(), "empty trace");
+}
+
+std::optional<MboneTrace> MboneTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<int> groups;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Accept "value" or "index,value".
+    const auto comma = line.find(',');
+    const std::string field =
+        comma == std::string::npos ? line : line.substr(comma + 1);
+    try {
+      groups.push_back(std::max(1, std::stoi(field)));
+    } catch (...) {
+      return std::nullopt;  // malformed line
+    }
+  }
+  if (groups.empty()) return std::nullopt;
+  return MboneTrace(std::move(groups));
+}
+
+bool MboneTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# MBone-style membership trace: one group size per second\n";
+  for (int g : groups_) out << g << "\n";
+  return static_cast<bool>(out);
+}
+
+int MboneTrace::group_at(std::size_t index) const {
+  return groups_[index % groups_.size()];
+}
+
+int MboneTrace::group_at_time(Duration elapsed) const {
+  const auto idx = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, elapsed.ns() / 1'000'000'000));
+  return group_at(idx);
+}
+
+int MboneTrace::min_seen() const {
+  return *std::min_element(groups_.begin(), groups_.end());
+}
+
+int MboneTrace::max_seen() const {
+  return *std::max_element(groups_.begin(), groups_.end());
+}
+
+double MboneTrace::mean() const {
+  return std::accumulate(groups_.begin(), groups_.end(), 0.0) /
+         static_cast<double>(groups_.size());
+}
+
+}  // namespace iq::workload

@@ -1,0 +1,63 @@
+#pragma once
+// Synthetic MBone membership-dynamics trace (substitute for the paper's
+// Figure 1 trace, which is not available).
+//
+// The paper drives both the application's frame sizes (group × 3000 B) and
+// the VBR cross traffic (group × 2000 B) from an MBone multicast-group
+// membership trace: a bursty series of member counts with sharp joins and
+// leaves on top of slower drift. We synthesize a series with that shape —
+// a mean-reverting random walk plus Poisson-ish join/leave bursts — from a
+// fixed seed, so every experiment sees the identical "trace file".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/common/time.hpp"
+
+namespace iq::workload {
+
+struct MboneTraceConfig {
+  std::uint64_t seed = 0x1b0e5;   ///< default trace identity
+  std::size_t samples = 2048;     ///< series length (1 sample per second)
+  int min_group = 2;
+  int max_group = 60;
+  int start_group = 20;
+  double burst_probability = 0.06;  ///< chance per step of a join/leave burst
+  int max_burst = 25;               ///< largest single burst magnitude
+  double drift_sigma = 1.6;         ///< stddev of the per-step random walk
+  double mean_reversion = 0.02;     ///< pull toward the series midpoint
+};
+
+class MboneTrace {
+ public:
+  explicit MboneTrace(const MboneTraceConfig& cfg = {});
+  /// Build from an explicit series (e.g. loaded from a trace file).
+  explicit MboneTrace(std::vector<int> groups);
+
+  /// Load a one-sample-per-line trace file ("# comments" and blank lines
+  /// ignored; a trailing "index,value" CSV form is also accepted).
+  /// Returns nullopt if the file is unreadable or contains no samples.
+  static std::optional<MboneTrace> load(const std::string& path);
+  /// Write the series, one sample per line, with a header comment.
+  bool save(const std::string& path) const;
+
+  /// Group size at sample index (cycled when past the end).
+  int group_at(std::size_t index) const;
+  /// Group size at an elapsed time, with 1 s per sample.
+  int group_at_time(Duration elapsed) const;
+
+  std::size_t size() const { return groups_.size(); }
+  const std::vector<int>& groups() const { return groups_; }
+
+  int min_seen() const;
+  int max_seen() const;
+  double mean() const;
+
+ private:
+  std::vector<int> groups_;
+};
+
+}  // namespace iq::workload

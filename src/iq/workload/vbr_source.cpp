@@ -1,0 +1,42 @@
+#include "iq/workload/vbr_source.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::workload {
+
+VbrSource::VbrSource(net::Network& net, net::Node& src, net::Node& dst,
+                     const FrameSchedule& schedule, const VbrConfig& cfg)
+    : net_(net),
+      src_(src),
+      dst_(dst),
+      schedule_(schedule),
+      cfg_(cfg),
+      task_(net.sim(), Duration::from_seconds(1.0 / cfg.frames_per_sec),
+            [this] { emit_frame(); }) {
+  IQ_CHECK(cfg.frames_per_sec > 0 && cfg.mtu_payload > 0);
+}
+
+void VbrSource::start() {
+  started_ = net_.sim().now();
+  task_.start(/*fire_now=*/true);
+}
+
+void VbrSource::stop() { task_.stop(); }
+
+void VbrSource::emit_frame() {
+  const Duration elapsed = net_.sim().now() - started_;
+  std::int64_t remaining = schedule_.frame_bytes_at(elapsed);
+  ++frames_;
+  while (remaining > 0) {
+    const std::int64_t payload = std::min(remaining, cfg_.mtu_payload);
+    const std::int64_t wire = payload + net::kUdpIpHeaderBytes;
+    auto p = net_.make_packet({src_.id(), cfg_.src_port},
+                              {dst_.id(), cfg_.dst_port}, cfg_.flow, wire);
+    ++packets_;
+    sent_bytes_ += wire;
+    src_.send(std::move(p));
+    remaining -= payload;
+  }
+}
+
+}  // namespace iq::workload

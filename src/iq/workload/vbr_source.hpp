@@ -1,0 +1,50 @@
+#pragma once
+// Variable-bit-rate UDP source used as cross traffic in the paper's
+// "changing network" experiments: a fixed frame rate (500 frames/s) whose
+// frame size follows the MBone trace (group × 2000 bytes), each frame split
+// into MTU-sized datagrams sent back to back.
+
+#include <cstdint>
+
+#include "iq/net/network.hpp"
+#include "iq/sim/timer.hpp"
+#include "iq/workload/frame_schedule.hpp"
+
+namespace iq::workload {
+
+struct VbrConfig {
+  double frames_per_sec = 500.0;
+  std::int64_t mtu_payload = 1400;
+  std::uint32_t flow = 901;
+  std::uint16_t src_port = 9001;
+  std::uint16_t dst_port = 9001;
+};
+
+class VbrSource {
+ public:
+  VbrSource(net::Network& net, net::Node& src, net::Node& dst,
+            const FrameSchedule& schedule, const VbrConfig& cfg);
+
+  void start();
+  void stop();
+
+  std::uint64_t frames_sent() const { return frames_; }
+  std::uint64_t packets_sent() const { return packets_; }
+  std::int64_t sent_bytes() const { return sent_bytes_; }
+
+ private:
+  void emit_frame();
+
+  net::Network& net_;
+  net::Node& src_;
+  net::Node& dst_;
+  const FrameSchedule& schedule_;
+  VbrConfig cfg_;
+  sim::PeriodicTask task_;
+  TimePoint started_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t packets_ = 0;
+  std::int64_t sent_bytes_ = 0;
+};
+
+}  // namespace iq::workload

@@ -1,0 +1,281 @@
+// Tests for quality attributes: values, lists, store, threshold callbacks.
+
+#include <gtest/gtest.h>
+
+#include "iq/attr/callbacks.hpp"
+#include "iq/attr/names.hpp"
+#include "iq/attr/store.hpp"
+
+namespace iq::attr {
+namespace {
+
+// ---------------------------------------------------------------- value ---
+
+TEST(AttrValueTest, TypedAccessors) {
+  EXPECT_EQ(AttrValue(std::int64_t{42}).as_int(), 42);
+  EXPECT_EQ(AttrValue(2.5).as_double(), 2.5);
+  EXPECT_EQ(AttrValue(true).as_bool(), true);
+  EXPECT_EQ(AttrValue("hi").as_string(), "hi");
+}
+
+TEST(AttrValueTest, IntCoercesToDouble) {
+  EXPECT_EQ(AttrValue(std::int64_t{7}).as_double(), 7.0);
+  EXPECT_FALSE(AttrValue(7.0).as_int().has_value());
+}
+
+TEST(AttrValueTest, WrongTypeReturnsNullopt) {
+  EXPECT_FALSE(AttrValue("s").as_int().has_value());
+  EXPECT_FALSE(AttrValue(1.0).as_bool().has_value());
+  EXPECT_FALSE(AttrValue(true).as_string().has_value());
+}
+
+TEST(AttrValueTest, EncodeDecodeRoundTrip) {
+  for (const AttrValue& v :
+       {AttrValue(std::int64_t{-5}), AttrValue(0.125), AttrValue(true),
+        AttrValue(false), AttrValue("text with spaces"), AttrValue("")}) {
+    ByteWriter w;
+    v.encode(w);
+    ByteReader r(w.data());
+    auto back = AttrValue::decode(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(AttrValueTest, DecodeRejectsBadTag) {
+  Bytes garbage{0xff, 0x00};
+  ByteReader r(garbage);
+  EXPECT_FALSE(AttrValue::decode(r).has_value());
+}
+
+// ----------------------------------------------------------------- list ---
+
+TEST(AttrListTest, SetGetOverwrite) {
+  AttrList l;
+  l.set("a", 1.5);
+  l.set("b", std::int64_t{2});
+  EXPECT_EQ(l.get_double("a"), 1.5);
+  l.set("a", 9.0);
+  EXPECT_EQ(l.get_double("a"), 9.0);
+  EXPECT_EQ(l.size(), 2u);
+}
+
+TEST(AttrListTest, InitializerList) {
+  AttrList l{{kAdaptMark, 0.4}, {kAdaptWhen, kAdaptDeferred}};
+  EXPECT_EQ(l.get_double(kAdaptMark), 0.4);
+  EXPECT_EQ(l.get_int(kAdaptWhen), kAdaptDeferred);
+}
+
+TEST(AttrListTest, RemoveAndHas) {
+  AttrList l;
+  l.set("x", 1);
+  EXPECT_TRUE(l.has("x"));
+  EXPECT_TRUE(l.remove("x"));
+  EXPECT_FALSE(l.has("x"));
+  EXPECT_FALSE(l.remove("x"));
+}
+
+TEST(AttrListTest, MergeOverwrites) {
+  AttrList a{{"k", 1.0}, {"only_a", 2.0}};
+  AttrList b{{"k", 9.0}, {"only_b", 3.0}};
+  a.merge(b);
+  EXPECT_EQ(a.get_double("k"), 9.0);
+  EXPECT_EQ(a.get_double("only_a"), 2.0);
+  EXPECT_EQ(a.get_double("only_b"), 3.0);
+}
+
+TEST(AttrListTest, EncodeDecodeRoundTrip) {
+  AttrList l{{"ratio", 0.3},
+             {"count", std::int64_t{12}},
+             {"on", true},
+             {"name", "stream-7"}};
+  ByteWriter w;
+  l.encode(w);
+  ByteReader r(w.data());
+  auto back = AttrList::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, l);
+}
+
+TEST(AttrListTest, EmptyListRoundTrip) {
+  AttrList l;
+  ByteWriter w;
+  l.encode(w);
+  ByteReader r(w.data());
+  auto back = AttrList::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(AttrListTest, DecodeRejectsTruncation) {
+  AttrList l{{"key", 1.0}};
+  ByteWriter w;
+  l.encode(w);
+  Bytes data = w.take();
+  data.resize(data.size() - 3);
+  ByteReader r(data);
+  EXPECT_FALSE(AttrList::decode(r).has_value());
+}
+
+// ---------------------------------------------------------------- store ---
+
+TEST(AttrStoreTest, UpdateAndQuery) {
+  AttrStore s;
+  s.update(kNetLossRatio, 0.12);
+  EXPECT_EQ(s.query_double(kNetLossRatio), 0.12);
+  EXPECT_FALSE(s.query("missing").has_value());
+}
+
+TEST(AttrStoreTest, SubscribersNotified) {
+  AttrStore s;
+  int all_count = 0, specific_count = 0;
+  s.subscribe("", [&](const std::string&, const AttrValue&) { ++all_count; });
+  s.subscribe(kNetRttMs,
+              [&](const std::string&, const AttrValue&) { ++specific_count; });
+  s.update(kNetLossRatio, 0.1);
+  s.update(kNetRttMs, 31.0);
+  EXPECT_EQ(all_count, 2);
+  EXPECT_EQ(specific_count, 1);
+}
+
+TEST(AttrStoreTest, UnsubscribeStopsNotifications) {
+  AttrStore s;
+  int count = 0;
+  auto id = s.subscribe("", [&](const std::string&, const AttrValue&) {
+    ++count;
+  });
+  s.update("a", 1);
+  EXPECT_TRUE(s.unsubscribe(id));
+  s.update("a", 2);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(s.unsubscribe(id));
+}
+
+TEST(AttrStoreTest, SnapshotContainsEverything) {
+  AttrStore s;
+  s.update("a", 1);
+  s.update("b", 2.0);
+  const AttrList snap = s.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap.has("a"));
+  EXPECT_TRUE(snap.has("b"));
+}
+
+TEST(AttrStoreTest, SubscriberMayUnsubscribeDuringCallback) {
+  AttrStore s;
+  AttrStore::SubscriptionId id = 0;
+  int count = 0;
+  id = s.subscribe("", [&](const std::string&, const AttrValue&) {
+    ++count;
+    s.unsubscribe(id);
+  });
+  s.update("x", 1);
+  s.update("x", 2);
+  EXPECT_EQ(count, 1);
+}
+
+// ------------------------------------------------------------ callbacks ---
+
+AttrList empty_cb(const CallbackContext&) { return {}; }
+
+TEST(CallbackRegistryTest, UpperFiresAtOrAboveThreshold) {
+  CallbackRegistry reg;
+  int upper = 0, lower = 0;
+  reg.register_threshold(
+      {.metric = kNetLossRatio, .upper = 0.3, .lower = 0.05},
+      [&](const CallbackContext& ctx) {
+        ++upper;
+        EXPECT_EQ(ctx.kind, ThresholdKind::Upper);
+        return AttrList{};
+      },
+      [&](const CallbackContext&) {
+        ++lower;
+        return AttrList{};
+      });
+
+  reg.on_metric(kNetLossRatio, 0.1, TimePoint::zero());   // between: none
+  reg.on_metric(kNetLossRatio, 0.3, TimePoint::zero());   // upper (>=)
+  reg.on_metric(kNetLossRatio, 0.5, TimePoint::zero());   // upper again
+  reg.on_metric(kNetLossRatio, 0.05, TimePoint::zero());  // lower (<=)
+  reg.on_metric(kNetLossRatio, 0.0, TimePoint::zero());   // lower again
+  EXPECT_EQ(upper, 2);
+  EXPECT_EQ(lower, 2);
+}
+
+TEST(CallbackRegistryTest, EdgeTriggeredFiresOncePerExcursion) {
+  CallbackRegistry reg;
+  int upper = 0;
+  reg.register_threshold({.metric = kNetLossRatio,
+                          .upper = 0.3,
+                          .lower = 0.05,
+                          .mode = FiringMode::EdgeTriggered},
+                         [&](const CallbackContext&) {
+                           ++upper;
+                           return AttrList{};
+                         },
+                         empty_cb);
+  reg.on_metric(kNetLossRatio, 0.4, TimePoint::zero());
+  reg.on_metric(kNetLossRatio, 0.5, TimePoint::zero());  // still high: no fire
+  reg.on_metric(kNetLossRatio, 0.1, TimePoint::zero());  // back to normal
+  reg.on_metric(kNetLossRatio, 0.4, TimePoint::zero());  // new excursion
+  EXPECT_EQ(upper, 2);
+}
+
+TEST(CallbackRegistryTest, OtherMetricsIgnored) {
+  CallbackRegistry reg;
+  int fires = 0;
+  reg.register_threshold({.metric = kNetLossRatio, .upper = 0.1, .lower = 0.0},
+                         [&](const CallbackContext&) {
+                           ++fires;
+                           return AttrList{};
+                         },
+                         empty_cb);
+  reg.on_metric(kNetRttMs, 500.0, TimePoint::zero());
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(CallbackRegistryTest, ResultsReachConsumer) {
+  CallbackRegistry reg;
+  AttrList seen;
+  reg.set_result_consumer(
+      [&](const AttrList& result, const CallbackContext&) { seen = result; });
+  reg.register_threshold({.metric = kNetLossRatio, .upper = 0.2, .lower = 0.0},
+                         [](const CallbackContext& ctx) {
+                           AttrList out;
+                           out.set(kAdaptMark, ctx.value);
+                           return out;
+                         },
+                         empty_cb);
+  reg.on_metric(kNetLossRatio, 0.35, TimePoint::zero());
+  EXPECT_EQ(seen.get_double(kAdaptMark), 0.35);
+}
+
+TEST(CallbackRegistryTest, EmptyResultNotForwarded) {
+  CallbackRegistry reg;
+  int consumed = 0;
+  reg.set_result_consumer(
+      [&](const AttrList&, const CallbackContext&) { ++consumed; });
+  reg.register_threshold({.metric = kNetLossRatio, .upper = 0.2, .lower = 0.0},
+                         empty_cb, empty_cb);
+  reg.on_metric(kNetLossRatio, 0.9, TimePoint::zero());
+  EXPECT_EQ(consumed, 0);
+}
+
+TEST(CallbackRegistryTest, UnregisterStopsFiring) {
+  CallbackRegistry reg;
+  int fires = 0;
+  auto id = reg.register_threshold(
+      {.metric = kNetLossRatio, .upper = 0.2, .lower = 0.0},
+      [&](const CallbackContext&) {
+        ++fires;
+        return AttrList{};
+      },
+      empty_cb);
+  reg.on_metric(kNetLossRatio, 0.5, TimePoint::zero());
+  EXPECT_TRUE(reg.unregister(id));
+  reg.on_metric(kNetLossRatio, 0.5, TimePoint::zero());
+  EXPECT_EQ(fires, 1);
+}
+
+}  // namespace
+}  // namespace iq::attr

@@ -1,0 +1,119 @@
+// Chaos soak: everything on at once — loss, duplication, reordering, mixed
+// marked/unmarked traffic, random message sizes, delayed acks, mid-run
+// tolerance changes — with conservation and ordering invariants checked at
+// the end. The broadest net for interaction bugs between protocol features.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+
+namespace iq::rudp {
+namespace {
+
+struct Offered {
+  std::uint32_t msg_id;
+  std::int64_t bytes;
+  bool marked;
+};
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, EverythingOnAtOnce) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  sim::Simulator sim;
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = rng.uniform(0.05, 0.3);
+  lcfg.duplicate_probability = rng.uniform(0.0, 0.2);
+  lcfg.reorder_jitter = Duration::millis(rng.uniform_int(0, 40));
+  lcfg.seed = seed * 7 + 1;
+  wire::LossyWirePair wire(sim, lcfg);
+
+  RudpConfig scfg;
+  scfg.initial_seq = rng.chance(0.5) ? 1 : (Seq{1} << 32) - 20;
+  RudpConfig rcfg = scfg;
+  rcfg.recv_loss_tolerance = rng.uniform(0.0, 0.6);
+  rcfg.ack_every = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+
+  RudpConnection snd(wire.a(), scfg, Role::Client);
+  RudpConnection rcv(wire.b(), rcfg, Role::Server);
+  std::vector<DeliveredMessage> delivered;
+  rcv.set_message_handler(
+      [&](const DeliveredMessage& m) { delivered.push_back(m); });
+  rcv.listen();
+  snd.connect();
+  sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  ASSERT_TRUE(snd.established()) << "seed=" << seed;
+
+  // Offer a mixed workload in bursts, with a mid-run tolerance change.
+  std::vector<Offered> offered;
+  double max_tolerance = rcfg.recv_loss_tolerance;
+  const int kMessages = 120;
+  for (int i = 0; i < kMessages; ++i) {
+    if (i == kMessages / 2) {
+      const double updated = rng.uniform(0.0, 0.6);
+      max_tolerance = std::max(max_tolerance, updated);
+      rcv.set_local_recv_tolerance(updated);
+    }
+    MessageSpec spec;
+    spec.bytes = rng.uniform_int(0, 6000);
+    spec.marked = rng.chance(0.5);
+    auto result = snd.send_message(spec);
+    ASSERT_FALSE(result.discarded);  // discard mode is off
+    offered.push_back(Offered{result.msg_id, spec.bytes, spec.marked});
+    if (rng.chance(0.3)) {
+      sim.run_until(sim.now() + Duration::millis(rng.uniform_int(1, 80)));
+    }
+  }
+  sim.run_until(sim.now() + Duration::seconds(1200));
+
+  // Invariant 1: conservation — every message delivered or dropped.
+  EXPECT_EQ(delivered.size() + rcv.stats().messages_dropped,
+            static_cast<std::size_t>(kMessages))
+      << "seed=" << seed;
+
+  // Invariant 2: in-order delivery by message id, exact sizes, and every
+  // marked message present.
+  std::size_t oi = 0;
+  int marked_delivered = 0;
+  for (const auto& m : delivered) {
+    while (oi < offered.size() && offered[oi].msg_id != m.msg_id) ++oi;
+    ASSERT_LT(oi, offered.size())
+        << "delivered unknown/out-of-order msg " << m.msg_id
+        << " seed=" << seed;
+    EXPECT_EQ(m.bytes, offered[oi].bytes);
+    EXPECT_EQ(m.marked, offered[oi].marked);
+    if (m.marked) ++marked_delivered;
+    ++oi;
+  }
+  int marked_offered = 0;
+  for (const auto& o : offered) {
+    if (o.marked) ++marked_offered;
+  }
+  EXPECT_EQ(marked_delivered, marked_offered) << "seed=" << seed;
+
+  // Invariant 3: the sender fully drained.
+  EXPECT_TRUE(snd.send_idle()) << "seed=" << seed;
+
+  // Invariant 4: the skip budget never exceeded the largest tolerance in
+  // effect (a mid-run *decrease* legitimately strands an already-skipped
+  // fraction above the new, lower tolerance).
+  EXPECT_LE(snd.skip_budget().skipped_fraction(), max_tolerance + 1e-9)
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 13),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace iq::rudp

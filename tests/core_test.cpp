@@ -1,0 +1,280 @@
+// Tests for the IQ coordination core: adaptation records, eq. (1), the
+// coordinator's three schemes, metric export, and the assembled facade.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iq/core/iq_connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/wire.hpp"
+
+namespace iq::core {
+namespace {
+
+// ----------------------------------------------------- AdaptationRecord ---
+
+TEST(AdaptationRecordTest, RoundTripThroughAttrs) {
+  AdaptationRecord rec;
+  rec.resolution_change = 0.25;
+  rec.mark_degree = 0.4;
+  rec.when = attr::kAdaptDeferred;
+  rec.cond_error_ratio = 0.18;
+  rec.frame_bytes = 900;
+
+  const AdaptationRecord back = AdaptationRecord::from_attrs(rec.to_attrs());
+  EXPECT_EQ(back.resolution_change, 0.25);
+  EXPECT_EQ(back.mark_degree, 0.4);
+  EXPECT_EQ(back.when, attr::kAdaptDeferred);
+  EXPECT_EQ(back.cond_error_ratio, 0.18);
+  EXPECT_EQ(back.frame_bytes, 900);
+}
+
+TEST(AdaptationRecordTest, EmptyAttrsIsNoAdaptation) {
+  const AdaptationRecord rec = AdaptationRecord::from_attrs({});
+  EXPECT_FALSE(rec.any());
+  EXPECT_FALSE(rec.deferred());
+}
+
+TEST(AdaptationRecordTest, FreqOnlyCounts) {
+  attr::AttrList attrs{{attr::kAdaptFreq, 0.5}};
+  EXPECT_TRUE(AdaptationRecord::from_attrs(attrs).any());
+}
+
+// --------------------------------------------------------------- eq. (1) --
+
+TEST(RescaleFactorTest, PureResolutionRescale) {
+  // Shrinking frames by 20% grows the window by 1/0.8.
+  EXPECT_NEAR(Coordinator::rescale_factor(0.2, 0, 0, false), 1.25, 1e-12);
+  // Growing frames by 10% (rate_chg = -0.1) shrinks the window.
+  EXPECT_NEAR(Coordinator::rescale_factor(-0.1, 0, 0, false), 1.0 / 1.1,
+              1e-12);
+}
+
+TEST(RescaleFactorTest, CondCompensationDirections) {
+  // Network got worse during the deferral: window must grow LESS.
+  const double worse = Coordinator::rescale_factor(0.2, 0.05, 0.30, true);
+  const double same = Coordinator::rescale_factor(0.2, 0.05, 0.05, true);
+  const double better = Coordinator::rescale_factor(0.2, 0.30, 0.05, true);
+  EXPECT_LT(worse, same);
+  EXPECT_GT(better, same);
+  EXPECT_NEAR(same, 1.25, 1e-12);
+}
+
+TEST(RescaleFactorTest, Equation1Value) {
+  // w' / w = 1/(1-rate_chg) * (1-eratio_now)/(1-eratio_then).
+  EXPECT_NEAR(Coordinator::rescale_factor(0.25, 0.10, 0.28, true),
+              (1.0 / 0.75) * (0.72 / 0.90), 1e-12);
+}
+
+// ------------------------------------------------------------- fixtures ---
+
+struct CorePair {
+  sim::Simulator sim;
+  wire::DirectWirePair wires{sim, Duration::millis(15)};
+  std::unique_ptr<IqRudpConnection> snd;
+  std::unique_ptr<IqRudpConnection> rcv;
+
+  explicit CorePair(CoordinationMode mode = CoordinationMode::Coordinated,
+                    double tolerance = 0.4) {
+    rudp::RudpConfig cfg;
+    rudp::RudpConfig rcfg;
+    rcfg.recv_loss_tolerance = tolerance;
+    CoordinatorConfig ccfg;
+    ccfg.mode = mode;
+    snd = std::make_unique<IqRudpConnection>(wires.a(), cfg,
+                                             rudp::Role::Client, ccfg);
+    rcv = std::make_unique<IqRudpConnection>(wires.b(), rcfg,
+                                             rudp::Role::Server, ccfg);
+    rcv->listen();
+    snd->connect();
+    sim.run_until(TimePoint::zero() + Duration::millis(200));
+  }
+};
+
+// ------------------------------------------------------------ scheme 1 ----
+
+TEST(CoordinatorTest, MarkAdaptationEnablesDiscard) {
+  CorePair p;
+  attr::CallbackContext ctx;
+  attr::AttrList result{{attr::kAdaptMark, 0.4}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_TRUE(p.snd->transport().discard_unmarked());
+  EXPECT_EQ(p.snd->coordinator().stats().discard_enables, 1u);
+
+  attr::AttrList off{{attr::kAdaptMark, 0.0}};
+  p.snd->coordinator().on_callback_result(off, ctx);
+  EXPECT_FALSE(p.snd->transport().discard_unmarked());
+}
+
+TEST(CoordinatorTest, UncoordinatedIgnoresMarkAdaptation) {
+  CorePair p(CoordinationMode::Uncoordinated);
+  attr::CallbackContext ctx;
+  attr::AttrList result{{attr::kAdaptMark, 0.4}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_FALSE(p.snd->transport().discard_unmarked());
+  EXPECT_EQ(p.snd->coordinator().stats().records_seen, 1u);
+}
+
+// ------------------------------------------------------------ scheme 2 ----
+
+TEST(CoordinatorTest, ResolutionAdaptationRescalesWindow) {
+  CorePair p;
+  const double w0 = p.snd->transport().congestion().cwnd();
+  attr::CallbackContext ctx;
+  attr::AttrList result{{attr::kAdaptPktSize, 0.2},
+                        {attr::kAppFrameBytes, std::int64_t{800}}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_NEAR(p.snd->transport().congestion().cwnd(), w0 * 1.25, 1e-9);
+  EXPECT_EQ(p.snd->coordinator().stats().window_rescales, 1u);
+}
+
+TEST(CoordinatorTest, LargeFramesGetNoRescale) {
+  CorePair p;
+  const double w0 = p.snd->transport().congestion().cwnd();
+  attr::CallbackContext ctx;
+  // Frame still far above MSS after adaptation: packets stay MSS-sized.
+  attr::AttrList result{{attr::kAdaptPktSize, 0.2},
+                        {attr::kAppFrameBytes, std::int64_t{90'000}}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_DOUBLE_EQ(p.snd->transport().congestion().cwnd(), w0);
+  EXPECT_EQ(p.snd->coordinator().stats().window_rescales, 0u);
+}
+
+TEST(CoordinatorTest, FrequencyAdaptationNoRescale) {
+  CorePair p;
+  const double w0 = p.snd->transport().congestion().cwnd();
+  attr::CallbackContext ctx;
+  attr::AttrList result{{attr::kAdaptFreq, 0.5}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_DOUBLE_EQ(p.snd->transport().congestion().cwnd(), w0);
+  EXPECT_EQ(p.snd->coordinator().stats().freq_adaptations, 1u);
+}
+
+TEST(CoordinatorTest, UncoordinatedNeverRescales) {
+  CorePair p(CoordinationMode::Uncoordinated);
+  const double w0 = p.snd->transport().congestion().cwnd();
+  attr::CallbackContext ctx;
+  attr::AttrList result{{attr::kAdaptPktSize, 0.5}};
+  p.snd->coordinator().on_callback_result(result, ctx);
+  EXPECT_DOUBLE_EQ(p.snd->transport().congestion().cwnd(), w0);
+}
+
+// ------------------------------------------------------------ scheme 3 ----
+
+TEST(CoordinatorTest, DeferredThenResolvedOnSend) {
+  CorePair p;
+  const double w0 = p.snd->transport().congestion().cwnd();
+
+  attr::CallbackContext ctx;
+  attr::AttrList deferred{{attr::kAdaptWhen, attr::kAdaptDeferred}};
+  p.snd->coordinator().on_callback_result(deferred, ctx);
+  EXPECT_TRUE(p.snd->coordinator().deferral_pending());
+  EXPECT_DOUBLE_EQ(p.snd->transport().congestion().cwnd(), w0);
+
+  // The adaptation lands with the next send call.
+  rudp::MessageSpec spec;
+  spec.bytes = 700;
+  attr::AttrList attrs{{attr::kAdaptPktSize, 0.2},
+                       {attr::kAppFrameBytes, std::int64_t{700}}};
+  p.snd->send_with_attrs(spec, attrs);
+  EXPECT_FALSE(p.snd->coordinator().deferral_pending());
+  EXPECT_NEAR(p.snd->transport().congestion().cwnd(), w0 * 1.25, 1e-9);
+  EXPECT_EQ(p.snd->coordinator().stats().deferred_resolved, 1u);
+}
+
+TEST(CoordinatorTest, CondCompensationUsesCurrentEratio) {
+  CorePair p;
+  const double w0 = p.snd->transport().congestion().cwnd();
+
+  // The transport currently measures 30% loss...
+  rudp::EpochReport report;
+  report.loss_ratio = 0.30;
+  p.snd->coordinator().on_epoch(report);
+
+  // ...but the application adapted based on a stale 10% reading.
+  rudp::MessageSpec spec;
+  spec.bytes = 700;
+  attr::AttrList attrs{{attr::kAdaptPktSize, 0.2},
+                       {attr::kAdaptCondErrorRatio, 0.10},
+                       {attr::kAppFrameBytes, std::int64_t{700}}};
+  p.snd->send_with_attrs(spec, attrs);
+  EXPECT_NEAR(p.snd->transport().congestion().cwnd(),
+              w0 * (1.0 / 0.8) * (0.70 / 0.90), 1e-9);
+  EXPECT_EQ(p.snd->coordinator().stats().cond_compensations, 1u);
+}
+
+TEST(CoordinatorTest, CondDisabledIgnoresCompensation) {
+  rudp::RudpConfig cfg;
+  CoordinatorConfig ccfg;
+  ccfg.enable_cond_compensation = false;
+  sim::Simulator sim;
+  wire::DirectWirePair wires(sim, Duration::millis(15));
+  IqRudpConnection snd(wires.a(), cfg, rudp::Role::Client, ccfg);
+  IqRudpConnection rcv(wires.b(), cfg, rudp::Role::Server, ccfg);
+  rcv.listen();
+  snd.connect();
+  sim.run_until(TimePoint::zero() + Duration::millis(200));
+
+  const double w0 = snd.transport().congestion().cwnd();
+  rudp::EpochReport report;
+  report.loss_ratio = 0.30;
+  snd.coordinator().on_epoch(report);
+  attr::AttrList attrs{{attr::kAdaptPktSize, 0.2},
+                       {attr::kAdaptCondErrorRatio, 0.10},
+                       {attr::kAppFrameBytes, std::int64_t{700}}};
+  snd.send_with_attrs({.bytes = 700}, attrs);
+  EXPECT_NEAR(snd.transport().congestion().cwnd(), w0 * 1.25, 1e-9);
+}
+
+// --------------------------------------------------------- metric export --
+
+TEST(MetricsExportTest, EpochsPublishNetAttributes) {
+  CorePair p;
+  for (int i = 0; i < 300; ++i) {
+    p.snd->send({.bytes = 1400});
+  }
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  auto& store = p.snd->attributes();
+  ASSERT_TRUE(store.has(attr::kNetLossRatio));
+  ASSERT_TRUE(store.has(attr::kNetRttMs));
+  ASSERT_TRUE(store.has(attr::kNetCwndPkts));
+  EXPECT_NEAR(*store.query_double(attr::kNetRttMs), 30.0, 10.0);
+  EXPECT_GE(*store.query_double(attr::kNetLossRatio), 0.0);
+}
+
+TEST(IqConnectionTest, ThresholdCallbackDrivesCoordination) {
+  // Full loop: epochs → registry → callback returns ADAPT_MARK →
+  // coordinator enables discard.
+  CorePair p;
+  int fired = 0;
+  p.snd->register_error_ratio_callbacks(
+      /*upper=*/0.0,  // any epoch (loss >= 0) triggers the upper callback
+      /*lower=*/-1.0,
+      [&](const attr::CallbackContext&) {
+        ++fired;
+        return attr::AttrList{{attr::kAdaptMark, 0.5}};
+      },
+      [](const attr::CallbackContext&) { return attr::AttrList{}; });
+  for (int i = 0; i < 200; ++i) p.snd->send({.bytes = 1400});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  EXPECT_GT(fired, 0);
+  EXPECT_TRUE(p.snd->transport().discard_unmarked());
+}
+
+TEST(IqConnectionTest, SendWithAttrsDeliversData) {
+  CorePair p;
+  std::vector<rudp::DeliveredMessage> got;
+  p.rcv->set_message_handler(
+      [&](const rudp::DeliveredMessage& m) { got.push_back(m); });
+  attr::AttrList attrs{{attr::kAdaptPktSize, 0.1}};
+  p.snd->send_with_attrs({.bytes = 5000}, attrs);
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(5));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].bytes, 5000);
+  // The adaptation attributes ride in-band to the receiver.
+  EXPECT_EQ(got[0].attrs.get_double(attr::kAdaptPktSize), 0.1);
+}
+
+}  // namespace
+}  // namespace iq::core

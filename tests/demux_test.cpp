@@ -1,0 +1,131 @@
+// Tests for DemuxWire: several independent RUDP connections over one
+// shared wire pair.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/demux_wire.hpp"
+#include "iq/wire/lossy_wire.hpp"
+#include "iq/wire/wire.hpp"
+
+namespace iq::wire {
+namespace {
+
+struct DemuxRig {
+  sim::Simulator sim;
+  std::unique_ptr<DirectWirePair> direct;
+  std::unique_ptr<LossyWirePair> lossy;
+  std::unique_ptr<DemuxWire> demux_a;
+  std::unique_ptr<DemuxWire> demux_b;
+
+  struct Conn {
+    std::unique_ptr<rudp::RudpConnection> snd;
+    std::unique_ptr<rudp::RudpConnection> rcv;
+    std::vector<rudp::DeliveredMessage> delivered;
+  };
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  explicit DemuxRig(std::size_t n, double drop = 0.0) {
+    if (drop > 0) {
+      LossyConfig lcfg;
+      lcfg.drop_probability = drop;
+      lcfg.seed = 5;
+      lossy = std::make_unique<LossyWirePair>(sim, lcfg);
+      demux_a = std::make_unique<DemuxWire>(lossy->a());
+      demux_b = std::make_unique<DemuxWire>(lossy->b());
+    } else {
+      direct = std::make_unique<DirectWirePair>(sim, Duration::millis(10));
+      demux_a = std::make_unique<DemuxWire>(direct->a());
+      demux_b = std::make_unique<DemuxWire>(direct->b());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto c = std::make_unique<Conn>();
+      rudp::RudpConfig cfg;
+      cfg.conn_id = static_cast<std::uint32_t>(i + 1);
+      c->snd = std::make_unique<rudp::RudpConnection>(
+          demux_a->lane(cfg.conn_id), cfg, rudp::Role::Client);
+      c->rcv = std::make_unique<rudp::RudpConnection>(
+          demux_b->lane(cfg.conn_id), cfg, rudp::Role::Server);
+      Conn* cp = c.get();
+      c->rcv->set_message_handler([cp](const rudp::DeliveredMessage& m) {
+        cp->delivered.push_back(m);
+      });
+      c->rcv->listen();
+      c->snd->connect();
+      conns.push_back(std::move(c));
+    }
+    sim.run_until(TimePoint::zero() + Duration::seconds(2));
+  }
+};
+
+TEST(DemuxWireTest, ThreeConnectionsEstablishIndependently) {
+  DemuxRig rig(3);
+  for (const auto& c : rig.conns) {
+    EXPECT_TRUE(c->snd->established());
+    EXPECT_TRUE(c->rcv->established());
+  }
+  EXPECT_EQ(rig.demux_b->lanes(), 3u);
+}
+
+TEST(DemuxWireTest, TrafficRoutedToOwningConnection) {
+  DemuxRig rig(3);
+  rig.conns[0]->snd->send_message({.bytes = 100});
+  rig.conns[2]->snd->send_message({.bytes = 300});
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(2));
+  EXPECT_EQ(rig.conns[0]->delivered.size(), 1u);
+  EXPECT_TRUE(rig.conns[1]->delivered.empty());
+  EXPECT_EQ(rig.conns[2]->delivered.size(), 1u);
+  EXPECT_EQ(rig.conns[0]->delivered[0].bytes, 100);
+  EXPECT_EQ(rig.conns[2]->delivered[0].bytes, 300);
+  EXPECT_EQ(rig.demux_b->unrouted(), 0u);
+}
+
+TEST(DemuxWireTest, UnknownConnIdCountsUnrouted) {
+  DemuxRig rig(1);
+  rudp::Segment stray;
+  stray.type = rudp::SegmentType::Data;
+  stray.conn_id = 99;  // no lane
+  stray.payload_bytes = 10;
+  rig.direct->a().send(stray);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(1));
+  EXPECT_EQ(rig.demux_b->unrouted(), 1u);
+}
+
+TEST(DemuxWireTest, LanesSurviveLoss) {
+  DemuxRig rig(2, /*drop=*/0.15);
+  for (const auto& c : rig.conns) ASSERT_TRUE(c->snd->established());
+  for (int i = 0; i < 25; ++i) {
+    rig.conns[0]->snd->send_message({.bytes = 2000});
+    rig.conns[1]->snd->send_message({.bytes = 3000});
+  }
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(120));
+  EXPECT_EQ(rig.conns[0]->delivered.size(), 25u);
+  EXPECT_EQ(rig.conns[1]->delivered.size(), 25u);
+  for (const auto& m : rig.conns[0]->delivered) EXPECT_EQ(m.bytes, 2000);
+  for (const auto& m : rig.conns[1]->delivered) EXPECT_EQ(m.bytes, 3000);
+}
+
+TEST(DemuxWireTest, RemoveLaneStopsRouting) {
+  DemuxRig rig(2);
+  EXPECT_TRUE(rig.demux_b->remove_lane(1));
+  rig.conns[0]->snd->send_message({.bytes = 100});
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(1));
+  EXPECT_TRUE(rig.conns[0]->delivered.empty());
+  EXPECT_GT(rig.demux_b->unrouted(), 0u);
+  EXPECT_FALSE(rig.demux_b->remove_lane(1));
+}
+
+TEST(DemuxWireTest, LaneHandleStablePerId) {
+  sim::Simulator sim;
+  DirectWirePair pair(sim, Duration::millis(1));
+  DemuxWire demux(pair.a());
+  EXPECT_EQ(&demux.lane(7), &demux.lane(7));
+  EXPECT_NE(&demux.lane(7), &demux.lane(8));
+}
+
+}  // namespace
+}  // namespace iq::wire

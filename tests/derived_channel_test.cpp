@@ -1,0 +1,138 @@
+// Tests for derived channels: transform chains, suppression, per-stage
+// accounting, ready-made transforms — in isolation and over a live
+// connection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/echo/derived.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/wire.hpp"
+
+namespace iq::echo {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  wire::DirectWirePair wires{sim, Duration::millis(5)};
+  std::unique_ptr<core::IqRudpConnection> snd;
+  std::unique_ptr<core::IqRudpConnection> rcv;
+  std::unique_ptr<EventChannel> chan_s;
+  std::unique_ptr<EventChannel> chan_r;
+  std::vector<ReceivedEvent> got;
+
+  Rig() {
+    rudp::RudpConfig cfg;
+    snd = std::make_unique<core::IqRudpConnection>(wires.a(), cfg,
+                                                   rudp::Role::Client);
+    rudp::RudpConfig rcfg;
+    rcfg.recv_loss_tolerance = 0.5;
+    rcv = std::make_unique<core::IqRudpConnection>(wires.b(), rcfg,
+                                                   rudp::Role::Server);
+    chan_s = std::make_unique<EventChannel>("base", *snd);
+    chan_r = std::make_unique<EventChannel>("base", *rcv);
+    chan_r->set_event_handler(
+        [this](const ReceivedEvent& e) { got.push_back(e); });
+    rcv->listen();
+    snd->connect();
+    sim.run_until(TimePoint::zero() + Duration::millis(100));
+  }
+};
+
+TEST(DerivedChannelTest, PassThroughWithoutTransforms) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  auto res = d.submit({.bytes = 1000});
+  ASSERT_TRUE(res.has_value());
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  ASSERT_EQ(r.got.size(), 1u);
+  EXPECT_EQ(r.got[0].event.bytes, 1000);
+}
+
+TEST(DerivedChannelTest, FilterSuppresses) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("small-only", DerivedChannel::filter([](const Event& e) {
+                    return e.bytes < 500;
+                  }));
+  EXPECT_TRUE(d.submit({.bytes = 100}).has_value());
+  EXPECT_FALSE(d.submit({.bytes = 900}).has_value());
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  EXPECT_EQ(r.got.size(), 1u);
+  const auto& st = d.stages()[0];
+  EXPECT_EQ(st.seen, 2u);
+  EXPECT_EQ(st.suppressed, 1u);
+}
+
+TEST(DerivedChannelTest, DownsampleScalesBytes) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("half-res", DerivedChannel::downsample(0.5));
+  d.submit({.bytes = 1000});
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  ASSERT_EQ(r.got.size(), 1u);
+  EXPECT_EQ(r.got[0].event.bytes, 500);
+  EXPECT_EQ(d.stages()[0].bytes_in, 1000);
+  EXPECT_EQ(d.stages()[0].bytes_out, 500);
+}
+
+TEST(DerivedChannelTest, DownsampleNeverBelowOneByte) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("crush", DerivedChannel::downsample(1e-9));
+  d.submit({.bytes = 100});
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  ASSERT_EQ(r.got.size(), 1u);
+  EXPECT_EQ(r.got[0].event.bytes, 1);
+}
+
+TEST(DerivedChannelTest, PrioritizeRetags) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("focus", DerivedChannel::prioritize([](const Event& e) {
+                    return e.meta.get_bool("in_focus").value_or(false);
+                  }));
+  Event in_focus;
+  in_focus.bytes = 100;
+  in_focus.tagged = false;  // transform overrides
+  in_focus.meta.set("in_focus", true);
+  Event out_of_focus;
+  out_of_focus.bytes = 100;
+  out_of_focus.tagged = true;
+  d.submit(in_focus);
+  d.submit(out_of_focus);
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  ASSERT_EQ(r.got.size(), 2u);
+  EXPECT_TRUE(r.got[0].event.tagged);
+  EXPECT_FALSE(r.got[1].event.tagged);
+}
+
+TEST(DerivedChannelTest, ThinKeepsEveryKth) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("1-in-3", DerivedChannel::thin(3));
+  int kept = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (d.submit({.bytes = 10}).has_value()) ++kept;
+  }
+  EXPECT_EQ(kept, 4);  // indices 0, 3, 6, 9
+}
+
+TEST(DerivedChannelTest, StagesCompose) {
+  Rig r;
+  DerivedChannel d("derived", *r.chan_s);
+  d.add_transform("1-in-2", DerivedChannel::thin(2));
+  d.add_transform("half-res", DerivedChannel::downsample(0.5));
+  for (int i = 0; i < 6; ++i) d.submit({.bytes = 1000});
+  r.sim.run_until(TimePoint::zero() + Duration::seconds(1));
+  ASSERT_EQ(r.got.size(), 3u);
+  for (const auto& e : r.got) EXPECT_EQ(e.event.bytes, 500);
+  // The thin stage saw all six; the downsampler only the survivors.
+  EXPECT_EQ(d.stages()[0].seen, 6u);
+  EXPECT_EQ(d.stages()[1].seen, 3u);
+}
+
+}  // namespace
+}  // namespace iq::echo

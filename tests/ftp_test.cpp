@@ -1,0 +1,164 @@
+// Tests for the IQ-FTP module: manifest/framing, complete transfer,
+// selective loss under congestion, hole reporting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iq/ftp/iq_ftp.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/wire/sim_wire.hpp"
+#include "iq/workload/cbr_source.hpp"
+
+namespace iq::ftp {
+namespace {
+
+struct FtpRig {
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Dumbbell db{network, {.pairs = 2}};
+  net::CountingSink cross_sink;
+  std::unique_ptr<workload::CbrSource> cross;
+  std::unique_ptr<wire::SimWire> wsnd;
+  std::unique_ptr<wire::SimWire> wrcv;
+  std::unique_ptr<core::IqRudpConnection> snd;
+  std::unique_ptr<core::IqRudpConnection> rcv;
+  std::unique_ptr<IqFtpSender> sender;
+  std::unique_ptr<IqFtpReceiver> receiver;
+
+  FtpRig(const FileSpec& file, CriticalFn critical, double tolerance,
+         std::int64_t cross_bps) {
+    if (cross_bps > 0) {
+      db.right(1).bind(9000, &cross_sink);
+      workload::CbrConfig cc;
+      cc.rate_bps = cross_bps;
+      cross = std::make_unique<workload::CbrSource>(network, db.left(1),
+                                                    db.right(1), cc);
+      cross->start();
+    }
+    const net::Endpoint a{db.left(0).id(), 21};
+    const net::Endpoint b{db.right(0).id(), 21};
+    wsnd = std::make_unique<wire::SimWire>(network, a, b, 1);
+    wrcv = std::make_unique<wire::SimWire>(network, b, a, 1);
+    rudp::RudpConfig scfg;
+    rudp::RudpConfig rcfg;
+    rcfg.recv_loss_tolerance = tolerance;
+    snd = std::make_unique<core::IqRudpConnection>(*wsnd, scfg,
+                                                   rudp::Role::Client);
+    rcv = std::make_unique<core::IqRudpConnection>(*wrcv, rcfg,
+                                                   rudp::Role::Server);
+    sender = std::make_unique<IqFtpSender>(*snd, file, std::move(critical));
+    receiver = std::make_unique<IqFtpReceiver>(*rcv);
+    rcv->listen();
+    snd->set_established_handler([this] { sender->start(); });
+    snd->connect();
+  }
+
+  void run_until_complete(double max_s) {
+    const TimePoint deadline = TimePoint::zero() + Duration::from_seconds(max_s);
+    while (sim.now() < deadline && !receiver->complete()) {
+      sim.run_for(Duration::millis(100));
+    }
+  }
+};
+
+TEST(FileSpecTest, BlockGeometry) {
+  FileSpec f{.total_bytes = 100'000, .block_bytes = 16'384};
+  EXPECT_EQ(f.block_count(), 7u);
+  EXPECT_EQ(f.bytes_of_block(0), 16'384);
+  EXPECT_EQ(f.bytes_of_block(6), 100'000 - 6 * 16'384);
+}
+
+TEST(FileSpecTest, ExactMultiple) {
+  FileSpec f{.total_bytes = 32'768, .block_bytes = 16'384};
+  EXPECT_EQ(f.block_count(), 2u);
+  EXPECT_EQ(f.bytes_of_block(1), 16'384);
+}
+
+TEST(IqFtpTest, UncongestedTransferCompletesFully) {
+  FileSpec file{.total_bytes = 1'000'000, .block_bytes = 16'384};
+  FtpRig rig(file, [](std::uint64_t) { return true; }, 0.0, 0);
+  rig.run_until_complete(60);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto& rep = rig.receiver->report();
+  EXPECT_EQ(rep.blocks_total, file.block_count());
+  EXPECT_EQ(rep.blocks_received, file.block_count());
+  EXPECT_EQ(rep.bytes_received, file.total_bytes);
+  EXPECT_TRUE(rep.missing.empty());
+  EXPECT_TRUE(rig.sender->done());
+}
+
+TEST(IqFtpTest, SelectiveTransferKeepsCriticalBlocks) {
+  FileSpec file{.total_bytes = 4'000'000, .block_bytes = 16'384};
+  auto critical = [](std::uint64_t b) { return b < 8 || b % 10 == 0; };
+  FtpRig rig(file, critical, /*tolerance=*/0.5, /*cross=*/17'000'000);
+  rig.run_until_complete(300);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto& rep = rig.receiver->report();
+  // Every critical block arrived.
+  EXPECT_EQ(rep.critical_received, rig.sender->critical_blocks());
+  for (std::uint64_t missing : rep.missing) {
+    EXPECT_FALSE(critical(missing)) << "critical block " << missing
+                                    << " was abandoned";
+  }
+  // Under heavy congestion with 50% tolerance, some blocks were abandoned.
+  EXPECT_GT(rep.missing.size(), 0u);
+  EXPECT_LE(static_cast<double>(rep.missing.size()),
+            0.5 * static_cast<double>(rep.blocks_total) + 1);
+}
+
+TEST(IqFtpTest, SelectiveFasterThanReliableUnderCongestion) {
+  FileSpec file{.total_bytes = 3'000'000, .block_bytes = 16'384};
+  auto critical = [](std::uint64_t b) { return b % 10 == 0; };
+
+  FtpRig lossy(file, critical, 0.5, 17'000'000);
+  lossy.run_until_complete(300);
+  FtpRig reliable(file, [](std::uint64_t) { return true; }, 0.0, 17'000'000);
+  reliable.run_until_complete(300);
+
+  ASSERT_TRUE(lossy.receiver->complete());
+  ASSERT_TRUE(reliable.receiver->complete());
+  EXPECT_LT(lossy.receiver->report().duration_s(),
+            reliable.receiver->report().duration_s());
+  EXPECT_TRUE(reliable.receiver->report().missing.empty());
+}
+
+TEST(IqFtpTest, HoleFillSecondPassCompletesTheFile) {
+  FileSpec file{.total_bytes = 2'000'000, .block_bytes = 16'384};
+  FtpRig rig(file, [](std::uint64_t b) { return b % 5 == 0; }, 0.5,
+             17'000'000);
+  rig.run_until_complete(300);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto holes = rig.receiver->report().missing;
+  ASSERT_GT(holes.size(), 0u);
+
+  // Stop the cross traffic (transfer window found) and fill the holes.
+  rig.cross->stop();
+  rig.sender->fill_holes(holes);
+  const TimePoint deadline = rig.sim.now() + Duration::seconds(120);
+  while (rig.sim.now() < deadline &&
+         !rig.receiver->report().missing.empty()) {
+    rig.sim.run_for(Duration::millis(100));
+  }
+  EXPECT_TRUE(rig.receiver->report().missing.empty());
+  EXPECT_EQ(rig.receiver->report().blocks_received, file.block_count());
+  EXPECT_EQ(rig.receiver->report().bytes_received, file.total_bytes);
+}
+
+TEST(IqFtpTest, MissingListMatchesBitmap) {
+  FileSpec file{.total_bytes = 2'000'000, .block_bytes = 16'384};
+  FtpRig rig(file, [](std::uint64_t b) { return b % 2 == 0; }, 0.5,
+             17'000'000);
+  rig.run_until_complete(300);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto& rep = rig.receiver->report();
+  EXPECT_EQ(rep.blocks_received + rep.missing.size(), rep.blocks_total);
+  // Missing indices are sorted and unique by construction.
+  for (std::size_t i = 1; i < rep.missing.size(); ++i) {
+    EXPECT_LT(rep.missing[i - 1], rep.missing[i]);
+  }
+}
+
+}  // namespace
+}  // namespace iq::ftp

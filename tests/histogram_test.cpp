@@ -1,0 +1,105 @@
+// Tests for the log-bucketed histogram and its quantile estimates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/stats/histogram.hpp"
+
+namespace iq::stats {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  // Quantiles of a single sample are that sample (within bucket width).
+  EXPECT_NEAR(h.p50(), 5.0, 5.0 * 0.25);
+}
+
+TEST(HistogramTest, MeanExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, QuantilesOfUniformSamples) {
+  Histogram h(1e-3, 1e3, 256);
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(1.0, 100.0);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  auto exact = [&](double q) {
+    return values[static_cast<std::size_t>(q * (values.size() - 1))];
+  };
+  EXPECT_NEAR(h.p50(), exact(0.50), exact(0.50) * 0.08);
+  EXPECT_NEAR(h.p95(), exact(0.95), exact(0.95) * 0.08);
+  EXPECT_NEAR(h.p99(), exact(0.99), exact(0.99) * 0.08);
+}
+
+TEST(HistogramTest, QuantilesMonotone) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) h.add(rng.exponential(3.0) + 1e-3);
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampedNotLost) {
+  Histogram h(1.0, 10.0, 8);
+  h.add(0.001);   // below range
+  h.add(1000.0);  // above range
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombined) {
+  Histogram a(1e-3, 1e3, 64), b(1e-3, 1e3, 64), all(1e-3, 1e3, 64);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(0.01, 500.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  // Summation order differs, so allow floating-point slack on the mean.
+  EXPECT_NEAR(a.mean(), all.mean(), all.mean() * 1e-12);
+  EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+}
+
+TEST(HistogramTest, SummaryMentionsQuantiles) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  const std::string s = h.summary("ms");
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iq::stats

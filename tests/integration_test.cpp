@@ -1,0 +1,107 @@
+// System-level integration tests: reduced-scale versions of the paper's
+// experiments, asserting each table's *qualitative* claim (who wins and in
+// which metric) rather than absolute numbers.
+
+#include <gtest/gtest.h>
+
+#include "iq/harness/scenarios.hpp"
+
+namespace iq::harness {
+namespace {
+
+/// Shrink a scenario so it runs in a second or two of wall time while
+/// keeping its relative structure.
+ExperimentConfig shrink(ExperimentConfig cfg, std::uint64_t frames) {
+  cfg.total_frames = frames;
+  cfg.max_sim_time = Duration::seconds(240);
+  return cfg;
+}
+
+TEST(IntegrationTest, Scheme1_CoordinationFinishesFasterUnderConflict) {
+  // Table 3 claim: with marking adaptation, coordinated IQ-RUDP finishes
+  // sooner and delivers fewer messages (but within the 40% tolerance)
+  // than uncoordinated RUDP.
+  const auto iq = run_experiment(shrink(scenarios::table3(SchemeSpec::iq_rudp()), 200));
+  const auto ru = run_experiment(shrink(scenarios::table3(SchemeSpec::rudp()), 200));
+  ASSERT_TRUE(iq.completed);
+  ASSERT_TRUE(ru.completed);
+
+  // Coordinated run discards unmarked traffic at the sender...
+  EXPECT_GT(iq.rudp.messages_discarded_at_send, 0u);
+  EXPECT_EQ(ru.rudp.messages_discarded_at_send, 0u);
+  // ...delivering less but never beyond tolerance...
+  EXPECT_LT(iq.summary.delivered_pct, ru.summary.delivered_pct + 1e-9);
+  EXPECT_GE(iq.summary.delivered_pct, 60.0 - 1e-9);
+  // ...and finishing no later.
+  EXPECT_LE(iq.summary.duration_s, ru.summary.duration_s * 1.05);
+}
+
+TEST(IntegrationTest, Scheme2_CoordinationAvoidsOverReaction) {
+  // Table 6 claim: with resolution adaptation on sub-MSS frames,
+  // coordinated IQ-RUDP sustains higher throughput than uncoordinated
+  // RUDP under heavy congestion.
+  const auto iq = run_experiment(
+      shrink(scenarios::table6(SchemeSpec::iq_rudp(), 16'000'000), 1500));
+  const auto ru = run_experiment(
+      shrink(scenarios::table6(SchemeSpec::rudp(), 16'000'000), 1500));
+  ASSERT_TRUE(iq.completed);
+  ASSERT_TRUE(ru.completed);
+  EXPECT_GT(iq.coordination.window_rescales, 0u);
+  EXPECT_EQ(ru.coordination.window_rescales, 0u);
+  EXPECT_GT(iq.summary.throughput_kBps, ru.summary.throughput_kBps * 0.98);
+}
+
+TEST(IntegrationTest, Scheme3_DeferralsResolveThroughSendPath) {
+  auto cfg = shrink(scenarios::table8(SchemeSpec::iq_rudp()), 3000);
+  // This test exercises the mechanism, not the performance claim: make the
+  // thresholds sensitive so deferrals and compensations occur in a short
+  // run.
+  cfg.upper_threshold = 0.02;
+  const auto iq = run_experiment(cfg);
+  ASSERT_TRUE(iq.completed);
+  // The granularity-limited app deferred at least one adaptation, and the
+  // coordinator resolved it on a send call with ADAPT_COND compensation.
+  EXPECT_GT(iq.coordination.deferrals_noted, 0u);
+  EXPECT_GT(iq.coordination.deferred_resolved, 0u);
+  EXPECT_GT(iq.coordination.cond_compensations, 0u);
+}
+
+TEST(IntegrationTest, TcpAndRudpCoexist) {
+  // Table 2 claim: against a TCP cross flow, RUDP's throughput is in the
+  // same ballpark as TCP's (fairness), with TCP somewhat ahead.
+  auto cfg = shrink(scenarios::table2(SchemeSpec::rudp()), 2000);
+  const auto ru = run_experiment(cfg);
+  ASSERT_TRUE(ru.completed);
+  // The flow made progress despite the competing TCP bulk transfer.
+  EXPECT_GT(ru.summary.throughput_kBps, 100.0);
+}
+
+TEST(IntegrationTest, AdaptationImprovesCompletionTime) {
+  // Table 1 claim: application adaptation shortens the run vs no
+  // adaptation under the same 18 Mb cross traffic.
+  const auto no_adapt =
+      run_experiment(shrink(scenarios::table1(SchemeSpec::rudp(), false), 120));
+  const auto adapt = run_experiment(
+      shrink(scenarios::table1(SchemeSpec::iq_rudp(), true), 120));
+  ASSERT_TRUE(no_adapt.completed);
+  ASSERT_TRUE(adapt.completed);
+  EXPECT_LT(adapt.summary.duration_s, no_adapt.summary.duration_s);
+}
+
+TEST(IntegrationTest, MessagesConservedAcrossAllSchemes) {
+  for (const auto& scheme :
+       {SchemeSpec::rudp(), SchemeSpec::iq_rudp(), SchemeSpec::app_only()}) {
+    auto cfg = shrink(scenarios::table3(scheme), 150);
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.completed) << scheme.label;
+    // offered = delivered + dropped-in-flight + discarded-at-send.
+    EXPECT_EQ(r.rudp.messages_offered, cfg.total_frames) << scheme.label;
+    EXPECT_EQ(r.rudp.messages_delivered + r.rudp.messages_dropped +
+                  r.rudp.messages_discarded_at_send,
+              cfg.total_frames)
+        << scheme.label;
+  }
+}
+
+}  // namespace
+}  // namespace iq::harness

@@ -1,0 +1,163 @@
+// Tests for ChannelMux: per-channel routing, shared reliability semantics,
+// unrouted accounting, channel-attribute hygiene.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/echo/mux.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+#include "iq/wire/wire.hpp"
+
+namespace iq::echo {
+namespace {
+
+struct MuxRig {
+  sim::Simulator sim;
+  std::unique_ptr<wire::DirectWirePair> direct;
+  std::unique_ptr<wire::LossyWirePair> lossy;
+  std::unique_ptr<core::IqRudpConnection> snd;
+  std::unique_ptr<core::IqRudpConnection> rcv;
+  std::unique_ptr<ChannelMux> mux_s;
+  std::unique_ptr<ChannelMux> mux_r;
+
+  explicit MuxRig(double tolerance = 0.0, double drop = 0.0) {
+    rudp::RudpConfig cfg;
+    rudp::RudpConfig rcfg;
+    rcfg.recv_loss_tolerance = tolerance;
+    if (drop > 0) {
+      wire::LossyConfig lcfg;
+      lcfg.drop_probability = drop;
+      lcfg.seed = 9;
+      lossy = std::make_unique<wire::LossyWirePair>(sim, lcfg);
+      snd = std::make_unique<core::IqRudpConnection>(lossy->a(), cfg,
+                                                     rudp::Role::Client);
+      rcv = std::make_unique<core::IqRudpConnection>(lossy->b(), rcfg,
+                                                     rudp::Role::Server);
+    } else {
+      direct =
+          std::make_unique<wire::DirectWirePair>(sim, Duration::millis(10));
+      snd = std::make_unique<core::IqRudpConnection>(direct->a(), cfg,
+                                                     rudp::Role::Client);
+      rcv = std::make_unique<core::IqRudpConnection>(direct->b(), rcfg,
+                                                     rudp::Role::Server);
+    }
+    mux_s = std::make_unique<ChannelMux>(*snd);
+    mux_r = std::make_unique<ChannelMux>(*rcv);
+    rcv->listen();
+    snd->connect();
+    sim.run_until(TimePoint::zero() + Duration::seconds(2));
+  }
+
+  void run_s(double s) { sim.run_until(sim.now() + Duration::from_seconds(s)); }
+};
+
+TEST(ChannelMuxTest, RoutesByChannelName) {
+  MuxRig rig;
+  std::vector<std::int64_t> control, geometry;
+  rig.mux_r->subscribe("control", [&](const ReceivedEvent& e) {
+    control.push_back(e.event.bytes);
+  });
+  rig.mux_r->subscribe("geometry", [&](const ReceivedEvent& e) {
+    geometry.push_back(e.event.bytes);
+  });
+
+  rig.mux_s->channel("control").submit({.bytes = 100});
+  rig.mux_s->channel("geometry").submit({.bytes = 9000});
+  rig.mux_s->channel("control").submit({.bytes = 120});
+  rig.run_s(2);
+
+  EXPECT_EQ(control, (std::vector<std::int64_t>{100, 120}));
+  EXPECT_EQ(geometry, (std::vector<std::int64_t>{9000}));
+  EXPECT_EQ(rig.mux_r->delivered_on("control"), 2u);
+  EXPECT_EQ(rig.mux_r->delivered_on("geometry"), 1u);
+}
+
+TEST(ChannelMuxTest, UnsubscribedChannelCountsUnrouted) {
+  MuxRig rig;
+  rig.mux_s->channel("nobody-listens").submit({.bytes = 10});
+  rig.run_s(2);
+  EXPECT_EQ(rig.mux_r->unrouted(), 1u);
+  EXPECT_EQ(rig.mux_r->delivered(), 0u);
+}
+
+TEST(ChannelMuxTest, ChannelAttributeStrippedFromMeta) {
+  MuxRig rig;
+  attr::AttrList seen;
+  rig.mux_r->subscribe("c", [&](const ReceivedEvent& e) { seen = e.event.meta; });
+  Event ev;
+  ev.bytes = 50;
+  ev.meta.set("frame", std::int64_t{3});
+  rig.mux_s->channel("c").submit(ev);
+  rig.run_s(2);
+  EXPECT_FALSE(seen.has(kChannelAttr));
+  EXPECT_EQ(seen.get_int("frame"), 3);
+}
+
+TEST(ChannelMuxTest, SameHandleReturnedPerName) {
+  MuxRig rig;
+  EXPECT_EQ(&rig.mux_s->channel("x"), &rig.mux_s->channel("x"));
+  EXPECT_NE(&rig.mux_s->channel("x"), &rig.mux_s->channel("y"));
+}
+
+TEST(ChannelMuxTest, UnsubscribeStopsDelivery) {
+  MuxRig rig;
+  int got = 0;
+  rig.mux_r->subscribe("c", [&](const ReceivedEvent&) { ++got; });
+  rig.mux_s->channel("c").submit({.bytes = 10});
+  rig.run_s(2);
+  EXPECT_TRUE(rig.mux_r->unsubscribe("c"));
+  rig.mux_s->channel("c").submit({.bytes = 10});
+  rig.run_s(2);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(rig.mux_r->unrouted(), 1u);
+  EXPECT_FALSE(rig.mux_r->unsubscribe("c"));
+}
+
+TEST(ChannelMuxTest, MarkedChannelSurvivesLossUnmarkedMayNot) {
+  MuxRig rig(/*tolerance=*/0.6, /*drop=*/0.25);
+  ASSERT_TRUE(rig.snd->established());
+  int control = 0, bulk = 0;
+  rig.mux_r->subscribe("control", [&](const ReceivedEvent&) { ++control; });
+  rig.mux_r->subscribe("bulk", [&](const ReceivedEvent&) { ++bulk; });
+
+  for (int i = 0; i < 40; ++i) {
+    rig.mux_s->channel("control").submit({.bytes = 200, .tagged = true});
+    rig.mux_s->channel("bulk").submit({.bytes = 1400, .tagged = false});
+  }
+  rig.run_s(120);
+  EXPECT_EQ(control, 40);  // marked stream fully delivered
+  EXPECT_LE(bulk, 40);     // unmarked stream may have been thinned
+  // Everything is accounted: delivered + transport-level drops == offered.
+  EXPECT_EQ(rig.mux_r->delivered() +
+                rig.rcv->transport().stats().messages_dropped,
+            80u);
+}
+
+TEST(ChannelMuxTest, InterleavedChannelsKeepPerChannelOrder) {
+  MuxRig rig;
+  std::vector<std::uint64_t> a_ids, b_ids;
+  rig.mux_r->subscribe("a", [&](const ReceivedEvent& e) {
+    a_ids.push_back(e.event.id);
+  });
+  rig.mux_r->subscribe("b", [&](const ReceivedEvent& e) {
+    b_ids.push_back(e.event.id);
+  });
+  for (int i = 0; i < 20; ++i) {
+    rig.mux_s->channel(i % 2 == 0 ? "a" : "b").submit({.bytes = 500});
+  }
+  rig.run_s(5);
+  ASSERT_EQ(a_ids.size(), 10u);
+  ASSERT_EQ(b_ids.size(), 10u);
+  for (std::size_t i = 1; i < a_ids.size(); ++i) {
+    EXPECT_GT(a_ids[i], a_ids[i - 1]);
+  }
+  for (std::size_t i = 1; i < b_ids.size(); ++i) {
+    EXPECT_GT(b_ids[i], b_ids[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace iq::echo

@@ -1,0 +1,99 @@
+// Tests for the parking-lot topology and RUDP across multiple bottlenecks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iq/net/parking_lot.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/wire/sim_wire.hpp"
+#include "iq/workload/cbr_source.hpp"
+
+namespace iq::net {
+namespace {
+
+TEST(ParkingLotTest, EndToEndPathCrossesAllBottlenecks) {
+  sim::Simulator sim;
+  Network net(sim);
+  ParkingLot pl(net, {.hops = 3});
+  CountingSink sink;
+  pl.dst().bind(7, &sink);
+  pl.src().send(
+      net.make_packet({pl.src().id(), 7}, {pl.dst().id(), 7}, 1, 1000));
+  sim.run();
+  EXPECT_EQ(sink.packets(), 1u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pl.bottleneck(i).transmitted(), 1u) << "hop " << i;
+  }
+}
+
+TEST(ParkingLotTest, CrossFlowTouchesOnlyItsHop) {
+  sim::Simulator sim;
+  Network net(sim);
+  ParkingLot pl(net, {.hops = 3});
+  CountingSink sink;
+  pl.cross_dst(1).bind(7, &sink);
+  pl.cross_src(1).send(net.make_packet({pl.cross_src(1).id(), 7},
+                                       {pl.cross_dst(1).id(), 7}, 2, 1000));
+  sim.run();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(pl.bottleneck(0).transmitted(), 0u);
+  EXPECT_EQ(pl.bottleneck(1).transmitted(), 1u);
+  EXPECT_EQ(pl.bottleneck(2).transmitted(), 0u);
+}
+
+TEST(ParkingLotTest, EndToEndDelaySumsHops) {
+  sim::Simulator sim;
+  Network net(sim);
+  ParkingLotConfig cfg{.hops = 4};
+  cfg.hop_delay = Duration::millis(10);
+  cfg.access_delay = Duration::millis(1);
+  ParkingLot pl(net, cfg);
+  TimePoint arrival;
+  CallbackSink capture([&](PacketPtr) { arrival = sim.now(); });
+  pl.dst().bind(7, &capture);
+  pl.src().send(
+      net.make_packet({pl.src().id(), 7}, {pl.dst().id(), 7}, 1, 100));
+  sim.run();
+  // 4 x 10 ms hops + 2 x 1 ms access (+ tiny serialization).
+  EXPECT_GE((arrival - TimePoint::zero()).ms(), 42);
+  EXPECT_LE((arrival - TimePoint::zero()).ms(), 44);
+}
+
+TEST(ParkingLotTest, RudpReliableAcrossCongestedChain) {
+  sim::Simulator sim;
+  Network net(sim);
+  ParkingLot pl(net, {.hops = 2});
+
+  // Congest each hop with 19 Mb/s of UDP.
+  CountingSink xs0, xs1;
+  pl.cross_dst(0).bind(9, &xs0);
+  pl.cross_dst(1).bind(9, &xs1);
+  workload::CbrConfig cc;
+  cc.rate_bps = 19'000'000;
+  cc.src_port = 9;
+  cc.dst_port = 9;
+  workload::CbrSource cross0(net, pl.cross_src(0), pl.cross_dst(0), cc);
+  workload::CbrSource cross1(net, pl.cross_src(1), pl.cross_dst(1), cc);
+  cross0.start();
+  cross1.start();
+
+  wire::SimWire wsnd(net, {pl.src().id(), 21}, {pl.dst().id(), 21}, 1);
+  wire::SimWire wrcv(net, {pl.dst().id(), 21}, {pl.src().id(), 21}, 1);
+  rudp::RudpConnection snd(wsnd, {}, rudp::Role::Client);
+  rudp::RudpConnection rcv(wrcv, {}, rudp::Role::Server);
+  int delivered = 0;
+  rcv.set_message_handler([&](const rudp::DeliveredMessage&) { ++delivered; });
+  rcv.listen();
+  snd.connect();
+  sim.run_until(TimePoint::zero() + Duration::seconds(2));
+  ASSERT_TRUE(snd.established());
+  for (int i = 0; i < 60; ++i) snd.send_message({.bytes = 5000});
+  sim.run_until(TimePoint::zero() + Duration::seconds(120));
+  EXPECT_EQ(delivered, 60);
+  EXPECT_GT(snd.stats().segments_retransmitted, 0u);
+}
+
+}  // namespace
+}  // namespace iq::net

@@ -1,0 +1,109 @@
+// Tests for the per-packet RecordingTracer.
+
+#include <gtest/gtest.h>
+
+#include "iq/net/dumbbell.hpp"
+#include "iq/net/recording_tracer.hpp"
+#include "iq/net/sinks.hpp"
+
+namespace iq::net {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  Network net{sim};
+  RecordingTracer tracer{sim};
+  Dumbbell db{net, {.pairs = 1}};
+  CountingSink sink;
+
+  Rig() {
+    net.set_tracer(&tracer);
+    db.right(0).bind(7, &sink);
+  }
+
+  void send(std::int64_t bytes, std::uint32_t flow) {
+    db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                    {db.right(0).id(), 7}, flow, bytes));
+  }
+};
+
+TEST(RecordingTracerTest, RecordsTransmitAndDeliver) {
+  Rig r;
+  r.send(500, 1);
+  r.sim.run();
+  // 3 hops: 3 transmits + 3 delivers.
+  EXPECT_EQ(r.tracer.filter(RecordingTracer::EventKind::Transmit).size(), 3u);
+  EXPECT_EQ(r.tracer.filter(RecordingTracer::EventKind::Deliver).size(), 3u);
+  EXPECT_TRUE(r.tracer.filter(RecordingTracer::EventKind::Drop).empty());
+}
+
+TEST(RecordingTracerTest, FlowFilter) {
+  Rig r;
+  r.send(500, 1);
+  r.send(500, 2);
+  r.send(500, 2);
+  r.sim.run();
+  EXPECT_EQ(r.tracer.filter(RecordingTracer::EventKind::Transmit, 1).size(),
+            3u);
+  EXPECT_EQ(r.tracer.filter(RecordingTracer::EventKind::Transmit, 2).size(),
+            6u);
+}
+
+TEST(RecordingTracerTest, TimestampsMonotone) {
+  Rig r;
+  for (int i = 0; i < 20; ++i) r.send(1400, 1);
+  r.sim.run();
+  const auto& evs = r.tracer.events();
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_GE(evs[i].at, evs[i - 1].at);
+  }
+}
+
+TEST(RecordingTracerTest, DropsRecordedOnOverflow) {
+  sim::Simulator sim;
+  Network net(sim);
+  RecordingTracer tracer(sim);
+  DumbbellConfig cfg{.pairs = 1};
+  cfg.bottleneck_queue_bytes = 2 * 1500;  // tiny queue
+  Dumbbell db(net, cfg);
+  net.set_tracer(&tracer);
+  CountingSink sink;
+  db.right(0).bind(7, &sink);
+  for (int i = 0; i < 50; ++i) {
+    db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                    {db.right(0).id(), 7}, 1, 1400));
+  }
+  sim.run();
+  EXPECT_GT(tracer.filter(RecordingTracer::EventKind::Drop).size(), 0u);
+}
+
+TEST(RecordingTracerTest, CapacityBoundsMemory) {
+  sim::Simulator sim;
+  Network net(sim);
+  RecordingTracer tracer(sim, /*capacity=*/100);
+  Dumbbell db(net, {.pairs = 1});
+  net.set_tracer(&tracer);
+  CountingSink sink;
+  db.right(0).bind(7, &sink);
+  for (int i = 0; i < 200; ++i) {
+    db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                    {db.right(0).id(), 7}, 1, 100));
+  }
+  sim.run();
+  EXPECT_LE(tracer.events().size(), 100u);
+  EXPECT_GT(tracer.discarded(), 0u);
+}
+
+TEST(RecordingTracerTest, CsvHasHeaderAndRows) {
+  Rig r;
+  r.send(500, 9);
+  r.sim.run();
+  const std::string csv = r.tracer.to_csv();
+  EXPECT_NE(csv.find("time_s,kind,flow,packet,bytes,link"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",tx,9,"), std::string::npos);
+  EXPECT_NE(csv.find(",rx,9,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iq::net

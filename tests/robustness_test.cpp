@@ -1,0 +1,137 @@
+// Robustness tests: the codec against arbitrary bytes (fuzz-style), and
+// controller smoothness properties under identical loss patterns.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/rudp/codec.hpp"
+#include "iq/rudp/congestion.hpp"
+#include "iq/stats/running_stats.hpp"
+
+namespace iq::rudp {
+namespace {
+
+// ----------------------------------------------------------- codec fuzz ---
+
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    Bytes garbage(len);
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    // Must return nullopt or a structurally valid segment — never crash.
+    auto decoded = decode_segment(garbage);
+    if (decoded.has_value()) {
+      const Segment& s = decoded->segment;
+      EXPECT_GE(static_cast<int>(s.type), 1);
+      EXPECT_LE(static_cast<int>(s.type), 7);
+      if (s.type == SegmentType::Data) {
+        EXPECT_LT(s.frag_index, s.frag_count);
+      }
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, BitFlippedSegmentsNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  Segment seg;
+  seg.type = SegmentType::Data;
+  seg.seq = 42;
+  seg.msg_id = 7;
+  seg.payload_bytes = 64;
+  seg.attrs.set("k", 1.5);
+  const Bytes clean = encode_segment(seg);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = clean;
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, mutated.size() - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    }
+    auto decoded = decode_segment(mutated);  // may or may not parse
+    (void)decoded;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+// --------------------------------------------------- window smoothness ----
+//
+// Feed LDA and AIMD the identical loss pattern; the paper's premise is
+// that LDA's loss-proportional decrease keeps the window trajectory
+// smoother (smaller relative variation) than AIMD's halving.
+
+TEST(ControllerSmoothnessTest, LdaSmootherThanAimdOnSameLossPattern) {
+  LdaConfig lcfg;
+  lcfg.initial_cwnd = 30;
+  LdaController lda(lcfg);
+  AimdConfig acfg;
+  acfg.initial_cwnd = 30;
+  acfg.initial_ssthresh = 30;  // start in congestion avoidance
+  AimdController aimd(acfg);
+  lda.set_srtt(Duration::millis(30));
+  aimd.set_srtt(Duration::millis(30));
+
+  Rng rng(17);
+  stats::RunningStats lda_w, aimd_w;
+  TimePoint now;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    // ~1 window of acks per epoch.
+    for (int ack = 0; ack < 30; ++ack) {
+      lda.on_ack(1, now);
+      aimd.on_ack(1, now);
+      now += Duration::millis(1);
+    }
+    const double loss_ratio = rng.chance(0.3) ? rng.uniform(0.02, 0.15) : 0.0;
+    if (loss_ratio > 0) {
+      lda.on_epoch(loss_ratio, now);
+      aimd.on_loss(now);  // AIMD reacts per loss event: halve
+    } else {
+      lda.on_epoch(0.0, now);
+    }
+    now += Duration::millis(30);
+    lda_w.add(lda.cwnd());
+    aimd_w.add(aimd.cwnd());
+  }
+
+  const double lda_cv = lda_w.stddev() / lda_w.mean();
+  const double aimd_cv = aimd_w.stddev() / aimd_w.mean();
+  EXPECT_LT(lda_cv, aimd_cv)
+      << "LDA cv=" << lda_cv << " vs AIMD cv=" << aimd_cv;
+}
+
+TEST(ControllerSmoothnessTest, BothRecoverAfterLossStops) {
+  LdaController lda(LdaConfig{.initial_cwnd = 20});
+  AimdController aimd(AimdConfig{.initial_cwnd = 20, .initial_ssthresh = 20});
+  TimePoint now;
+  // Sustained loss...
+  for (int i = 0; i < 20; ++i) {
+    lda.on_epoch(0.2, now);
+    aimd.on_loss(now);
+    now += Duration::seconds(1);
+  }
+  const double lda_low = lda.cwnd();
+  const double aimd_low = aimd.cwnd();
+  // ...then a loss-free stretch: both must grow back.
+  for (int i = 0; i < 2000; ++i) {
+    lda.on_ack(1, now);
+    aimd.on_ack(1, now);
+    now += Duration::millis(1);
+  }
+  EXPECT_GT(lda.cwnd(), lda_low * 1.2);
+  EXPECT_GT(aimd.cwnd(), aimd_low * 1.2);
+}
+
+}  // namespace
+}  // namespace iq::rudp

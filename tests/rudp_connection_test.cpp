@@ -1,0 +1,346 @@
+// End-to-end protocol tests for RudpConnection over in-memory wires:
+// handshake, transfer, retransmission, adaptive reliability, keepalive.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+#include "iq/wire/wire.hpp"
+
+namespace iq::rudp {
+namespace {
+
+struct Pair {
+  sim::Simulator sim;
+  std::unique_ptr<wire::DirectWirePair> direct;
+  std::unique_ptr<wire::LossyWirePair> lossy;
+  std::unique_ptr<RudpConnection> sender;
+  std::unique_ptr<RudpConnection> receiver;
+  std::vector<DeliveredMessage> delivered;
+
+  explicit Pair(RudpConfig cfg = {}, RudpConfig rcfg_override = {},
+                bool use_rcfg = false) {
+    direct = std::make_unique<wire::DirectWirePair>(sim, Duration::millis(15));
+    RudpConfig rcfg = use_rcfg ? rcfg_override : cfg;
+    sender = std::make_unique<RudpConnection>(direct->a(), cfg, Role::Client);
+    receiver =
+        std::make_unique<RudpConnection>(direct->b(), rcfg, Role::Server);
+    hook();
+  }
+
+  explicit Pair(const wire::LossyConfig& lcfg, RudpConfig cfg = {},
+                RudpConfig rcfg = {}) {
+    lossy = std::make_unique<wire::LossyWirePair>(sim, lcfg);
+    sender = std::make_unique<RudpConnection>(lossy->a(), cfg, Role::Client);
+    receiver = std::make_unique<RudpConnection>(lossy->b(), rcfg, Role::Server);
+    hook();
+  }
+
+  void hook() {
+    receiver->set_message_handler(
+        [this](const DeliveredMessage& m) { delivered.push_back(m); });
+    receiver->listen();
+    sender->connect();
+  }
+
+  void run_ms(std::int64_t ms) {
+    sim.run_until(sim.now() + Duration::millis(ms));
+  }
+};
+
+TEST(RudpConnectionTest, HandshakeEstablishes) {
+  Pair p;
+  EXPECT_FALSE(p.sender->established());
+  p.run_ms(100);
+  EXPECT_TRUE(p.sender->established());
+  EXPECT_TRUE(p.receiver->established());
+}
+
+TEST(RudpConnectionTest, EstablishedHandlerFires) {
+  Pair p;
+  int fired = 0;
+  p.sender->set_established_handler([&] { ++fired; });
+  p.run_ms(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RudpConnectionTest, HandshakeSurvivesSynLoss) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.8;  // most SYNs die; retry must win eventually
+  lcfg.seed = 3;
+  RudpConfig cfg;
+  cfg.max_connect_attempts = 200;
+  Pair p(lcfg, cfg);
+  p.run_ms(60000);
+  EXPECT_TRUE(p.sender->established());
+}
+
+TEST(RudpConnectionTest, SmallMessageDelivered) {
+  Pair p;
+  p.run_ms(100);
+  auto res = p.sender->send_message({.bytes = 500});
+  EXPECT_FALSE(res.discarded);
+  p.run_ms(200);
+  ASSERT_EQ(p.delivered.size(), 1u);
+  EXPECT_EQ(p.delivered[0].bytes, 500);
+  EXPECT_TRUE(p.delivered[0].marked);
+}
+
+TEST(RudpConnectionTest, LargeMessageFragmentsAndReassembles) {
+  Pair p;
+  p.run_ms(100);
+  p.sender->send_message({.bytes = 100'000});  // 72 fragments
+  p.run_ms(5000);
+  ASSERT_EQ(p.delivered.size(), 1u);
+  EXPECT_EQ(p.delivered[0].bytes, 100'000);
+  EXPECT_GT(p.sender->stats().segments_sent, 70u);
+}
+
+TEST(RudpConnectionTest, ManyMessagesInOrder) {
+  Pair p;
+  p.run_ms(100);
+  for (int i = 0; i < 50; ++i) {
+    p.sender->send_message({.bytes = 3000});
+  }
+  p.run_ms(5000);
+  ASSERT_EQ(p.delivered.size(), 50u);
+  for (std::size_t i = 1; i < p.delivered.size(); ++i) {
+    EXPECT_GT(p.delivered[i].msg_id, p.delivered[i - 1].msg_id);
+    EXPECT_GE(p.delivered[i].delivered, p.delivered[i - 1].delivered);
+  }
+}
+
+TEST(RudpConnectionTest, ZeroByteMessageDelivered) {
+  Pair p;
+  p.run_ms(100);
+  p.sender->send_message({.bytes = 0});
+  p.run_ms(200);
+  ASSERT_EQ(p.delivered.size(), 1u);
+  EXPECT_EQ(p.delivered[0].bytes, 0);
+}
+
+TEST(RudpConnectionTest, AttrsArriveWithMessage) {
+  Pair p;
+  p.run_ms(100);
+  MessageSpec spec;
+  spec.bytes = 2000;
+  spec.attrs.set("frame", std::int64_t{42});
+  p.sender->send_message(spec);
+  p.run_ms(500);
+  ASSERT_EQ(p.delivered.size(), 1u);
+  EXPECT_EQ(p.delivered[0].attrs.get_int("frame"), 42);
+}
+
+TEST(RudpConnectionTest, ReliableUnderHeavyLoss) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.2;
+  lcfg.seed = 11;
+  Pair p(lcfg);
+  p.run_ms(2000);
+  ASSERT_TRUE(p.sender->established());
+  for (int i = 0; i < 40; ++i) p.sender->send_message({.bytes = 5000});
+  p.run_ms(60000);
+  EXPECT_EQ(p.delivered.size(), 40u);
+  EXPECT_GT(p.sender->stats().segments_retransmitted, 0u);
+}
+
+TEST(RudpConnectionTest, ReliableUnderReordering) {
+  wire::LossyConfig lcfg;
+  lcfg.reorder_jitter = Duration::millis(40);
+  lcfg.seed = 13;
+  Pair p(lcfg);
+  p.run_ms(1000);
+  for (int i = 0; i < 30; ++i) p.sender->send_message({.bytes = 4000});
+  p.run_ms(30000);
+  ASSERT_EQ(p.delivered.size(), 30u);
+  for (std::size_t i = 1; i < 30; ++i) {
+    EXPECT_GT(p.delivered[i].msg_id, p.delivered[i - 1].msg_id);
+  }
+}
+
+TEST(RudpConnectionTest, ReliableUnderDuplication) {
+  wire::LossyConfig lcfg;
+  lcfg.duplicate_probability = 0.3;
+  lcfg.seed = 17;
+  Pair p(lcfg);
+  p.run_ms(1000);
+  for (int i = 0; i < 30; ++i) p.sender->send_message({.bytes = 4000});
+  p.run_ms(30000);
+  EXPECT_EQ(p.delivered.size(), 30u);  // duplicates filtered
+}
+
+TEST(RudpConnectionTest, UnmarkedSkippedWithinTolerance) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.25;
+  lcfg.seed = 19;
+  RudpConfig scfg;
+  RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.5;
+  Pair p(lcfg, scfg, rcfg);
+  p.run_ms(2000);
+  ASSERT_TRUE(p.sender->established());
+  EXPECT_DOUBLE_EQ(p.sender->peer_recv_tolerance(), 0.5);
+
+  for (int i = 0; i < 60; ++i) {
+    p.sender->send_message({.bytes = 1400, .marked = false});
+  }
+  p.run_ms(60000);
+  const auto& st = p.sender->stats();
+  // Some unmarked messages were abandoned rather than retransmitted…
+  EXPECT_GT(st.messages_skipped, 0u);
+  // …but the abandoned share respects the receiver's tolerance.
+  EXPECT_LE(p.sender->skip_budget().skipped_fraction(), 0.5);
+  // Receiver accounted every message exactly once.
+  EXPECT_EQ(p.delivered.size() + p.receiver->stats().messages_dropped, 60u);
+}
+
+TEST(RudpConnectionTest, MarkedAlwaysRetransmitted) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.3;
+  lcfg.seed = 23;
+  RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.9;  // tolerance exists but marked data must land
+  Pair p(lcfg, {}, rcfg);
+  p.run_ms(2000);
+  for (int i = 0; i < 30; ++i) {
+    p.sender->send_message({.bytes = 1400, .marked = true});
+  }
+  p.run_ms(60000);
+  EXPECT_EQ(p.delivered.size(), 30u);
+  EXPECT_EQ(p.sender->stats().messages_skipped, 0u);
+}
+
+TEST(RudpConnectionTest, DiscardUnmarkedAtSend) {
+  RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.4;
+  Pair p({}, rcfg, /*use_rcfg=*/true);
+  p.run_ms(100);
+  p.sender->set_discard_unmarked(true);
+
+  int discarded = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto res = p.sender->send_message({.bytes = 1400, .marked = false});
+    if (res.discarded) ++discarded;
+  }
+  p.run_ms(5000);
+  // Discards happen, bounded by the 40% tolerance.
+  EXPECT_GT(discarded, 0);
+  EXPECT_LE(discarded, 40);
+  EXPECT_EQ(p.delivered.size(), 100u - discarded);
+  EXPECT_EQ(p.sender->stats().messages_discarded_at_send,
+            static_cast<std::uint64_t>(discarded));
+}
+
+TEST(RudpConnectionTest, DiscardRequiresUnmarked) {
+  RudpConfig rcfg;
+  rcfg.recv_loss_tolerance = 0.9;
+  Pair p({}, rcfg, /*use_rcfg=*/true);
+  p.run_ms(100);
+  p.sender->set_discard_unmarked(true);
+  for (int i = 0; i < 20; ++i) {
+    auto res = p.sender->send_message({.bytes = 500, .marked = true});
+    EXPECT_FALSE(res.discarded);
+  }
+  p.run_ms(2000);
+  EXPECT_EQ(p.delivered.size(), 20u);
+}
+
+TEST(RudpConnectionTest, RtoRecoversFromBlackout) {
+  // Drop everything for a while, then heal: RTO must resend and finish.
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.0;
+  Pair p(lcfg);
+  p.run_ms(100);
+  ASSERT_TRUE(p.sender->established());
+  p.lossy->set_drop_probability(1.0);
+  p.sender->send_message({.bytes = 2000});
+  p.run_ms(1500);  // several RTOs fire into the void
+  EXPECT_GT(p.sender->stats().timeouts, 0u);
+  p.lossy->set_drop_probability(0.0);
+  p.run_ms(60000);
+  ASSERT_EQ(p.delivered.size(), 1u);
+}
+
+TEST(RudpConnectionTest, EpochHandlerReportsLoss) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.1;
+  lcfg.seed = 29;
+  RudpConfig cfg;
+  cfg.loss_epoch_packets = 50;
+  Pair p(lcfg, cfg);
+  std::vector<EpochReport> epochs;
+  p.sender->set_epoch_handler(
+      [&](const EpochReport& r) { epochs.push_back(r); });
+  p.run_ms(1000);
+  for (int i = 0; i < 100; ++i) p.sender->send_message({.bytes = 1400});
+  p.run_ms(60000);
+  ASSERT_GT(epochs.size(), 0u);
+  bool saw_loss = false;
+  for (const auto& e : epochs) {
+    EXPECT_GE(e.loss_ratio, 0.0);
+    EXPECT_LE(e.loss_ratio, 1.0);
+    saw_loss |= e.loss_ratio > 0.0;
+  }
+  EXPECT_TRUE(saw_loss);
+}
+
+TEST(RudpConnectionTest, ScaleCongestionWindowTakesEffect) {
+  Pair p;
+  p.run_ms(100);
+  const double before = p.sender->congestion().cwnd();
+  p.sender->scale_congestion_window(1.0 / (1.0 - 0.25));
+  EXPECT_NEAR(p.sender->congestion().cwnd(), before / 0.75, 1e-9);
+}
+
+TEST(RudpConnectionTest, KeepaliveNulsWhenIdle) {
+  RudpConfig cfg;
+  cfg.keepalive = Duration::millis(200);
+  Pair p(cfg);
+  p.run_ms(2000);
+  EXPECT_GT(p.sender->stats().nuls_sent, 5u);
+}
+
+TEST(RudpConnectionTest, CloseSendsRstAndNotifiesPeer) {
+  Pair p;
+  p.run_ms(100);
+  bool closed = false;
+  p.receiver->set_closed_handler([&] { closed = true; });
+  p.sender->close();
+  p.run_ms(100);
+  EXPECT_EQ(p.sender->state(), ConnState::Closed);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(p.receiver->state(), ConnState::Closed);
+}
+
+TEST(RudpConnectionTest, SendIdleReflectsDrain) {
+  Pair p;
+  p.run_ms(100);
+  EXPECT_TRUE(p.sender->send_idle());
+  p.sender->send_message({.bytes = 50'000});
+  EXPECT_FALSE(p.sender->send_idle());
+  p.run_ms(10000);
+  EXPECT_TRUE(p.sender->send_idle());
+}
+
+TEST(RudpConnectionTest, StatsConsistency) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.1;
+  lcfg.seed = 31;
+  Pair p(lcfg);
+  p.run_ms(1000);
+  for (int i = 0; i < 50; ++i) p.sender->send_message({.bytes = 2800});
+  p.run_ms(60000);
+  const auto& st = p.sender->stats();
+  EXPECT_EQ(st.messages_offered, 50u);
+  EXPECT_EQ(st.messages_enqueued, 50u);
+  EXPECT_GE(st.segments_sent, 100u);  // 2 fragments each, plus rexmits
+  EXPECT_EQ(st.segments_sent - st.segments_retransmitted, 100u);
+  EXPECT_EQ(p.delivered.size(), 50u);
+}
+
+}  // namespace
+}  // namespace iq::rudp

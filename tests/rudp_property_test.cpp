@@ -1,0 +1,194 @@
+// Parameterized property tests for the RUDP engine: invariants that must
+// hold across swept loss rates, reordering windows and message sizes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+
+namespace iq::rudp {
+namespace {
+
+struct RunCtx {
+  sim::Simulator sim;
+  std::unique_ptr<wire::LossyWirePair> wire;
+  std::unique_ptr<RudpConnection> sender;
+  std::unique_ptr<RudpConnection> receiver;
+  std::vector<DeliveredMessage> delivered;
+
+  RunCtx(const wire::LossyConfig& lcfg, double recv_tolerance) {
+    wire = std::make_unique<wire::LossyWirePair>(sim, lcfg);
+    RudpConfig scfg;
+    RudpConfig rcfg;
+    rcfg.recv_loss_tolerance = recv_tolerance;
+    sender = std::make_unique<RudpConnection>(wire->a(), scfg, Role::Client);
+    receiver = std::make_unique<RudpConnection>(wire->b(), rcfg, Role::Server);
+    receiver->set_message_handler(
+        [this](const DeliveredMessage& m) { delivered.push_back(m); });
+    receiver->listen();
+    sender->connect();
+  }
+};
+
+// --------------------------------------------- reliable delivery sweep ----
+
+class LossSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(LossSweepTest, AllMarkedMessagesDeliveredInOrder) {
+  const auto [loss_pct, seed] = GetParam();
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = loss_pct / 100.0;
+  lcfg.reorder_jitter = Duration::millis(10);
+  lcfg.seed = seed;
+  RunCtx run(lcfg, /*recv_tolerance=*/0.0);
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(30));
+  ASSERT_TRUE(run.sender->established());
+
+  const int kMessages = 40;
+  for (int i = 0; i < kMessages; ++i) {
+    run.sender->send_message({.bytes = 3500});  // 3 fragments
+  }
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(600));
+
+  ASSERT_EQ(run.delivered.size(), static_cast<std::size_t>(kMessages))
+      << "loss=" << loss_pct << "% seed=" << seed;
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(run.delivered[i].msg_id, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(run.delivered[i].bytes, 3500);
+  }
+  // No skips are permitted at zero tolerance.
+  EXPECT_EQ(run.sender->stats().messages_skipped, 0u);
+  EXPECT_EQ(run.receiver->stats().messages_dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossRates, LossSweepTest,
+    ::testing::Combine(::testing::Values(0, 5, 10, 20, 30, 40),
+                       ::testing::Values(1u, 99u)),
+    [](const auto& param_info) {
+      return "loss" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ----------------------------------------- tolerance accounting sweep -----
+
+class ToleranceSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToleranceSweepTest, EveryMessageAccountedAndBudgetRespected) {
+  const double tolerance = GetParam() / 100.0;
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.25;
+  lcfg.seed = 7;
+  RunCtx run(lcfg, tolerance);
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(30));
+  ASSERT_TRUE(run.sender->established());
+
+  const int kMessages = 80;
+  for (int i = 0; i < kMessages; ++i) {
+    run.sender->send_message({.bytes = 1400, .marked = (i % 4 == 0)});
+  }
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(900));
+
+  // Conservation: delivered + dropped == offered.
+  EXPECT_EQ(run.delivered.size() + run.receiver->stats().messages_dropped,
+            static_cast<std::size_t>(kMessages));
+  // The sender never exceeds the advertised tolerance.
+  EXPECT_LE(run.sender->skip_budget().skipped_fraction(), tolerance + 1e-9);
+  // Marked messages always arrive.
+  int marked_delivered = 0;
+  for (const auto& m : run.delivered) {
+    if (m.marked) ++marked_delivered;
+  }
+  EXPECT_EQ(marked_delivered, kMessages / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweepTest,
+                         ::testing::Values(0, 10, 25, 50, 100),
+                         [](const auto& param_info) {
+                           return "tol" + std::to_string(param_info.param);
+                         });
+
+// ------------------------------------------------- message size sweep -----
+
+class SizeSweepTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SizeSweepTest, SizesPreservedExactly) {
+  const std::int64_t size = GetParam();
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.05;
+  lcfg.seed = 123;
+  RunCtx run(lcfg, 0.0);
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(10));
+
+  for (int i = 0; i < 10; ++i) run.sender->send_message({.bytes = size});
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(600));
+
+  ASSERT_EQ(run.delivered.size(), 10u) << "size=" << size;
+  for (const auto& m : run.delivered) EXPECT_EQ(m.bytes, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweepTest,
+                         ::testing::Values(0, 1, 1399, 1400, 1401, 2800, 4201,
+                                           50'000, 180'000),
+                         [](const auto& param_info) {
+                           return "b" + std::to_string(param_info.param);
+                         });
+
+// --------------------------------------------------- cwnd invariants ------
+
+class CwndInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CwndInvariantTest, WindowStaysWithinBounds) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = GetParam() / 100.0;
+  lcfg.seed = 5;
+  RunCtx run(lcfg, 0.0);
+  run.sim.run_until(TimePoint::zero() + Duration::seconds(20));
+
+  for (int i = 0; i < 200; ++i) run.sender->send_message({.bytes = 1400});
+  // Sample the window as the run progresses.
+  for (int step = 0; step < 200; ++step) {
+    run.sim.run_until(run.sim.now() + Duration::millis(100));
+    const double w = run.sender->congestion().cwnd();
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 4096.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, CwndInvariantTest,
+                         ::testing::Values(0, 10, 30),
+                         [](const auto& param_info) {
+                           return "loss" + std::to_string(param_info.param);
+                         });
+
+// --------------------------------------------------- determinism ----------
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    wire::LossyConfig lcfg;
+    lcfg.drop_probability = 0.15;
+    lcfg.seed = 42;
+    RunCtx run(lcfg, 0.3);
+    run.sim.run_until(TimePoint::zero() + Duration::seconds(5));
+    for (int i = 0; i < 50; ++i) {
+      run.sender->send_message({.bytes = 2000, .marked = (i % 3 == 0)});
+    }
+    run.sim.run_until(TimePoint::zero() + Duration::seconds(300));
+    std::vector<std::pair<std::uint32_t, std::int64_t>> trace;
+    for (const auto& m : run.delivered) {
+      trace.emplace_back(m.msg_id, m.delivered.ns());
+    }
+    return std::make_tuple(trace, run.sender->stats().segments_sent,
+                           run.sender->stats().segments_retransmitted);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace iq::rudp

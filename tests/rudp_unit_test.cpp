@@ -1,0 +1,490 @@
+// Unit tests for RUDP building blocks: sequence arithmetic, RTT estimation,
+// loss monitoring, congestion controllers, send/recv buffers, skip budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iq/rudp/congestion.hpp"
+#include "iq/rudp/loss_monitor.hpp"
+#include "iq/rudp/recv_buffer.hpp"
+#include "iq/rudp/reliability.hpp"
+#include "iq/rudp/rtt_estimator.hpp"
+#include "iq/rudp/send_buffer.hpp"
+#include "iq/rudp/seq.hpp"
+
+namespace iq::rudp {
+namespace {
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::zero() + Duration::millis(ms);
+}
+
+// ------------------------------------------------------------------ seq ---
+
+TEST(SeqTest, SerialComparisons) {
+  EXPECT_TRUE(wire_seq_lt(1, 2));
+  EXPECT_TRUE(wire_seq_lt(0xfffffffe, 0xffffffff));
+  EXPECT_TRUE(wire_seq_lt(0xffffffff, 0));  // wraparound
+  EXPECT_TRUE(wire_seq_gt(5, 0xfffffff0));
+  EXPECT_EQ(wire_seq_diff(5, 3), 2);
+  EXPECT_EQ(wire_seq_diff(1, 0xffffffff), 2);
+}
+
+TEST(SeqTest, UnwrapNearReference) {
+  EXPECT_EQ(unwrap(100, 90), 100u);
+  EXPECT_EQ(unwrap(90, 100), 90u);
+}
+
+TEST(SeqTest, UnwrapAcrossEraBoundary) {
+  const Seq ref = (Seq{1} << 32) - 5;  // near the end of era 0
+  EXPECT_EQ(unwrap(3, ref), (Seq{1} << 32) + 3);
+  EXPECT_EQ(unwrap(0xfffffff0, ref), (Seq{1} << 32) - 16);
+}
+
+TEST(SeqTest, UnwrapBackwardFromNewEra) {
+  const Seq ref = (Seq{1} << 32) + 5;
+  EXPECT_EQ(unwrap(0xfffffffa, ref), (Seq{1} << 32) - 6);
+}
+
+TEST(SeqTest, UnwrapManySequential) {
+  Seq expected = 1;
+  Seq ref = 1;
+  for (int i = 0; i < 200000; ++i) {
+    EXPECT_EQ(unwrap(to_wire(expected), ref), expected);
+    ref = expected;
+    ++expected;
+  }
+}
+
+// ------------------------------------------------------------------ rtt ---
+
+TEST(RttEstimatorTest, FirstSampleInitializes) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(100));
+  EXPECT_EQ(est.srtt().ms(), 100);
+  EXPECT_EQ(est.rttvar().ms(), 50);
+}
+
+TEST(RttEstimatorTest, ConvergesToStableRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(Duration::millis(30));
+  EXPECT_NEAR(static_cast<double>(est.srtt().ms()), 30.0, 1.0);
+  // RTO floors at min_rto even when variance collapses.
+  EXPECT_GE(est.rto(), Duration::millis(200));
+}
+
+TEST(RttEstimatorTest, RtoCoversVariance) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) {
+    est.add_sample(Duration::millis(i % 2 == 0 ? 20 : 120));
+  }
+  EXPECT_GT(est.rto(), est.srtt());
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndResets) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(300));
+  const Duration base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto().ns(), (base * 2).ns());
+  est.backoff();
+  EXPECT_EQ(est.rto().ns(), (base * 4).ns());
+  // A fresh sample resets the multiplier (and re-smooths rttvar downward,
+  // so the new RTO is at most the pre-backoff base).
+  est.add_sample(Duration::millis(300));
+  EXPECT_LE(est.rto().ns(), base.ns());
+  EXPECT_GE(est.rto(), Duration::millis(300));
+}
+
+TEST(RttEstimatorTest, RtoCapped) {
+  RttConfig cfg;
+  cfg.max_rto = Duration::seconds(2);
+  RttEstimator est(cfg);
+  est.add_sample(Duration::millis(900));
+  for (int i = 0; i < 10; ++i) est.backoff();
+  EXPECT_LE(est.rto(), Duration::seconds(2));
+}
+
+TEST(RttEstimatorTest, NoSampleUsesInitialRto) {
+  RttEstimator est;
+  EXPECT_EQ(est.rto().ms(), 1000);
+  EXPECT_FALSE(est.has_sample());
+}
+
+// --------------------------------------------------------------- monitor --
+
+TEST(LossMonitorTest, EpochClosesAtPacketCount) {
+  LossMonitor mon(10);
+  std::vector<EpochReport> reports;
+  mon.set_epoch_handler([&](const EpochReport& r) { reports.push_back(r); });
+  mon.on_acked(9, 9 * 1400, at_ms(10));
+  EXPECT_TRUE(reports.empty());
+  mon.on_lost(1, at_ms(20));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].loss_ratio, 0.1);
+  EXPECT_EQ(reports[0].acked, 9u);
+  EXPECT_EQ(reports[0].lost, 1u);
+}
+
+TEST(LossMonitorTest, RateComputedOverEpochSpan) {
+  LossMonitor mon(10);
+  EpochReport last;
+  mon.set_epoch_handler([&](const EpochReport& r) { last = r; });
+  mon.on_acked(1, 1400, at_ms(0));
+  mon.on_acked(9, 9 * 1400, at_ms(100));
+  // 10 * 1400 B over 100 ms = 1.12 Mb/s.
+  EXPECT_NEAR(last.delivered_rate_bps, 1.12e6, 1e4);
+}
+
+TEST(LossMonitorTest, SmoothedLossTracksEwma) {
+  LossMonitor mon(10, 0.5);
+  mon.set_epoch_handler([](const EpochReport&) {});
+  mon.on_acked(10, 0, at_ms(1));  // epoch 1: r=0
+  mon.on_lost(10, at_ms(2));      // epoch 2: r=1
+  EXPECT_DOUBLE_EQ(mon.smoothed_loss_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(mon.last_loss_ratio(), 1.0);
+}
+
+TEST(LossMonitorTest, LifetimeRatio) {
+  LossMonitor mon(5);
+  mon.on_acked(8, 0, at_ms(1));
+  mon.on_lost(2, at_ms(2));
+  EXPECT_DOUBLE_EQ(mon.lifetime_loss_ratio(), 0.2);
+}
+
+// ------------------------------------------------------------ congestion --
+
+TEST(LdaControllerTest, AdditiveIncreasePerWindow) {
+  LdaController cc;
+  const double w0 = cc.cwnd();
+  // One window's worth of acks ≈ +1 packet.
+  const int acks = static_cast<int>(w0);
+  for (int i = 0; i < acks; ++i) cc.on_ack(1, at_ms(i));
+  EXPECT_NEAR(cc.cwnd(), w0 + 1.0, 0.3);
+}
+
+TEST(LdaControllerTest, DecreaseProportionalToLossRatio) {
+  LdaConfig cfg;
+  cfg.initial_cwnd = 100;
+  cfg.tcp_friendly_floor = false;
+  LdaController cc(cfg);
+  cc.on_epoch(0.1, at_ms(1));
+  EXPECT_NEAR(cc.cwnd(), 90.0, 1e-9);
+  cc.on_epoch(0.0, at_ms(2));  // loss-free epoch: no decrease
+  EXPECT_NEAR(cc.cwnd(), 90.0, 1e-9);
+}
+
+TEST(LdaControllerTest, DecreaseFloorsAtHalf) {
+  LdaConfig cfg;
+  cfg.initial_cwnd = 100;
+  cfg.tcp_friendly_floor = false;
+  LdaController cc(cfg);
+  cc.on_epoch(0.9, at_ms(1));
+  EXPECT_NEAR(cc.cwnd(), 50.0, 1e-9);
+}
+
+TEST(LdaControllerTest, TcpFriendlyFloorApplies) {
+  LdaConfig cfg;
+  cfg.initial_cwnd = 8;
+  LdaController cc(cfg);
+  // At 1% loss the TCP-fair window is sqrt(1.5/0.01) ≈ 12.2 > 8: the
+  // decrease must not shrink the window below its current value.
+  cc.on_epoch(0.01, at_ms(1));
+  EXPECT_NEAR(cc.cwnd(), 8.0, 1e-9);
+}
+
+TEST(LdaControllerTest, WindowNeverBelowMin) {
+  LdaController cc;
+  for (int i = 0; i < 50; ++i) cc.on_timeout(at_ms(i));
+  EXPECT_GE(cc.cwnd(), 1.0);
+}
+
+TEST(LdaControllerTest, ScaleWindowMultiplies) {
+  LdaConfig cfg;
+  cfg.initial_cwnd = 10;
+  LdaController cc(cfg);
+  cc.scale_window(1.0 / (1.0 - 0.2));  // rate_chg = 0.2
+  EXPECT_NEAR(cc.cwnd(), 12.5, 1e-9);
+  cc.scale_window(0.5);
+  EXPECT_NEAR(cc.cwnd(), 6.25, 1e-9);
+}
+
+TEST(LdaControllerTest, TcpFriendlyWindowFormula) {
+  EXPECT_NEAR(LdaController::tcp_friendly_window(0.015),
+              std::sqrt(1.5 / 0.015), 1e-9);
+  EXPECT_GT(LdaController::tcp_friendly_window(0.0), 1000.0);
+}
+
+TEST(AimdControllerTest, SlowStartDoublesPerWindow) {
+  AimdConfig cfg;
+  cfg.initial_cwnd = 2;
+  AimdController cc(cfg);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(2, at_ms(1));
+  EXPECT_NEAR(cc.cwnd(), 4.0, 1e-9);
+}
+
+TEST(AimdControllerTest, LossHalvesOncePerRtt) {
+  AimdConfig cfg;
+  cfg.initial_cwnd = 80;
+  cfg.initial_ssthresh = 10;  // start in CA
+  AimdController cc(cfg);
+  cc.set_srtt(Duration::millis(100));
+  cc.on_loss(at_ms(0));
+  EXPECT_NEAR(cc.cwnd(), 40.0, 1e-9);
+  cc.on_loss(at_ms(10));  // same window: ignored
+  EXPECT_NEAR(cc.cwnd(), 40.0, 1e-9);
+  cc.on_loss(at_ms(150));  // next RTT: halves again
+  EXPECT_NEAR(cc.cwnd(), 20.0, 1e-9);
+}
+
+TEST(AimdControllerTest, TimeoutResetsToMin) {
+  AimdConfig cfg;
+  cfg.initial_cwnd = 50;
+  AimdController cc(cfg);
+  cc.on_timeout(at_ms(0));
+  EXPECT_NEAR(cc.cwnd(), cfg.min_cwnd, 1e-9);
+  EXPECT_NEAR(cc.ssthresh(), 25.0, 1e-9);
+}
+
+TEST(FixedWindowControllerTest, IgnoresAllSignals) {
+  FixedWindowController cc(64);
+  cc.on_ack(10, at_ms(0));
+  cc.on_loss(at_ms(1));
+  cc.on_timeout(at_ms(2));
+  cc.on_epoch(0.5, at_ms(3));
+  EXPECT_EQ(cc.cwnd(), 64.0);
+  // The coordination hook still works (it is the paper's scheme 2 path).
+  cc.scale_window(2.0);
+  EXPECT_EQ(cc.cwnd(), 128.0);
+}
+
+TEST(ControllerFactoryTest, MakesRequestedKinds) {
+  EXPECT_EQ(make_controller(CcKind::Lda, 2)->name(), "lda");
+  EXPECT_EQ(make_controller(CcKind::Aimd, 2)->name(), "aimd");
+  EXPECT_EQ(make_controller(CcKind::Fixed, 32)->name(), "fixed");
+  EXPECT_EQ(make_controller(CcKind::Fixed, 32)->cwnd(), 32.0);
+}
+
+// ------------------------------------------------------------ send buf ----
+
+Outstanding make_outstanding(Seq seq, bool marked = true,
+                             std::uint32_t msg = 1) {
+  Outstanding o;
+  o.seq = seq;
+  o.msg_id = msg;
+  o.payload_bytes = 1400;
+  o.marked = marked;
+  return o;
+}
+
+TEST(SendBufferTest, CumulativeAckRemoves) {
+  SendBuffer buf;
+  for (Seq s = 1; s <= 5; ++s) buf.add(make_outstanding(s));
+  EXPECT_EQ(buf.inflight(), 5);
+  auto out = buf.on_ack(4, {}, 3);
+  EXPECT_EQ(out.newly_acked, 3);
+  EXPECT_EQ(out.newly_acked_bytes, 3 * 1400);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.inflight(), 2);
+  EXPECT_TRUE(out.cum_advanced);
+}
+
+TEST(SendBufferTest, EackMarksWithoutRemoving) {
+  SendBuffer buf;
+  for (Seq s = 1; s <= 5; ++s) buf.add(make_outstanding(s));
+  const std::vector<Seq> eacks{3, 5};
+  auto out = buf.on_ack(1, eacks, 30);
+  EXPECT_EQ(out.newly_acked, 2);
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.inflight(), 3);
+  // Re-acking the same eacks adds nothing.
+  auto again = buf.on_ack(1, eacks, 30);
+  EXPECT_EQ(again.newly_acked, 0);
+}
+
+TEST(SendBufferTest, SackLossDetectionAtThreshold) {
+  SendBuffer buf;
+  for (Seq s = 1; s <= 6; ++s) buf.add(make_outstanding(s));
+  // Seqs 2,3,4 eacked: high water 4, seq 1 is 3 below => lost.
+  const std::vector<Seq> eacks{2, 3, 4};
+  auto out = buf.on_ack(1, eacks, 3);
+  ASSERT_EQ(out.lost.size(), 1u);
+  EXPECT_EQ(out.lost[0], 1u);
+  // Not reported twice.
+  auto again = buf.on_ack(1, eacks, 3);
+  EXPECT_TRUE(again.lost.empty());
+}
+
+TEST(SendBufferTest, NoLossBelowThreshold) {
+  SendBuffer buf;
+  for (Seq s = 1; s <= 4; ++s) buf.add(make_outstanding(s));
+  const std::vector<Seq> eacks{2, 3};  // high water 3: only 2 above seq 1
+  auto out = buf.on_ack(1, eacks, 3);
+  EXPECT_TRUE(out.lost.empty());
+}
+
+TEST(SendBufferTest, FirstUnackedSkipsSacked) {
+  SendBuffer buf;
+  for (Seq s = 1; s <= 3; ++s) buf.add(make_outstanding(s));
+  const std::vector<Seq> eacks{1};
+  buf.on_ack(1, eacks, 30);
+  Outstanding* first = buf.first_unacked();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->seq, 2u);
+}
+
+TEST(SendBufferTest, RemoveAbandonsSegment) {
+  SendBuffer buf;
+  buf.add(make_outstanding(1));
+  buf.add(make_outstanding(2));
+  EXPECT_TRUE(buf.remove(1));
+  EXPECT_FALSE(buf.remove(1));
+  EXPECT_EQ(buf.inflight(), 1);
+  EXPECT_EQ(buf.lowest_or(0), 2u);
+}
+
+// ------------------------------------------------------------ recv buf ----
+
+RecvSegment rseg(Seq seq, std::uint32_t msg, std::uint16_t fi,
+                 std::uint16_t fc, bool marked = true) {
+  RecvSegment s;
+  s.seq = seq;
+  s.msg_id = msg;
+  s.frag_index = fi;
+  s.frag_count = fc;
+  s.payload_bytes = 1000;
+  s.marked = marked;
+  s.ts_us = 5;
+  return s;
+}
+
+TEST(RecvBufferTest, InOrderSingleFragmentMessages) {
+  RecvBuffer buf;
+  auto r1 = buf.on_data(rseg(1, 1, 0, 1), at_ms(1));
+  ASSERT_EQ(r1.delivered.size(), 1u);
+  EXPECT_EQ(r1.delivered[0].msg_id, 1u);
+  EXPECT_EQ(r1.delivered[0].bytes, 1000);
+  EXPECT_EQ(buf.cum(), 2u);
+}
+
+TEST(RecvBufferTest, MultiFragmentReassembly) {
+  RecvBuffer buf;
+  EXPECT_TRUE(buf.on_data(rseg(1, 1, 0, 3), at_ms(1)).delivered.empty());
+  EXPECT_TRUE(buf.on_data(rseg(2, 1, 1, 3), at_ms(2)).delivered.empty());
+  auto r = buf.on_data(rseg(3, 1, 2, 3), at_ms(3));
+  ASSERT_EQ(r.delivered.size(), 1u);
+  EXPECT_EQ(r.delivered[0].bytes, 3000);
+}
+
+TEST(RecvBufferTest, OutOfOrderBuffersAndEacks) {
+  RecvBuffer buf;
+  buf.on_data(rseg(3, 3, 0, 1), at_ms(1));
+  buf.on_data(rseg(5, 5, 0, 1), at_ms(2));
+  EXPECT_EQ(buf.cum(), 1u);
+  EXPECT_EQ(buf.eacks(10), (std::vector<Seq>{3, 5}));
+  auto r = buf.on_data(rseg(1, 1, 0, 1), at_ms(3));
+  EXPECT_EQ(r.delivered.size(), 1u);
+  EXPECT_EQ(buf.cum(), 2u);
+  r = buf.on_data(rseg(2, 2, 0, 1), at_ms(4));
+  EXPECT_EQ(r.delivered.size(), 2u);  // 2 and 3 both complete
+  EXPECT_EQ(buf.cum(), 4u);
+}
+
+TEST(RecvBufferTest, DuplicateDetection) {
+  RecvBuffer buf;
+  buf.on_data(rseg(1, 1, 0, 1), at_ms(1));
+  auto r = buf.on_data(rseg(1, 1, 0, 1), at_ms(2));
+  EXPECT_TRUE(r.duplicate);
+  buf.on_data(rseg(3, 3, 0, 1), at_ms(3));
+  auto r2 = buf.on_data(rseg(3, 3, 0, 1), at_ms(4));
+  EXPECT_TRUE(r2.duplicate);
+  EXPECT_EQ(buf.duplicates(), 2u);
+}
+
+TEST(RecvBufferTest, SkipAdvancesAndDropsMessage) {
+  RecvBuffer buf;
+  buf.on_data(rseg(2, 2, 0, 1), at_ms(1));  // out of order
+  const std::vector<RecvBuffer::SkipInfo> skips{{1, 1, 1}};
+  auto r = buf.on_skip(skips, at_ms(2));
+  EXPECT_EQ(r.dropped_messages, 1u);
+  ASSERT_EQ(r.delivered.size(), 1u);  // msg 2 now completes
+  EXPECT_EQ(buf.cum(), 3u);
+}
+
+TEST(RecvBufferTest, FullySkippedMultiFragmentCountsOnce) {
+  RecvBuffer buf;
+  const std::vector<RecvBuffer::SkipInfo> skips{{1, 7, 3}, {2, 7, 3}, {3, 7, 3}};
+  auto r = buf.on_skip(skips, at_ms(1));
+  EXPECT_EQ(r.dropped_messages, 1u);
+  EXPECT_EQ(buf.cum(), 4u);
+  EXPECT_EQ(buf.dropped_messages(), 1u);
+}
+
+TEST(RecvBufferTest, PartiallySkippedMessageDropped) {
+  RecvBuffer buf;
+  buf.on_data(rseg(1, 1, 0, 3, false), at_ms(1));
+  buf.on_data(rseg(3, 1, 2, 3, false), at_ms(2));
+  const std::vector<RecvBuffer::SkipInfo> skips{{2, 1, 3}};
+  auto r = buf.on_skip(skips, at_ms(3));
+  EXPECT_EQ(r.dropped_messages, 1u);
+  EXPECT_TRUE(r.delivered.empty());
+  EXPECT_EQ(buf.cum(), 4u);
+}
+
+TEST(RecvBufferTest, LateArrivalSupersedesSkip) {
+  RecvBuffer buf;
+  // Skip announced for a seq still in flight, data arrives first... then
+  // skip is ignored for already-received data.
+  buf.on_data(rseg(1, 1, 0, 1), at_ms(1));
+  const std::vector<RecvBuffer::SkipInfo> skips{{1, 1, 1}};
+  auto r = buf.on_skip(skips, at_ms(2));
+  EXPECT_EQ(r.dropped_messages, 0u);
+  EXPECT_EQ(buf.delivered_messages(), 1u);
+}
+
+TEST(RecvBufferTest, RwndShrinksWithBuffering) {
+  RecvBuffer buf(100);
+  EXPECT_EQ(buf.rwnd(), 100u);
+  buf.on_data(rseg(5, 5, 0, 1), at_ms(1));
+  buf.on_data(rseg(6, 6, 0, 1), at_ms(2));
+  EXPECT_EQ(buf.rwnd(), 98u);
+}
+
+// ---------------------------------------------------------------- budget --
+
+TEST(SkipBudgetTest, ZeroToleranceNeverSkips) {
+  SkipBudget b(0.0);
+  b.on_message_offered();
+  EXPECT_FALSE(b.may_skip_message());
+}
+
+TEST(SkipBudgetTest, EnforcesFraction) {
+  SkipBudget b(0.4);
+  for (int i = 0; i < 10; ++i) b.on_message_offered();
+  // 4 of 10 allowed.
+  EXPECT_TRUE(b.may_skip_message());
+  b.on_message_skipped(1);
+  b.on_message_skipped(2);
+  b.on_message_skipped(3);
+  b.on_message_skipped(4);
+  EXPECT_FALSE(b.may_skip_message());
+  EXPECT_DOUBLE_EQ(b.skipped_fraction(), 0.4);
+  // More offered messages re-open the budget.
+  for (int i = 0; i < 5; ++i) b.on_message_offered();
+  EXPECT_TRUE(b.may_skip_message());
+}
+
+TEST(SkipBudgetTest, MessageCountedOnce) {
+  SkipBudget b(1.0);
+  b.on_message_offered();
+  b.on_message_offered();
+  EXPECT_TRUE(b.on_message_skipped(7));
+  EXPECT_FALSE(b.on_message_skipped(7));
+  EXPECT_EQ(b.skipped(), 1u);
+  EXPECT_TRUE(b.is_skipped(7));
+}
+
+}  // namespace
+}  // namespace iq::rudp

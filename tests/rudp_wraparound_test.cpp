@@ -1,0 +1,102 @@
+// End-to-end 32-bit sequence wraparound: connections configured to start
+// just below 2^32 must cross the boundary transparently — under loss,
+// reordering, and adaptive-reliability skips.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+
+namespace iq::rudp {
+namespace {
+
+constexpr Seq kNearWrap = (Seq{1} << 32) - 50;
+
+struct WrapPair {
+  sim::Simulator sim;
+  std::unique_ptr<wire::LossyWirePair> wire;
+  std::unique_ptr<RudpConnection> sender;
+  std::unique_ptr<RudpConnection> receiver;
+  std::vector<DeliveredMessage> delivered;
+
+  WrapPair(const wire::LossyConfig& lcfg, double tolerance) {
+    wire = std::make_unique<wire::LossyWirePair>(sim, lcfg);
+    RudpConfig scfg;
+    scfg.initial_seq = kNearWrap;
+    RudpConfig rcfg = scfg;
+    rcfg.recv_loss_tolerance = tolerance;
+    sender = std::make_unique<RudpConnection>(wire->a(), scfg, Role::Client);
+    receiver = std::make_unique<RudpConnection>(wire->b(), rcfg, Role::Server);
+    receiver->set_message_handler(
+        [this](const DeliveredMessage& m) { delivered.push_back(m); });
+    receiver->listen();
+    sender->connect();
+    sim.run_until(TimePoint::zero() + Duration::seconds(5));
+  }
+};
+
+TEST(WraparoundTest, CleanTransferAcrossBoundary) {
+  WrapPair p({}, 0.0);
+  ASSERT_TRUE(p.sender->established());
+  // 100 x 3-fragment messages: 300 seqs, crossing 2^32 at message ~17.
+  for (int i = 0; i < 100; ++i) p.sender->send_message({.bytes = 4000});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(120));
+  ASSERT_EQ(p.delivered.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.delivered[i].msg_id, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(p.delivered[i].bytes, 4000);
+  }
+}
+
+TEST(WraparoundTest, LossAndReorderAcrossBoundary) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.15;
+  lcfg.reorder_jitter = Duration::millis(20);
+  lcfg.seed = 7;
+  WrapPair p(lcfg, 0.0);
+  ASSERT_TRUE(p.sender->established());
+  for (int i = 0; i < 80; ++i) p.sender->send_message({.bytes = 3000});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(600));
+  ASSERT_EQ(p.delivered.size(), 80u);
+  for (std::size_t i = 1; i < p.delivered.size(); ++i) {
+    EXPECT_GT(p.delivered[i].msg_id, p.delivered[i - 1].msg_id);
+  }
+  EXPECT_GT(p.sender->stats().segments_retransmitted, 0u);
+}
+
+TEST(WraparoundTest, SkipsAcrossBoundary) {
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 0.25;
+  lcfg.seed = 13;
+  WrapPair p(lcfg, 0.5);
+  ASSERT_TRUE(p.sender->established());
+  for (int i = 0; i < 120; ++i) {
+    p.sender->send_message({.bytes = 1400, .marked = (i % 3 == 0)});
+  }
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(600));
+  // Conservation across the boundary.
+  EXPECT_EQ(p.delivered.size() + p.receiver->stats().messages_dropped, 120u);
+  // Marked messages all arrive.
+  int marked = 0;
+  for (const auto& m : p.delivered) {
+    if (m.marked) ++marked;
+  }
+  EXPECT_EQ(marked, 40);
+}
+
+TEST(WraparoundTest, WireSeqsActuallyWrapped) {
+  // Sanity that the test really crosses the boundary: 50 seqs remain before
+  // 2^32, so any transfer beyond ~50 segments wraps.
+  WrapPair p({}, 0.0);
+  for (int i = 0; i < 100; ++i) p.sender->send_message({.bytes = 1400});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  ASSERT_EQ(p.delivered.size(), 100u);
+  EXPECT_GT(p.sender->stats().segments_sent, 60u);
+}
+
+}  // namespace
+}  // namespace iq::rudp

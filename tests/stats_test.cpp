@@ -1,0 +1,219 @@
+// Tests for statistics collectors: Welford stats, inter-arrival/jitter,
+// time series, metrics summaries, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iq/stats/interarrival.hpp"
+#include "iq/stats/metrics.hpp"
+#include "iq/stats/running_stats.hpp"
+#include "iq/stats/table.hpp"
+#include "iq/stats/timeseries.hpp"
+
+namespace iq::stats {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVarianceClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStatsTest, NumericalStabilityLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(InterarrivalTest, UniformArrivalsZeroJitter) {
+  InterarrivalTracker t;
+  for (int i = 0; i < 10; ++i) {
+    t.arrival(TimePoint::zero() + Duration::millis(10 * i));
+  }
+  EXPECT_NEAR(t.mean_seconds(), 0.010, 1e-12);
+  EXPECT_NEAR(t.jitter_seconds(), 0.0, 1e-12);
+  EXPECT_EQ(t.arrivals(), 10u);
+}
+
+TEST(InterarrivalTest, AlternatingGapsKnownJitter) {
+  InterarrivalTracker t;
+  TimePoint now = TimePoint::zero();
+  for (int i = 0; i < 20; ++i) {
+    now += (i % 2 == 0) ? Duration::millis(10) : Duration::millis(30);
+    t.arrival(now);
+  }
+  EXPECT_NEAR(t.mean_millis(), 20.0, 0.6);
+  EXPECT_NEAR(t.jitter_millis(), 10.0, 0.3);
+}
+
+TEST(InterarrivalTest, SingleArrivalNoGaps) {
+  InterarrivalTracker t;
+  t.arrival(TimePoint::zero() + Duration::millis(5));
+  EXPECT_EQ(t.mean_seconds(), 0.0);
+  EXPECT_EQ(t.gaps().count(), 0u);
+}
+
+TEST(TimeSeriesTest, CsvContainsAllPoints) {
+  TimeSeries ts("v");
+  ts.add(TimePoint::zero() + Duration::seconds(1), 10.0);
+  ts.add(TimePoint::zero() + Duration::seconds(2), 20.0);
+  const std::string csv = ts.to_csv();
+  EXPECT_NE(csv.find("x,v"), std::string::npos);
+  EXPECT_NE(csv.find("1,10"), std::string::npos);
+  EXPECT_NE(csv.find("2,20"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, MeanInWindow) {
+  TimeSeries ts("v");
+  for (int i = 0; i < 10; ++i) ts.add_indexed(i, i * 1.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(5, 10), 7.0);
+  EXPECT_EQ(ts.mean_in(100, 200), 0.0);
+}
+
+TEST(TimeSeriesTest, AsciiPlotRendersWithoutCrashing) {
+  TimeSeries ts("v");
+  for (int i = 0; i < 500; ++i) ts.add_indexed(i, std::abs(std::sin(i * 0.1)));
+  const std::string plot = ts.ascii_plot(40, 8);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_EQ(TimeSeries("e").ascii_plot(), "(empty series)\n");
+}
+
+TEST(MessageMetricsTest, SummaryBasics) {
+  MessageMetrics m;
+  m.start(TimePoint::zero());
+  for (int i = 1; i <= 10; ++i) {
+    m.offered();
+    MessageRecord rec;
+    rec.arrival = TimePoint::zero() + Duration::millis(100 * i);
+    rec.bytes = 1000;
+    rec.tagged = (i % 5 == 0);
+    m.on_message(rec);
+  }
+  const FlowSummary s = m.summary();
+  EXPECT_DOUBLE_EQ(s.duration_s, 1.0);
+  EXPECT_NEAR(s.throughput_kBps, 10.0, 1e-9);  // 10 kB over 1 s
+  EXPECT_NEAR(s.interarrival_s, 0.1, 1e-12);
+  EXPECT_NEAR(s.jitter_s, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.delivered_pct, 100.0);
+  EXPECT_EQ(s.messages, 10u);
+  EXPECT_EQ(s.tagged_messages, 2u);
+  EXPECT_NEAR(s.tagged_delay_ms, 500.0, 1e-9);
+}
+
+TEST(MessageMetricsTest, DeliveredPctReflectsLoss) {
+  MessageMetrics m;
+  m.start(TimePoint::zero());
+  m.offered(10);
+  for (int i = 1; i <= 7; ++i) {
+    MessageRecord rec;
+    rec.arrival = TimePoint::zero() + Duration::millis(i);
+    rec.bytes = 10;
+    m.on_message(rec);
+  }
+  EXPECT_DOUBLE_EQ(m.summary().delivered_pct, 70.0);
+}
+
+TEST(MessageMetricsTest, FinishExtendsDuration) {
+  MessageMetrics m;
+  m.start(TimePoint::zero());
+  MessageRecord rec;
+  rec.arrival = TimePoint::zero() + Duration::seconds(1);
+  rec.bytes = 5000;
+  m.on_message(rec);
+  m.finish(TimePoint::zero() + Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(m.summary().duration_s, 5.0);
+}
+
+TEST(MessageMetricsTest, OneWayDelayQuantiles) {
+  MessageMetrics m;
+  m.start(TimePoint::zero());
+  for (int i = 1; i <= 100; ++i) {
+    MessageRecord rec;
+    rec.sent = TimePoint::zero() + Duration::millis(i);
+    // One-way delay: 10 ms for most, 100 ms for every 10th (a loss tail).
+    rec.arrival = rec.sent + Duration::millis(i % 10 == 0 ? 100 : 10);
+    rec.bytes = 100;
+    m.on_message(rec);
+  }
+  const FlowSummary s = m.summary();
+  EXPECT_NEAR(s.owd_mean_ms, 0.9 * 10 + 0.1 * 100, 1.0);
+  EXPECT_NEAR(s.owd_p50_ms, 10.0, 1.5);
+  EXPECT_GT(s.owd_p95_ms, 50.0);
+  EXPECT_EQ(m.one_way_delay().count(), 100u);
+}
+
+TEST(MessageMetricsTest, NoSenderTimestampNoOwd) {
+  MessageMetrics m;
+  m.start(TimePoint::zero());
+  MessageRecord rec;
+  rec.arrival = TimePoint::zero() + Duration::millis(5);
+  rec.bytes = 1;  // rec.sent left at zero => no one-way-delay sample
+  m.on_message(rec);
+  EXPECT_EQ(m.one_way_delay().count(), 0u);
+  EXPECT_EQ(m.summary().owd_p95_ms, 0.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"scheme", "thr"});
+  t.add_row({"IQ-RUDP", "98.2"});
+  t.add_row({"TCP", "94.2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("IQ-RUDP"), std::string::npos);
+  EXPECT_NE(out.find("94.2"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace iq::stats

@@ -1,0 +1,152 @@
+// Tests for workload generators: MBone trace shape/determinism, frame
+// schedules, CBR and VBR cross-traffic sources.
+
+#include <gtest/gtest.h>
+
+#include "iq/net/dumbbell.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/workload/cbr_source.hpp"
+#include "iq/workload/frame_schedule.hpp"
+#include "iq/workload/mbone_trace.hpp"
+#include "iq/workload/vbr_source.hpp"
+
+namespace iq::workload {
+namespace {
+
+TEST(MboneTraceTest, DeterministicForSeed) {
+  MboneTrace a, b;
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.groups(), b.groups());
+}
+
+TEST(MboneTraceTest, DifferentSeedsDiffer) {
+  MboneTrace a(MboneTraceConfig{.seed = 1});
+  MboneTrace b(MboneTraceConfig{.seed = 2});
+  EXPECT_NE(a.groups(), b.groups());
+}
+
+TEST(MboneTraceTest, StaysWithinBounds) {
+  MboneTraceConfig cfg;
+  cfg.min_group = 3;
+  cfg.max_group = 50;
+  MboneTrace t(cfg);
+  EXPECT_GE(t.min_seen(), 3);
+  EXPECT_LE(t.max_seen(), 50);
+}
+
+TEST(MboneTraceTest, ShowsBurstiness) {
+  MboneTrace t;
+  // The trace must contain at least one step of magnitude >= 5 (a burst),
+  // otherwise the workload would not exercise the adaptation machinery.
+  int big_steps = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (std::abs(t.group_at(i) - t.group_at(i - 1)) >= 5) ++big_steps;
+  }
+  EXPECT_GT(big_steps, 10);
+}
+
+TEST(MboneTraceTest, CoversWideRange) {
+  MboneTrace t;
+  EXPECT_LT(t.min_seen(), 12);
+  EXPECT_GT(t.max_seen(), 40);
+}
+
+TEST(MboneTraceTest, IndexWrapsAround) {
+  MboneTrace t(MboneTraceConfig{.samples = 16});
+  EXPECT_EQ(t.group_at(0), t.group_at(16));
+  EXPECT_EQ(t.group_at(3), t.group_at(19));
+}
+
+TEST(MboneTraceTest, TimeIndexingOneSamplePerSecond) {
+  MboneTrace t;
+  EXPECT_EQ(t.group_at_time(Duration::seconds(5)), t.group_at(5));
+  EXPECT_EQ(t.group_at_time(Duration::millis(5900)), t.group_at(5));
+}
+
+TEST(FrameScheduleTest, MultipliesGroupSize) {
+  MboneTrace t;
+  FrameSchedule fs(t, 3000);
+  EXPECT_EQ(fs.frame_bytes_at(Duration::seconds(7)),
+            static_cast<std::int64_t>(t.group_at(7)) * 3000);
+}
+
+TEST(CbrSourceTest, OfferedRateMatchesConfig) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Dumbbell db(net, {.pairs = 2});
+  net::CountingSink sink;
+  db.right(1).bind(9000, &sink);
+
+  CbrConfig cfg;
+  cfg.rate_bps = 10'000'000;
+  cfg.payload_bytes = 1400;
+  CbrSource src(net, db.left(1), db.right(1), cfg);
+  src.start();
+  sim.run_until(TimePoint::zero() + Duration::seconds(2));
+  src.stop();
+
+  const double offered_bps = static_cast<double>(src.sent_bytes()) * 8 / 2.0;
+  EXPECT_NEAR(offered_bps, 10e6, 10e6 * 0.02);
+  // Uncongested: everything arrives once in-flight packets land.
+  sim.run_until(TimePoint::zero() + Duration::seconds(3));
+  EXPECT_EQ(sink.packets(), src.sent());
+}
+
+TEST(CbrSourceTest, StopsCleanly) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Dumbbell db(net, {.pairs = 2});
+  CbrSource src(net, db.left(1), db.right(1), {});
+  src.start();
+  sim.run_until(TimePoint::zero() + Duration::millis(100));
+  const auto sent = src.sent();
+  src.stop();
+  sim.run_until(TimePoint::zero() + Duration::millis(200));
+  EXPECT_EQ(src.sent(), sent);
+}
+
+TEST(VbrSourceTest, FrameRateAndTraceDrivenSize) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Dumbbell db(net, {.pairs = 3});
+  net::CountingSink sink;
+  db.right(2).bind(9001, &sink);
+
+  MboneTrace trace;
+  FrameSchedule schedule(trace, 500);
+  VbrConfig cfg;
+  cfg.frames_per_sec = 50;
+  VbrSource src(net, db.left(2), db.right(2), schedule, cfg);
+  src.start();
+  sim.run_until(TimePoint::zero() + Duration::seconds(2));
+  src.stop();
+
+  EXPECT_NEAR(static_cast<double>(src.frames_sent()), 100.0, 2.0);
+  // Frames larger than the MTU split into multiple packets.
+  EXPECT_GT(src.packets_sent(), src.frames_sent());
+}
+
+TEST(VbrSourceTest, BytesTrackTraceMean) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Dumbbell db(net, {.pairs = 3});
+  MboneTrace trace;
+  FrameSchedule schedule(trace, 400);
+  VbrConfig cfg;
+  cfg.frames_per_sec = 20;
+  VbrSource src(net, db.left(2), db.right(2), schedule, cfg);
+  src.start();
+  sim.run_until(TimePoint::zero() + Duration::seconds(10));
+  src.stop();
+  // Mean frame ≈ mean(group) * 400; sent bytes ≈ frames * mean frame
+  // (within a loose factor — the first 10 s of the trace is not the
+  // whole-trace mean).
+  const double mean_frame = trace.mean() * 400;
+  const double per_frame = static_cast<double>(src.sent_bytes()) /
+                           static_cast<double>(src.frames_sent());
+  EXPECT_GT(per_frame, mean_frame * 0.2);
+  EXPECT_LT(per_frame, mean_frame * 5.0);
+}
+
+}  // namespace
+}  // namespace iq::workload
