@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_jitter_series.dir/bench_fig23_jitter_series.cpp.o"
+  "CMakeFiles/bench_fig23_jitter_series.dir/bench_fig23_jitter_series.cpp.o.d"
+  "bench_fig23_jitter_series"
+  "bench_fig23_jitter_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_jitter_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multibottleneck.dir/bench_multibottleneck.cpp.o"
+  "CMakeFiles/bench_multibottleneck.dir/bench_multibottleneck.cpp.o.d"
+  "bench_multibottleneck"
+  "bench_multibottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_basic.dir/bench_table1_basic.cpp.o"
+  "CMakeFiles/bench_table1_basic.dir/bench_table1_basic.cpp.o.d"
+  "bench_table1_basic"
+  "bench_table1_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_conflict_app.dir/bench_table3_conflict_app.cpp.o"
+  "CMakeFiles/bench_table3_conflict_app.dir/bench_table3_conflict_app.cpp.o.d"
+  "bench_table3_conflict_app"
+  "bench_table3_conflict_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_conflict_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

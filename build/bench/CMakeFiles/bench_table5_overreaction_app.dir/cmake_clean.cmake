@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_overreaction_app.dir/bench_table5_overreaction_app.cpp.o"
+  "CMakeFiles/bench_table5_overreaction_app.dir/bench_table5_overreaction_app.cpp.o.d"
+  "bench_table5_overreaction_app"
+  "bench_table5_overreaction_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_overreaction_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_overreaction_net.cpp" "bench/CMakeFiles/bench_table6_overreaction_net.dir/bench_table6_overreaction_net.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_overreaction_net.dir/bench_table6_overreaction_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_echo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_rudp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_granularity_app.dir/bench_table7_granularity_app.cpp.o"
+  "CMakeFiles/bench_table7_granularity_app.dir/bench_table7_granularity_app.cpp.o.d"
+  "bench_table7_granularity_app"
+  "bench_table7_granularity_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_granularity_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_granularity_net.dir/bench_table8_granularity_net.cpp.o"
+  "CMakeFiles/bench_table8_granularity_net.dir/bench_table8_granularity_net.cpp.o.d"
+  "bench_table8_granularity_net"
+  "bench_table8_granularity_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_granularity_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_receiver.dir/adaptive_receiver.cpp.o"
+  "CMakeFiles/adaptive_receiver.dir/adaptive_receiver.cpp.o.d"
+  "adaptive_receiver"
+  "adaptive_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

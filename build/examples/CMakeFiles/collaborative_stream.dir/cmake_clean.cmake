@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_stream.dir/collaborative_stream.cpp.o"
+  "CMakeFiles/collaborative_stream.dir/collaborative_stream.cpp.o.d"
+  "collaborative_stream"
+  "collaborative_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_ftp_demo.dir/iq_ftp_demo.cpp.o"
+  "CMakeFiles/iq_ftp_demo.dir/iq_ftp_demo.cpp.o.d"
+  "iq_ftp_demo"
+  "iq_ftp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_ftp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

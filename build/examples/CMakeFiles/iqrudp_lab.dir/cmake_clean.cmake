@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqrudp_lab.dir/iqrudp_lab.cpp.o"
+  "CMakeFiles/iqrudp_lab.dir/iqrudp_lab.cpp.o.d"
+  "iqrudp_lab"
+  "iqrudp_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqrudp_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_visualization.dir/remote_visualization.cpp.o"
+  "CMakeFiles/remote_visualization.dir/remote_visualization.cpp.o.d"
+  "remote_visualization"
+  "remote_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_loopback.dir/udp_loopback.cpp.o"
+  "CMakeFiles/udp_loopback.dir/udp_loopback.cpp.o.d"
+  "udp_loopback"
+  "udp_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/attr/callbacks.cpp" "src/CMakeFiles/iq_attr.dir/iq/attr/callbacks.cpp.o" "gcc" "src/CMakeFiles/iq_attr.dir/iq/attr/callbacks.cpp.o.d"
+  "/root/repo/src/iq/attr/list.cpp" "src/CMakeFiles/iq_attr.dir/iq/attr/list.cpp.o" "gcc" "src/CMakeFiles/iq_attr.dir/iq/attr/list.cpp.o.d"
+  "/root/repo/src/iq/attr/names.cpp" "src/CMakeFiles/iq_attr.dir/iq/attr/names.cpp.o" "gcc" "src/CMakeFiles/iq_attr.dir/iq/attr/names.cpp.o.d"
+  "/root/repo/src/iq/attr/store.cpp" "src/CMakeFiles/iq_attr.dir/iq/attr/store.cpp.o" "gcc" "src/CMakeFiles/iq_attr.dir/iq/attr/store.cpp.o.d"
+  "/root/repo/src/iq/attr/value.cpp" "src/CMakeFiles/iq_attr.dir/iq/attr/value.cpp.o" "gcc" "src/CMakeFiles/iq_attr.dir/iq/attr/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_attr.dir/iq/attr/callbacks.cpp.o"
+  "CMakeFiles/iq_attr.dir/iq/attr/callbacks.cpp.o.d"
+  "CMakeFiles/iq_attr.dir/iq/attr/list.cpp.o"
+  "CMakeFiles/iq_attr.dir/iq/attr/list.cpp.o.d"
+  "CMakeFiles/iq_attr.dir/iq/attr/names.cpp.o"
+  "CMakeFiles/iq_attr.dir/iq/attr/names.cpp.o.d"
+  "CMakeFiles/iq_attr.dir/iq/attr/store.cpp.o"
+  "CMakeFiles/iq_attr.dir/iq/attr/store.cpp.o.d"
+  "CMakeFiles/iq_attr.dir/iq/attr/value.cpp.o"
+  "CMakeFiles/iq_attr.dir/iq/attr/value.cpp.o.d"
+  "libiq_attr.a"
+  "libiq_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

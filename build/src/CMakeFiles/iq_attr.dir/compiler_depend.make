@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iq_attr.
+# This may be replaced when dependencies are built.

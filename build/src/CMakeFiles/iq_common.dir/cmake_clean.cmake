@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_common.dir/iq/common/bytes.cpp.o"
+  "CMakeFiles/iq_common.dir/iq/common/bytes.cpp.o.d"
+  "CMakeFiles/iq_common.dir/iq/common/log.cpp.o"
+  "CMakeFiles/iq_common.dir/iq/common/log.cpp.o.d"
+  "CMakeFiles/iq_common.dir/iq/common/rng.cpp.o"
+  "CMakeFiles/iq_common.dir/iq/common/rng.cpp.o.d"
+  "CMakeFiles/iq_common.dir/iq/common/time.cpp.o"
+  "CMakeFiles/iq_common.dir/iq/common/time.cpp.o.d"
+  "libiq_common.a"
+  "libiq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/core/adaptation.cpp" "src/CMakeFiles/iq_core.dir/iq/core/adaptation.cpp.o" "gcc" "src/CMakeFiles/iq_core.dir/iq/core/adaptation.cpp.o.d"
+  "/root/repo/src/iq/core/coordinator.cpp" "src/CMakeFiles/iq_core.dir/iq/core/coordinator.cpp.o" "gcc" "src/CMakeFiles/iq_core.dir/iq/core/coordinator.cpp.o.d"
+  "/root/repo/src/iq/core/iq_connection.cpp" "src/CMakeFiles/iq_core.dir/iq/core/iq_connection.cpp.o" "gcc" "src/CMakeFiles/iq_core.dir/iq/core/iq_connection.cpp.o.d"
+  "/root/repo/src/iq/core/metrics_export.cpp" "src/CMakeFiles/iq_core.dir/iq/core/metrics_export.cpp.o" "gcc" "src/CMakeFiles/iq_core.dir/iq/core/metrics_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_rudp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_core.dir/iq/core/adaptation.cpp.o"
+  "CMakeFiles/iq_core.dir/iq/core/adaptation.cpp.o.d"
+  "CMakeFiles/iq_core.dir/iq/core/coordinator.cpp.o"
+  "CMakeFiles/iq_core.dir/iq/core/coordinator.cpp.o.d"
+  "CMakeFiles/iq_core.dir/iq/core/iq_connection.cpp.o"
+  "CMakeFiles/iq_core.dir/iq/core/iq_connection.cpp.o.d"
+  "CMakeFiles/iq_core.dir/iq/core/metrics_export.cpp.o"
+  "CMakeFiles/iq_core.dir/iq/core/metrics_export.cpp.o.d"
+  "libiq_core.a"
+  "libiq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

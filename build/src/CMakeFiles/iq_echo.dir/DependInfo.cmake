@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/echo/channel.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/channel.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/channel.cpp.o.d"
+  "/root/repo/src/iq/echo/derived.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/derived.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/derived.cpp.o.d"
+  "/root/repo/src/iq/echo/event.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/event.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/event.cpp.o.d"
+  "/root/repo/src/iq/echo/mux.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/mux.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/mux.cpp.o.d"
+  "/root/repo/src/iq/echo/policies.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/policies.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/policies.cpp.o.d"
+  "/root/repo/src/iq/echo/sink.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/sink.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/sink.cpp.o.d"
+  "/root/repo/src/iq/echo/source.cpp" "src/CMakeFiles/iq_echo.dir/iq/echo/source.cpp.o" "gcc" "src/CMakeFiles/iq_echo.dir/iq/echo/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_rudp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

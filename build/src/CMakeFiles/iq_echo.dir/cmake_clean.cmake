@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_echo.dir/iq/echo/channel.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/channel.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/derived.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/derived.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/event.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/event.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/mux.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/mux.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/policies.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/policies.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/sink.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/sink.cpp.o.d"
+  "CMakeFiles/iq_echo.dir/iq/echo/source.cpp.o"
+  "CMakeFiles/iq_echo.dir/iq/echo/source.cpp.o.d"
+  "libiq_echo.a"
+  "libiq_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

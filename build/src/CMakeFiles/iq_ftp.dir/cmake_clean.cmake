@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_ftp.dir/iq/ftp/iq_ftp.cpp.o"
+  "CMakeFiles/iq_ftp.dir/iq/ftp/iq_ftp.cpp.o.d"
+  "libiq_ftp.a"
+  "libiq_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_harness.dir/iq/harness/experiment.cpp.o"
+  "CMakeFiles/iq_harness.dir/iq/harness/experiment.cpp.o.d"
+  "CMakeFiles/iq_harness.dir/iq/harness/json.cpp.o"
+  "CMakeFiles/iq_harness.dir/iq/harness/json.cpp.o.d"
+  "CMakeFiles/iq_harness.dir/iq/harness/paper.cpp.o"
+  "CMakeFiles/iq_harness.dir/iq/harness/paper.cpp.o.d"
+  "CMakeFiles/iq_harness.dir/iq/harness/scenarios.cpp.o"
+  "CMakeFiles/iq_harness.dir/iq/harness/scenarios.cpp.o.d"
+  "libiq_harness.a"
+  "libiq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

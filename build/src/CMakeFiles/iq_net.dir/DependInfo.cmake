@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/net/dumbbell.cpp" "src/CMakeFiles/iq_net.dir/iq/net/dumbbell.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/dumbbell.cpp.o.d"
+  "/root/repo/src/iq/net/link.cpp" "src/CMakeFiles/iq_net.dir/iq/net/link.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/link.cpp.o.d"
+  "/root/repo/src/iq/net/network.cpp" "src/CMakeFiles/iq_net.dir/iq/net/network.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/network.cpp.o.d"
+  "/root/repo/src/iq/net/node.cpp" "src/CMakeFiles/iq_net.dir/iq/net/node.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/node.cpp.o.d"
+  "/root/repo/src/iq/net/packet.cpp" "src/CMakeFiles/iq_net.dir/iq/net/packet.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/packet.cpp.o.d"
+  "/root/repo/src/iq/net/parking_lot.cpp" "src/CMakeFiles/iq_net.dir/iq/net/parking_lot.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/parking_lot.cpp.o.d"
+  "/root/repo/src/iq/net/queue.cpp" "src/CMakeFiles/iq_net.dir/iq/net/queue.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/queue.cpp.o.d"
+  "/root/repo/src/iq/net/recording_tracer.cpp" "src/CMakeFiles/iq_net.dir/iq/net/recording_tracer.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/recording_tracer.cpp.o.d"
+  "/root/repo/src/iq/net/tracer.cpp" "src/CMakeFiles/iq_net.dir/iq/net/tracer.cpp.o" "gcc" "src/CMakeFiles/iq_net.dir/iq/net/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

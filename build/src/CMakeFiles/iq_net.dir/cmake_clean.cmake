@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_net.dir/iq/net/dumbbell.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/dumbbell.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/link.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/link.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/network.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/network.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/node.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/node.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/packet.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/packet.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/parking_lot.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/parking_lot.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/queue.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/queue.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/recording_tracer.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/recording_tracer.cpp.o.d"
+  "CMakeFiles/iq_net.dir/iq/net/tracer.cpp.o"
+  "CMakeFiles/iq_net.dir/iq/net/tracer.cpp.o.d"
+  "libiq_net.a"
+  "libiq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/rudp/codec.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/codec.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/codec.cpp.o.d"
+  "/root/repo/src/iq/rudp/congestion.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/congestion.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/congestion.cpp.o.d"
+  "/root/repo/src/iq/rudp/connection.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/connection.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/connection.cpp.o.d"
+  "/root/repo/src/iq/rudp/loss_monitor.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/loss_monitor.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/loss_monitor.cpp.o.d"
+  "/root/repo/src/iq/rudp/recv_buffer.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/recv_buffer.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/recv_buffer.cpp.o.d"
+  "/root/repo/src/iq/rudp/reliability.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/reliability.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/reliability.cpp.o.d"
+  "/root/repo/src/iq/rudp/rtt_estimator.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/rtt_estimator.cpp.o.d"
+  "/root/repo/src/iq/rudp/segment.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/segment.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/segment.cpp.o.d"
+  "/root/repo/src/iq/rudp/send_buffer.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/send_buffer.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/send_buffer.cpp.o.d"
+  "/root/repo/src/iq/rudp/seq.cpp" "src/CMakeFiles/iq_rudp.dir/iq/rudp/seq.cpp.o" "gcc" "src/CMakeFiles/iq_rudp.dir/iq/rudp/seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

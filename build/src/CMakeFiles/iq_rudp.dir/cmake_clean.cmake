@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_rudp.dir/iq/rudp/codec.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/codec.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/congestion.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/congestion.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/connection.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/connection.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/loss_monitor.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/loss_monitor.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/recv_buffer.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/recv_buffer.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/reliability.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/reliability.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/rtt_estimator.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/rtt_estimator.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/segment.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/segment.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/send_buffer.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/send_buffer.cpp.o.d"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/seq.cpp.o"
+  "CMakeFiles/iq_rudp.dir/iq/rudp/seq.cpp.o.d"
+  "libiq_rudp.a"
+  "libiq_rudp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_rudp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_sim.dir/iq/sim/event_queue.cpp.o"
+  "CMakeFiles/iq_sim.dir/iq/sim/event_queue.cpp.o.d"
+  "CMakeFiles/iq_sim.dir/iq/sim/simulator.cpp.o"
+  "CMakeFiles/iq_sim.dir/iq/sim/simulator.cpp.o.d"
+  "CMakeFiles/iq_sim.dir/iq/sim/timer.cpp.o"
+  "CMakeFiles/iq_sim.dir/iq/sim/timer.cpp.o.d"
+  "libiq_sim.a"
+  "libiq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

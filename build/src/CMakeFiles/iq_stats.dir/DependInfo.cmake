@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/stats/histogram.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/histogram.cpp.o.d"
+  "/root/repo/src/iq/stats/interarrival.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/interarrival.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/interarrival.cpp.o.d"
+  "/root/repo/src/iq/stats/metrics.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/metrics.cpp.o.d"
+  "/root/repo/src/iq/stats/running_stats.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/running_stats.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/running_stats.cpp.o.d"
+  "/root/repo/src/iq/stats/table.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/table.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/table.cpp.o.d"
+  "/root/repo/src/iq/stats/timeseries.cpp" "src/CMakeFiles/iq_stats.dir/iq/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/iq_stats.dir/iq/stats/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

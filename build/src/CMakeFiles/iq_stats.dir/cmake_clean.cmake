@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_stats.dir/iq/stats/histogram.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/histogram.cpp.o.d"
+  "CMakeFiles/iq_stats.dir/iq/stats/interarrival.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/interarrival.cpp.o.d"
+  "CMakeFiles/iq_stats.dir/iq/stats/metrics.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/metrics.cpp.o.d"
+  "CMakeFiles/iq_stats.dir/iq/stats/running_stats.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/running_stats.cpp.o.d"
+  "CMakeFiles/iq_stats.dir/iq/stats/table.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/table.cpp.o.d"
+  "CMakeFiles/iq_stats.dir/iq/stats/timeseries.cpp.o"
+  "CMakeFiles/iq_stats.dir/iq/stats/timeseries.cpp.o.d"
+  "libiq_stats.a"
+  "libiq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_tcp.dir/iq/tcp/tcp_connection.cpp.o"
+  "CMakeFiles/iq_tcp.dir/iq/tcp/tcp_connection.cpp.o.d"
+  "CMakeFiles/iq_tcp.dir/iq/tcp/tcp_source.cpp.o"
+  "CMakeFiles/iq_tcp.dir/iq/tcp/tcp_source.cpp.o.d"
+  "libiq_tcp.a"
+  "libiq_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

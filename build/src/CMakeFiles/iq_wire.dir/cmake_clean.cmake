@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_wire.dir/iq/wire/demux_wire.cpp.o"
+  "CMakeFiles/iq_wire.dir/iq/wire/demux_wire.cpp.o.d"
+  "CMakeFiles/iq_wire.dir/iq/wire/lossy_wire.cpp.o"
+  "CMakeFiles/iq_wire.dir/iq/wire/lossy_wire.cpp.o.d"
+  "CMakeFiles/iq_wire.dir/iq/wire/sim_wire.cpp.o"
+  "CMakeFiles/iq_wire.dir/iq/wire/sim_wire.cpp.o.d"
+  "CMakeFiles/iq_wire.dir/iq/wire/udp_wire.cpp.o"
+  "CMakeFiles/iq_wire.dir/iq/wire/udp_wire.cpp.o.d"
+  "CMakeFiles/iq_wire.dir/iq/wire/wire.cpp.o"
+  "CMakeFiles/iq_wire.dir/iq/wire/wire.cpp.o.d"
+  "libiq_wire.a"
+  "libiq_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iq/workload/cbr_source.cpp" "src/CMakeFiles/iq_workload.dir/iq/workload/cbr_source.cpp.o" "gcc" "src/CMakeFiles/iq_workload.dir/iq/workload/cbr_source.cpp.o.d"
+  "/root/repo/src/iq/workload/frame_schedule.cpp" "src/CMakeFiles/iq_workload.dir/iq/workload/frame_schedule.cpp.o" "gcc" "src/CMakeFiles/iq_workload.dir/iq/workload/frame_schedule.cpp.o.d"
+  "/root/repo/src/iq/workload/mbone_trace.cpp" "src/CMakeFiles/iq_workload.dir/iq/workload/mbone_trace.cpp.o" "gcc" "src/CMakeFiles/iq_workload.dir/iq/workload/mbone_trace.cpp.o.d"
+  "/root/repo/src/iq/workload/vbr_source.cpp" "src/CMakeFiles/iq_workload.dir/iq/workload/vbr_source.cpp.o" "gcc" "src/CMakeFiles/iq_workload.dir/iq/workload/vbr_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_workload.dir/iq/workload/cbr_source.cpp.o"
+  "CMakeFiles/iq_workload.dir/iq/workload/cbr_source.cpp.o.d"
+  "CMakeFiles/iq_workload.dir/iq/workload/frame_schedule.cpp.o"
+  "CMakeFiles/iq_workload.dir/iq/workload/frame_schedule.cpp.o.d"
+  "CMakeFiles/iq_workload.dir/iq/workload/mbone_trace.cpp.o"
+  "CMakeFiles/iq_workload.dir/iq/workload/mbone_trace.cpp.o.d"
+  "CMakeFiles/iq_workload.dir/iq/workload/vbr_source.cpp.o"
+  "CMakeFiles/iq_workload.dir/iq/workload/vbr_source.cpp.o.d"
+  "libiq_workload.a"
+  "libiq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demux_test.dir/demux_test.cpp.o"
+  "CMakeFiles/demux_test.dir/demux_test.cpp.o.d"
+  "demux_test"
+  "demux_test.pdb"
+  "demux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

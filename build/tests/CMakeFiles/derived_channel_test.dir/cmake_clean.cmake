@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_channel_test.dir/derived_channel_test.cpp.o"
+  "CMakeFiles/derived_channel_test.dir/derived_channel_test.cpp.o.d"
+  "derived_channel_test"
+  "derived_channel_test.pdb"
+  "derived_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

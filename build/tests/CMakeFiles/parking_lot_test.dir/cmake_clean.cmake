@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_lot_test.dir/parking_lot_test.cpp.o"
+  "CMakeFiles/parking_lot_test.dir/parking_lot_test.cpp.o.d"
+  "parking_lot_test"
+  "parking_lot_test.pdb"
+  "parking_lot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_lot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

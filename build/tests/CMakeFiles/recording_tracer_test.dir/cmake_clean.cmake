@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recording_tracer_test.dir/recording_tracer_test.cpp.o"
+  "CMakeFiles/recording_tracer_test.dir/recording_tracer_test.cpp.o.d"
+  "recording_tracer_test"
+  "recording_tracer_test.pdb"
+  "recording_tracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recording_tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_codec_test.dir/rudp_codec_test.cpp.o"
+  "CMakeFiles/rudp_codec_test.dir/rudp_codec_test.cpp.o.d"
+  "rudp_codec_test"
+  "rudp_codec_test.pdb"
+  "rudp_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_connection_test.dir/rudp_connection_test.cpp.o"
+  "CMakeFiles/rudp_connection_test.dir/rudp_connection_test.cpp.o.d"
+  "rudp_connection_test"
+  "rudp_connection_test.pdb"
+  "rudp_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_features_test.dir/rudp_features_test.cpp.o"
+  "CMakeFiles/rudp_features_test.dir/rudp_features_test.cpp.o.d"
+  "rudp_features_test"
+  "rudp_features_test.pdb"
+  "rudp_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_model_test.dir/rudp_model_test.cpp.o"
+  "CMakeFiles/rudp_model_test.dir/rudp_model_test.cpp.o.d"
+  "rudp_model_test"
+  "rudp_model_test.pdb"
+  "rudp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

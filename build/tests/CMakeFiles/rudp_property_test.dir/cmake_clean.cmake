@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_property_test.dir/rudp_property_test.cpp.o"
+  "CMakeFiles/rudp_property_test.dir/rudp_property_test.cpp.o.d"
+  "rudp_property_test"
+  "rudp_property_test.pdb"
+  "rudp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

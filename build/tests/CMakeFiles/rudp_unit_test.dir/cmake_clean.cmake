@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_unit_test.dir/rudp_unit_test.cpp.o"
+  "CMakeFiles/rudp_unit_test.dir/rudp_unit_test.cpp.o.d"
+  "rudp_unit_test"
+  "rudp_unit_test.pdb"
+  "rudp_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

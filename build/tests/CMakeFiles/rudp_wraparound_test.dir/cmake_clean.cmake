@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudp_wraparound_test.dir/rudp_wraparound_test.cpp.o"
+  "CMakeFiles/rudp_wraparound_test.dir/rudp_wraparound_test.cpp.o.d"
+  "rudp_wraparound_test"
+  "rudp_wraparound_test.pdb"
+  "rudp_wraparound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudp_wraparound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

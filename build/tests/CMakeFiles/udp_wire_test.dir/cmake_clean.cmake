@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_wire_test.dir/udp_wire_test.cpp.o"
+  "CMakeFiles/udp_wire_test.dir/udp_wire_test.cpp.o.d"
+  "udp_wire_test"
+  "udp_wire_test.pdb"
+  "udp_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
