@@ -1,0 +1,156 @@
+// Extension experiment: delivery latency of the FEC reliability class.
+//
+// A constant-rate message flow crosses the dumbbell bottleneck while the
+// bottleneck corrupts a fraction of packets (random, non-congestive loss).
+// Two reliability strategies are compared at each loss rate:
+//   * marked    — fully reliable, losses repaired by retransmission;
+//   * FEC       — losses repaired by XOR parity recovery at the receiver,
+//                 retransmission only as the RTO fallback.
+// Retransmission costs at least an extra RTT per repair; parity recovery
+// costs only the spacing to the group's parity segment, so the FEC latency
+// CDF should show a much shorter tail. Results are emitted as JSON for
+// scripting.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iq/harness/json.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/stats/histogram.hpp"
+#include "iq/wire/sim_wire.hpp"
+
+namespace {
+
+using namespace iq;
+
+constexpr double kSeconds = 30.0;
+constexpr std::int64_t kMessageBytes = 1000;
+constexpr std::int64_t kIntervalMs = 5;
+constexpr std::uint16_t kFecGroupSize = 4;
+
+struct LegResult {
+  stats::Histogram latency_ms{1e-2, 1e4, 160};
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t parities = 0;
+};
+
+LegResult run_leg(double drop_probability, bool use_fec) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::DumbbellConfig dcfg;
+  dcfg.pairs = 1;
+  dcfg.bottleneck_drop_probability = drop_probability;
+  dcfg.bottleneck_drop_seed = 97;
+  net::Dumbbell db(network, dcfg);
+
+  const net::Endpoint a{db.left(0).id(), 1000};
+  const net::Endpoint b{db.right(0).id(), 1000};
+  wire::SimWire wire_snd(network, a, b, 0);
+  wire::SimWire wire_rcv(network, b, a, 0);
+
+  rudp::RudpConfig cfg;
+  cfg.fec_group_size = kFecGroupSize;
+  rudp::RudpConnection snd(wire_snd, cfg, rudp::Role::Client);
+  rudp::RudpConnection rcv(wire_rcv, cfg, rudp::Role::Server);
+
+  LegResult out;
+  rcv.set_message_handler([&out](const rudp::DeliveredMessage& m) {
+    ++out.delivered;
+    out.latency_ms.add((m.delivered - m.first_sent).to_millis());
+  });
+  rcv.listen();
+  snd.connect();
+
+  sim::PeriodicTask source(sim, Duration::millis(kIntervalMs), [&] {
+    if (!snd.established()) return;
+    ++out.offered;
+    snd.send_message({.bytes = kMessageBytes, .marked = true,
+                      .fec = use_fec});
+  });
+  source.start(/*fire_now=*/false);
+  sim.run_until(TimePoint::zero() + Duration::from_seconds(kSeconds));
+
+  out.dropped = rcv.stats().messages_dropped;
+  out.retransmitted = snd.stats().segments_retransmitted;
+  out.recovered = rcv.stats().segments_recovered;
+  out.parities = snd.stats().parities_sent;
+  return out;
+}
+
+void emit_leg(harness::JsonWriter& json, const std::string& name,
+              const LegResult& leg) {
+  json.key(name).begin_object();
+  json.field("offered", leg.offered);
+  json.field("delivered", leg.delivered);
+  json.field("dropped", leg.dropped);
+  json.field("retransmitted", leg.retransmitted);
+  json.field("recovered", leg.recovered);
+  json.field("parities_sent", leg.parities);
+  json.field("latency_mean_ms", leg.latency_ms.mean());
+  json.field("latency_p50_ms", leg.latency_ms.p50());
+  json.field("latency_p95_ms", leg.latency_ms.p95());
+  json.field("latency_p99_ms", leg.latency_ms.p99());
+  json.field("latency_max_ms", leg.latency_ms.max());
+  json.end_object();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> loss_rates{0.005, 0.01, 0.02, 0.05};
+
+  harness::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "fec_latency");
+  json.field("topology", "dumbbell");
+  json.field("seconds", kSeconds);
+  json.field("message_bytes", kMessageBytes);
+  json.field("interval_ms", kIntervalMs);
+  json.field("fec_group_size", static_cast<std::int64_t>(kFecGroupSize));
+  json.key("runs").begin_object();
+
+  std::fprintf(stderr,
+               "== FEC vs retransmission: delivery latency on the lossy "
+               "dumbbell ==\n");
+  for (double rate : loss_rates) {
+    const LegResult marked = run_leg(rate, /*use_fec=*/false);
+    const LegResult fec = run_leg(rate, /*use_fec=*/true);
+    std::fprintf(stderr,
+                 "loss %.3f: marked p99 %8.1f ms (rexmit %5llu) | "
+                 "fec p99 %8.1f ms (recovered %5llu, rexmit %5llu)\n",
+                 rate, marked.latency_ms.p99(),
+                 static_cast<unsigned long long>(marked.retransmitted),
+                 fec.latency_ms.p99(),
+                 static_cast<unsigned long long>(fec.recovered),
+                 static_cast<unsigned long long>(fec.retransmitted));
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "loss_%.3f", rate);
+    json.key(label).begin_object();
+    json.field("drop_probability", rate);
+    emit_leg(json, "marked", marked);
+    emit_leg(json, "fec", fec);
+    json.end_object();
+  }
+
+  json.end_object();  // runs
+  json.end_object();
+  std::printf("%s\n", json.take().c_str());
+  std::fprintf(stderr,
+               "\nexpectation: at low-to-moderate loss FEC trims the latency "
+               "tail (p95/p99) that retransmission repair inflates, at the "
+               "cost of ~%.0f%% parity overhead. Once loss is high enough "
+               "that groups of %u take multiple hits, recovery fails and "
+               "the RTO fallback dominates the tail — the regime the "
+               "adaptive redundancy controller exists to avoid (it shrinks "
+               "k as loss grows).\n",
+               100.0 / kFecGroupSize, kFecGroupSize);
+  return 0;
+}

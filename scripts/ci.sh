@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build and run the full test suite twice —
+#   1. the default RelWithDebInfo build (the tier-1 verify), and
+#   2. an ASan+UBSan build (IQ_SANITIZE=ON) to catch memory and UB errors
+#      that pass silently in the default build.
+# Usage: scripts/ci.sh [--default-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+case "$mode" in
+  all|--default-only|--sanitize-only) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only]" >&2; exit 2 ;;
+esac
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== CI: default build =="
+  run_suite build
+fi
+
+if [[ "$mode" != "--default-only" ]]; then
+  echo "== CI: sanitized build (ASan+UBSan) =="
+  run_suite build-sanitize -DIQ_SANITIZE=ON
+fi
+
+echo "== CI: all suites passed =="

@@ -26,4 +26,10 @@ const std::string kRecvRateBps = "RECV_RATE_BPS";
 const std::string kRecvMsgsDelivered = "RECV_MSGS_DELIVERED";
 const std::string kRecvMsgsDropped = "RECV_MSGS_DROPPED";
 
+const std::string kFecEnabled = "iq.fec.enabled";
+const std::string kFecGroupSize = "iq.fec.group_size";
+const std::string kFecRedundancy = "iq.fec.redundancy";
+const std::string kFecParitiesSent = "iq.fec.parities_sent";
+const std::string kFecRecovered = "iq.fec.recovered";
+
 }  // namespace iq::attr

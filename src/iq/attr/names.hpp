@@ -51,4 +51,11 @@ extern const std::string kRecvRateBps;       ///< double, delivery rate
 extern const std::string kRecvMsgsDelivered; ///< int, lifetime total
 extern const std::string kRecvMsgsDropped;   ///< int, lifetime total
 
+// FEC reliability class (published once per epoch while enabled).
+extern const std::string kFecEnabled;       ///< int: 0/1
+extern const std::string kFecGroupSize;     ///< int: members per parity (k)
+extern const std::string kFecRedundancy;    ///< double: parity overhead 1/k
+extern const std::string kFecParitiesSent;  ///< int, lifetime total
+extern const std::string kFecRecovered;     ///< int, segments rebuilt
+
 }  // namespace iq::attr

@@ -26,6 +26,19 @@ void Coordinator::on_epoch(const rudp::EpochReport& report) {
   current_eratio_ = report.loss_ratio;
 }
 
+void Coordinator::on_fec_redundancy(double redundancy) {
+  IQ_CHECK(redundancy >= 0.0);
+  const double old_rho = stats_.fec_redundancy;
+  if (redundancy == old_rho) return;
+  stats_.fec_redundancy = redundancy;
+  if (cfg_.mode != CoordinationMode::Coordinated || !cfg_.enable_fec_scheme) {
+    return;  // experimental control: parity rides on top of the fair share
+  }
+  const double factor = (1.0 + old_rho) / (1.0 + redundancy);
+  ++stats_.fec_rescales;
+  conn_.scale_congestion_window(factor);
+}
+
 double Coordinator::rescale_factor(double rate_chg, double eratio_then,
                                    double eratio_now, bool compensate) {
   double factor = 1.0 / (1.0 - rate_chg);

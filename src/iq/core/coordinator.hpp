@@ -47,6 +47,11 @@ struct CoordinatorConfig {
   bool enable_conflict_scheme = true;      ///< scheme 1
   bool enable_overreaction_scheme = true;  ///< schemes 2/3 window rescale
   bool enable_cond_compensation = true;    ///< eq. (1) drift compensation
+  /// FEC coordination: debit the parity overhead from the packet window so
+  /// goodput + parity stays at the pre-FEC bit-rate fair share (the §3.4
+  /// argument applied to transport-added redundancy: the window is rescaled
+  /// by (1 + rho_old)/(1 + rho_new) whenever the parity ratio rho changes).
+  bool enable_fec_scheme = true;
   /// Ablation of the paper's design decision that frequency adaptations
   /// need NO window change (§3.4): when set, a frequency adaptation gets
   /// the same 1/ratio rescale a resolution adaptation would — the paper
@@ -69,6 +74,8 @@ struct CoordinatorStats {
   std::uint64_t cond_compensations = 0;
   std::uint64_t freq_adaptations = 0;  ///< seen, intentionally no rescale
   double last_rescale_factor = 1.0;
+  std::uint64_t fec_rescales = 0;      ///< window adjustments for parity
+  double fec_redundancy = 0.0;         ///< current parity ratio rho (0 = off)
 };
 
 class Coordinator {
@@ -82,6 +89,10 @@ class Coordinator {
   void on_send_attrs(const attr::AttrList& attrs);
   /// Track the transport's current error ratio for eq. (1).
   void on_epoch(const rudp::EpochReport& report);
+  /// FEC path: the parity ratio rho changed (0 disables FEC). Rescales the
+  /// window by (1 + rho_old)/(1 + rho_new) so cwnd·(1 + rho) — the bit rate
+  /// including parity — is invariant across retunes.
+  void on_fec_redundancy(double redundancy);
 
   const CoordinatorStats& stats() const { return stats_; }
   const CoordinatorConfig& config() const { return cfg_; }

@@ -36,6 +36,34 @@ void IqRudpConnection::export_recv_metrics() {
                 static_cast<std::int64_t>(st.messages_dropped));
 }
 
+void IqRudpConnection::enable_fec(const fec::RedundancyConfig& rcfg) {
+  fec_ctrl_.emplace(rcfg);
+  conn_.set_fec_group_size(fec_ctrl_->group_size());
+  coordinator_.on_fec_redundancy(fec_ctrl_->redundancy());
+  export_fec_attrs();
+}
+
+void IqRudpConnection::disable_fec() {
+  if (!fec_ctrl_) return;
+  fec_ctrl_.reset();
+  coordinator_.on_fec_redundancy(0.0);
+  export_fec_attrs();
+}
+
+void IqRudpConnection::export_fec_attrs() {
+  const auto& st = conn_.stats();
+  store_.update(attr::kFecEnabled,
+                static_cast<std::int64_t>(fec_ctrl_ ? 1 : 0));
+  store_.update(attr::kFecGroupSize,
+                static_cast<std::int64_t>(conn_.fec_group_size()));
+  store_.update(attr::kFecRedundancy,
+                fec_ctrl_ ? fec_ctrl_->redundancy() : 0.0);
+  store_.update(attr::kFecParitiesSent,
+                static_cast<std::int64_t>(st.parities_sent));
+  store_.update(attr::kFecRecovered,
+                static_cast<std::int64_t>(st.segments_recovered));
+}
+
 rudp::RudpConnection::SendResult IqRudpConnection::send_with_attrs(
     const rudp::MessageSpec& spec, const attr::AttrList& adaptation_attrs) {
   coordinator_.on_send_attrs(adaptation_attrs);
@@ -59,6 +87,12 @@ IqRudpConnection::register_error_ratio_callbacks(
 
 void IqRudpConnection::on_epoch(const rudp::EpochReport& report) {
   coordinator_.on_epoch(report);
+  if (fec_ctrl_) {
+    const std::uint16_t k = fec_ctrl_->on_epoch(report);
+    if (k != conn_.fec_group_size()) conn_.set_fec_group_size(k);
+    coordinator_.on_fec_redundancy(fec_ctrl_->redundancy());
+    export_fec_attrs();
+  }
   exporter_.on_epoch(report);
   if (epoch_observer_) epoch_observer_(report);
 }

@@ -23,11 +23,13 @@
 // experiment in the paper compares the two.
 
 #include <memory>
+#include <optional>
 
 #include "iq/attr/callbacks.hpp"
 #include "iq/attr/store.hpp"
 #include "iq/core/coordinator.hpp"
 #include "iq/core/metrics_export.hpp"
+#include "iq/fec/redundancy.hpp"
 #include "iq/rudp/connection.hpp"
 #include "iq/sim/timer.hpp"
 
@@ -56,6 +58,20 @@ class IqRudpConnection {
   /// Plain send (no adaptation description).
   rudp::RudpConnection::SendResult send(const rudp::MessageSpec& spec) {
     return conn_.send_message(spec);
+  }
+
+  // ------------------------------------------------------------------ fec --
+  /// Enable the FEC reliability class on the sender: every epoch the
+  /// adaptive redundancy controller retunes the parity group size from the
+  /// observed loss ratio, the coordinator debits the parity overhead from
+  /// the congestion window (goodput + parity stays at the pre-FEC bit-rate
+  /// fair share), and iq.fec.* attributes are published.
+  void enable_fec(const fec::RedundancyConfig& rcfg = {});
+  void disable_fec();
+  bool fec_enabled() const { return fec_ctrl_.has_value(); }
+  /// nullptr while FEC is disabled.
+  const fec::AdaptiveRedundancyController* fec_controller() const {
+    return fec_ctrl_ ? &*fec_ctrl_ : nullptr;
   }
 
   // ----------------------------------------------------------- callbacks --
@@ -88,12 +104,14 @@ class IqRudpConnection {
  private:
   void on_epoch(const rudp::EpochReport& report);
   void export_recv_metrics();
+  void export_fec_attrs();
 
   rudp::RudpConnection conn_;
   attr::AttrStore store_;
   attr::CallbackRegistry registry_;
   Coordinator coordinator_;
   MetricsExporter exporter_;
+  std::optional<fec::AdaptiveRedundancyController> fec_ctrl_;
   rudp::RudpConnection::EpochFn epoch_observer_;
   /// Receiver-side delivery metrics, published once per second.
   sim::PeriodicTask recv_export_;

@@ -10,7 +10,14 @@ void MetricsExporter::on_epoch(const rudp::EpochReport& report) {
   store_.update(attr::kNetCwndPkts, conn_.congestion().cwnd());
   store_.update(attr::kNetEpoch,
                 static_cast<std::int64_t>(report.epoch));
+  // Feed every exported metric through the callback registry, not just the
+  // loss ratio — thresholds registered on RTT, rate or cwnd must fire too.
   registry_.on_metric(attr::kNetLossRatio, report.loss_ratio, report.at);
+  registry_.on_metric(attr::kNetRttMs, conn_.srtt().to_millis(), report.at);
+  registry_.on_metric(attr::kNetRateBps, report.delivered_rate_bps,
+                      report.at);
+  registry_.on_metric(attr::kNetCwndPkts, conn_.congestion().cwnd(),
+                      report.at);
 }
 
 }  // namespace iq::core

@@ -11,6 +11,7 @@ EventChannel::SubmitResult EventChannel::submit(
   rudp::MessageSpec spec;
   spec.bytes = ev.bytes;
   spec.marked = ev.tagged;
+  spec.fec = ev.fec;
   spec.attrs = ev.meta;
   spec.attrs.set(attr::kMsgMarked, ev.tagged);
 
@@ -32,6 +33,7 @@ void EventChannel::set_event_handler(EventFn fn) {
     rx.event.id = msg.msg_id;
     rx.event.bytes = msg.bytes;
     rx.event.tagged = msg.marked;
+    rx.event.fec = msg.fec;
     rx.event.meta = msg.attrs;
     rx.sent = msg.first_sent;
     rx.delivered = msg.delivered;

@@ -16,6 +16,7 @@ struct Event {
   std::uint64_t id = 0;       ///< source-assigned, monotonically increasing
   std::int64_t bytes = 0;     ///< payload size
   bool tagged = true;         ///< control/essential data (must deliver)
+  bool fec = false;           ///< FEC-protected class: recovered, not resent
   attr::AttrList meta;        ///< application metadata, rides in-band
 };
 

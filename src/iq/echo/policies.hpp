@@ -9,6 +9,7 @@
 
 #include "iq/common/rng.hpp"
 #include "iq/core/adaptation.hpp"
+#include "iq/echo/event.hpp"
 
 namespace iq::echo {
 
@@ -79,6 +80,40 @@ class MarkingPolicy {
   Rng rng_;
   bool active_ = false;
   double unmark_p_ = 0.0;
+};
+
+// ------------------------------------------------------------------- fec --
+// Publishers opt events into the FEC-protected reliability class when the
+// network is lossy enough that retransmission latency hurts but the data is
+// too important to unmark. Hysteresis keeps the class from flapping around
+// a threshold: it activates above `activate_above` error ratio and
+// deactivates only below `deactivate_below`.
+
+struct FecPolicyConfig {
+  double activate_above = 0.005;
+  double deactivate_below = 0.001;
+  /// When true, events the marking policy already left tagged are enrolled
+  /// too; when false only untagged events are upgraded to FEC.
+  bool protect_tagged = true;
+};
+
+class FecPolicy {
+ public:
+  explicit FecPolicy(const FecPolicyConfig& cfg = {});
+
+  /// Digest the epoch's error ratio; returns true if activation changed.
+  bool update(double eratio);
+
+  /// Stamp `ev.fec` according to the current activation; returns the event.
+  Event& protect(Event& ev) const;
+
+  bool active() const { return active_; }
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  FecPolicyConfig cfg_;
+  bool active_ = false;
+  std::uint64_t activations_ = 0;
 };
 
 // ------------------------------------------------------------- frequency --

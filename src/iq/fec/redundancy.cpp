@@ -1,0 +1,37 @@
+#include "iq/fec/redundancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iq/common/check.hpp"
+
+namespace iq::fec {
+
+AdaptiveRedundancyController::AdaptiveRedundancyController(
+    const RedundancyConfig& cfg)
+    : cfg_(cfg) {
+  IQ_CHECK(cfg_.min_group_size >= 1);
+  IQ_CHECK(cfg_.max_group_size >= cfg_.min_group_size);
+  IQ_CHECK(cfg_.min_redundancy > 0.0);
+  IQ_CHECK(cfg_.max_redundancy >= cfg_.min_redundancy);
+  // Start at the cheapest protection; the first lossy epochs tighten it.
+  group_size_ = cfg_.max_group_size;
+}
+
+std::uint16_t AdaptiveRedundancyController::on_epoch(
+    const rudp::EpochReport& report) {
+  ++epochs_;
+  smoothed_loss_ = (1.0 - cfg_.ewma_gain) * smoothed_loss_ +
+                   cfg_.ewma_gain * std::clamp(report.loss_ratio, 0.0, 1.0);
+  const double target = std::clamp(cfg_.gain * smoothed_loss_,
+                                   cfg_.min_redundancy, cfg_.max_redundancy);
+  const auto k = static_cast<std::uint16_t>(std::clamp<long>(
+      std::lround(1.0 / target), cfg_.min_group_size, cfg_.max_group_size));
+  if (k != group_size_) {
+    group_size_ = k;
+    ++retunes_;
+  }
+  return group_size_;
+}
+
+}  // namespace iq::fec

@@ -1,0 +1,52 @@
+#pragma once
+// AdaptiveRedundancyController: retunes the XOR parity ratio from the
+// transport's per-epoch loss measurements (Media-TCP-style quality-driven
+// reliability: redundancy follows observed loss, not a fixed budget).
+//
+// The controller tracks a smoothed loss ratio and targets a parity
+// redundancy of `gain` times it, clamped to [min, max]; with one parity per
+// group of k members the redundancy is 1/k, so the target maps to
+// k = round(1/target) clamped to [min_group_size, max_group_size]. Higher
+// loss ⇒ smaller groups (more parity); a quiet network decays back to the
+// cheapest protection.
+
+#include <cstdint>
+
+#include "iq/rudp/loss_monitor.hpp"
+
+namespace iq::fec {
+
+struct RedundancyConfig {
+  /// Target redundancy ≈ gain × smoothed loss ratio (XOR recovers one loss
+  /// per group, so headroom above the raw loss ratio is needed).
+  double gain = 3.0;
+  double min_redundancy = 1.0 / 16.0;
+  double max_redundancy = 0.5;
+  double ewma_gain = 0.3;
+  std::uint16_t min_group_size = 2;
+  std::uint16_t max_group_size = 16;
+};
+
+class AdaptiveRedundancyController {
+ public:
+  explicit AdaptiveRedundancyController(const RedundancyConfig& cfg = {});
+
+  /// Digest one epoch; returns the group size to use from now on.
+  std::uint16_t on_epoch(const rudp::EpochReport& report);
+
+  std::uint16_t group_size() const { return group_size_; }
+  double redundancy() const { return 1.0 / group_size_; }
+  double smoothed_loss() const { return smoothed_loss_; }
+  std::uint64_t epochs() const { return epochs_; }
+  /// Epochs whose digest changed the group size.
+  std::uint64_t retunes() const { return retunes_; }
+
+ private:
+  RedundancyConfig cfg_;
+  std::uint16_t group_size_;
+  double smoothed_loss_ = 0.0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+}  // namespace iq::fec

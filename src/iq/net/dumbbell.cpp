@@ -20,10 +20,14 @@ Dumbbell::Dumbbell(Network& net, const DumbbellConfig& cfg) : cfg_(cfg) {
       .rate_bps = cfg.bottleneck_bps,
       .propagation = bottleneck_delay,
       .queue_capacity_bytes = cfg.bottleneck_queue_bytes,
+      .drop_probability = cfg.bottleneck_drop_probability,
+      .drop_seed = cfg.bottleneck_drop_seed,
   };
   bottleneck_ = &net.add_link(*router_left_, *router_right_, bottleneck_cfg);
+  LinkConfig reverse_cfg = bottleneck_cfg;
+  reverse_cfg.drop_probability = 0.0;
   bottleneck_rev_ = &net.add_link(*router_right_, *router_left_,
-                                  bottleneck_cfg);
+                                  reverse_cfg);
 
   LinkConfig access_cfg{
       .rate_bps = cfg.access_bps,

@@ -26,6 +26,10 @@ struct DumbbellConfig {
   Duration path_rtt = Duration::millis(30);
   std::int64_t bottleneck_queue_bytes = 64 * 1500;
   std::int64_t access_queue_bytes = 256 * 1500;
+  /// Random loss on the left→right bottleneck (the data direction); the
+  /// reverse path stays clean so acks are only lost to congestion.
+  double bottleneck_drop_probability = 0.0;
+  std::uint64_t bottleneck_drop_seed = 1;
 };
 
 class Dumbbell {

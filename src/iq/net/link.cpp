@@ -10,9 +10,11 @@ Link::Link(sim::Simulator& sim, std::string name, LinkConfig cfg,
       name_(std::move(name)),
       cfg_(cfg),
       dst_(dst),
-      queue_(cfg.queue_capacity_bytes) {
+      queue_(cfg.queue_capacity_bytes),
+      drop_rng_(cfg.drop_seed) {
   IQ_CHECK(cfg_.rate_bps > 0);
   IQ_CHECK(!cfg_.propagation.is_negative());
+  IQ_CHECK(cfg_.drop_probability >= 0.0 && cfg_.drop_probability <= 1.0);
 }
 
 void Link::deliver(PacketPtr packet) {
@@ -37,11 +39,19 @@ void Link::start_transmission(PacketPtr p) {
 void Link::transmission_done(PacketPtr p) {
   ++transmitted_;
   transmitted_bytes_ += p->wire_bytes;
-  // Propagation: the packet is in flight; the transmitter is free now.
-  sim_.after(cfg_.propagation, [this, p = std::move(p)]() mutable {
-    if (tracer_ != nullptr) tracer_->on_deliver(*this, *p);
-    dst_.deliver(std::move(p));
-  });
+  // Random medium loss: the packet consumed its serialization time but is
+  // corrupted in flight and never delivered.
+  if (cfg_.drop_probability > 0.0 &&
+      drop_rng_.chance(cfg_.drop_probability)) {
+    ++random_drops_;
+    if (tracer_ != nullptr) tracer_->on_drop(*this, *p);
+  } else {
+    // Propagation: the packet is in flight; the transmitter is free now.
+    sim_.after(cfg_.propagation, [this, p = std::move(p)]() mutable {
+      if (tracer_ != nullptr) tracer_->on_deliver(*this, *p);
+      dst_.deliver(std::move(p));
+    });
+  }
   if (!queue_.empty()) {
     start_transmission(queue_.dequeue());
   } else {

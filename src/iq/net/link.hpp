@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "iq/common/rng.hpp"
 #include "iq/net/queue.hpp"
 #include "iq/net/tracer.hpp"
 #include "iq/sim/simulator.hpp"
@@ -16,6 +17,11 @@ struct LinkConfig {
   std::int64_t rate_bps = 20'000'000;            ///< 20 Mb/s default (paper)
   Duration propagation = Duration::millis(5);
   std::int64_t queue_capacity_bytes = 100 * 1500;  ///< ~100 MTU-sized slots
+  /// Random (non-congestive) loss: each packet is discarded with this
+  /// probability *after* serialization — a lossy medium consumes bandwidth
+  /// for packets it then corrupts. 0 keeps the link lossless.
+  double drop_probability = 0.0;
+  std::uint64_t drop_seed = 1;
 };
 
 class Link final : public PacketSink {
@@ -32,6 +38,7 @@ class Link final : public PacketSink {
 
   std::uint64_t transmitted() const { return transmitted_; }
   std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
+  std::uint64_t random_drops() const { return random_drops_; }
 
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
@@ -47,6 +54,8 @@ class Link final : public PacketSink {
   bool busy_ = false;
   std::uint64_t transmitted_ = 0;
   std::int64_t transmitted_bytes_ = 0;
+  std::uint64_t random_drops_ = 0;
+  Rng drop_rng_;
   Tracer* tracer_ = nullptr;
 };
 

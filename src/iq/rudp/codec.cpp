@@ -7,10 +7,11 @@ namespace iq::rudp {
 namespace {
 constexpr std::uint8_t kFlagMarked = 0x01;
 constexpr std::uint8_t kFlagAttrs = 0x02;
+constexpr std::uint8_t kFlagFec = 0x04;
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(SegmentType::Syn) &&
-         t <= static_cast<std::uint8_t>(SegmentType::Rst);
+         t <= static_cast<std::uint8_t>(SegmentType::Parity);
 }
 }  // namespace
 
@@ -21,6 +22,7 @@ Bytes encode_segment(const Segment& seg, BytesView payload) {
   std::uint8_t flags = 0;
   if (seg.marked) flags |= kFlagMarked;
   if (!seg.attrs.empty()) flags |= kFlagAttrs;
+  if (seg.fec_protected) flags |= kFlagFec;
   w.u8(flags);
   w.u32(seg.conn_id);
   w.u32(seg.seq);
@@ -51,13 +53,28 @@ Bytes encode_segment(const Segment& seg, BytesView payload) {
     case SegmentType::SynAck:
       w.f64(seg.recv_loss_tolerance);
       break;
+    case SegmentType::Parity:
+      w.u32(seg.fec_group);
+      w.u32(static_cast<std::uint32_t>(seg.payload_bytes));
+      w.u16(static_cast<std::uint16_t>(seg.fec_members.size()));
+      for (const FecMember& m : seg.fec_members) {
+        w.u32(m.seq);
+        w.u32(m.msg_id);
+        w.u16(m.frag_index);
+        w.u16(m.frag_count);
+        w.u32(static_cast<std::uint32_t>(m.payload_bytes));
+        w.u8(m.attrs.empty() ? 0 : 1);
+        if (!m.attrs.empty()) m.attrs.encode(w);
+      }
+      break;
     default:
       break;
   }
 
   if (!seg.attrs.empty()) seg.attrs.encode(w);
 
-  if (seg.type == SegmentType::Data && seg.payload_bytes > 0) {
+  if ((seg.type == SegmentType::Data || seg.type == SegmentType::Parity) &&
+      seg.payload_bytes > 0) {
     const auto want = static_cast<std::size_t>(seg.payload_bytes);
     const std::size_t real = std::min(payload.size(), want);
     w.raw(payload.subspan(0, real));
@@ -87,6 +104,7 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
   Segment& seg = out.segment;
   seg.type = static_cast<SegmentType>(*type);
   seg.marked = (*flags & kFlagMarked) != 0;
+  seg.fec_protected = (*flags & kFlagFec) != 0;
   seg.conn_id = *conn;
   seg.seq = *seq;
   seg.cum_ack = *cum;
@@ -136,6 +154,39 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
       seg.recv_loss_tolerance = *tol;
       break;
     }
+    case SegmentType::Parity: {
+      auto group = r.u32();
+      auto len = r.u32();
+      auto n = r.u16();
+      if (!group || !len || !n) return std::nullopt;
+      seg.fec_group = *group;
+      seg.payload_bytes = static_cast<std::int32_t>(*len);
+      for (std::uint16_t i = 0; i < *n; ++i) {
+        FecMember m;
+        auto s = r.u32();
+        auto msg = r.u32();
+        auto fi = r.u16();
+        auto fc = r.u16();
+        auto plen = r.u32();
+        auto has_attrs = r.u8();
+        if (!s || !msg || !fi || !fc || !plen || !has_attrs) {
+          return std::nullopt;
+        }
+        if (*fc == 0 || *fi >= *fc) return std::nullopt;
+        m.seq = *s;
+        m.msg_id = *msg;
+        m.frag_index = *fi;
+        m.frag_count = *fc;
+        m.payload_bytes = static_cast<std::int32_t>(*plen);
+        if (*has_attrs != 0) {
+          auto attrs = attr::AttrList::decode(r);
+          if (!attrs) return std::nullopt;
+          m.attrs = std::move(*attrs);
+        }
+        seg.fec_members.push_back(std::move(m));
+      }
+      break;
+    }
     default:
       break;
   }
@@ -146,7 +197,8 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
     seg.attrs = std::move(*attrs);
   }
 
-  if (seg.type == SegmentType::Data && seg.payload_bytes > 0) {
+  if ((seg.type == SegmentType::Data || seg.type == SegmentType::Parity) &&
+      seg.payload_bytes > 0) {
     const auto want = static_cast<std::size_t>(seg.payload_bytes);
     if (r.remaining() < want) return std::nullopt;
     out.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(r.position()),

@@ -9,7 +9,7 @@
 // Layout (big-endian):
 //   magic  u16  = 0x4951 ("IQ")
 //   type   u8
-//   flags  u8   bit0 = marked, bit1 = has-attrs
+//   flags  u8   bit0 = marked, bit1 = has-attrs, bit2 = fec-protected
 //   conn   u32
 //   seq    u32
 //   cum    u32

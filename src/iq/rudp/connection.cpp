@@ -18,6 +18,7 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
       loss_(cfg.loss_epoch_packets),
       recv_buf_(cfg.recv_window_packets, cfg.initial_seq),
       budget_(0.0),
+      fec_enc_(fec::FecConfig{cfg.fec_group_size, cfg.fec_interleave}),
       rto_timer_(wire.executor(), [this] { on_rto(); }),
       connect_timer_(wire.executor(), [this] { send_syn(); }),
       keepalive_timer_(wire.executor(), [this] {
@@ -29,7 +30,8 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
       }),
       ack_timer_(wire.executor(), [this] {
         if (unacked_arrivals_ > 0) send_ack(last_ts_to_echo_);
-      }) {
+      }),
+      fec_flush_timer_(wire.executor(), [this] { flush_fec(); }) {
   IQ_CHECK(cfg_.max_segment_payload > 0);
   IQ_CHECK(cfg_.initial_seq >= 1);
   next_seq_ = cfg_.initial_seq;
@@ -69,6 +71,7 @@ void RudpConnection::close() {
   connect_timer_.stop();
   keepalive_timer_.stop();
   ack_timer_.stop();
+  fec_flush_timer_.stop();
 }
 
 void RudpConnection::send_syn() {
@@ -103,8 +106,10 @@ RudpConnection::SendResult RudpConnection::send_message(
 
   // IQ coordination scheme 1: while the application trades reliability for
   // timeliness, unmarked data is discarded *before* it enters the network,
-  // within the receiver's loss tolerance.
-  if (discard_unmarked_ && !spec.marked && budget_.may_skip_message()) {
+  // within the receiver's loss tolerance. The FEC class is exempt: it asked
+  // for strengthened delivery, not relaxed.
+  if (discard_unmarked_ && !spec.marked && !spec.fec &&
+      budget_.may_skip_message()) {
     budget_.on_message_skipped(msg_id);
     ++stats_.messages_discarded_at_send;
     return SendResult{msg_id, /*discarded=*/true};
@@ -121,6 +126,7 @@ RudpConnection::SendResult RudpConnection::send_message(
     p.frag_count = frag_count;
     p.payload_bytes = static_cast<std::int32_t>(std::min(remaining, mss));
     p.marked = spec.marked;
+    p.fec = spec.fec;
     if (i == 0) p.attrs = spec.attrs;
     remaining -= p.payload_bytes;
     pending_.push_back(std::move(p));
@@ -159,6 +165,7 @@ void RudpConnection::pump() {
     o.frag_count = p.frag_count;
     o.payload_bytes = p.payload_bytes;
     o.marked = p.marked;
+    o.fec = p.fec;
     o.attrs = std::move(p.attrs);
     o.first_sent = wire_.executor().now();
     o.last_sent = o.first_sent;
@@ -176,6 +183,7 @@ void RudpConnection::transmit(Outstanding& o, bool retransmission) {
   seg.frag_index = o.frag_index;
   seg.frag_count = o.frag_count;
   seg.marked = o.marked;
+  seg.fec_protected = o.fec;
   seg.payload_bytes = o.payload_bytes;
   seg.cum_ack = to_wire(recv_buf_.cum());
   seg.ts_us = now_us();
@@ -187,7 +195,29 @@ void RudpConnection::transmit(Outstanding& o, bool retransmission) {
 
   o.last_sent = wire_.executor().now();
   emit(seg);
+
+  // Enroll first transmissions in a parity group; retransmissions are
+  // already covered by the descriptor captured the first time around.
+  if (o.fec && !retransmission) {
+    if (auto parity = fec_enc_.add(seg)) send_parity(std::move(*parity));
+    if (fec_enc_.open_groups() > 0) {
+      fec_flush_timer_.start_if_idle(cfg_.fec_flush);
+    }
+  }
   rto_timer_.start_if_idle(rtt_.rto());
+}
+
+void RudpConnection::send_parity(Segment parity) {
+  parity.conn_id = cfg_.conn_id;
+  parity.cum_ack = to_wire(recv_buf_.cum());
+  parity.ts_us = now_us();
+  ++stats_.parities_sent;
+  emit(parity);
+}
+
+void RudpConnection::flush_fec() {
+  if (state_ != ConnState::Established) return;
+  for (Segment& parity : fec_enc_.flush()) send_parity(std::move(parity));
 }
 
 void RudpConnection::send_ack(std::uint64_t ts_echo_us) {
@@ -263,6 +293,9 @@ void RudpConnection::on_segment(const Segment& seg) {
     case SegmentType::Advance:
       on_advance(seg);
       break;
+    case SegmentType::Parity:
+      on_parity(seg);
+      break;
     case SegmentType::Nul:
       if (established()) send_ack(seg.ts_us);
       break;
@@ -314,12 +347,20 @@ void RudpConnection::on_data(const Segment& seg) {
   rs.frag_count = seg.frag_count;
   rs.payload_bytes = seg.payload_bytes;
   rs.marked = seg.marked;
+  rs.fec = seg.fec_protected;
   rs.ts_us = seg.ts_us;
   rs.attrs = seg.attrs;
 
   auto result = recv_buf_.on_data(rs, wire_.executor().now());
   if (result.duplicate) ++stats_.duplicates_received;
   deliver(result);
+
+  // A (possibly late) FEC member arrival may make a held parity group
+  // solvable — or settle it outright.
+  if (seg.fec_protected && fec_dec_.held_groups() > 0) {
+    inject_recovered(fec_dec_.on_data(
+        rs.seq, [this](Seq s) { return recv_buf_.has(s); }));
+  }
 
   // Delayed acks: in-order arrivals may be batched; anything unusual
   // (duplicate, reordering hole) acks immediately so the sender's loss
@@ -345,6 +386,44 @@ void RudpConnection::on_advance(const Segment& seg) {
   auto result = recv_buf_.on_skip(skips, wire_.executor().now());
   deliver(result);
   send_ack(seg.ts_us);
+}
+
+void RudpConnection::on_parity(const Segment& seg) {
+  if (!established()) return;
+  ++stats_.parities_received;
+  // Unwrap every member against the current cumulative point *before* any
+  // recovery shifts it.
+  std::vector<RecvSegment> members;
+  members.reserve(seg.fec_members.size());
+  for (const FecMember& m : seg.fec_members) {
+    RecvSegment rs;
+    rs.seq = unwrap(m.seq, recv_buf_.cum());
+    rs.msg_id = m.msg_id;
+    rs.frag_index = m.frag_index;
+    rs.frag_count = m.frag_count;
+    rs.payload_bytes = m.payload_bytes;
+    rs.marked = true;  // recovery normalizes: the FEC class is never skipped
+    rs.fec = true;
+    rs.ts_us = seg.ts_us;  // reconstruction time stands in for send time
+    rs.attrs = m.attrs;
+    members.push_back(std::move(rs));
+  }
+  inject_recovered(fec_dec_.on_parity(
+      seg.fec_group, std::move(members),
+      [this](Seq s) { return recv_buf_.has(s); }));
+  // Ack unconditionally: if recovery advanced the cumulative point, this is
+  // what lets the sender resolve the deferred segment without retransmit.
+  send_ack(seg.ts_us);
+}
+
+void RudpConnection::inject_recovered(std::vector<RecvSegment> recovered) {
+  const TimePoint now = wire_.executor().now();
+  for (RecvSegment& rs : recovered) {
+    ++stats_.segments_recovered;
+    auto result = recv_buf_.on_data(rs, now);
+    deliver(result);
+  }
+  fec_dec_.prune_below(recv_buf_.cum());
 }
 
 void RudpConnection::deliver(RecvBuffer::Result& result) {
@@ -426,11 +505,28 @@ std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
   Outstanding* o = send_buf_.find(seq);
   if (o == nullptr || o->counted_received) return std::nullopt;
   const TimePoint now = wire_.executor().now();
-  loss_.on_lost(1, now);
-  if (!from_timeout) cc_->on_loss(now);
+
+  // FEC class, first condemnation: defer the fast retransmit one RTO —
+  // receiver-side parity recovery (and its ack) usually resolves the
+  // segment first. The loss itself still counts, once; if the RTO later
+  // fires for a deferred segment, recovery failed and we retransmit
+  // without re-counting the same loss.
+  const bool recovery_wait = o->fec && !from_timeout && !o->fec_deferred;
+  const bool recovery_failed = o->fec && from_timeout && o->fec_deferred;
+  if (!recovery_failed) {
+    loss_.on_lost(1, now);
+    if (!from_timeout) cc_->on_loss(now);
+  }
+  if (recovery_wait) {
+    o->loss_reported = true;
+    o->fec_deferred = true;
+    ++stats_.fec_deferrals;
+    return std::nullopt;
+  }
+  if (recovery_failed) o->fec_deferred = false;
 
   const bool can_skip =
-      !o->marked &&
+      !o->marked && !o->fec &&
       (budget_.is_skipped(o->msg_id) || budget_.may_skip_message());
   if (can_skip) {
     SkippedSeq rec{to_wire(seq), o->msg_id, o->frag_count};
@@ -496,6 +592,11 @@ void RudpConnection::arm_rto() { rto_timer_.start(rtt_.rto()); }
 void RudpConnection::scale_congestion_window(double factor) {
   cc_->scale_window(factor);
   pump();
+}
+
+void RudpConnection::set_fec_group_size(std::uint16_t k) {
+  cfg_.fec_group_size = k;
+  fec_enc_.set_group_size(k);
 }
 
 void RudpConnection::set_local_recv_tolerance(double tolerance) {

@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 
+#include "iq/fec/group.hpp"
 #include "iq/rudp/congestion.hpp"
 #include "iq/rudp/loss_monitor.hpp"
 #include "iq/rudp/message.hpp"
@@ -66,6 +67,14 @@ struct RudpConfig {
   /// always ack immediately; a flush timer bounds ack latency.
   std::uint32_t ack_every = 1;
   Duration ack_delay = Duration::millis(100);
+
+  /// FEC reliability class: XOR parity group size (members per parity) and
+  /// interleaving depth (concurrent open groups, round-robin enrolment).
+  std::uint16_t fec_group_size = 4;
+  std::uint16_t fec_interleave = 1;
+  /// Partially filled parity groups are closed after this long so a lull in
+  /// FEC traffic cannot leave the last segments unprotected.
+  Duration fec_flush = Duration::millis(30);
 };
 
 enum class Role { Client, Server };
@@ -92,6 +101,10 @@ struct RudpStats {
   std::uint64_t messages_delivered = 0;     ///< as a receiver
   std::uint64_t messages_dropped = 0;       ///< as a receiver (skipped)
   std::int64_t payload_bytes_delivered = 0; ///< as a receiver
+  std::uint64_t parities_sent = 0;          ///< PARITY segments emitted
+  std::uint64_t parities_received = 0;      ///< as a receiver
+  std::uint64_t segments_recovered = 0;     ///< rebuilt from parity, no rexmit
+  std::uint64_t fec_deferrals = 0;          ///< fast retransmits held back
 };
 
 class RudpConnection {
@@ -158,6 +171,9 @@ class RudpConnection {
   /// Update this endpoint's receiver tolerance (advertised value is from
   /// the handshake; the sender-side budget follows the peer's SYN-ACK).
   void set_local_recv_tolerance(double tolerance);
+  /// Retune the FEC parity ratio (1/k); applies to the next parity group.
+  void set_fec_group_size(std::uint16_t k);
+  std::uint16_t fec_group_size() const { return fec_enc_.group_size(); }
 
   // -------------------------------------------------------------- status --
   CongestionController& congestion() { return *cc_; }
@@ -179,6 +195,7 @@ class RudpConnection {
     std::uint16_t frag_count;
     std::int32_t payload_bytes;
     bool marked;
+    bool fec;
     attr::AttrList attrs;  ///< only on frag 0
   };
 
@@ -189,6 +206,7 @@ class RudpConnection {
   void on_data(const Segment& seg);
   void on_ack(const Segment& seg);
   void on_advance(const Segment& seg);
+  void on_parity(const Segment& seg);
 
   // Outbound helpers.
   void emit(const Segment& seg);
@@ -200,6 +218,13 @@ class RudpConnection {
   void resend_outstanding_skips();
   void send_syn();
   void send_control(SegmentType type);
+  /// Emit one parity segment (fire-and-forget: no seq, never buffered).
+  void send_parity(Segment parity);
+  /// Close and emit any partially filled parity groups (flush timer).
+  void flush_fec();
+  /// Feed segments rebuilt by the FEC decoder into reassembly as if the
+  /// lost DATA had arrived, then drop groups the cumulative point passed.
+  void inject_recovered(std::vector<RecvSegment> recovered);
 
   // Loss handling.
   void handle_lost_segments(const std::vector<Seq>& lost);
@@ -226,6 +251,8 @@ class RudpConnection {
   SendBuffer send_buf_;
   RecvBuffer recv_buf_;
   SkipBudget budget_;  ///< sender-side budget; tolerance = peer's advertised
+  fec::FecEncoder fec_enc_;
+  fec::FecDecoder fec_dec_;
 
   std::deque<PendingSegment> pending_;
   /// Skips announced via ADVANCE but not yet covered by the peer's
@@ -244,6 +271,7 @@ class RudpConnection {
   sim::Timer connect_timer_;
   sim::Timer keepalive_timer_;
   sim::Timer ack_timer_;
+  sim::Timer fec_flush_timer_;
   std::uint32_t unacked_arrivals_ = 0;
   std::uint64_t last_ts_to_echo_ = 0;
 

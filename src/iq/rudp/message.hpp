@@ -17,6 +17,10 @@ namespace iq::rudp {
 struct MessageSpec {
   std::int64_t bytes = 0;   ///< application payload size
   bool marked = true;       ///< tagged: must be delivered reliably
+  /// Third reliability class: never skipped or discarded; segments are
+  /// enrolled in XOR parity groups so single losses are recovered at the
+  /// receiver without retransmission (fast retransmit is deferred).
+  bool fec = false;
   attr::AttrList attrs;     ///< in-band attributes (ride the first fragment)
 };
 
@@ -24,6 +28,7 @@ struct DeliveredMessage {
   std::uint32_t msg_id = 0;
   std::int64_t bytes = 0;
   bool marked = true;
+  bool fec = false;         ///< sent in the FEC-protected class
   TimePoint first_sent;     ///< sender clock at first fragment's transmission
   TimePoint delivered;      ///< receiver clock at in-order completion
   attr::AttrList attrs;

@@ -55,6 +55,7 @@ void RecvBuffer::account(Result& out, Seq seq, TimePoint now) {
     MsgAccumulator& acc = accumulators_[seg.msg_id];
     acc.frag_count = seg.frag_count;
     acc.marked = seg.marked;
+    acc.fec = acc.fec || seg.fec;
     ++acc.received;
     acc.bytes += seg.payload_bytes;
     if (seg.frag_index == 0) {
@@ -67,6 +68,7 @@ void RecvBuffer::account(Result& out, Seq seq, TimePoint now) {
         msg.msg_id = seg.msg_id;
         msg.bytes = acc.bytes;
         msg.marked = acc.marked;
+        msg.fec = acc.fec;
         msg.first_sent =
             TimePoint::from_ns(static_cast<std::int64_t>(acc.first_ts_us) * 1000);
         msg.delivered = now;

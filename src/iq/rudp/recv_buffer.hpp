@@ -27,6 +27,7 @@ struct RecvSegment {
   std::uint16_t frag_count = 1;
   std::int32_t payload_bytes = 0;
   bool marked = true;
+  bool fec = false;          ///< FEC-protected class (or reconstructed)
   std::uint64_t ts_us = 0;   ///< sender timestamp of this transmission
   attr::AttrList attrs;      ///< non-empty only on the first fragment
 };
@@ -56,6 +57,12 @@ class RecvBuffer {
 
   /// Next expected sequence (the cumulative ack we advertise).
   Seq cum() const { return cum_; }
+  /// True if `seq` is already accounted for: finalized below the cumulative
+  /// point, buffered out of order, or pending as a sender skip. The FEC
+  /// decoder's "does the group still miss this member" predicate.
+  bool has(Seq seq) const {
+    return seq < cum_ || buffered_.contains(seq) || skip_pending_.contains(seq);
+  }
   /// Out-of-order sequences currently buffered, ascending, at most `max_n`.
   std::vector<Seq> eacks(std::size_t max_n) const;
   /// Advertised receive window, packets.
@@ -73,6 +80,7 @@ class RecvBuffer {
     std::uint16_t skipped = 0;
     std::int64_t bytes = 0;
     bool marked = true;
+    bool fec = false;
     std::uint64_t first_ts_us = 0;
     attr::AttrList attrs;
   };

@@ -15,6 +15,7 @@ const char* segment_type_name(SegmentType t) {
     case SegmentType::Advance: return "ADVANCE";
     case SegmentType::Nul: return "NUL";
     case SegmentType::Rst: return "RST";
+    case SegmentType::Parity: return "PARITY";
   }
   return "?";
 }
@@ -37,6 +38,20 @@ std::int64_t Segment::header_bytes() const {
     case SegmentType::SynAck:
       n += 8 /*tolerance*/;
       break;
+    case SegmentType::Parity:
+      // fec_group(4) + payload len(4) + count(2), then per member
+      // seq(4) + msg_id(4) + frag_index(2) + frag_count(2) +
+      // payload len(4) + has-attrs(1) [+ attrs].
+      n += 4 + 4 + 2;
+      for (const FecMember& m : fec_members) {
+        n += 17;
+        if (!m.attrs.empty()) {
+          ByteWriter w;
+          m.attrs.encode(w);
+          n += static_cast<std::int64_t>(w.size());
+        }
+      }
+      break;
     default:
       break;
   }
@@ -54,14 +69,19 @@ std::string Segment::describe() const {
   switch (type) {
     case SegmentType::Data:
       os << " seq=" << seq << " msg=" << msg_id << " frag=" << frag_index
-         << "/" << frag_count << (marked ? " marked" : " unmarked") << " "
-         << payload_bytes << "B";
+         << "/" << frag_count
+         << (fec_protected ? " fec" : (marked ? " marked" : " unmarked"))
+         << " " << payload_bytes << "B";
       break;
     case SegmentType::Ack:
       os << " cum=" << cum_ack << " eacks=" << eacks.size();
       break;
     case SegmentType::Advance:
       os << " skipped=" << skipped.size();
+      break;
+    case SegmentType::Parity:
+      os << " group=" << fec_group << " members=" << fec_members.size()
+         << " " << payload_bytes << "B";
       break;
     default:
       break;

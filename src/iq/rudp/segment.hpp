@@ -32,6 +32,7 @@ enum class SegmentType : std::uint8_t {
   Advance = 5,
   Nul = 6,
   Rst = 7,
+  Parity = 8,
 };
 
 const char* segment_type_name(SegmentType t);
@@ -46,6 +47,21 @@ struct SkippedSeq {
   friend bool operator==(const SkippedSeq&, const SkippedSeq&) = default;
 };
 
+/// One DATA segment covered by a PARITY group: enough metadata to
+/// reconstruct the segment at the receiver when it is the group's only
+/// missing member (the parity payload is the XOR of the member payloads; a
+/// member's attrs ride the descriptor so a recovered first fragment keeps
+/// its in-band attributes).
+struct FecMember {
+  WireSeq seq = 0;
+  std::uint32_t msg_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  std::int32_t payload_bytes = 0;
+  attr::AttrList attrs;
+  friend bool operator==(const FecMember&, const FecMember&) = default;
+};
+
 struct Segment : net::PacketBody {
   SegmentType type = SegmentType::Data;
   std::uint32_t conn_id = 0;
@@ -56,6 +72,9 @@ struct Segment : net::PacketBody {
   std::uint16_t frag_index = 0;
   std::uint16_t frag_count = 1;
   bool marked = true;
+  /// Third reliability class: never skipped, protected by XOR parity groups;
+  /// the sender defers fast retransmission to give recovery a chance.
+  bool fec_protected = false;
   std::int32_t payload_bytes = 0;
 
   // Ack.
@@ -68,6 +87,11 @@ struct Segment : net::PacketBody {
 
   // Advance.
   std::vector<SkippedSeq> skipped;
+
+  // Parity: XOR group descriptor; payload_bytes is the parity payload
+  // length (the largest member payload).
+  std::uint32_t fec_group = 0;
+  std::vector<FecMember> fec_members;
 
   // Handshake.
   double recv_loss_tolerance = 0.0;  ///< SynAck: receiver's tolerance

@@ -23,6 +23,9 @@ struct Outstanding {
   std::uint16_t frag_count = 1;
   std::int32_t payload_bytes = 0;
   bool marked = true;
+  bool fec = false;              ///< FEC-protected reliability class
+  bool fec_deferred = false;     ///< fast retransmit skipped once, awaiting
+                                 ///< receiver-side parity recovery
   attr::AttrList attrs;          ///< first fragment carries message attrs
   TimePoint first_sent;
   TimePoint last_sent;

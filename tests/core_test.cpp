@@ -243,6 +243,44 @@ TEST(MetricsExportTest, EpochsPublishNetAttributes) {
   EXPECT_GE(*store.query_double(attr::kNetLossRatio), 0.0);
 }
 
+TEST(MetricsExportTest, EpochsFeedCallbackRegistryAllMetrics) {
+  // Regression: epochs must forward rtt / rate / cwnd to the callback
+  // registry, not just the loss ratio — thresholds registered on any of the
+  // NET_* metrics have to fire.
+  CorePair p;
+  int rtt_fired = 0, rate_fired = 0, cwnd_fired = 0;
+  const auto noop = [](const attr::CallbackContext&) {
+    return attr::AttrList{};
+  };
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kNetRttMs, .upper = 1.0, .lower = -1.0},
+      [&](const attr::CallbackContext& ctx) {
+        ++rtt_fired;
+        EXPECT_GT(ctx.value, 0.0);
+        return attr::AttrList{};
+      },
+      noop);
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kNetRateBps, .upper = 1.0, .lower = -1.0},
+      [&](const attr::CallbackContext&) {
+        ++rate_fired;
+        return attr::AttrList{};
+      },
+      noop);
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kNetCwndPkts, .upper = 1.0, .lower = -1.0},
+      [&](const attr::CallbackContext&) {
+        ++cwnd_fired;
+        return attr::AttrList{};
+      },
+      noop);
+  for (int i = 0; i < 200; ++i) p.snd->send({.bytes = 1400});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  EXPECT_GT(rtt_fired, 0);
+  EXPECT_GT(rate_fired, 0);
+  EXPECT_GT(cwnd_fired, 0);
+}
+
 TEST(IqConnectionTest, ThresholdCallbackDrivesCoordination) {
   // Full loop: epochs → registry → callback returns ADAPT_MARK →
   // coordinator enables discard.

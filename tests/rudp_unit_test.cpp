@@ -486,5 +486,55 @@ TEST(SkipBudgetTest, MessageCountedOnce) {
   EXPECT_TRUE(b.is_skipped(7));
 }
 
+TEST(SkipBudgetTest, ToleranceExactlyMetAllowsTheBoundarySkip) {
+  // may_skip asks "would one MORE skip stay within tolerance" — with the
+  // comparison inclusive, the skip that lands exactly on the tolerance is
+  // permitted and the one past it is not.
+  SkipBudget b(0.5);
+  for (int i = 0; i < 10; ++i) b.on_message_offered();
+  for (std::uint32_t id = 1; id <= 4; ++id) b.on_message_skipped(id);
+  // 5/10 == 0.5 exactly: still allowed.
+  EXPECT_TRUE(b.may_skip_message());
+  b.on_message_skipped(5);
+  EXPECT_DOUBLE_EQ(b.skipped_fraction(), 0.5);
+  // 6/10 would exceed it.
+  EXPECT_FALSE(b.may_skip_message());
+}
+
+TEST(SkipBudgetTest, FragmentedMessageSkipsIdempotently) {
+  // A message whose fragments are condemned one by one still spends only
+  // one unit of budget, so a second message's skip is not starved.
+  SkipBudget b(0.5);
+  for (int i = 0; i < 4; ++i) b.on_message_offered();
+  for (int frag = 0; frag < 5; ++frag) b.on_message_skipped(42);
+  EXPECT_EQ(b.skipped(), 1u);
+  EXPECT_TRUE(b.may_skip_message());
+  EXPECT_TRUE(b.on_message_skipped(43));
+  EXPECT_EQ(b.skipped(), 2u);
+  EXPECT_FALSE(b.may_skip_message());
+}
+
+TEST(SkipBudgetTest, ToleranceLoweredMidStreamClosesTheBudget) {
+  // The receiver can re-advertise a tighter tolerance at any time; messages
+  // already skipped under the old tolerance stay counted, and no further
+  // skips are allowed until enough new offers dilute the fraction.
+  SkipBudget b(0.5);
+  for (int i = 0; i < 10; ++i) b.on_message_offered();
+  for (std::uint32_t id = 1; id <= 3; ++id) b.on_message_skipped(id);
+  EXPECT_TRUE(b.may_skip_message());
+
+  b.set_tolerance(0.2);
+  EXPECT_EQ(b.tolerance(), 0.2);
+  // 3/10 already exceeds the new 0.2 tolerance: budget is closed.
+  EXPECT_FALSE(b.may_skip_message());
+  EXPECT_DOUBLE_EQ(b.skipped_fraction(), 0.3);
+
+  // 4/20 == 0.2: offering ten more re-opens exactly at the boundary.
+  for (int i = 0; i < 10; ++i) b.on_message_offered();
+  EXPECT_TRUE(b.may_skip_message());
+  b.on_message_skipped(4);
+  EXPECT_FALSE(b.may_skip_message());
+}
+
 }  // namespace
 }  // namespace iq::rudp
