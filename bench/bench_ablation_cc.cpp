@@ -28,13 +28,19 @@ int main() {
 
   stats::Table table({"controller", "thr(KB/s)", "duration(s)", "jitter(ms)",
                       "rexmit", "cwnd mean", "cwnd stddev"});
+  std::vector<ExperimentConfig> cfgs;
   for (const Variant& v : variants) {
     SchemeSpec scheme = SchemeSpec::iq_rudp();
     scheme.label = v.name;
     scheme.cc = v.cc;
     ExperimentConfig cfg = scenarios::table6(scheme, 16'000'000);
     cfg.collect_cwnd_series = true;
-    const auto r = bench::run_and_report(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_all(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Variant& v = variants[i];
+    const auto& r = results[i];
 
     stats::RunningStats w;
     for (double x : r.cwnd_series.values()) w.add(x);

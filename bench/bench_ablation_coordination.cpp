@@ -24,14 +24,20 @@ void conflict_ablation() {
     const char* name;
     bool conflict;
   };
-  for (const Variant v : {Variant{"full IQ-RUDP", true},
-                          Variant{"IQ w/o scheme 1", false}}) {
+  const Variant variants[] = {Variant{"full IQ-RUDP", true},
+                              Variant{"IQ w/o scheme 1", false}};
+  std::vector<ExperimentConfig> cfgs;
+  for (const Variant& v : variants) {
     SchemeSpec scheme = SchemeSpec::iq_rudp();
     scheme.enable_conflict = v.conflict;
     auto cfg = scenarios::table4(scheme);
     cfg.total_frames = 3000;
-    const auto r = bench::run_and_report(cfg);
-    table.add_row({v.name, stats::Table::num(r.summary.duration_s),
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_all(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({variants[i].name, stats::Table::num(r.summary.duration_s),
                    stats::Table::num(r.summary.delivered_pct),
                    stats::Table::num(r.summary.tagged_delay_ms),
                    std::to_string(r.rudp.messages_discarded_at_send)});
@@ -49,16 +55,23 @@ void frequency_counterfactual() {
     const char* name;
     bool rescale;
   };
-  for (const Variant v :
-       {Variant{"no rescale on ADAPT_FREQ (paper)", false},
-        Variant{"rescale on ADAPT_FREQ (counterfactual)", true}}) {
+  const Variant variants[] = {
+      Variant{"no rescale on ADAPT_FREQ (paper)", false},
+      Variant{"rescale on ADAPT_FREQ (counterfactual)", true}};
+  std::vector<ExperimentConfig> cfgs;
+  for (const Variant& v : variants) {
     SchemeSpec scheme = SchemeSpec::iq_rudp();
     scheme.rescale_on_frequency = v.rescale;
     auto cfg = scenarios::table6(scheme, 16'000'000);
     cfg.adaptation = echo::AdaptKind::Frequency;
     cfg.total_frames = 4000;
-    const auto r = bench::run_and_report(cfg);
-    table.add_row({v.name, stats::Table::num(r.summary.throughput_kBps),
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_all(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({variants[i].name,
+                   stats::Table::num(r.summary.throughput_kBps),
                    stats::Table::num(r.summary.duration_s),
                    stats::Table::num(r.summary.jitter_ms, 2),
                    stats::Table::num(r.app_lifetime_loss_ratio, 4),
@@ -76,12 +89,17 @@ void frequency_counterfactual() {
 void cond_ablation() {
   std::printf("--- eq. (1) compensation on the granularity scenario ---\n");
   stats::Table table({"variant", "thr(KB/s)", "jitter(ms)", "compensations"});
+  std::vector<ExperimentConfig> cfgs;
   for (const auto& scheme :
        {SchemeSpec::iq_rudp(), SchemeSpec::iq_rudp_no_cond()}) {
     auto cfg = scenarios::table8(scheme);
     cfg.total_frames = 6000;
-    const auto r = bench::run_and_report(cfg);
-    table.add_row({scheme.label,
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_all(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({cfgs[i].scheme.label,
                    stats::Table::num(r.summary.throughput_kBps),
                    stats::Table::num(r.summary.jitter_ms, 2),
                    std::to_string(r.coordination.cond_compensations)});

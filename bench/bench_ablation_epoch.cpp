@@ -19,11 +19,19 @@ int main() {
   stats::Table table({"epoch(pkts)", "duration(s)", "recvd(%)",
                       "tag delay(ms)", "tag jitter(ms)", "epochs",
                       "max eratio"});
-  for (std::uint32_t epoch : {25u, 50u, 100u, 200u, 400u}) {
+  const std::uint32_t epochs[] = {25u, 50u, 100u, 200u, 400u};
+  std::vector<ExperimentConfig> cfgs;
+  for (std::uint32_t epoch : epochs) {
     auto cfg = scenarios::table4(SchemeSpec::iq_rudp());
+    cfg.scheme.label += " epoch=" + std::to_string(epoch);
     cfg.loss_epoch_packets = epoch;
     cfg.total_frames = 3000;
-    const auto r = bench::run_and_report(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_all(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::uint32_t epoch = epochs[i];
+    const auto& r = results[i];
     table.add_row({std::to_string(epoch),
                    stats::Table::num(r.summary.duration_s),
                    stats::Table::num(r.summary.delivered_pct),

@@ -1,0 +1,310 @@
+// Hot-path microbenchmarks with a machine-readable baseline.
+//
+// Measures the layers the simulator spends its time in — event scheduling,
+// packet forwarding, the wire codec, a full Table 1 scenario — plus a
+// serial-vs-parallel comparison of the experiment runner, and writes the
+// numbers to BENCH_PERF.json so CI can archive a perf baseline per commit.
+// Every timed section reports best-of-N to shave scheduler noise; the JSON
+// also records the core count so baselines from different machines aren't
+// compared blindly.
+//
+// Usage: bench_perf [output.json]   (default BENCH_PERF.json in the CWD)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "iq/harness/json.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/rudp/codec.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace {
+
+using namespace iq;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-N wrapper: runs `body` (which returns an ops count) `reps` times
+/// and returns the highest observed ops/second.
+double best_rate(int reps, const std::function<std::uint64_t()>& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_s();
+    const std::uint64_t ops = body();
+    const double secs = now_s() - t0;
+    if (secs > 0.0) {
+      const double rate = static_cast<double>(ops) / secs;
+      if (rate > best) best = rate;
+    }
+  }
+  return best;
+}
+
+/// Self-rescheduling timer churn: pure schedule+pop throughput through the
+/// Simulator, the pattern every protocol timer and link event reduces to.
+double bench_event_churn() {
+  return best_rate(5, [] {
+    sim::Simulator sim;
+    constexpr int kTimers = 256;
+    constexpr std::uint64_t kTotal = 1'000'000;
+    std::uint64_t fired = 0;
+    std::function<void()> tick[kTimers];
+    for (int i = 0; i < kTimers; ++i) {
+      tick[i] = [&, i] {
+        if (++fired < kTotal) {
+          sim.after(Duration::nanos(1 + (i * 37) % 977), tick[i]);
+        }
+      };
+      sim.after(Duration::nanos(1 + i), tick[i]);
+    }
+    sim.run();
+    return sim.events_executed();
+  });
+}
+
+/// The retransmission-timer pattern: a standing population of events that
+/// are almost always cancelled and rescheduled, almost never fired.
+double bench_sched_cancel() {
+  return best_rate(5, [] {
+    sim::EventQueue q;
+    constexpr int kLive = 1024;
+    constexpr std::uint64_t kOps = 1'000'000;
+    sim::EventId ids[kLive] = {};
+    std::uint64_t ops = 0;
+    std::int64_t t = 0;
+    while (ops < kOps) {
+      for (int i = 0; i < kLive; ++i) {
+        if (ids[i] != 0) q.cancel(ids[i]);
+        ids[i] = q.schedule(TimePoint::from_ns(t + (i * 131) % 4093), [] {});
+        ++ops;
+      }
+      t += 64;
+    }
+    while (!q.empty()) q.pop();
+    return ops;
+  });
+}
+
+/// Raw packet pump: CBR packets through the dumbbell's four hops, no
+/// transport on top — isolates make_packet + node forwarding + link events.
+struct PumpResult {
+  double events_per_s = 0.0;
+  double packets_per_s = 0.0;
+};
+
+PumpResult bench_packet_pump() {
+  constexpr std::uint64_t kPackets = 100'000;
+  struct CountSink final : net::PacketSink {
+    std::uint64_t got = 0;
+    void deliver(net::PacketPtr) override { ++got; }
+  };
+  PumpResult out;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::Simulator sim;
+    net::Network netw(sim);
+    net::Dumbbell db(netw, net::DumbbellConfig{.pairs = 1});
+    netw.compute_routes();
+    CountSink sink;
+    db.right(0).bind(7, &sink);
+    const net::Endpoint src{db.left(0).id(), 9};
+    const net::Endpoint dst{db.right(0).id(), 7};
+    std::uint64_t sent = 0;
+    // 1000 B every 500 µs = 16 Mb/s, comfortably under the 20 Mb/s
+    // bottleneck so nothing queues or drops.
+    std::function<void()> pump = [&] {
+      netw.node(src.node).send(netw.make_packet(src, dst, 1, 1000));
+      if (++sent < kPackets) sim.after(Duration::micros(500), pump);
+    };
+    sim.after(Duration::micros(1), pump);
+    const double t0 = now_s();
+    sim.run();
+    const double secs = now_s() - t0;
+    if (sink.got != kPackets) {
+      std::fprintf(stderr, "pump lost packets: %llu/%llu\n",
+                   static_cast<unsigned long long>(sink.got),
+                   static_cast<unsigned long long>(kPackets));
+    }
+    if (secs > 0.0) {
+      const double eps = static_cast<double>(sim.events_executed()) / secs;
+      if (eps > out.events_per_s) {
+        out.events_per_s = eps;
+        out.packets_per_s = static_cast<double>(kPackets) / secs;
+      }
+    }
+  }
+  return out;
+}
+
+/// Codec round trip on a representative DATA segment (attrs + payload).
+struct CodecResult {
+  double encode_per_s = 0.0;
+  double decode_per_s = 0.0;
+};
+
+CodecResult bench_codec() {
+  rudp::Segment seg;
+  seg.type = rudp::SegmentType::Data;
+  seg.conn_id = 7;
+  seg.seq = 123456;
+  seg.cum_ack = 123400;
+  seg.rwnd_packets = 4096;
+  seg.ts_us = 1'000'000;
+  seg.ts_echo_us = 999'000;
+  seg.msg_id = 42;
+  seg.frag_index = 1;
+  seg.frag_count = 3;
+  seg.payload_bytes = 1400;
+  seg.marked = true;
+  seg.attrs.set("IQ_ERROR_RATIO", 0.034);
+  seg.attrs.set("IQ_RATE_CHG", -0.2);
+  Bytes payload(1400, 0xab);
+
+  constexpr std::uint64_t kIters = 200'000;
+  CodecResult out;
+  out.encode_per_s = best_rate(3, [&] {
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      bytes += rudp::encode_segment(seg, payload).size();
+    }
+    // Defeat dead-code elimination with a side effect the optimizer keeps.
+    if (bytes == 0) std::fprintf(stderr, "impossible\n");
+    return kIters;
+  });
+  const Bytes wire = rudp::encode_segment(seg, payload);
+  out.decode_per_s = best_rate(3, [&] {
+    std::uint64_t ok = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      ok += rudp::decode_segment(wire).has_value() ? 1 : 0;
+    }
+    if (ok != kIters) std::fprintf(stderr, "decode failures: %llu\n",
+                                   static_cast<unsigned long long>(kIters - ok));
+    return kIters;
+  });
+  return out;
+}
+
+/// The acceptance metric: events/second on the full Table 1 IQ-RUDP
+/// scenario (transport + FEC + adaptation + coordination all live).
+struct ScenarioResult {
+  double events_per_s = 0.0;
+  std::uint64_t events = 0;
+};
+
+ScenarioResult bench_table1_scenario() {
+  ScenarioResult out;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto cfg = harness::scenarios::table1(harness::SchemeSpec::iq_rudp(), true);
+    const double t0 = now_s();
+    auto r = harness::run_experiment(cfg);
+    const double secs = now_s() - t0;
+    out.events = r.events_executed;
+    if (secs > 0.0) {
+      const double eps = static_cast<double>(r.events_executed) / secs;
+      if (eps > out.events_per_s) out.events_per_s = eps;
+    }
+  }
+  return out;
+}
+
+/// Serial vs pooled execution of a multi-scheme table; verifies the rows
+/// are bit-identical before trusting the wall-clock comparison.
+struct RunnerResult {
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  std::size_t threads = 0;
+  bool identical = false;
+};
+
+RunnerResult bench_runner() {
+  using namespace iq::harness;
+  const std::vector<ExperimentConfig> cfgs = {
+      scenarios::table1(SchemeSpec::tcp(), false),
+      scenarios::table1(SchemeSpec::rudp(), false),
+      scenarios::table1(SchemeSpec::app_only(), true),
+      scenarios::table1(SchemeSpec::iq_rudp(), true),
+  };
+  RunnerResult out;
+  out.threads = runner_threads(cfgs.size());
+
+  double t0 = now_s();
+  const auto serial = run_experiments(cfgs, 1);
+  out.serial_s = now_s() - t0;
+
+  t0 = now_s();
+  const auto parallel = run_experiments(cfgs, 0);
+  out.parallel_s = now_s() - t0;
+
+  out.identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; out.identical && i < serial.size(); ++i) {
+    const auto& a = serial[i].result;
+    const auto& b = parallel[i].result;
+    out.identical = a.events_executed == b.events_executed &&
+                    a.summary.duration_s == b.summary.duration_s &&
+                    a.summary.throughput_kBps == b.summary.throughput_kBps &&
+                    a.summary.jitter_s == b.summary.jitter_s;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PERF.json";
+  std::printf("== perf microbenchmarks ==\n");
+
+  const double churn = bench_event_churn();
+  std::printf("  event churn:        %8.2f M events/s\n", churn / 1e6);
+  const double sc = bench_sched_cancel();
+  std::printf("  schedule+cancel:    %8.2f M ops/s\n", sc / 1e6);
+  const PumpResult pump = bench_packet_pump();
+  std::printf("  packet pump:        %8.2f M events/s (%.0f pkts/s)\n",
+              pump.events_per_s / 1e6, pump.packets_per_s);
+  const CodecResult codec = bench_codec();
+  std::printf("  codec encode:       %8.2f M segs/s\n",
+              codec.encode_per_s / 1e6);
+  std::printf("  codec decode:       %8.2f M segs/s\n",
+              codec.decode_per_s / 1e6);
+  const ScenarioResult t1 = bench_table1_scenario();
+  std::printf("  table1 scenario:    %8.2f M events/s (%llu events/run)\n",
+              t1.events_per_s / 1e6,
+              static_cast<unsigned long long>(t1.events));
+  const RunnerResult runner = bench_runner();
+  std::printf(
+      "  runner (4 configs): serial %.2fs, parallel %.2fs (%zu threads), "
+      "rows %s\n",
+      runner.serial_s, runner.parallel_s, runner.threads,
+      runner.identical ? "identical" : "** DIVERGED **");
+
+  iq::harness::JsonWriter w;
+  w.begin_object()
+      .field("event_churn_eps", churn)
+      .field("sched_cancel_ops", sc)
+      .field("packet_pump_eps", pump.events_per_s)
+      .field("packet_pump_pps", pump.packets_per_s)
+      .field("codec_encode_per_s", codec.encode_per_s)
+      .field("codec_decode_per_s", codec.decode_per_s)
+      .field("table1_eps", t1.events_per_s)
+      .field("table1_events", t1.events)
+      .field("runner_serial_s", runner.serial_s)
+      .field("runner_parallel_s", runner.parallel_s)
+      .field("runner_threads", static_cast<std::uint64_t>(runner.threads))
+      .field("runner_rows_identical", runner.identical)
+      .field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .end_object();
+  std::ofstream f(out_path);
+  f << w.take() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return runner.identical ? 0 : 1;
+}

@@ -12,13 +12,16 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 1: basic performance comparison ==\n");
 
-  const auto tcp = bench::run_and_report(scenarios::table1(SchemeSpec::tcp(), false));
-  const auto iq_only =
-      bench::run_and_report(scenarios::table1(SchemeSpec::rudp(), false));
-  const auto app_only =
-      bench::run_and_report(scenarios::table1(SchemeSpec::app_only(), true));
-  const auto iq_app =
-      bench::run_and_report(scenarios::table1(SchemeSpec::iq_rudp(), true));
+  const auto results = bench::run_all({
+      scenarios::table1(SchemeSpec::tcp(), false),
+      scenarios::table1(SchemeSpec::rudp(), false),
+      scenarios::table1(SchemeSpec::app_only(), true),
+      scenarios::table1(SchemeSpec::iq_rudp(), true),
+  });
+  const auto& tcp = results[0];
+  const auto& iq_only = results[1];
+  const auto& app_only = results[2];
+  const auto& iq_app = results[3];
 
   Comparison cmp("Table 1: basic performance comparison",
                  {"Time(s)", "Thr(KB/s)", "Inter-arrival(s)", "Jitter(s)"});

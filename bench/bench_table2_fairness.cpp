@@ -11,8 +11,12 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 2: fairness test (vs a TCP cross flow) ==\n");
 
-  const auto tcp = bench::run_and_report(scenarios::table2(SchemeSpec::tcp()));
-  const auto iq = bench::run_and_report(scenarios::table2(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table2(SchemeSpec::tcp()),
+      scenarios::table2(SchemeSpec::rudp()),
+  });
+  const auto& tcp = results[0];
+  const auto& iq = results[1];
 
   Comparison cmp("Table 2: fairness test",
                  {"Time(s)", "Thr(KB/s)", "Inter-arrival(s)", "Jitter(s)"});

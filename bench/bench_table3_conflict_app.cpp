@@ -14,8 +14,12 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 3: conflicting interests — changing application ==\n");
 
-  const auto iq = bench::run_and_report(scenarios::table3(SchemeSpec::iq_rudp()));
-  const auto ru = bench::run_and_report(scenarios::table3(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table3(SchemeSpec::iq_rudp()),
+      scenarios::table3(SchemeSpec::rudp()),
+  });
+  const auto& iq = results[0];
+  const auto& ru = results[1];
 
   Comparison cmp("Table 3: conflict, changing application",
                  {"Duration(s)", "Recvd(%)", "TagDelay(ms)", "TagJitter(ms)",

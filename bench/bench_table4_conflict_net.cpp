@@ -12,8 +12,12 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 4: conflicting interests — changing network ==\n");
 
-  const auto iq = bench::run_and_report(scenarios::table4(SchemeSpec::iq_rudp()));
-  const auto ru = bench::run_and_report(scenarios::table4(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table4(SchemeSpec::iq_rudp()),
+      scenarios::table4(SchemeSpec::rudp()),
+  });
+  const auto& iq = results[0];
+  const auto& ru = results[1];
 
   Comparison cmp("Table 4: conflict, changing network",
                  {"Duration(s)", "Recvd(%)", "TagDelay(ms)", "TagJitter(ms)",

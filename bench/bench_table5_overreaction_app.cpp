@@ -12,8 +12,12 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 5: over-reaction — changing application ==\n");
 
-  const auto iq = bench::run_and_report(scenarios::table5(SchemeSpec::iq_rudp()));
-  const auto ru = bench::run_and_report(scenarios::table5(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table5(SchemeSpec::iq_rudp()),
+      scenarios::table5(SchemeSpec::rudp()),
+  });
+  const auto& iq = results[0];
+  const auto& ru = results[1];
 
   Comparison cmp("Table 5: over-reaction, changing application",
                  {"Thr(KB/s)", "Duration(s)", "Delay(ms)", "Jitter(ms)"});

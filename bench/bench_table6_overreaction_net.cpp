@@ -28,13 +28,19 @@ int main() {
   Comparison cmp("Table 6: over-reaction, changing network",
                  {"iperf(Mb)", "Thr(KB/s)", "Duration(s)", "Delay(ms)",
                   "Jitter(ms)"});
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (const auto& row : paper) {
+    cfgs.push_back(scenarios::table6(SchemeSpec::iq_rudp(), row.rate));
+    cfgs.push_back(scenarios::table6(SchemeSpec::rudp(), row.rate));
+  }
+  const auto results = bench::run_all(cfgs);
+
   std::vector<double> thr_gain;
   std::vector<double> jit_gain;
-  for (const auto& row : paper) {
-    const auto iq = bench::run_and_report(
-        scenarios::table6(SchemeSpec::iq_rudp(), row.rate));
-    const auto ru =
-        bench::run_and_report(scenarios::table6(SchemeSpec::rudp(), row.rate));
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    const auto& row = paper[i];
+    const auto& iq = results[2 * i];
+    const auto& ru = results[2 * i + 1];
     const double mb = static_cast<double>(row.rate) / 1e6;
     auto with_rate = [mb](std::vector<double> v) {
       v.insert(v.begin(), mb);

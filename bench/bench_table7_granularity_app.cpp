@@ -12,9 +12,12 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 7: limited granularity — changing application ==\n");
 
-  const auto iq = bench::run_and_report(
-      scenarios::table7(SchemeSpec::iq_rudp_no_cond()));
-  const auto ru = bench::run_and_report(scenarios::table7(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table7(SchemeSpec::iq_rudp_no_cond()),
+      scenarios::table7(SchemeSpec::rudp()),
+  });
+  const auto& iq = results[0];
+  const auto& ru = results[1];
 
   Comparison cmp("Table 7: limited granularity, changing application",
                  {"Duration(s)", "Thr(KB/s)", "Delay(s)", "Jitter(s)"});

@@ -14,11 +14,14 @@ int main() {
   using namespace iq::harness;
   std::printf("== Table 8: limited granularity — changing network ==\n");
 
-  const auto iq_cond =
-      bench::run_and_report(scenarios::table8(SchemeSpec::iq_rudp()));
-  const auto iq_nc = bench::run_and_report(
-      scenarios::table8(SchemeSpec::iq_rudp_no_cond()));
-  const auto ru = bench::run_and_report(scenarios::table8(SchemeSpec::rudp()));
+  const auto results = bench::run_all({
+      scenarios::table8(SchemeSpec::iq_rudp()),
+      scenarios::table8(SchemeSpec::iq_rudp_no_cond()),
+      scenarios::table8(SchemeSpec::rudp()),
+  });
+  const auto& iq_cond = results[0];
+  const auto& iq_nc = results[1];
+  const auto& ru = results[2];
 
   Comparison cmp("Table 8: limited granularity, changing network",
                  {"Duration(s)", "Thr(KB/s)", "Delay(ms)", "Jitter(ms)"});

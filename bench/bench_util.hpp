@@ -8,9 +8,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "iq/harness/paper.hpp"
+#include "iq/harness/runner.hpp"
 #include "iq/harness/scenarios.hpp"
 
 namespace iq::bench {
@@ -22,12 +25,39 @@ inline harness::ExperimentResult run_and_report(
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
-  std::printf("  [%-24s] sim %.1fs, wall %.2fs, events %.2fM%s\n",
-              cfg.scheme.label.c_str(), r.sim_seconds, wall,
-              static_cast<double>(r.events_executed) / 1e6,
-              r.completed ? "" : "  ** DID NOT COMPLETE **");
-  std::fflush(stdout);
+  std::fprintf(stderr, "  [%-24s] sim %.1fs, wall %.2fs, events %.2fM%s\n",
+               cfg.scheme.label.c_str(), r.sim_seconds, wall,
+               static_cast<double>(r.events_executed) / 1e6,
+               r.completed ? "" : "  ** DID NOT COMPLETE **");
   return r;
+}
+
+/// Run a whole table's configurations at once — across a thread pool unless
+/// IQ_BENCH_SERIAL is set — and print one report line per run, in input
+/// order. Each run owns its simulator and network, so the results (and the
+/// tables built from them) are bit-identical to running serially; only the
+/// wall-clock time changes.
+inline std::vector<harness::ExperimentResult> run_all(
+    const std::vector<harness::ExperimentConfig>& cfgs) {
+  std::size_t threads = 0;
+  if (const char* v = std::getenv("IQ_BENCH_SERIAL");
+      v != nullptr && *v != '\0' && *v != '0') {
+    threads = 1;
+  }
+  auto timed = harness::run_experiments(cfgs, threads);
+  std::vector<harness::ExperimentResult> out;
+  out.reserve(timed.size());
+  for (std::size_t i = 0; i < timed.size(); ++i) {
+    // Progress lines carry wall-clock time, so they go to stderr: stdout is
+    // reserved for the bench's bit-reproducible table/JSON output.
+    std::fprintf(stderr, "  [%-24s] sim %.1fs, wall %.2fs, events %.2fM%s\n",
+                 cfgs[i].scheme.label.c_str(), timed[i].result.sim_seconds,
+                 timed[i].wall_seconds,
+                 static_cast<double>(timed[i].result.events_executed) / 1e6,
+                 timed[i].result.completed ? "" : "  ** DID NOT COMPLETE **");
+    out.push_back(std::move(timed[i].result));
+  }
+  return out;
 }
 
 /// Standard 4-metric row most tables use: duration, throughput,

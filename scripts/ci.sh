@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: build and run the full test suite twice —
-#   1. the default RelWithDebInfo build (the tier-1 verify), and
+# CI entry point: build and run the full test suite twice, then smoke the
+# perf baseline —
+#   1. the default RelWithDebInfo build (the tier-1 verify),
 #   2. an ASan+UBSan build (IQ_SANITIZE=ON) to catch memory and UB errors
-#      that pass silently in the default build.
-# Usage: scripts/ci.sh [--default-only|--sanitize-only]
+#      that pass silently in the default build (this build also runs the
+#      randomized event-queue property test under the sanitizers), and
+#   3. a Release build of bench_perf whose BENCH_PERF.json is archived so
+#      every commit carries a hot-path perf baseline (docs/PERFORMANCE.md).
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,20 +19,36 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
 
+perf_smoke() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_perf
+  local out_dir="${CI_ARTIFACTS_DIR:-$build_dir}"
+  mkdir -p "$out_dir"
+  "$build_dir/bench/bench_perf" "$out_dir/BENCH_PERF.json"
+  echo "perf baseline archived at $out_dir/BENCH_PERF.json"
+}
+
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only]" >&2; exit 2 ;;
+  all|--default-only|--sanitize-only|--perf-only) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only]" >&2
+     exit 2 ;;
 esac
 
-if [[ "$mode" != "--sanitize-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--default-only" ]]; then
   echo "== CI: default build =="
   run_suite build
 fi
 
-if [[ "$mode" != "--default-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== CI: sanitized build (ASan+UBSan) =="
   run_suite build-sanitize -DIQ_SANITIZE=ON
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--perf-only" ]]; then
+  echo "== CI: perf smoke (Release bench_perf) =="
+  perf_smoke
 fi
 
 echo "== CI: all suites passed =="

@@ -85,6 +85,14 @@ void AttrList::encode(ByteWriter& w) const {
   }
 }
 
+std::size_t AttrList::encoded_size() const {
+  std::size_t n = 2;  // entry count
+  for (const auto& [name, value] : entries_) {
+    n += 2 + name.size() + value.encoded_size();
+  }
+  return n;
+}
+
 std::optional<AttrList> AttrList::decode(ByteReader& r) {
   auto count = r.u16();
   if (!count) return std::nullopt;

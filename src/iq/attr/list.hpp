@@ -43,6 +43,9 @@ class AttrList {
 
   void encode(ByteWriter& w) const;
   static std::optional<AttrList> decode(ByteReader& r);
+  /// Exact number of bytes encode() will write. Lets wire-size accounting
+  /// (Segment::header_bytes) and encoder pre-sizing avoid a scratch encode.
+  std::size_t encoded_size() const;
 
   friend bool operator==(const AttrList&, const AttrList&) = default;
 

@@ -61,6 +61,13 @@ void AttrValue::encode(ByteWriter& w) const {
   }
 }
 
+std::size_t AttrValue::encoded_size() const {
+  if (std::holds_alternative<std::int64_t>(v_)) return 1 + 8;
+  if (std::holds_alternative<double>(v_)) return 1 + 8;
+  if (std::holds_alternative<bool>(v_)) return 1 + 1;
+  return 1 + 2 + std::get<std::string>(v_).size();
+}
+
 std::optional<AttrValue> AttrValue::decode(ByteReader& r) {
   auto tag = r.u8();
   if (!tag) return std::nullopt;

@@ -40,6 +40,8 @@ class AttrValue {
 
   void encode(ByteWriter& w) const;
   static std::optional<AttrValue> decode(ByteReader& r);
+  /// Exact number of bytes encode() will write (tag byte included).
+  std::size_t encoded_size() const;
 
   friend bool operator==(const AttrValue&, const AttrValue&) = default;
 

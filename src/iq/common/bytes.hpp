@@ -32,6 +32,10 @@ class ByteWriter {
   /// Raw bytes, no prefix.
   void raw(BytesView v);
 
+  /// Pre-size the buffer when the caller can compute the wire size up
+  /// front; writes then append without reallocating.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   std::size_t size() const { return buf_.size(); }
   const Bytes& data() const { return buf_; }
   Bytes take() { return std::move(buf_); }

@@ -1,0 +1,144 @@
+#pragma once
+// InlineFn: a move-only callable with small-buffer optimization.
+//
+// The discrete-event hot path schedules millions of short-lived closures
+// (timer shots, link deliveries); std::function heap-allocates most of them
+// because its inline buffer is small and it must support copying. InlineFn
+// drops copyability — events fire exactly once or are cancelled, nothing
+// ever needs two copies of one closure — which lets any callable that fits
+// the inline buffer and is nothrow-move-constructible live entirely inside
+// the object. Larger or throwing-move callables fall back to one heap box.
+//
+// The move constructor is noexcept, so containers (the event queue's slot
+// vector) relocate without copies.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iq {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFn<R(Args...), Capacity> {
+ public:
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&other.storage_, &storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&other.storage_, &storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (no heap).
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct into `to` from `from`, then destroy `from`'s value.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr bool stores_inline() {
+    return sizeof(D) <= Capacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename F>
+  void construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (stores_inline<D>()) {
+      static constexpr Ops ops = {
+          +[](void* s, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<D*>(s)))(
+                std::forward<Args>(args)...);
+          },
+          +[](void* from, void* to) noexcept {
+            D* src = std::launder(reinterpret_cast<D*>(from));
+            ::new (to) D(std::move(*src));
+            src->~D();
+          },
+          +[](void* s) noexcept {
+            std::launder(reinterpret_cast<D*>(s))->~D();
+          },
+          /*inline_stored=*/true,
+      };
+      ::new (&storage_) D(std::forward<F>(f));
+      ops_ = &ops;
+    } else {
+      static constexpr Ops ops = {
+          +[](void* s, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<D**>(s)))(
+                std::forward<Args>(args)...);
+          },
+          +[](void* from, void* to) noexcept {
+            D** src = std::launder(reinterpret_cast<D**>(from));
+            ::new (to) D*(*src);
+          },
+          +[](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<D**>(s));
+          },
+          /*inline_stored=*/false,
+      };
+      ::new (&storage_) D*(new D(std::forward<F>(f)));
+      ops_ = &ops;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace iq

@@ -1,0 +1,35 @@
+#pragma once
+// Parallel experiment runner: executes a batch of ExperimentConfigs across a
+// thread pool and returns results in input order.
+//
+// Each run builds its own Simulator/Network/Scenario, so runs share no
+// mutable state and the results are bit-identical to running the same
+// configs serially — the pool only changes wall-clock time. Set the
+// environment variable IQ_HARNESS_SERIAL=1 (or pass threads = 1) to force
+// serial execution, e.g. when profiling a single run.
+
+#include <cstddef>
+#include <vector>
+
+#include "iq/harness/experiment.hpp"
+
+namespace iq::harness {
+
+/// One entry of run_experiments(): the experiment's metrics plus how long
+/// that run took on the wall clock.
+struct TimedResult {
+  ExperimentResult result;
+  double wall_seconds = 0.0;
+};
+
+/// Number of worker threads run_experiments() will use for `jobs` runs when
+/// `threads` = 0: hardware concurrency capped by the job count (and 1 if
+/// IQ_HARNESS_SERIAL is set).
+std::size_t runner_threads(std::size_t jobs, std::size_t threads = 0);
+
+/// Run every config to completion, `threads` at a time (0 = pick
+/// automatically), and return results in the same order as `configs`.
+std::vector<TimedResult> run_experiments(
+    const std::vector<ExperimentConfig>& configs, std::size_t threads = 0);
+
+}  // namespace iq::harness

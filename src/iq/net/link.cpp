@@ -1,5 +1,7 @@
 #include "iq/net/link.hpp"
 
+#include <cstdio>
+
 #include "iq/common/check.hpp"
 
 namespace iq::net {
@@ -17,10 +19,21 @@ Link::Link(sim::Simulator& sim, std::string name, LinkConfig cfg,
   IQ_CHECK(cfg_.drop_probability >= 0.0 && cfg_.drop_probability <= 1.0);
 }
 
+void Link::trace_text(const char* kind, const Packet& p) {
+  char buf[192];
+  const double t = static_cast<double>(sim_.now().ns()) * 1e-9;
+  std::snprintf(buf, sizeof(buf), "%.6f %s %s %s", t, kind, name_.c_str(),
+                p.describe().c_str());
+  tracer_->on_text(*this, buf);
+}
+
 void Link::deliver(PacketPtr packet) {
   if (busy_) {
     if (!queue_.enqueue(packet)) {
-      if (tracer_ != nullptr) tracer_->on_drop(*this, *packet);
+      if (tracer_ != nullptr) {
+        tracer_->on_drop(*this, *packet);
+        if (trace_text_) trace_text("drop", *packet);
+      }
     }
     return;
   }
@@ -29,7 +42,10 @@ void Link::deliver(PacketPtr packet) {
 
 void Link::start_transmission(PacketPtr p) {
   busy_ = true;
-  if (tracer_ != nullptr) tracer_->on_transmit(*this, *p);
+  if (tracer_ != nullptr) {
+    tracer_->on_transmit(*this, *p);
+    if (trace_text_) trace_text("tx", *p);
+  }
   const Duration tx = transmission_time(p->wire_bytes, cfg_.rate_bps);
   sim_.after(tx, [this, p = std::move(p)]() mutable {
     transmission_done(std::move(p));
@@ -44,11 +60,17 @@ void Link::transmission_done(PacketPtr p) {
   if (cfg_.drop_probability > 0.0 &&
       drop_rng_.chance(cfg_.drop_probability)) {
     ++random_drops_;
-    if (tracer_ != nullptr) tracer_->on_drop(*this, *p);
+    if (tracer_ != nullptr) {
+      tracer_->on_drop(*this, *p);
+      if (trace_text_) trace_text("drop", *p);
+    }
   } else {
     // Propagation: the packet is in flight; the transmitter is free now.
     sim_.after(cfg_.propagation, [this, p = std::move(p)]() mutable {
-      if (tracer_ != nullptr) tracer_->on_deliver(*this, *p);
+      if (tracer_ != nullptr) {
+        tracer_->on_deliver(*this, *p);
+        if (trace_text_) trace_text("rx", *p);
+      }
       dst_.deliver(std::move(p));
     });
   }

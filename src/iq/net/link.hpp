@@ -40,11 +40,17 @@ class Link final : public PacketSink {
   std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
   std::uint64_t random_drops() const { return random_drops_; }
 
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    // Cache the answer so the per-packet path never pays a virtual call
+    // (let alone string formatting) when nobody wants text.
+    trace_text_ = tracer != nullptr && tracer->wants_text();
+  }
 
  private:
   void start_transmission(PacketPtr p);
   void transmission_done(PacketPtr p);
+  void trace_text(const char* kind, const Packet& p);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -57,6 +63,7 @@ class Link final : public PacketSink {
   std::uint64_t random_drops_ = 0;
   Rng drop_rng_;
   Tracer* tracer_ = nullptr;
+  bool trace_text_ = false;
 };
 
 }  // namespace iq::net

@@ -71,7 +71,7 @@ PacketPtr Network::make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
                                std::int64_t wire_bytes,
                                std::shared_ptr<const PacketBody> body) {
   IQ_CHECK(wire_bytes > 0);
-  auto p = std::make_shared<Packet>();
+  auto p = packet_pool_.make();
   p->id = next_packet_id_++;
   p->src = src;
   p->dst = dst;

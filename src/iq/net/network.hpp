@@ -11,6 +11,7 @@
 
 #include "iq/net/link.hpp"
 #include "iq/net/node.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/net/tracer.hpp"
 #include "iq/sim/simulator.hpp"
 
@@ -32,9 +33,13 @@ class Network {
   void compute_routes();
 
   /// Create a packet stamped with a fresh id and the current sim time.
+  /// Packets come from a freelist pool: steady-state traffic performs no
+  /// heap allocation per packet.
   PacketPtr make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
                         std::int64_t wire_bytes,
                         std::shared_ptr<const PacketBody> body = nullptr);
+
+  PoolStats packet_pool_stats() const { return packet_pool_.stats(); }
 
   /// Install a tracer on every link (and future links).
   void set_tracer(Tracer* tracer);
@@ -56,6 +61,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Edge> edges_;
   std::uint64_t next_packet_id_ = 1;
+  ObjectPool<Packet> packet_pool_;
   Tracer* tracer_ = nullptr;
 };
 

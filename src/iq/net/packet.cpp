@@ -1,14 +1,18 @@
 #include "iq/net/packet.hpp"
 
-#include <sstream>
+#include <cstdio>
 
 namespace iq::net {
 
 std::string Packet::describe() const {
-  std::ostringstream os;
-  os << "pkt#" << id << " " << src.node << ":" << src.port << "->" << dst.node
-     << ":" << dst.port << " flow=" << flow << " " << wire_bytes << "B";
-  return os.str();
+  char buf[128];
+  const int n = std::snprintf(
+      buf, sizeof(buf), "pkt#%llu %u:%u->%u:%u flow=%u %lldB",
+      static_cast<unsigned long long>(id), src.node,
+      static_cast<unsigned>(src.port), dst.node,
+      static_cast<unsigned>(dst.port), flow,
+      static_cast<long long>(wire_bytes));
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
 }
 
 }  // namespace iq::net

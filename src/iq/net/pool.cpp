@@ -1,0 +1,41 @@
+#include "iq/net/pool.hpp"
+
+#include <new>
+
+#include "iq/common/check.hpp"
+
+namespace iq::net::detail {
+
+ArenaState::~ArenaState() {
+  // Every control block holds a reference to this arena, so reaching the
+  // destructor means every block has been deallocated back into the
+  // freelist; free_blocks_ is the complete block set.
+  for (void* p : free_blocks_) ::operator delete(p);
+}
+
+void* ArenaState::allocate(std::size_t bytes) {
+  if (block_size_ == 0) block_size_ = bytes;
+  IQ_CHECK_MSG(bytes == block_size_, "pool arena serves one block size");
+  ++outstanding_;
+  if (!free_blocks_.empty()) {
+    void* p = free_blocks_.back();
+    free_blocks_.pop_back();
+    ++reuses_;
+    return p;
+  }
+  ++fresh_allocations_;
+  return ::operator new(bytes);
+}
+
+void ArenaState::deallocate(void* p, std::size_t bytes) {
+  IQ_CHECK(bytes == block_size_ && outstanding_ > 0);
+  --outstanding_;
+  free_blocks_.push_back(p);
+}
+
+PoolStats ArenaState::stats() const {
+  return PoolStats{fresh_allocations_, reuses_, outstanding_,
+                   free_blocks_.size()};
+}
+
+}  // namespace iq::net::detail

@@ -2,6 +2,16 @@
 
 namespace iq::net {
 
+void Tracer::on_text(const Link&, const std::string&) {}
+
+void TextTracer::on_text(const Link&, const std::string& line) {
+  if (lines_.size() == capacity_) {
+    lines_.pop_front();
+    ++discarded_;
+  }
+  lines_.push_back(line);
+}
+
 CountingTracer::FlowCounts& CountingTracer::at(std::uint32_t flow_id) {
   return flows_[flow_id];
 }

@@ -6,6 +6,8 @@
 // protocol internals.
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "iq/net/packet.hpp"
@@ -23,6 +25,15 @@ class Tracer {
   virtual void on_drop(const Link& link, const Packet& p) = 0;
   /// Packet handed to the link's destination sink.
   virtual void on_deliver(const Link& link, const Packet& p) = 0;
+
+  /// True when this tracer consumes formatted text lines via on_text().
+  /// Links check this once at set_tracer() time and skip all string
+  /// formatting when nobody is listening, so text tracing is zero-cost on
+  /// the hot path unless explicitly enabled.
+  virtual bool wants_text() const { return false; }
+  /// One formatted "time kind link packet" line per event; only invoked
+  /// when wants_text() returned true at installation.
+  virtual void on_text(const Link& link, const std::string& line);
 };
 
 /// A tracer that counts per-flow transmit/drop/deliver totals.
@@ -46,6 +57,31 @@ class CountingTracer final : public Tracer {
  private:
   FlowCounts& at(std::uint32_t flow_id);
   std::unordered_map<std::uint32_t, FlowCounts> flows_;
+};
+
+/// A tracer that keeps the formatted text line of every packet event, for
+/// debugging and tests. Installing one is what turns text formatting on in
+/// the links (wants_text() = true); every other tracer leaves the hot path
+/// free of string work.
+class TextTracer final : public Tracer {
+ public:
+  /// `capacity` bounds memory; the oldest lines are discarded once full.
+  explicit TextTracer(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  void on_transmit(const Link&, const Packet&) override {}
+  void on_drop(const Link&, const Packet&) override {}
+  void on_deliver(const Link&, const Packet&) override {}
+  bool wants_text() const override { return true; }
+  void on_text(const Link& link, const std::string& line) override;
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  std::size_t discarded() const { return discarded_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::string> lines_;
+  std::size_t discarded_ = 0;
 };
 
 }  // namespace iq::net

@@ -17,6 +17,13 @@ bool valid_type(std::uint8_t t) {
 
 Bytes encode_segment(const Segment& seg, BytesView payload) {
   ByteWriter w;
+  // header_bytes() mirrors this format exactly, so one reservation covers
+  // the whole datagram and the writer never reallocates.
+  w.reserve(static_cast<std::size_t>(seg.header_bytes()) +
+            ((seg.type == SegmentType::Data || seg.type == SegmentType::Parity)
+                 ? static_cast<std::size_t>(std::max<std::int32_t>(
+                       seg.payload_bytes, 0))
+                 : 0));
   w.u16(kWireMagic);
   w.u8(static_cast<std::uint8_t>(seg.type));
   std::uint8_t flags = 0;

@@ -136,9 +136,9 @@ RudpConnection::SendResult RudpConnection::send_message(
   return SendResult{msg_id, /*discarded=*/false};
 }
 
-void RudpConnection::emit(const Segment& seg) {
+void RudpConnection::emit(Segment&& seg) {
   if (tap_) tap_(TapDirection::Out, seg);
-  wire_.send(seg);
+  wire_.send(std::move(seg));
 }
 
 void RudpConnection::pump() {
@@ -194,15 +194,20 @@ void RudpConnection::transmit(Outstanding& o, bool retransmission) {
   if (retransmission) ++stats_.segments_retransmitted;
 
   o.last_sent = wire_.executor().now();
-  emit(seg);
-
-  // Enroll first transmissions in a parity group; retransmissions are
-  // already covered by the descriptor captured the first time around.
-  if (o.fec && !retransmission) {
+  // Enrolling first transmissions in a parity group needs the segment after
+  // it goes out, so FEC traffic keeps the copying emit; everything else
+  // moves its vectors/attrs straight into the wire.
+  const bool enroll = o.fec && !retransmission;
+  if (enroll) {
+    emit(Segment(seg));
+    // Retransmissions are already covered by the descriptor captured the
+    // first time around.
     if (auto parity = fec_enc_.add(seg)) send_parity(std::move(*parity));
     if (fec_enc_.open_groups() > 0) {
       fec_flush_timer_.start_if_idle(cfg_.fec_flush);
     }
+  } else {
+    emit(std::move(seg));
   }
   rto_timer_.start_if_idle(rtt_.rto());
 }
@@ -212,7 +217,7 @@ void RudpConnection::send_parity(Segment parity) {
   parity.cum_ack = to_wire(recv_buf_.cum());
   parity.ts_us = now_us();
   ++stats_.parities_sent;
-  emit(parity);
+  emit(std::move(parity));
 }
 
 void RudpConnection::flush_fec() {
@@ -234,7 +239,7 @@ void RudpConnection::send_ack(std::uint64_t ts_echo_us) {
   seg.ts_us = now_us();
   seg.ts_echo_us = ts_echo_us;
   ++stats_.acks_sent;
-  emit(seg);
+  emit(std::move(seg));
 }
 
 void RudpConnection::send_advance(const std::vector<SkippedSeq>& skipped) {
@@ -245,7 +250,7 @@ void RudpConnection::send_advance(const std::vector<SkippedSeq>& skipped) {
   seg.cum_ack = to_wire(recv_buf_.cum());
   seg.ts_us = now_us();
   ++stats_.advances_sent;
-  emit(seg);
+  emit(std::move(seg));
   // ADVANCE is not individually acked; keep a timer alive so lost ones are
   // re-advertised from on_rto().
   rto_timer_.start_if_idle(rtt_.rto());
@@ -269,7 +274,7 @@ void RudpConnection::send_control(SegmentType type) {
   if (type == SegmentType::SynAck) {
     seg.recv_loss_tolerance = cfg_.recv_loss_tolerance;
   }
-  emit(seg);
+  emit(std::move(seg));
 }
 
 // -------------------------------------------------------------- inbound ---

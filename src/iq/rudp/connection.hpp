@@ -209,7 +209,7 @@ class RudpConnection {
   void on_parity(const Segment& seg);
 
   // Outbound helpers.
-  void emit(const Segment& seg);
+  void emit(Segment&& seg);
   void pump();
   void transmit(Outstanding& o, bool retransmission);
   void send_ack(std::uint64_t ts_echo_us);

@@ -46,9 +46,7 @@ std::int64_t Segment::header_bytes() const {
       for (const FecMember& m : fec_members) {
         n += 17;
         if (!m.attrs.empty()) {
-          ByteWriter w;
-          m.attrs.encode(w);
-          n += static_cast<std::int64_t>(w.size());
+          n += static_cast<std::int64_t>(m.attrs.encoded_size());
         }
       }
       break;
@@ -56,9 +54,7 @@ std::int64_t Segment::header_bytes() const {
       break;
   }
   if (!attrs.empty()) {
-    ByteWriter w;
-    attrs.encode(w);
-    n += static_cast<std::int64_t>(w.size());
+    n += static_cast<std::int64_t>(attrs.encoded_size());
   }
   return n;
 }

@@ -22,6 +22,10 @@ class SegmentWire {
 
   /// Transmit a segment toward the peer (may be silently lost en route).
   virtual void send(const Segment& segment) = 0;
+  /// Move-transmit: wires that materialize a body object (sim_wire) take
+  /// ownership and skip the deep copy of eacks/skipped/attrs vectors.
+  /// Default forwards to the copying overload.
+  virtual void send(Segment&& segment) { send(segment); }
   /// Install the handler invoked for each segment arriving from the peer.
   virtual void set_receiver(RecvFn fn) = 0;
   /// The clock/timer service this wire lives on.

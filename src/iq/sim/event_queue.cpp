@@ -1,51 +1,125 @@
 #include "iq/sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "iq/common/check.hpp"
 
 namespace iq::sim {
 
+namespace {
+// An EventId packs (slot index + 1) in the high 32 bits and the slot's
+// generation at schedule time in the low 32. The +1 keeps 0 out of the id
+// space; the generation makes handles single-use.
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(slot) + 1) << 32 | generation;
+}
+}  // namespace
+
 EventId EventQueue::schedule(TimePoint at, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  ++live_count_;
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    IQ_CHECK_MSG(slot != kNotInHeap, "event queue slot space exhausted");
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+
+  heap_.emplace_back();  // room for the sift-up hole migration
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1),
+          HeapEntry{at, next_seq_++, slot});
+  return make_id(slot, s.generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Only record ids that might still be in the heap.
-  auto [_, inserted] = cancelled_.insert(id);
-  if (!inserted) return false;
-  IQ_CHECK(live_count_ > 0);
-  --live_count_;
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(hi - 1);
+  Slot& s = slots_[slot];
+  // Generation mismatch = the handle's event already fired or was cancelled;
+  // stale handles are rejected without touching any accounting.
+  if (s.generation != static_cast<std::uint32_t>(id) ||
+      s.heap_pos == kNotInHeap) {
+    return false;
+  }
+  remove_at(s.heap_pos);
+  release(slot);
   return true;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-TimePoint EventQueue::next_time() {
-  drop_cancelled();
+TimePoint EventQueue::next_time() const {
   if (heap_.empty()) return TimePoint::max();
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
   IQ_CHECK_MSG(!heap_.empty(), "pop() on empty EventQueue");
-  // priority_queue::top() is const; the Entry must be copied-out before pop.
-  // Move the function out via const_cast — safe because we pop immediately.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.at, std::move(top.fn)};
-  heap_.pop();
-  --live_count_;
+  const HeapEntry top = heap_.front();
+  Slot& s = slots_[top.slot];
+  Popped out{top.at, std::move(s.fn)};
+  remove_at(0);
+  release(top.slot);
   return out;
+}
+
+void EventQueue::place(std::uint32_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = pos;
+}
+
+// Hole migration: walk the hole at `pos` toward the root, moving parents
+// down, and drop `e` into its final position — one store per level instead
+// of a swap.
+void EventQueue::sift_up(std::uint32_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_down(std::uint32_t pos, HeapEntry e) {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint64_t first = static_cast<std::uint64_t>(pos) * 4 + 1;
+    if (first >= n) break;
+    auto best = static_cast<std::uint32_t>(first);
+    const auto last = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(first + 3, n - 1));
+    for (std::uint32_t c = best + 1; c <= last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+void EventQueue::remove_at(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  const HeapEntry moved = heap_[last];
+  heap_.pop_back();
+  if (pos == last) return;
+  // The migrated entry may violate order in either direction.
+  if (pos > 0 && before(moved, heap_[(pos - 1) / 4])) {
+    sift_up(pos, moved);
+  } else {
+    sift_down(pos, moved);
+  }
+}
+
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.heap_pos = kNotInHeap;
+  ++s.generation;
+  s.fn.reset();
+  free_slots_.push_back(slot);
 }
 
 }  // namespace iq::sim

@@ -2,22 +2,35 @@
 // Cancellable priority event queue for the discrete-event simulator.
 //
 // Events at equal timestamps fire in insertion order (a strictly increasing
-// sequence number breaks ties) so runs are deterministic. Cancellation is
-// lazy: a cancelled entry stays in the heap and is skipped on pop, which
-// keeps cancel O(1) — important because retransmission timers are cancelled
-// far more often than they fire.
+// sequence number breaks ties) so runs are deterministic.
+//
+// Implementation: an indexed 4-ary heap over a slot table. Each scheduled
+// event owns a slot; the heap orders slot indices by (time, seq) and every
+// slot knows its heap position, so cancel() removes the entry in place in
+// O(log n) — no tombstone set to grow, no dead entries for pop() to skip.
+// A 4-ary layout halves the tree depth of a binary heap and keeps children
+// in one cache line of the heap array, which measurably speeds the
+// sift-down on pop for queues with thousands of pending timers.
+//
+// Handles are validated by generation: an EventId encodes (slot, generation)
+// and the slot's generation bumps every time it is freed, so cancelling an
+// id that already fired or was already cancelled is rejected without any
+// bookkeeping — the accounting bug where cancel-after-fire corrupted the
+// live count is structurally impossible.
+//
+// EventFn is a small-buffer-optimized move-only callable (iq::InlineFn), so
+// scheduling a typical timer or delivery lambda performs no heap allocation
+// at all once the queue's arrays have warmed up.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "iq/common/inline_fn.hpp"
 #include "iq/common/time.hpp"
 
 namespace iq::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn<void()>;
 
 /// Opaque handle identifying a scheduled event; 0 is never used.
 using EventId = std::uint64_t;
@@ -25,14 +38,15 @@ using EventId = std::uint64_t;
 class EventQueue {
  public:
   EventId schedule(TimePoint at, EventFn fn);
-  /// Cancel a pending event; returns false if it already fired or was
-  /// cancelled before.
+  /// Cancel a pending event; returns false (and does nothing) if it already
+  /// fired or was cancelled before — stale handles are rejected by the
+  /// generation check.
   bool cancel(EventId id);
 
-  bool empty() const { return live_count_ == 0; }
-  std::size_t size() const { return live_count_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
   /// Timestamp of the earliest live event; max() when empty.
-  TimePoint next_time();
+  TimePoint next_time() const;
 
   struct Popped {
     TimePoint at;
@@ -42,26 +56,40 @@ class EventQueue {
   Popped pop();
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNotInHeap = 0xffffffff;
+
+  /// Sort keys live inside the heap array so sift comparisons never chase a
+  /// pointer into the slot table; the slot only holds the callable and the
+  /// handle-validation state.
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = kNotInHeap;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
 
-  void drop_cancelled();
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  void place(std::uint32_t pos, const HeapEntry& e);
+  void sift_up(std::uint32_t pos, HeapEntry e);
+  void sift_down(std::uint32_t pos, HeapEntry e);
+  /// Remove heap_[pos], restoring heap order.
+  void remove_at(std::uint32_t pos);
+  /// Return a slot to the freelist and invalidate its outstanding handles.
+  void release(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;            ///< 4-ary min-heap by (at, seq)
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_count_ = 0;
 };
 
 }  // namespace iq::sim

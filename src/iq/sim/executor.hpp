@@ -8,13 +8,15 @@
 // both in the deterministic testbed and on a live network.
 
 #include <cstdint>
-#include <functional>
 
+#include "iq/common/inline_fn.hpp"
 #include "iq/common/time.hpp"
 
 namespace iq::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only small-buffer callable — see iq/common/inline_fn.hpp. Using it
+/// for every scheduled event keeps the simulator hot path allocation-free.
+using EventFn = InlineFn<void()>;
 using EventId = std::uint64_t;
 
 class Executor {

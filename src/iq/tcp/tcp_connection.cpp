@@ -73,7 +73,7 @@ void TcpConnection::pump() {
 
 void TcpConnection::send_segment(std::uint64_t seq, std::int64_t len,
                                  bool retransmission) {
-  auto h = std::make_shared<TcpHeader>();
+  auto h = header_pool_.make();
   h->type = TcpHeader::Type::Data;
   h->conn_id = cfg_.conn_id;
   h->seq = seq;
@@ -89,7 +89,7 @@ void TcpConnection::send_segment(std::uint64_t seq, std::int64_t len,
 }
 
 void TcpConnection::send_control(TcpHeader::Type type) {
-  auto h = std::make_shared<TcpHeader>();
+  auto h = header_pool_.make();
   h->type = type;
   h->conn_id = cfg_.conn_id;
   h->ack = rcv_nxt_;
@@ -100,7 +100,7 @@ void TcpConnection::send_control(TcpHeader::Type type) {
 }
 
 void TcpConnection::send_ack(std::uint64_t ts_echo) {
-  auto h = std::make_shared<TcpHeader>();
+  auto h = header_pool_.make();
   h->type = TcpHeader::Type::Ack;
   h->conn_id = cfg_.conn_id;
   h->ack = rcv_nxt_;

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "iq/net/network.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/rudp/rtt_estimator.hpp"
 #include "iq/sim/timer.hpp"
 
@@ -118,6 +119,7 @@ class TcpConnection final : public net::PacketSink {
   std::uint64_t now_us() const;
 
   net::Network& net_;
+  net::ObjectPool<TcpHeader> header_pool_;
   net::Endpoint local_;
   net::Endpoint remote_;
   std::uint32_t flow_;

@@ -13,9 +13,17 @@ SimWire::SimWire(net::Network& net, net::Endpoint local, net::Endpoint remote,
 SimWire::~SimWire() { net_.node(local_.node).unbind(local_.port); }
 
 void SimWire::send(const rudp::Segment& segment) {
-  auto body = std::make_shared<rudp::Segment>(segment);
+  dispatch(pool_.make(segment));
+}
+
+void SimWire::send(rudp::Segment&& segment) {
+  dispatch(pool_.make(std::move(segment)));
+}
+
+void SimWire::dispatch(std::shared_ptr<const rudp::Segment> body) {
+  const std::int64_t wire_bytes = body->wire_bytes();
   auto packet =
-      net_.make_packet(local_, remote_, flow_, segment.wire_bytes(), body);
+      net_.make_packet(local_, remote_, flow_, wire_bytes, std::move(body));
   ++sent_;
   net_.node(local_.node).send(std::move(packet));
 }

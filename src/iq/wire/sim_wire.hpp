@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "iq/net/network.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/rudp/segment_wire.hpp"
 
 namespace iq::wire {
@@ -21,8 +22,10 @@ class SimWire final : public rudp::SegmentWire, public net::PacketSink {
   SimWire(const SimWire&) = delete;
   SimWire& operator=(const SimWire&) = delete;
 
-  // SegmentWire.
+  // SegmentWire. Segment bodies come from a freelist pool; the move
+  // overload adopts the caller's vectors/attrs instead of copying them.
   void send(const rudp::Segment& segment) override;
+  void send(rudp::Segment&& segment) override;
   void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
   sim::Executor& executor() override { return net_.sim(); }
 
@@ -31,8 +34,12 @@ class SimWire final : public rudp::SegmentWire, public net::PacketSink {
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
+  net::PoolStats segment_pool_stats() const { return pool_.stats(); }
 
  private:
+  void dispatch(std::shared_ptr<const rudp::Segment> body);
+
+  net::ObjectPool<rudp::Segment> pool_;
   net::Network& net_;
   net::Endpoint local_;
   net::Endpoint remote_;

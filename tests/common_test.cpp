@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "iq/common/bytes.hpp"
+#include "iq/common/inline_fn.hpp"
 #include "iq/common/log.hpp"
 #include "iq/common/rng.hpp"
 #include "iq/common/time.hpp"
@@ -247,6 +248,65 @@ TEST(BytesTest, ReaderTracksRemaining) {
   EXPECT_EQ(r.remaining(), 4u);
   r.u32();
   EXPECT_TRUE(r.exhausted());
+}
+
+TEST(InlineFnTest, SmallCapturesStayInline) {
+  int x = 41;
+  InlineFn<int()> f([&x] { return x + 1; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFnTest, LargeCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[256] = {};
+  } big;
+  big.bytes[0] = 9;
+  InlineFn<int()> f([big] { return big.bytes[0]; });
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InlineFnTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn<void()> a([counter] { ++*counter; });
+  InlineFn<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(*counter, 1);
+  InlineFn<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineFnTest, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(5);
+  InlineFn<int()> f([p = std::move(p)] { return *p; });
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(InlineFnTest, DestructorRunsCaptureDestructors) {
+  auto token = std::make_shared<int>(0);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    InlineFn<void()> f([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFnTest, ResetClearsCallable) {
+  InlineFn<void()> f([] {});
+  EXPECT_TRUE(static_cast<bool>(f));
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFnTest, ArgumentsForwarded) {
+  InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
 }
 
 }  // namespace

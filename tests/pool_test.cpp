@@ -1,0 +1,111 @@
+// Tests for the freelist object pool: block reuse, construction hygiene,
+// and blocks that outlive the pool itself.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iq/net/packet.hpp"
+#include "iq/net/pool.hpp"
+
+namespace iq::net {
+namespace {
+
+struct Widget {
+  int value = 7;
+  std::string name = "fresh";
+  std::vector<int> history;
+
+  Widget() = default;
+  explicit Widget(int v) : value(v) {}
+};
+
+TEST(ObjectPoolTest, FirstAllocationsAreFresh) {
+  ObjectPool<Widget> pool;
+  auto a = pool.make();
+  auto b = pool.make();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.fresh_allocations, 2u);
+  EXPECT_EQ(s.reuses, 0u);
+  EXPECT_EQ(s.outstanding, 2u);
+  EXPECT_EQ(s.free_blocks, 0u);
+}
+
+TEST(ObjectPoolTest, ReleasedBlocksAreReused) {
+  ObjectPool<Widget> pool;
+  pool.make();  // released immediately
+  const PoolStats after_release = pool.stats();
+  EXPECT_EQ(after_release.outstanding, 0u);
+  EXPECT_EQ(after_release.free_blocks, 1u);
+
+  auto again = pool.make();
+  const PoolStats after_reuse = pool.stats();
+  EXPECT_EQ(after_reuse.fresh_allocations, 1u);
+  EXPECT_EQ(after_reuse.reuses, 1u);
+  EXPECT_EQ(after_reuse.free_blocks, 0u);
+}
+
+// Objects handed out by the pool must be freshly constructed — mutations
+// made through a previous tenancy of the same block must never leak.
+TEST(ObjectPoolTest, ReusedObjectsCarryNoStaleState) {
+  ObjectPool<Widget> pool;
+  {
+    auto w = pool.make();
+    w->value = 999;
+    w->name = "dirty dirty dirty dirty dirty dirty dirty";  // > SSO
+    w->history.assign(1000, 42);
+  }
+  auto w = pool.make();
+  EXPECT_EQ(pool.stats().reuses, 1u);  // same block...
+  EXPECT_EQ(w->value, 7);              // ...fully reconstructed
+  EXPECT_EQ(w->name, "fresh");
+  EXPECT_TRUE(w->history.empty());
+}
+
+TEST(ObjectPoolTest, ForwardsConstructorArguments) {
+  ObjectPool<Widget> pool;
+  auto w = pool.make(123);
+  EXPECT_EQ(w->value, 123);
+}
+
+// The deleter holds the arena alive, so objects may safely outlive the
+// ObjectPool handle that made them.
+TEST(ObjectPoolTest, BlocksMayOutliveThePool) {
+  std::shared_ptr<Widget> survivor;
+  {
+    ObjectPool<Widget> pool;
+    survivor = pool.make(55);
+  }
+  EXPECT_EQ(survivor->value, 55);
+  survivor.reset();  // returns the block to the (still-alive) arena
+}
+
+TEST(ObjectPoolTest, ManyCyclesStabilizeOnOneBlock) {
+  ObjectPool<Widget> pool;
+  for (int i = 0; i < 1000; ++i) {
+    auto w = pool.make(i);
+    EXPECT_EQ(w->value, i);
+  }
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.fresh_allocations, 1u);
+  EXPECT_EQ(s.reuses, 999u);
+  EXPECT_EQ(s.free_blocks, 1u);
+}
+
+TEST(ObjectPoolTest, PacketsPoolCleanly) {
+  ObjectPool<Packet> pool;
+  {
+    auto p = pool.make();
+    p->flow = 9;
+    p->wire_bytes = 1500;
+  }
+  auto p = pool.make();
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(p->flow, 0u);
+  EXPECT_EQ(p->wire_bytes, 0);
+}
+
+}  // namespace
+}  // namespace iq::net

@@ -105,5 +105,65 @@ TEST(RecordingTracerTest, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find(",rx,9,"), std::string::npos);
 }
 
+TEST(TextTracerTest, CollectsFormattedLines) {
+  sim::Simulator sim;
+  Network net(sim);
+  TextTracer tracer;
+  Dumbbell db(net, {.pairs = 1});
+  net.set_tracer(&tracer);
+  CountingSink sink;
+  db.right(0).bind(7, &sink);
+  db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                  {db.right(0).id(), 7}, 3, 500));
+  sim.run();
+  // 3 hops: tx + rx per hop.
+  ASSERT_EQ(tracer.lines().size(), 6u);
+  const std::string& first = tracer.lines().front();
+  EXPECT_NE(first.find(" tx "), std::string::npos);
+  EXPECT_NE(first.find("flow=3"), std::string::npos);
+  EXPECT_NE(first.find("500B"), std::string::npos);
+}
+
+TEST(TextTracerTest, CapacityBoundsLines) {
+  sim::Simulator sim;
+  Network net(sim);
+  TextTracer tracer(/*capacity=*/10);
+  Dumbbell db(net, {.pairs = 1});
+  net.set_tracer(&tracer);
+  CountingSink sink;
+  db.right(0).bind(7, &sink);
+  for (int i = 0; i < 20; ++i) {
+    db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                    {db.right(0).id(), 7}, 1, 100));
+  }
+  sim.run();
+  EXPECT_EQ(tracer.lines().size(), 10u);
+  EXPECT_GT(tracer.discarded(), 0u);
+}
+
+// Tracers that don't opt into text (the normal case) must not receive
+// formatted lines — the links skip the string work entirely.
+TEST(TextTracerTest, NonTextTracersGetNoLines) {
+  struct Spy final : Tracer {
+    int text_calls = 0;
+    void on_transmit(const Link&, const Packet&) override {}
+    void on_drop(const Link&, const Packet&) override {}
+    void on_deliver(const Link&, const Packet&) override {}
+    void on_text(const Link&, const std::string&) override { ++text_calls; }
+    // wants_text() deliberately left at the default (false).
+  };
+  sim::Simulator sim;
+  Network net(sim);
+  Spy spy;
+  Dumbbell db(net, {.pairs = 1});
+  net.set_tracer(&spy);
+  CountingSink sink;
+  db.right(0).bind(7, &sink);
+  db.left(0).send(net.make_packet({db.left(0).id(), 7},
+                                  {db.right(0).id(), 7}, 1, 500));
+  sim.run();
+  EXPECT_EQ(spy.text_calls, 0);
+}
+
 }  // namespace
 }  // namespace iq::net

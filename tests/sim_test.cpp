@@ -60,6 +60,60 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), TimePoint::from_ns(9));
 }
 
+// Regression: cancelling an event that already fired used to decrement the
+// live count anyway, eventually making the queue report empty while events
+// were still pending. Stale handles must be rejected outright.
+TEST(EventQueueTest, CancelAfterFireRejected) {
+  EventQueue q;
+  const EventId fired = q.schedule(TimePoint::from_ns(1), [] {});
+  q.schedule(TimePoint::from_ns(2), [] {});
+  q.pop().fn();  // `fired` executes
+  EXPECT_FALSE(q.cancel(fired));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DoubleCancelDoesNotCorruptCount) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint::from_ns(1), [] {});
+  q.schedule(TimePoint::from_ns(2), [] {});
+  q.schedule(TimePoint::from_ns(3), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  int popped = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2);
+}
+
+// A stale handle whose slot has been reused by a newer event must not
+// cancel the newer event.
+TEST(EventQueueTest, StaleHandleCannotCancelReusedSlot) {
+  EventQueue q;
+  const EventId old_id = q.schedule(TimePoint::from_ns(1), [] {});
+  q.pop();  // frees the slot
+  bool ran = false;
+  q.schedule(TimePoint::from_ns(2), [&] { ran = true; });
+  EXPECT_FALSE(q.cancel(old_id));
+  ASSERT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelOfGarbageIdsRejected) {
+  EventQueue q;
+  q.schedule(TimePoint::from_ns(1), [] {});
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(0xffffffffffffffffull));
+  EXPECT_EQ(q.size(), 1u);
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator sim;
   TimePoint seen;
