@@ -7,16 +7,33 @@
 #      randomized event-queue property test under the sanitizers), and
 #   3. a Release build of bench_perf whose BENCH_PERF.json is archived so
 #      every commit carries a hot-path perf baseline (docs/PERFORMANCE.md).
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only]
+# `--chaos` instead runs the deterministic fault-matrix sweep — fixed seeds
+# across {blackout, burst loss, corruption, ack-path loss} plus the failure
+# detectors and chaos soaks (docs/ROBUSTNESS.md) — in both the default and
+# the sanitized build.
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The chaos/fault matrix: every suite that drives a FaultPlan or a failure
+# detector. Kept as one regex so the default and sanitized runs sweep the
+# identical set.
+chaos_filter='^(GilbertElliottTest|FaultPlanTest|FaultInjectorTest|FailureTest|FaultMatrixTest|Seeds/Chaos)'
 
 run_suite() {
   local build_dir="$1"; shift
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+chaos_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$chaos_filter"
 }
 
 perf_smoke() {
@@ -31,10 +48,19 @@ perf_smoke() {
 
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--chaos) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos]" >&2
      exit 2 ;;
 esac
+
+if [[ "$mode" == "--chaos" ]]; then
+  echo "== CI: chaos fault matrix, default build =="
+  chaos_suite build
+  echo "== CI: chaos fault matrix, sanitized build (ASan+UBSan) =="
+  chaos_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: chaos fault matrix passed =="
+  exit 0
+fi
 
 if [[ "$mode" == "all" || "$mode" == "--default-only" ]]; then
   echo "== CI: default build =="

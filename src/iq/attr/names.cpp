@@ -21,6 +21,11 @@ const std::string kNetRttMs = "NET_RTT_MS";
 const std::string kNetRateBps = "NET_RATE_BPS";
 const std::string kNetCwndPkts = "NET_CWND_PKTS";
 const std::string kNetEpoch = "NET_EPOCH";
+const std::string kNetConnectRetries = "NET_CONNECT_RETRIES";
+const std::string kNetRtoBackoffs = "NET_RTO_BACKOFFS";
+const std::string kNetKeepaliveMisses = "NET_KEEPALIVE_MISSES";
+const std::string kNetChecksumRejects = "NET_CHECKSUM_REJECTS";
+const std::string kNetFailed = "NET_FAILED";
 
 const std::string kRecvRateBps = "RECV_RATE_BPS";
 const std::string kRecvMsgsDelivered = "RECV_MSGS_DELIVERED";

@@ -45,6 +45,13 @@ extern const std::string kNetRttMs;       ///< double, smoothed RTT
 extern const std::string kNetRateBps;     ///< double, delivered rate estimate
 extern const std::string kNetCwndPkts;    ///< double, congestion window
 extern const std::string kNetEpoch;       ///< int, measuring-period counter
+// Failure / robustness counters (cumulative, exported per epoch and on
+// failure events).
+extern const std::string kNetConnectRetries;   ///< int, SYN retransmissions
+extern const std::string kNetRtoBackoffs;      ///< int, RTO escalations
+extern const std::string kNetKeepaliveMisses;  ///< int, unanswered probes
+extern const std::string kNetChecksumRejects;  ///< int, corrupt datagrams
+extern const std::string kNetFailed;           ///< int, FailureReason (0=ok)
 
 // Receiver-side delivery metrics (published periodically).
 extern const std::string kRecvRateBps;       ///< double, delivery rate

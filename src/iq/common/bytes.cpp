@@ -1,5 +1,6 @@
 #include "iq/common/bytes.hpp"
 
+#include <array>
 #include <bit>
 
 namespace iq {
@@ -95,6 +96,40 @@ std::optional<std::string> ByteReader::str16() {
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
   pos_ += *len;
   return out;
+}
+
+}  // namespace iq
+
+namespace iq {
+
+namespace {
+// Table for the reflected IEEE polynomial, built once on first use.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
+  const std::uint32_t* table = crc32_table();
+  for (std::uint8_t b : chunk) {
+    state = table[(state ^ b) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(BytesView data) {
+  return crc32_update(kCrc32Init, data) ^ kCrc32Init;
 }
 
 }  // namespace iq

@@ -17,6 +17,14 @@ namespace iq {
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+/// RUDP wire format uses to reject corrupted datagrams.
+std::uint32_t crc32(BytesView data);
+/// Incremental form: seed with kCrc32Init, feed chunks, finish by XOR with
+/// kCrc32Init. crc32(d) == crc32_update(kCrc32Init, d) ^ kCrc32Init.
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+std::uint32_t crc32_update(std::uint32_t state, BytesView chunk);
+
 class ByteWriter {
  public:
   void u8(std::uint8_t v);

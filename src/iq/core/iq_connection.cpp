@@ -17,6 +17,8 @@ IqRudpConnection::IqRudpConnection(rudp::SegmentWire& wire,
                    [this] { export_recv_metrics(); }) {
   conn_.set_epoch_handler(
       [this](const rudp::EpochReport& report) { on_epoch(report); });
+  conn_.set_error_handler(
+      [this](rudp::FailureReason reason) { on_failure(reason); });
   registry_.set_result_consumer(
       [this](const attr::AttrList& result, const attr::CallbackContext& ctx) {
         coordinator_.on_callback_result(result, ctx);
@@ -83,6 +85,15 @@ IqRudpConnection::register_error_ratio_callbacks(
   thresholds.mode = mode;
   return registry_.register_threshold(thresholds, std::move(on_upper),
                                       std::move(on_lower));
+}
+
+void IqRudpConnection::on_failure(rudp::FailureReason reason) {
+  // A Failed connection produces no further epochs, so push the terminal
+  // counters out immediately; the periodic receiver export is also stopped
+  // to keep the attribute store frozen at the failure snapshot.
+  exporter_.on_failure(reason, conn_.executor().now());
+  recv_export_.stop();
+  if (error_observer_) error_observer_(reason);
 }
 
 void IqRudpConnection::on_epoch(const rudp::EpochReport& report) {

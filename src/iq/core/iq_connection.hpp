@@ -100,9 +100,16 @@ class IqRudpConnection {
   void set_epoch_observer(rudp::RudpConnection::EpochFn fn) {
     epoch_observer_ = std::move(fn);
   }
+  /// Observe terminal connection failures (in addition to the internal
+  /// export pipeline, which always publishes NET_FAILED and the failure
+  /// counters when the transport enters Failed).
+  void set_error_observer(rudp::RudpConnection::ErrorFn fn) {
+    error_observer_ = std::move(fn);
+  }
 
  private:
   void on_epoch(const rudp::EpochReport& report);
+  void on_failure(rudp::FailureReason reason);
   void export_recv_metrics();
   void export_fec_attrs();
 
@@ -113,6 +120,7 @@ class IqRudpConnection {
   MetricsExporter exporter_;
   std::optional<fec::AdaptiveRedundancyController> fec_ctrl_;
   rudp::RudpConnection::EpochFn epoch_observer_;
+  rudp::RudpConnection::ErrorFn error_observer_;
   /// Receiver-side delivery metrics, published once per second.
   sim::PeriodicTask recv_export_;
   std::int64_t last_recv_bytes_ = 0;

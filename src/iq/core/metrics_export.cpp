@@ -18,6 +18,35 @@ void MetricsExporter::on_epoch(const rudp::EpochReport& report) {
                       report.at);
   registry_.on_metric(attr::kNetCwndPkts, conn_.congestion().cwnd(),
                       report.at);
+  export_failure_counters(report.at);
+}
+
+void MetricsExporter::export_failure_counters(TimePoint at) {
+  const rudp::RudpStats& s = conn_.stats();
+  const auto retries = static_cast<std::int64_t>(s.connect_retries);
+  const auto backoffs = static_cast<std::int64_t>(s.rto_backoffs);
+  const auto misses = static_cast<std::int64_t>(s.keepalive_misses);
+  const auto rejects = static_cast<std::int64_t>(s.checksum_rejects);
+  const auto failed = static_cast<std::int64_t>(conn_.failure_reason());
+  store_.update(attr::kNetConnectRetries, retries);
+  store_.update(attr::kNetRtoBackoffs, backoffs);
+  store_.update(attr::kNetKeepaliveMisses, misses);
+  store_.update(attr::kNetChecksumRejects, rejects);
+  store_.update(attr::kNetFailed, failed);
+  registry_.on_metric(attr::kNetConnectRetries,
+                      static_cast<double>(retries), at);
+  registry_.on_metric(attr::kNetRtoBackoffs, static_cast<double>(backoffs),
+                      at);
+  registry_.on_metric(attr::kNetKeepaliveMisses,
+                      static_cast<double>(misses), at);
+  registry_.on_metric(attr::kNetChecksumRejects,
+                      static_cast<double>(rejects), at);
+  registry_.on_metric(attr::kNetFailed, static_cast<double>(failed), at);
+}
+
+void MetricsExporter::on_failure(rudp::FailureReason /*reason*/,
+                                 TimePoint at) {
+  export_failure_counters(at);
 }
 
 }  // namespace iq::core

@@ -22,7 +22,15 @@ class MetricsExporter {
   /// Install as (or call from) the connection's epoch handler.
   void on_epoch(const rudp::EpochReport& report);
 
+  /// Install as (or call from) the connection's error handler: publishes
+  /// the terminal failure counters and NET_FAILED immediately — a Failed
+  /// connection produces no further epochs to carry them.
+  void on_failure(rudp::FailureReason reason, TimePoint at);
+
   std::uint64_t epochs_exported() const { return epochs_; }
+
+ private:
+  void export_failure_counters(TimePoint at);
 
  private:
   rudp::RudpConnection& conn_;

@@ -25,6 +25,8 @@ AdaptiveSource::AdaptiveSource(EventChannel& channel,
                 refill();
               }
             }) {
+  channel.transport().transport().set_max_pending_segments(
+      cfg.backlog_limit_segments);
   register_callbacks();
 }
 

@@ -57,6 +57,10 @@ struct AdaptiveSourceConfig {
   /// ASAP mode: refill when fewer than this many segments are queued.
   std::size_t asap_backlog_segments = 64;
   Duration asap_poll = Duration::millis(1);
+  /// Bound on the transport's unsent backlog: when a timed source outruns a
+  /// degraded link (blackout, heavy loss) the transport sheds the oldest
+  /// whole queued messages instead of growing without bound. 0 = unbounded.
+  std::size_t backlog_limit_segments = 4096;
 };
 
 class AdaptiveSource {

@@ -1,0 +1,56 @@
+#include "iq/fault/injector.hpp"
+
+#include <optional>
+
+#include "iq/common/check.hpp"
+
+namespace iq::fault {
+
+int FaultInjector::add_target(FaultTarget& target) {
+  targets_.push_back(&target);
+  return static_cast<int>(targets_.size()) - 1;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultAction& action : plan.actions()) {
+    IQ_CHECK(action.target >= 0 &&
+             static_cast<std::size_t>(action.target) < targets_.size());
+    ++scheduled_;
+    exec_.schedule_after(action.at, [this, action] { apply(action); });
+  }
+}
+
+void FaultInjector::apply(const FaultAction& action) {
+  IQ_CHECK(action.target >= 0 &&
+           static_cast<std::size_t>(action.target) < targets_.size());
+  FaultTarget& t = *targets_[static_cast<std::size_t>(action.target)];
+  switch (action.kind) {
+    case FaultKind::Blackout:
+      t.set_blackout(action.on);
+      break;
+    case FaultKind::DropProbability:
+      t.set_drop_probability(action.value);
+      break;
+    case FaultKind::BurstLossOn:
+      t.set_burst_loss(action.burst);
+      break;
+    case FaultKind::BurstLossOff:
+      t.set_burst_loss(std::nullopt);
+      break;
+    case FaultKind::Corruption:
+      t.set_corrupt_probability(action.value);
+      break;
+    case FaultKind::Duplication:
+      t.set_duplicate_probability(action.value);
+      break;
+    case FaultKind::RateChange:
+      t.set_rate_bps(action.rate_bps);
+      break;
+    case FaultKind::DelayChange:
+      t.set_extra_delay(action.delay);
+      break;
+  }
+  ++applied_;
+}
+
+}  // namespace iq::fault

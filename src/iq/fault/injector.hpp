@@ -1,0 +1,48 @@
+#pragma once
+// FaultInjector: executes a FaultPlan against live FaultTargets.
+//
+// The injector owns no network state — it schedules each planned action on
+// the executor (offsets relative to arm() time) and applies it to the
+// registered target by index. Targets are borrowed references and must
+// outlive the injector's scheduled events; in practice both live for the
+// whole simulation. Arm the same plan on differently-seeded targets to
+// replay one disturbance timeline across a parameter sweep.
+
+#include <cstddef>
+#include <vector>
+
+#include "iq/fault/plan.hpp"
+#include "iq/fault/target.hpp"
+#include "iq/sim/executor.hpp"
+
+namespace iq::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Executor& exec) : exec_(exec) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Register a target; returns its index for FaultAction::target.
+  int add_target(FaultTarget& target);
+  std::size_t target_count() const { return targets_.size(); }
+
+  /// Schedule every action of `plan` relative to now. May be called more
+  /// than once (e.g. to chain plans); actions accumulate.
+  void arm(const FaultPlan& plan);
+
+  /// Apply one action immediately (also used by scheduled events).
+  void apply(const FaultAction& action);
+
+  std::uint64_t actions_scheduled() const { return scheduled_; }
+  std::uint64_t actions_applied() const { return applied_; }
+
+ private:
+  sim::Executor& exec_;
+  std::vector<FaultTarget*> targets_;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace iq::fault

@@ -1,0 +1,37 @@
+#include "iq/fault/loss_model.hpp"
+
+#include "iq/common/check.hpp"
+
+namespace iq::fault {
+
+double GilbertElliottConfig::stationary_loss_ratio() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return loss_good;
+  const double pi_bad = p_good_to_bad / denom;
+  return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+}
+
+GilbertElliottModel::GilbertElliottModel(const GilbertElliottConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  IQ_CHECK(cfg.p_good_to_bad >= 0.0 && cfg.p_good_to_bad <= 1.0);
+  IQ_CHECK(cfg.p_bad_to_good >= 0.0 && cfg.p_bad_to_good <= 1.0);
+  IQ_CHECK(cfg.loss_good >= 0.0 && cfg.loss_good <= 1.0);
+  IQ_CHECK(cfg.loss_bad >= 0.0 && cfg.loss_bad <= 1.0);
+}
+
+bool GilbertElliottModel::lose() {
+  ++steps_;
+  // Transition first, then sample the loss in the (possibly new) state: a
+  // packet that *enters* the bad state is already exposed to burst loss.
+  if (bad_) {
+    if (rng_.chance(cfg_.p_bad_to_good)) bad_ = false;
+  } else if (rng_.chance(cfg_.p_good_to_bad)) {
+    bad_ = true;
+    ++bursts_;
+  }
+  const bool lost = rng_.chance(bad_ ? cfg_.loss_bad : cfg_.loss_good);
+  if (lost) ++losses_;
+  return lost;
+}
+
+}  // namespace iq::fault

@@ -1,0 +1,54 @@
+#pragma once
+// Gilbert–Elliott two-state burst loss model.
+//
+// The i.i.d. drop probability on net::Link models a memoryless lossy medium;
+// real wireless and congested paths lose packets in *bursts*. The classic
+// Gilbert–Elliott chain captures that with two states — Good (rare loss) and
+// Bad (heavy loss) — and per-packet transition probabilities. Mean burst
+// length is 1/p_bad_to_good packets; stationary loss ratio is
+//   pi_bad * loss_bad + pi_good * loss_good,
+// with pi_bad = p_g2b / (p_g2b + p_b2g).
+//
+// Like every stochastic component in the codebase the model is explicitly
+// seeded and steps deterministically, so fault timelines replay bit-exactly.
+
+#include <cstdint>
+
+#include "iq/common/rng.hpp"
+
+namespace iq::fault {
+
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.01;  ///< per-packet P(Good → Bad)
+  double p_bad_to_good = 0.2;   ///< per-packet P(Bad → Good); 1/x = burst len
+  double loss_good = 0.0;       ///< loss probability while Good
+  double loss_bad = 0.8;        ///< loss probability while Bad
+  std::uint64_t seed = 1;
+
+  /// Long-run expected loss ratio of the chain.
+  double stationary_loss_ratio() const;
+};
+
+class GilbertElliottModel {
+ public:
+  explicit GilbertElliottModel(const GilbertElliottConfig& cfg);
+
+  /// Advance one packet through the chain; true = the packet is lost.
+  bool lose();
+
+  bool in_bad_state() const { return bad_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t losses() const { return losses_; }
+  std::uint64_t bursts_entered() const { return bursts_; }
+  const GilbertElliottConfig& config() const { return cfg_; }
+
+ private:
+  GilbertElliottConfig cfg_;
+  Rng rng_;
+  bool bad_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace iq::fault

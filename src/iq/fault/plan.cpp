@@ -1,0 +1,225 @@
+#include "iq/fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "iq/common/check.hpp"
+#include "iq/common/rng.hpp"
+
+namespace iq::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::Blackout: return "blackout";
+    case FaultKind::DropProbability: return "drop";
+    case FaultKind::BurstLossOn: return "burst-on";
+    case FaultKind::BurstLossOff: return "burst-off";
+    case FaultKind::Corruption: return "corrupt";
+    case FaultKind::Duplication: return "duplicate";
+    case FaultKind::RateChange: return "rate";
+    case FaultKind::DelayChange: return "delay";
+  }
+  return "?";
+}
+
+std::string FaultAction::describe() const {
+  std::ostringstream os;
+  os << "t+" << at.ms() << "ms target " << target << " "
+     << fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::Blackout:
+      os << (on ? " on" : " off");
+      break;
+    case FaultKind::DropProbability:
+    case FaultKind::Corruption:
+    case FaultKind::Duplication:
+      os << " p=" << value;
+      break;
+    case FaultKind::BurstLossOn:
+      os << " loss~" << burst.stationary_loss_ratio();
+      break;
+    case FaultKind::BurstLossOff:
+      break;
+    case FaultKind::RateChange:
+      os << " " << rate_bps << "bps";
+      break;
+    case FaultKind::DelayChange:
+      os << " +" << delay.ms() << "ms";
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan& FaultPlan::add(const FaultAction& action) {
+  IQ_CHECK(action.at >= Duration::zero());
+  IQ_CHECK(action.target >= 0);
+  // Keep the list time-sorted; upper_bound preserves insertion order for
+  // equal-time actions so plans replay deterministically.
+  auto it = std::upper_bound(
+      actions_.begin(), actions_.end(), action,
+      [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  actions_.insert(it, action);
+  return *this;
+}
+
+FaultPlan& FaultPlan::blackout(Duration at, Duration duration, int target) {
+  IQ_CHECK(duration > Duration::zero());
+  FaultAction down;
+  down.at = at;
+  down.target = target;
+  down.kind = FaultKind::Blackout;
+  down.on = true;
+  add(down);
+  FaultAction up = down;
+  up.at = at + duration;
+  up.on = false;
+  return add(up);
+}
+
+FaultPlan& FaultPlan::flap(Duration at, Duration down, Duration up, int cycles,
+                           int target) {
+  IQ_CHECK(cycles > 0);
+  Duration t = at;
+  for (int i = 0; i < cycles; ++i) {
+    blackout(t, down, target);
+    t = t + down + up;
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(Duration at, Duration duration,
+                                 const GilbertElliottConfig& cfg, int target) {
+  IQ_CHECK(duration > Duration::zero());
+  FaultAction on;
+  on.at = at;
+  on.target = target;
+  on.kind = FaultKind::BurstLossOn;
+  on.burst = cfg;
+  add(on);
+  FaultAction off;
+  off.at = at + duration;
+  off.target = target;
+  off.kind = FaultKind::BurstLossOff;
+  return add(off);
+}
+
+FaultPlan& FaultPlan::drop_probability(Duration at, double p, int target) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  FaultAction a;
+  a.at = at;
+  a.target = target;
+  a.kind = FaultKind::DropProbability;
+  a.value = p;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::corruption(Duration at, double p, int target) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  FaultAction a;
+  a.at = at;
+  a.target = target;
+  a.kind = FaultKind::Corruption;
+  a.value = p;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::duplication(Duration at, double p, int target) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  FaultAction a;
+  a.at = at;
+  a.target = target;
+  a.kind = FaultKind::Duplication;
+  a.value = p;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::rate_change(Duration at, std::int64_t bps, int target) {
+  IQ_CHECK(bps > 0);
+  FaultAction a;
+  a.at = at;
+  a.target = target;
+  a.kind = FaultKind::RateChange;
+  a.rate_bps = bps;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::delay_change(Duration at, Duration extra, int target) {
+  IQ_CHECK(extra >= Duration::zero());
+  FaultAction a;
+  a.at = at;
+  a.target = target;
+  a.kind = FaultKind::DelayChange;
+  a.delay = extra;
+  return add(a);
+}
+
+Duration FaultPlan::horizon() const {
+  return actions_.empty() ? Duration::zero() : actions_.back().at;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan{" << actions_.size() << " actions";
+  for (const auto& a : actions_) os << "; " << a.describe();
+  os << "}";
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed,
+                            const RandomFaultProfile& profile, int target) {
+  Rng rng(seed);
+  FaultPlan plan;
+  const double run_ms = static_cast<double>(profile.run_length.ms());
+  // Keep the first/last 10% quiet so the connection can establish and drain.
+  const double lo = 0.1 * run_ms;
+  const double hi = 0.9 * run_ms;
+  auto pick_at = [&](double max_extent_ms) {
+    const double span = std::max(0.0, hi - lo - max_extent_ms);
+    return Duration::millis(
+        static_cast<std::int64_t>(lo + rng.uniform01() * span));
+  };
+  auto pick_len = [&](Duration min, Duration max) {
+    const double min_ms = static_cast<double>(min.ms());
+    const double max_ms = static_cast<double>(max.ms());
+    return Duration::millis(static_cast<std::int64_t>(
+        min_ms + rng.uniform01() * std::max(0.0, max_ms - min_ms)));
+  };
+  for (int i = 0; i < profile.blackouts; ++i) {
+    const Duration len = pick_len(profile.blackout_min, profile.blackout_max);
+    plan.blackout(pick_at(static_cast<double>(len.ms())), len, target);
+  }
+  for (int i = 0; i < profile.bursts; ++i) {
+    const Duration len = pick_len(profile.burst_min, profile.burst_max);
+    GilbertElliottConfig ge;
+    ge.p_good_to_bad = 0.005 + 0.02 * rng.uniform01();
+    ge.p_bad_to_good = 0.1 + 0.3 * rng.uniform01();
+    ge.loss_bad = 0.5 + 0.4 * rng.uniform01();
+    ge.seed = rng.engine()();
+    plan.burst_loss(pick_at(static_cast<double>(len.ms())), len, ge,
+                    target);
+  }
+  // Corruption/duplication phases last 20% of the run; reserve that extent
+  // when picking the start so the off-edge still lands inside the window.
+  const double phase_ms = 0.2 * run_ms;
+  if (profile.corruption_max > 0.0) {
+    const Duration at = pick_at(phase_ms);
+    plan.corruption(at, profile.corruption_max * rng.uniform01(), target);
+    plan.corruption(
+        at + Duration::millis(static_cast<std::int64_t>(phase_ms)), 0.0,
+        target);
+  }
+  if (profile.duplication_max > 0.0) {
+    const Duration at = pick_at(phase_ms);
+    plan.duplication(at, profile.duplication_max * rng.uniform01(), target);
+    plan.duplication(
+        at + Duration::millis(static_cast<std::int64_t>(phase_ms)), 0.0,
+        target);
+  }
+  if (profile.rate_changes) {
+    // Halve the rate mid-run, restore near the end.
+    plan.rate_change(pick_at(0.0), 10'000'000, target);
+  }
+  return plan;
+}
+
+}  // namespace iq::fault

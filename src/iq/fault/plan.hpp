@@ -1,0 +1,95 @@
+#pragma once
+// FaultPlan: a scripted timeline of network disturbances.
+//
+// A plan is a time-ordered list of actions against numbered targets (links
+// or test wires): blackout windows, link flaps, Gilbert–Elliott burst-loss
+// phases, i.i.d. loss / corruption / duplication probability changes, and
+// mid-run bandwidth or delay changes. Plans are plain data — build one with
+// the fluent helpers, or generate a reproducible random one from a seed —
+// and hand it to a FaultInjector to execute against live targets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iq/common/time.hpp"
+#include "iq/fault/loss_model.hpp"
+
+namespace iq::fault {
+
+enum class FaultKind : std::uint8_t {
+  Blackout,        ///< on/off outage (flag `on`)
+  DropProbability, ///< i.i.d. loss probability := value
+  BurstLossOn,     ///< install a Gilbert–Elliott chain (field `burst`)
+  BurstLossOff,    ///< remove the chain
+  Corruption,      ///< delivered-corrupted probability := value
+  Duplication,     ///< duplication probability := value
+  RateChange,      ///< serialization rate := rate_bps
+  DelayChange,     ///< extra one-way delay := delay
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultAction {
+  Duration at = Duration::zero();  ///< offset from FaultInjector::arm()
+  int target = 0;                  ///< injector target index
+  FaultKind kind = FaultKind::Blackout;
+  bool on = false;                 ///< Blackout
+  double value = 0.0;              ///< probabilities
+  std::int64_t rate_bps = 0;       ///< RateChange
+  Duration delay = Duration::zero();  ///< DelayChange
+  GilbertElliottConfig burst;      ///< BurstLossOn
+
+  std::string describe() const;
+};
+
+/// Knobs for FaultPlan::random(): how violent a generated timeline is.
+struct RandomFaultProfile {
+  Duration run_length = Duration::seconds(120);
+  int blackouts = 1;
+  Duration blackout_min = Duration::millis(500);
+  Duration blackout_max = Duration::seconds(5);
+  int bursts = 2;
+  Duration burst_min = Duration::seconds(2);
+  Duration burst_max = Duration::seconds(10);
+  double corruption_max = 0.05;   ///< 0 disables corruption phases
+  double duplication_max = 0.1;   ///< 0 disables duplication phases
+  bool rate_changes = false;      ///< only meaningful for Link targets
+};
+
+class FaultPlan {
+ public:
+  // Fluent builders; every `at` is an offset from injector arm time.
+  FaultPlan& blackout(Duration at, Duration duration, int target = 0);
+  /// `cycles` down/up transitions: down for `down`, back up for `up`, ....
+  FaultPlan& flap(Duration at, Duration down, Duration up, int cycles,
+                  int target = 0);
+  FaultPlan& burst_loss(Duration at, Duration duration,
+                        const GilbertElliottConfig& cfg, int target = 0);
+  FaultPlan& drop_probability(Duration at, double p, int target = 0);
+  FaultPlan& corruption(Duration at, double p, int target = 0);
+  FaultPlan& duplication(Duration at, double p, int target = 0);
+  FaultPlan& rate_change(Duration at, std::int64_t bps, int target = 0);
+  FaultPlan& delay_change(Duration at, Duration extra, int target = 0);
+  FaultPlan& add(const FaultAction& action);
+
+  /// Actions, time-ordered (ties keep insertion order).
+  const std::vector<FaultAction>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+  std::size_t size() const { return actions_.size(); }
+  /// Time of the last action (zero for an empty plan).
+  Duration horizon() const;
+  std::string describe() const;
+
+  /// A reproducible random timeline: same seed + profile → same plan.
+  /// Faults are spread over [10% .. 90%] of the run so the connection has
+  /// time to establish before and recover after.
+  static FaultPlan random(std::uint64_t seed,
+                          const RandomFaultProfile& profile = {},
+                          int target = 0);
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace iq::fault

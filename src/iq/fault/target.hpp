@@ -1,0 +1,42 @@
+#pragma once
+// FaultTarget: the interface a FaultInjector drives.
+//
+// Anything that carries traffic can opt into fault injection by implementing
+// this: net::Link (the simulated network path) and wire::LossyWirePair (the
+// in-memory protocol-test pipe) both do. All setters are idempotent and take
+// effect for traffic *after* the call; an injector flips them on the plan's
+// schedule.
+
+#include <cstdint>
+#include <optional>
+
+#include "iq/common/time.hpp"
+#include "iq/fault/loss_model.hpp"
+
+namespace iq::fault {
+
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+
+  /// Blackout: 100% loss while on (an outage / link-down window).
+  virtual void set_blackout(bool on) = 0;
+  /// Memoryless random loss probability.
+  virtual void set_drop_probability(double p) = 0;
+  /// Burst loss: install (or clear, with nullopt) a Gilbert–Elliott chain.
+  virtual void set_burst_loss(const std::optional<GilbertElliottConfig>& cfg) = 0;
+  /// Probability that a packet is *delivered corrupted* (bit errors the
+  /// receiver's checksum must catch) instead of dropped silently.
+  virtual void set_corrupt_probability(double p) = 0;
+  /// Probability that a delivered packet is duplicated.
+  virtual void set_duplicate_probability(double p) = 0;
+
+  // Optional capabilities — default no-ops for targets without a serializer
+  // or an adjustable path delay.
+  /// Change the serialization rate (link capacity) mid-run.
+  virtual void set_rate_bps(std::int64_t /*bps*/) {}
+  /// Extra one-way delay added on top of the target's base propagation.
+  virtual void set_extra_delay(Duration /*d*/) {}
+};
+
+}  // namespace iq::fault

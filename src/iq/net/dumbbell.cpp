@@ -25,7 +25,8 @@ Dumbbell::Dumbbell(Network& net, const DumbbellConfig& cfg) : cfg_(cfg) {
   };
   bottleneck_ = &net.add_link(*router_left_, *router_right_, bottleneck_cfg);
   LinkConfig reverse_cfg = bottleneck_cfg;
-  reverse_cfg.drop_probability = 0.0;
+  reverse_cfg.drop_probability = cfg.reverse_drop_probability;
+  reverse_cfg.drop_seed = cfg.reverse_drop_seed;
   bottleneck_rev_ = &net.add_link(*router_right_, *router_left_,
                                   reverse_cfg);
 

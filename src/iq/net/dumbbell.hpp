@@ -26,10 +26,15 @@ struct DumbbellConfig {
   Duration path_rtt = Duration::millis(30);
   std::int64_t bottleneck_queue_bytes = 64 * 1500;
   std::int64_t access_queue_bytes = 256 * 1500;
-  /// Random loss on the left→right bottleneck (the data direction); the
-  /// reverse path stays clean so acks are only lost to congestion.
+  /// Random loss on the left→right bottleneck (the data direction).
   double bottleneck_drop_probability = 0.0;
   std::uint64_t bottleneck_drop_seed = 1;
+  /// Random loss on the right→left bottleneck (the ack direction). Defaults
+  /// to clean — acks lost only to congestion — but real paths lose acks too;
+  /// set this (or drive bottleneck_reverse() through a FaultInjector) to
+  /// exercise ack-loss robustness.
+  double reverse_drop_probability = 0.0;
+  std::uint64_t reverse_drop_seed = 2;
 };
 
 class Dumbbell {

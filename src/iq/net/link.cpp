@@ -13,10 +13,42 @@ Link::Link(sim::Simulator& sim, std::string name, LinkConfig cfg,
       cfg_(cfg),
       dst_(dst),
       queue_(cfg.queue_capacity_bytes),
-      drop_rng_(cfg.drop_seed) {
+      drop_rng_(cfg.drop_seed),
+      fault_rng_(cfg.drop_seed ^ 0x9e3779b97f4a7c15ull) {
   IQ_CHECK(cfg_.rate_bps > 0);
   IQ_CHECK(!cfg_.propagation.is_negative());
   IQ_CHECK(cfg_.drop_probability >= 0.0 && cfg_.drop_probability <= 1.0);
+}
+
+void Link::set_drop_probability(double p) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  cfg_.drop_probability = p;
+}
+
+void Link::set_burst_loss(
+    const std::optional<fault::GilbertElliottConfig>& cfg) {
+  if (cfg.has_value()) {
+    burst_.emplace(*cfg);
+  } else {
+    burst_.reset();
+  }
+}
+
+void Link::set_corrupt_probability(double p) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  corrupt_probability_ = p;
+}
+
+void Link::set_duplicate_probability(double p) {
+  IQ_CHECK(p >= 0.0 && p <= 1.0);
+  duplicate_probability_ = p;
+}
+
+void Link::set_rate_bps(std::int64_t bps) {
+  IQ_CHECK(bps > 0);
+  // Applies to the next serialization; an in-flight transmission keeps the
+  // rate it started with, like a real NIC mid-frame.
+  cfg_.rate_bps = bps;
 }
 
 void Link::trace_text(const char* kind, const Packet& p) {
@@ -55,30 +87,64 @@ void Link::start_transmission(PacketPtr p) {
 void Link::transmission_done(PacketPtr p) {
   ++transmitted_;
   transmitted_bytes_ += p->wire_bytes;
-  // Random medium loss: the packet consumed its serialization time but is
-  // corrupted in flight and never delivered.
-  if (cfg_.drop_probability > 0.0 &&
-      drop_rng_.chance(cfg_.drop_probability)) {
+  // Medium loss, in order of severity: an outage beats burst state beats the
+  // i.i.d. drop coin. Every lost packet still consumed its serialization
+  // time — a lossy medium burns bandwidth on packets it then destroys.
+  const char* drop_kind = nullptr;
+  if (blackout_) {
+    ++blackout_drops_;
+    drop_kind = "blackout";
+  } else if (burst_.has_value() && burst_->lose()) {
+    ++burst_drops_;
+    drop_kind = "burst";
+  } else if (cfg_.drop_probability > 0.0 &&
+             drop_rng_.chance(cfg_.drop_probability)) {
     ++random_drops_;
+    drop_kind = "drop";
+  }
+  if (drop_kind != nullptr) {
     if (tracer_ != nullptr) {
       tracer_->on_drop(*this, *p);
-      if (trace_text_) trace_text("drop", *p);
+      if (trace_text_) trace_text(drop_kind, *p);
     }
   } else {
-    // Propagation: the packet is in flight; the transmitter is free now.
-    sim_.after(cfg_.propagation, [this, p = std::move(p)]() mutable {
-      if (tracer_ != nullptr) {
-        tracer_->on_deliver(*this, *p);
-        if (trace_text_) trace_text("rx", *p);
+    if (corrupt_probability_ > 0.0 &&
+        fault_rng_.chance(corrupt_probability_)) {
+      // Delivered corruption: bit errors the receiver's checksum must catch.
+      // PacketPtr aliases are shared, so flag a shallow copy, not the
+      // original (a duplicate of this packet must stay clean).
+      auto damaged = std::make_shared<Packet>(*p);
+      damaged->corrupted = true;
+      ++corrupt_deliveries_;
+      propagate(std::move(damaged));
+    } else {
+      const bool duplicate =
+          duplicate_probability_ > 0.0 &&
+          fault_rng_.chance(duplicate_probability_);
+      if (duplicate) {
+        ++duplicates_;
+        propagate(p);
       }
-      dst_.deliver(std::move(p));
-    });
+      propagate(std::move(p));
+    }
   }
   if (!queue_.empty()) {
     start_transmission(queue_.dequeue());
   } else {
     busy_ = false;
   }
+}
+
+void Link::propagate(PacketPtr p) {
+  // Propagation: the packet is in flight; the transmitter is free now.
+  sim_.after(cfg_.propagation + extra_delay_,
+             [this, p = std::move(p)]() mutable {
+               if (tracer_ != nullptr) {
+                 tracer_->on_deliver(*this, *p);
+                 if (trace_text_) trace_text("rx", *p);
+               }
+               dst_.deliver(std::move(p));
+             });
 }
 
 }  // namespace iq::net

@@ -4,9 +4,12 @@
 // same model Emulab's delay nodes impose, which is what the paper ran on.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "iq/common/rng.hpp"
+#include "iq/fault/loss_model.hpp"
+#include "iq/fault/target.hpp"
 #include "iq/net/queue.hpp"
 #include "iq/net/tracer.hpp"
 #include "iq/sim/simulator.hpp"
@@ -24,7 +27,7 @@ struct LinkConfig {
   std::uint64_t drop_seed = 1;
 };
 
-class Link final : public PacketSink {
+class Link final : public PacketSink, public fault::FaultTarget {
  public:
   Link(sim::Simulator& sim, std::string name, LinkConfig cfg, PacketSink& dst);
 
@@ -40,6 +43,24 @@ class Link final : public PacketSink {
   std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
   std::uint64_t random_drops() const { return random_drops_; }
 
+  // FaultTarget — effective for packets finishing serialization after the
+  // call. Blackout/burst/corruption/duplication do not consume the i.i.d.
+  // drop RNG, so enabling them leaves the base drop stream reproducible.
+  void set_blackout(bool on) override { blackout_ = on; }
+  void set_drop_probability(double p) override;
+  void set_burst_loss(
+      const std::optional<fault::GilbertElliottConfig>& cfg) override;
+  void set_corrupt_probability(double p) override;
+  void set_duplicate_probability(double p) override;
+  void set_rate_bps(std::int64_t bps) override;
+  void set_extra_delay(Duration d) override { extra_delay_ = d; }
+
+  bool blackout() const { return blackout_; }
+  std::uint64_t blackout_drops() const { return blackout_drops_; }
+  std::uint64_t burst_drops() const { return burst_drops_; }
+  std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
   void set_tracer(Tracer* tracer) {
     tracer_ = tracer;
     // Cache the answer so the per-packet path never pays a virtual call
@@ -50,6 +71,7 @@ class Link final : public PacketSink {
  private:
   void start_transmission(PacketPtr p);
   void transmission_done(PacketPtr p);
+  void propagate(PacketPtr p);
   void trace_text(const char* kind, const Packet& p);
 
   sim::Simulator& sim_;
@@ -62,6 +84,18 @@ class Link final : public PacketSink {
   std::int64_t transmitted_bytes_ = 0;
   std::uint64_t random_drops_ = 0;
   Rng drop_rng_;
+  // Fault state (see FaultTarget). The fault RNG is separate from drop_rng_
+  // so corruption/duplication never perturb the i.i.d. drop stream.
+  bool blackout_ = false;
+  std::optional<fault::GilbertElliottModel> burst_;
+  double corrupt_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  Duration extra_delay_ = Duration::zero();
+  Rng fault_rng_;
+  std::uint64_t blackout_drops_ = 0;
+  std::uint64_t burst_drops_ = 0;
+  std::uint64_t corrupt_deliveries_ = 0;
+  std::uint64_t duplicates_ = 0;
   Tracer* tracer_ = nullptr;
   bool trace_text_ = false;
 };

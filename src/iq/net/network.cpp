@@ -78,6 +78,7 @@ PacketPtr Network::make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
   p->flow = flow;
   p->wire_bytes = wire_bytes;
   p->created = sim_.now();
+  p->corrupted = false;
   p->body = std::move(body);
   return p;
 }

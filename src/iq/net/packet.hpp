@@ -39,6 +39,10 @@ struct Packet {
   std::uint32_t flow = 0;        ///< flow label for stats/tracing
   std::int64_t wire_bytes = 0;   ///< total size on the wire, headers included
   TimePoint created;             ///< when the packet entered the network
+  /// Set by fault injection: delivered with bit errors. Receivers must treat
+  /// the body/payload as garbage — in simulation the wire layers reject it
+  /// the way a real checksum would.
+  bool corrupted = false;
   std::shared_ptr<const PacketBody> body;
 
   std::string describe() const;

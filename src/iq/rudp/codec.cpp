@@ -10,10 +10,36 @@ constexpr std::uint8_t kFlagAttrs = 0x02;
 constexpr std::uint8_t kFlagFec = 0x04;
 
 bool valid_type(std::uint8_t t) {
-  return t >= static_cast<std::uint8_t>(SegmentType::Syn) &&
-         t <= static_cast<std::uint8_t>(SegmentType::Parity);
+  return t >= kSegmentTypeMin && t <= kSegmentTypeMax;
+}
+
+std::optional<DecodedSegment> fail(DecodeStatus why, DecodeStatus* status) {
+  if (status != nullptr) *status = why;
+  return std::nullopt;
 }
 }  // namespace
+
+std::uint32_t segment_checksum(BytesView datagram) {
+  // CRC over the datagram with the checksum field zeroed, so the stored
+  // value doesn't feed its own computation.
+  static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
+  // Too short to even hold the field (never produced by encode, but tests
+  // may probe): checksum over what's there.
+  if (datagram.size() < kChecksumOffset + 4) return crc32(datagram);
+  std::uint32_t s = kCrc32Init;
+  s = crc32_update(s, datagram.subspan(0, kChecksumOffset));
+  s = crc32_update(s, BytesView(kZeros, 4));
+  s = crc32_update(s, datagram.subspan(kChecksumOffset + 4));
+  return s ^ kCrc32Init;
+}
+
+void seal_segment(Bytes& datagram) {
+  const std::uint32_t c = segment_checksum(datagram);
+  for (int i = 0; i < 4; ++i) {
+    datagram[kChecksumOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(c >> (24 - 8 * i));
+  }
+}
 
 Bytes encode_segment(const Segment& seg, BytesView payload) {
   ByteWriter w;
@@ -31,6 +57,7 @@ Bytes encode_segment(const Segment& seg, BytesView payload) {
   if (!seg.attrs.empty()) flags |= kFlagAttrs;
   if (seg.fec_protected) flags |= kFlagFec;
   w.u8(flags);
+  w.u32(0);  // checksum placeholder; sealed below once the bytes are final
   w.u32(seg.conn_id);
   w.u32(seg.seq);
   w.u32(seg.cum_ack);
@@ -87,24 +114,39 @@ Bytes encode_segment(const Segment& seg, BytesView payload) {
     w.raw(payload.subspan(0, real));
     for (std::size_t i = real; i < want; ++i) w.u8(0);
   }
-  return w.take();
+  Bytes out = w.take();
+  seal_segment(out);
+  return out;
 }
 
-std::optional<DecodedSegment> decode_segment(BytesView datagram) {
+std::optional<DecodedSegment> decode_segment(BytesView datagram,
+                                             DecodeStatus* status) {
+  if (status != nullptr) *status = DecodeStatus::Ok;
   ByteReader r(datagram);
   auto magic = r.u16();
-  if (!magic || *magic != kWireMagic) return std::nullopt;
+  if (!magic || *magic != kWireMagic) {
+    return fail(DecodeStatus::BadMagic, status);
+  }
   auto type = r.u8();
-  if (!type || !valid_type(*type)) return std::nullopt;
   auto flags = r.u8();
+  auto stored_checksum = r.u32();
+  if (!type || !flags || !stored_checksum) {
+    return fail(DecodeStatus::Malformed, status);
+  }
+  // Integrity before semantics: a flipped bit anywhere — type byte included
+  // — reads as corruption, not as a different (malformed) segment.
+  if (*stored_checksum != segment_checksum(datagram)) {
+    return fail(DecodeStatus::BadChecksum, status);
+  }
+  if (!valid_type(*type)) return fail(DecodeStatus::Malformed, status);
   auto conn = r.u32();
   auto seq = r.u32();
   auto cum = r.u32();
   auto rwnd = r.u32();
   auto ts = r.u64();
   auto ts_echo = r.u64();
-  if (!flags || !conn || !seq || !cum || !rwnd || !ts || !ts_echo) {
-    return std::nullopt;
+  if (!conn || !seq || !cum || !rwnd || !ts || !ts_echo) {
+    return fail(DecodeStatus::Malformed, status);
   }
 
   DecodedSegment out;
@@ -125,8 +167,8 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
       auto fi = r.u16();
       auto fc = r.u16();
       auto len = r.u32();
-      if (!msg || !fi || !fc || !len) return std::nullopt;
-      if (*fc == 0 || *fi >= *fc) return std::nullopt;
+      if (!msg || !fi || !fc || !len) return fail(DecodeStatus::Malformed, status);
+      if (*fc == 0 || *fi >= *fc) return fail(DecodeStatus::Malformed, status);
       seg.msg_id = *msg;
       seg.frag_index = *fi;
       seg.frag_count = *fc;
@@ -135,29 +177,29 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
     }
     case SegmentType::Ack: {
       auto n = r.u16();
-      if (!n) return std::nullopt;
+      if (!n) return fail(DecodeStatus::Malformed, status);
       for (std::uint16_t i = 0; i < *n; ++i) {
         auto e = r.u32();
-        if (!e) return std::nullopt;
+        if (!e) return fail(DecodeStatus::Malformed, status);
         seg.eacks.push_back(*e);
       }
       break;
     }
     case SegmentType::Advance: {
       auto n = r.u16();
-      if (!n) return std::nullopt;
+      if (!n) return fail(DecodeStatus::Malformed, status);
       for (std::uint16_t i = 0; i < *n; ++i) {
         auto s = r.u32();
         auto m = r.u32();
         auto fc = r.u16();
-        if (!s || !m || !fc || *fc == 0) return std::nullopt;
+        if (!s || !m || !fc || *fc == 0) return fail(DecodeStatus::Malformed, status);
         seg.skipped.push_back(SkippedSeq{*s, *m, *fc});
       }
       break;
     }
     case SegmentType::SynAck: {
       auto tol = r.f64();
-      if (!tol) return std::nullopt;
+      if (!tol) return fail(DecodeStatus::Malformed, status);
       seg.recv_loss_tolerance = *tol;
       break;
     }
@@ -165,7 +207,7 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
       auto group = r.u32();
       auto len = r.u32();
       auto n = r.u16();
-      if (!group || !len || !n) return std::nullopt;
+      if (!group || !len || !n) return fail(DecodeStatus::Malformed, status);
       seg.fec_group = *group;
       seg.payload_bytes = static_cast<std::int32_t>(*len);
       for (std::uint16_t i = 0; i < *n; ++i) {
@@ -177,9 +219,9 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
         auto plen = r.u32();
         auto has_attrs = r.u8();
         if (!s || !msg || !fi || !fc || !plen || !has_attrs) {
-          return std::nullopt;
+          return fail(DecodeStatus::Malformed, status);
         }
-        if (*fc == 0 || *fi >= *fc) return std::nullopt;
+        if (*fc == 0 || *fi >= *fc) return fail(DecodeStatus::Malformed, status);
         m.seq = *s;
         m.msg_id = *msg;
         m.frag_index = *fi;
@@ -187,7 +229,7 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
         m.payload_bytes = static_cast<std::int32_t>(*plen);
         if (*has_attrs != 0) {
           auto attrs = attr::AttrList::decode(r);
-          if (!attrs) return std::nullopt;
+          if (!attrs) return fail(DecodeStatus::Malformed, status);
           m.attrs = std::move(*attrs);
         }
         seg.fec_members.push_back(std::move(m));
@@ -200,14 +242,14 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram) {
 
   if ((*flags & kFlagAttrs) != 0) {
     auto attrs = attr::AttrList::decode(r);
-    if (!attrs) return std::nullopt;
+    if (!attrs) return fail(DecodeStatus::Malformed, status);
     seg.attrs = std::move(*attrs);
   }
 
   if ((seg.type == SegmentType::Data || seg.type == SegmentType::Parity) &&
       seg.payload_bytes > 0) {
     const auto want = static_cast<std::size_t>(seg.payload_bytes);
-    if (r.remaining() < want) return std::nullopt;
+    if (r.remaining() < want) return fail(DecodeStatus::Malformed, status);
     out.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(r.position()),
                        datagram.begin() + static_cast<std::ptrdiff_t>(r.position() + want));
   }

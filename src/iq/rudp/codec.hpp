@@ -6,17 +6,21 @@
 // and only charges Segment::wire_bytes() to the links, so encode/decode stay
 // off the simulation hot path.
 //
-// Layout (big-endian):
-//   magic  u16  = 0x4951 ("IQ")
-//   type   u8
-//   flags  u8   bit0 = marked, bit1 = has-attrs, bit2 = fec-protected
-//   conn   u32
-//   seq    u32
-//   cum    u32
-//   rwnd   u32
-//   ts     u64  (µs)
-//   ts_echo u64 (µs)
+// Layout (big-endian), wire format v2:
+//   magic    u16  = 0x4951 ("IQ")
+//   type     u8
+//   flags    u8   bit0 = marked, bit1 = has-attrs, bit2 = fec-protected
+//   checksum u32  CRC-32 of the datagram with this field zeroed (v2)
+//   conn     u32
+//   seq      u32
+//   cum      u32
+//   rwnd     u32
+//   ts       u64  (µs)
+//   ts_echo  u64 (µs)
 //   [type-specific fields, then optional attrs, then payload]
+//
+// v1 (pre-checksum) had no checksum field; v2 receivers reject v1 datagrams
+// (the CRC cannot match) — see docs/PROTOCOL.md for the versioning story.
 
 #include <optional>
 
@@ -26,10 +30,21 @@
 namespace iq::rudp {
 
 inline constexpr std::uint16_t kWireMagic = 0x4951;
+/// Byte offset of the checksum field within a datagram.
+inline constexpr std::size_t kChecksumOffset = 4;
+/// Fixed header size (v2), before type-specific fields.
+inline constexpr std::size_t kFixedHeaderBytes = 40;
 
-/// Serialize. `payload` supplies real payload bytes for the socket backend;
-/// when it is shorter than seg.payload_bytes the remainder is zero-filled
-/// (virtual payload), when longer it is truncated.
+/// CRC-32 of `datagram` with its checksum field treated as zero. Exposed so
+/// tests that mutate encoded bytes can re-seal them.
+std::uint32_t segment_checksum(BytesView datagram);
+/// Recompute and store the checksum of an encoded datagram in place.
+void seal_segment(Bytes& datagram);
+
+/// Serialize (checksum already sealed). `payload` supplies real payload
+/// bytes for the socket backend; when it is shorter than seg.payload_bytes
+/// the remainder is zero-filled (virtual payload), when longer it is
+/// truncated.
 Bytes encode_segment(const Segment& seg, BytesView payload = {});
 
 struct DecodedSegment {
@@ -37,7 +52,17 @@ struct DecodedSegment {
   Bytes payload;
 };
 
-/// Parse; nullopt on truncation, bad magic, or malformed fields.
-std::optional<DecodedSegment> decode_segment(BytesView datagram);
+enum class DecodeStatus {
+  Ok,
+  BadMagic,     ///< not an IQ datagram (or truncated before the magic)
+  BadChecksum,  ///< framed as IQ but failed the CRC — corrupted in flight
+  Malformed,    ///< CRC passed but fields are invalid/truncated
+};
+
+/// Parse; nullopt on bad magic, checksum mismatch, or malformed fields.
+/// `status` (optional) reports which, so transports can count corruption
+/// rejects separately from noise.
+std::optional<DecodedSegment> decode_segment(BytesView datagram,
+                                             DecodeStatus* status = nullptr);
 
 }  // namespace iq::rudp

@@ -7,6 +7,16 @@
 
 namespace iq::rudp {
 
+const char* failure_reason_name(FailureReason r) {
+  switch (r) {
+    case FailureReason::None: return "none";
+    case FailureReason::HandshakeTimeout: return "handshake-timeout";
+    case FailureReason::RtoStreak: return "rto-streak";
+    case FailureReason::KeepaliveTimeout: return "keepalive-timeout";
+  }
+  return "?";
+}
+
 RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
     : wire_(wire),
       cfg_(cfg),
@@ -21,13 +31,7 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
       fec_enc_(fec::FecConfig{cfg.fec_group_size, cfg.fec_interleave}),
       rto_timer_(wire.executor(), [this] { on_rto(); }),
       connect_timer_(wire.executor(), [this] { send_syn(); }),
-      keepalive_timer_(wire.executor(), [this] {
-        if (established() && send_idle()) {
-          send_control(SegmentType::Nul);
-          ++stats_.nuls_sent;
-        }
-        if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
-      }),
+      keepalive_timer_(wire.executor(), [this] { on_keepalive_tick(); }),
       ack_timer_(wire.executor(), [this] {
         if (unacked_arrivals_ > 0) send_ack(last_ts_to_echo_);
       }),
@@ -36,6 +40,7 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
   IQ_CHECK(cfg_.initial_seq >= 1);
   next_seq_ = cfg_.initial_seq;
   wire_.set_receiver([this](const Segment& seg) { on_segment(seg); });
+  wire_.set_corruption_handler([this] { ++stats_.checksum_rejects; });
   loss_.set_epoch_handler(
       [this](const EpochReport& report) { on_epoch_report(report); });
 }
@@ -64,6 +69,7 @@ void RudpConnection::listen() {
 
 void RudpConnection::close() {
   if (state_ == ConnState::Established || state_ == ConnState::SynSent) {
+    // From Failed the peer is presumed dead; no farewell RST.
     send_control(SegmentType::Rst);
   }
   state_ = ConnState::Closed;
@@ -74,18 +80,66 @@ void RudpConnection::close() {
   fec_flush_timer_.stop();
 }
 
+void RudpConnection::enter_failed(FailureReason reason) {
+  if (state_ == ConnState::Failed || state_ == ConnState::Closed) return;
+  log_warn("rudp conn ", cfg_.conn_id, ": failed (",
+           failure_reason_name(reason), ")");
+  state_ = ConnState::Failed;
+  failure_reason_ = reason;
+  ++stats_.failures;
+  rto_timer_.stop();
+  connect_timer_.stop();
+  keepalive_timer_.stop();
+  ack_timer_.stop();
+  fec_flush_timer_.stop();
+  if (on_error_) on_error_(reason);
+}
+
 void RudpConnection::send_syn() {
   if (state_ != ConnState::SynSent) return;
   if (connect_attempts_ >= cfg_.max_connect_attempts) {
     log_warn("rudp conn ", cfg_.conn_id, ": connect gave up after ",
              connect_attempts_, " attempts");
-    state_ = ConnState::Closed;
-    if (on_closed_) on_closed_();
+    enter_failed(FailureReason::HandshakeTimeout);
     return;
   }
+  if (connect_attempts_ > 0) ++stats_.connect_retries;
   ++connect_attempts_;
   send_control(SegmentType::Syn);
-  connect_timer_.start(cfg_.connect_retry);
+  // Exponential backoff: connect_retry, 2x, 4x, ... capped. Attempt k waits
+  // min(connect_retry * 2^(k-1), connect_retry_cap) before retrying.
+  Duration wait = cfg_.connect_retry;
+  const Duration cap = std::max(cfg_.connect_retry, cfg_.connect_retry_cap);
+  for (int i = 1; i < connect_attempts_ && wait < cap; ++i) wait = wait * 2;
+  connect_timer_.start(std::min(wait, cap));
+}
+
+void RudpConnection::on_keepalive_tick() {
+  if (established()) {
+    if (recv_activity_) {
+      keepalive_miss_streak_ = 0;
+    } else if (keepalive_probe_outstanding_) {
+      // A probe went out last interval and nothing at all came back.
+      ++keepalive_miss_streak_;
+      ++stats_.keepalive_misses;
+      if (cfg_.max_keepalive_misses > 0 &&
+          keepalive_miss_streak_ >= cfg_.max_keepalive_misses) {
+        enter_failed(FailureReason::KeepaliveTimeout);
+        return;
+      }
+    }
+    recv_activity_ = false;
+    if (send_idle()) {
+      send_control(SegmentType::Nul);
+      ++stats_.nuls_sent;
+      keepalive_probe_outstanding_ = true;
+    } else {
+      // Data (with its RTO machinery) is in flight; it owns dead-peer
+      // detection until the connection goes idle again.
+      keepalive_probe_outstanding_ = false;
+    }
+  }
+  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
 }
 
 void RudpConnection::become_established() {
@@ -132,8 +186,32 @@ RudpConnection::SendResult RudpConnection::send_message(
     pending_.push_back(std::move(p));
   }
   ++stats_.messages_enqueued;
+  shed_pending();
   pump();
   return SendResult{msg_id, /*discarded=*/false};
+}
+
+void RudpConnection::set_max_pending_segments(std::size_t limit) {
+  cfg_.max_pending_segments = limit;
+  shed_pending();
+}
+
+void RudpConnection::shed_pending() {
+  if (cfg_.max_pending_segments == 0) return;
+  while (pending_.size() > cfg_.max_pending_segments) {
+    // Only whole messages still entirely unsent may be shed: a message with
+    // fragments already on the wire must keep its tail or the receiver's
+    // reassembly wedges. pump() consumes in order, so any partially-sent
+    // message is a frag_index>0 run at the front; the first frag_index==0
+    // starts the oldest evictable message.
+    std::size_t j = 0;
+    while (j < pending_.size() && pending_[j].frag_index != 0) ++j;
+    if (j >= pending_.size()) return;  // nothing evictable
+    const auto n = static_cast<std::size_t>(pending_[j].frag_count);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(j + n));
+    ++stats_.messages_shed;
+  }
 }
 
 void RudpConnection::emit(Segment&& seg) {
@@ -281,6 +359,20 @@ void RudpConnection::send_control(SegmentType type) {
 
 void RudpConnection::on_segment(const Segment& seg) {
   if (seg.conn_id != cfg_.conn_id) return;  // not ours
+  if (state_ == ConnState::Failed) return;  // dead until re-connected
+  recv_activity_ = true;
+  keepalive_probe_outstanding_ = false;
+  // ANY inbound segment proves the path is alive, so it ends an RTO streak:
+  // the streak-based failure detector is for dead paths (blackouts), not for
+  // heavily lossy ones, where acks for other segments keep trickling in.
+  // Coming out of a sustained streak (a blackout), discard the in-progress
+  // loss epoch: it is a wall of outage losses that would close as a
+  // ~100%-loss report and slam the window shut just as the path comes back.
+  if (rto_streak_ >= cfg_.rto_streak_for_epoch_reset) {
+    loss_.reset_epoch();
+    ++stats_.blackout_recoveries;
+  }
+  rto_streak_ = 0;
   if (tap_) tap_(TapDirection::In, seg);
   switch (seg.type) {
     case SegmentType::Syn:
@@ -555,6 +647,7 @@ void RudpConnection::on_rto() {
     // Only skips outstanding: the ADVANCE (or its ack) was lost.
     if (!skip_outstanding_.empty()) {
       rtt_.backoff();
+      ++stats_.rto_backoffs;
       resend_outstanding_skips();
       arm_rto();
     }
@@ -566,6 +659,7 @@ void RudpConnection::on_rto() {
     // If a skipped sequence is the blocker, its ADVANCE was lost; resend.
     if (!skip_outstanding_.empty()) {
       rtt_.backoff();
+      ++stats_.rto_backoffs;
       resend_outstanding_skips();
     }
     arm_rto();
@@ -573,6 +667,32 @@ void RudpConnection::on_rto() {
   }
   ++stats_.timeouts;
   rtt_.backoff();
+  ++stats_.rto_backoffs;
+  // Dead-peer detection: consecutive expirations stuck on the same head
+  // segment mean nothing — not even a window update — is getting through.
+  if (o->seq == rto_streak_seq_) {
+    ++rto_streak_;
+  } else {
+    rto_streak_seq_ = o->seq;
+    rto_streak_ = 1;
+  }
+  if (cfg_.max_rto_streak > 0 && rto_streak_ >= cfg_.max_rto_streak) {
+    enter_failed(FailureReason::RtoStreak);
+    return;
+  }
+  if (cfg_.max_rto_streak > 0 && rto_streak_ >= 2) {
+    // Dead-path probing: with exponential backoff, a streak interval carries
+    // a single head retransmission — too little evidence to distinguish a
+    // dead path from a merely lossy one (at 40% i.i.d. loss each interval
+    // stays silent with p ≈ 0.64, so 8 in a row is a real possibility).
+    // Send extra NUL probes alongside the retransmission; each one a peer
+    // receives is acked immediately, and any inbound segment resets the
+    // streak. A live-but-lossy path now almost surely produces evidence
+    // before max_rto_streak, while a dead one stays silent regardless.
+    const int probes = std::min<int>(static_cast<int>(rto_streak_), 3);
+    for (int i = 0; i < probes; ++i) send_control(SegmentType::Nul);
+    stats_.rto_probe_nuls += static_cast<std::uint64_t>(probes);
+  }
   cc_->on_timeout(wire_.executor().now());
   if (auto skip = resolve_loss(o->seq, /*from_timeout=*/true)) {
     std::vector<SkippedSeq> skips{*skip};

@@ -56,8 +56,29 @@ struct RudpConfig {
   RttConfig rtt;
   Duration connect_retry = Duration::millis(500);
   int max_connect_attempts = 20;
+  /// Handshake retries back off exponentially from connect_retry up to this
+  /// cap; set equal to connect_retry for a fixed retry interval.
+  Duration connect_retry_cap = Duration::seconds(4);
   /// NUL keepalive interval; zero disables keepalives.
   Duration keepalive = Duration::zero();
+  /// Dead-peer detection: enter Failed after this many keepalive intervals
+  /// with an outstanding probe and no inbound traffic. 0 disables (probes
+  /// are still sent if `keepalive` is set).
+  int max_keepalive_misses = 0;
+  /// Enter Failed after this many consecutive RTO expirations during total
+  /// inbound silence — any arriving segment resets the streak, so this
+  /// detects dead paths (blackouts), not heavy loss. RTO itself backs off
+  /// exponentially: N=8 ≈ 200ms+400ms+...+25.6s ≈ 51s of silence at the
+  /// default min RTO. 0 disables RTO-based failure.
+  int max_rto_streak = 8;
+  /// After an RTO streak at least this long, the first forward progress is
+  /// treated as blackout recovery: the in-progress loss epoch is reset so
+  /// outage losses don't keep the congestion window collapsed.
+  int rto_streak_for_epoch_reset = 3;
+  /// Backpressure: bound on queued-but-unsent segments. When exceeded, the
+  /// oldest whole not-yet-transmitted messages are shed (drop-oldest) so a
+  /// stalled connection degrades instead of growing memory. 0 = unbounded.
+  std::size_t max_pending_segments = 0;
   /// First data sequence number (must match on both endpoints); set close
   /// to 2^32 to exercise wire-sequence wraparound.
   Seq initial_seq = 1;
@@ -79,7 +100,17 @@ struct RudpConfig {
 
 enum class Role { Client, Server };
 
-enum class ConnState { Closed, SynSent, Listening, Established };
+enum class ConnState { Closed, SynSent, Listening, Established, Failed };
+
+/// Why a connection entered ConnState::Failed.
+enum class FailureReason {
+  None,
+  HandshakeTimeout,  ///< max_connect_attempts SYNs went unanswered
+  RtoStreak,         ///< max_rto_streak consecutive RTOs without progress
+  KeepaliveTimeout,  ///< max_keepalive_misses probe intervals without input
+};
+
+const char* failure_reason_name(FailureReason r);
 
 struct RudpStats {
   std::uint64_t messages_offered = 0;
@@ -105,6 +136,15 @@ struct RudpStats {
   std::uint64_t parities_received = 0;      ///< as a receiver
   std::uint64_t segments_recovered = 0;     ///< rebuilt from parity, no rexmit
   std::uint64_t fec_deferrals = 0;          ///< fast retransmits held back
+  // Failure / robustness.
+  std::uint64_t connect_retries = 0;        ///< SYNs after the first
+  std::uint64_t rto_backoffs = 0;           ///< exponential RTO escalations
+  std::uint64_t keepalive_misses = 0;       ///< probe intervals w/o input
+  std::uint64_t rto_probe_nuls = 0;         ///< dead-path probes during streaks
+  std::uint64_t checksum_rejects = 0;       ///< corrupted datagrams rejected
+  std::uint64_t blackout_recoveries = 0;    ///< epoch resets after RTO streaks
+  std::uint64_t messages_shed = 0;          ///< dropped by backpressure bound
+  std::uint64_t failures = 0;               ///< times Failed was entered
 };
 
 class RudpConnection {
@@ -124,6 +164,8 @@ class RudpConnection {
 
   ConnState state() const { return state_; }
   bool established() const { return state_ == ConnState::Established; }
+  bool failed() const { return state_ == ConnState::Failed; }
+  FailureReason failure_reason() const { return failure_reason_; }
 
   // ------------------------------------------------------------- sending --
   struct SendResult {
@@ -145,6 +187,7 @@ class RudpConnection {
   using EstablishedFn = std::function<void()>;
   using EpochFn = std::function<void(const EpochReport&)>;
   using ClosedFn = std::function<void()>;
+  using ErrorFn = std::function<void(FailureReason)>;
 
   /// Protocol tap: observes every segment leaving and entering this
   /// endpoint (before loss — taps see what the engine does, not what the
@@ -161,6 +204,9 @@ class RudpConnection {
   /// for quality attributes and application callbacks.
   void set_epoch_handler(EpochFn fn) { on_epoch_ = std::move(fn); }
   void set_closed_handler(ClosedFn fn) { on_closed_ = std::move(fn); }
+  /// Fires once when the connection gives up and enters ConnState::Failed
+  /// (handshake exhaustion, RTO streak, or dead-peer keepalive timeout).
+  void set_error_handler(ErrorFn fn) { on_error_ = std::move(fn); }
 
   // ----------------------------------------- coordination / adaptation ---
   /// IQ scheme 1: discard unmarked messages at send time while true.
@@ -174,6 +220,9 @@ class RudpConnection {
   /// Retune the FEC parity ratio (1/k); applies to the next parity group.
   void set_fec_group_size(std::uint16_t k);
   std::uint16_t fec_group_size() const { return fec_enc_.group_size(); }
+  /// Retune the backpressure bound at runtime (0 = unbounded); sheds
+  /// immediately if the queue already exceeds the new bound.
+  void set_max_pending_segments(std::size_t limit);
 
   // -------------------------------------------------------------- status --
   CongestionController& congestion() { return *cc_; }
@@ -237,6 +286,10 @@ class RudpConnection {
   void on_epoch_report(const EpochReport& report);
   void deliver(RecvBuffer::Result& result);
   void become_established();
+  void enter_failed(FailureReason reason);
+  void on_keepalive_tick();
+  /// Enforce max_pending_segments by shedding oldest whole unsent messages.
+  void shed_pending();
 
   std::uint64_t now_us() const;
 
@@ -266,6 +319,16 @@ class RudpConnection {
   bool window_limited_ = false;
   bool discard_unmarked_ = false;
   int connect_attempts_ = 0;
+  FailureReason failure_reason_ = FailureReason::None;
+  /// Consecutive RTO expirations without forward progress; the timed-out
+  /// head sequence pins the streak so separate stalls don't accumulate.
+  int rto_streak_ = 0;
+  Seq rto_streak_seq_ = 0;
+  // Dead-peer probing: inbound activity since the last keepalive tick, and
+  // whether a probe is awaiting any response.
+  bool recv_activity_ = false;
+  bool keepalive_probe_outstanding_ = false;
+  int keepalive_miss_streak_ = 0;
 
   sim::Timer rto_timer_;
   sim::Timer connect_timer_;
@@ -281,6 +344,7 @@ class RudpConnection {
   EstablishedFn on_established_;
   EpochFn on_epoch_;
   ClosedFn on_closed_;
+  ErrorFn on_error_;
   SegmentTap tap_;
 };
 

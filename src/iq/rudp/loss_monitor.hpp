@@ -39,6 +39,18 @@ class LossMonitor {
                 TimePoint now);
   void on_lost(std::uint32_t count, TimePoint now);
 
+  /// Drop the in-progress epoch's counters without closing the epoch. Used
+  /// when a connection recovers from a blackout: the wall of outage losses
+  /// would otherwise poison the first post-recovery report and keep the
+  /// congestion window collapsed. Lifetime totals, the smoothed ratio and
+  /// the epoch count are preserved.
+  void reset_epoch() {
+    acked_ = 0;
+    lost_ = 0;
+    acked_bytes_ = 0;
+    epoch_started_ = false;
+  }
+
   double last_loss_ratio() const { return last_ratio_; }
   double smoothed_loss_ratio() const { return smoothed_; }
   std::uint64_t epochs_closed() const { return epoch_; }

@@ -21,9 +21,10 @@ const char* segment_type_name(SegmentType t) {
 }
 
 std::int64_t Segment::header_bytes() const {
-  // Fixed part: magic(2) + type(1) + flags(1) + conn(4) + seq(4) +
-  // cum_ack(4) + rwnd(4) + ts(8) + ts_echo(8) = 36 bytes.
-  std::int64_t n = 36;
+  // Fixed part (wire format v2): magic(2) + type(1) + flags(1) +
+  // checksum(4) + conn(4) + seq(4) + cum_ack(4) + rwnd(4) + ts(8) +
+  // ts_echo(8) = 40 bytes.
+  std::int64_t n = 40;
   switch (type) {
     case SegmentType::Data:
       n += 4 /*msg_id*/ + 2 /*frag_index*/ + 2 /*frag_count*/ +

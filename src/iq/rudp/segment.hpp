@@ -35,6 +35,13 @@ enum class SegmentType : std::uint8_t {
   Parity = 8,
 };
 
+/// Wire-valid type range — the single source of truth for codec validation
+/// and fuzz tests. Keep in sync when adding segment types.
+inline constexpr std::uint8_t kSegmentTypeMin =
+    static_cast<std::uint8_t>(SegmentType::Syn);
+inline constexpr std::uint8_t kSegmentTypeMax =
+    static_cast<std::uint8_t>(SegmentType::Parity);
+
 const char* segment_type_name(SegmentType t);
 
 /// A sequence abandoned by the sender, with the message it belonged to and

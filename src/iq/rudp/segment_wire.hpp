@@ -28,6 +28,11 @@ class SegmentWire {
   virtual void send(Segment&& segment) { send(segment); }
   /// Install the handler invoked for each segment arriving from the peer.
   virtual void set_receiver(RecvFn fn) = 0;
+  /// Install a handler invoked each time an inbound datagram is rejected as
+  /// corrupted (wire checksum failure / corrupted-delivery flag). Wires
+  /// without a corruption path ignore it.
+  using CorruptionFn = std::function<void()>;
+  virtual void set_corruption_handler(CorruptionFn /*fn*/) {}
   /// The clock/timer service this wire lives on.
   virtual sim::Executor& executor() = 0;
 };

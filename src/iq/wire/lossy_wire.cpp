@@ -12,29 +12,71 @@ void LossyWire::send(const rudp::Segment& segment) {
 sim::Executor& LossyWire::executor() { return pair_.exec_; }
 
 LossyWirePair::LossyWirePair(sim::Executor& exec, const LossyConfig& cfg)
-    : exec_(exec), cfg_(cfg), rng_(cfg.seed), a_(*this, 0), b_(*this, 1) {}
+    : exec_(exec),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      fault_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ull),
+      a_(*this, 0),
+      b_(*this, 1) {}
+
+void LossyWirePair::set_burst_loss(
+    const std::optional<fault::GilbertElliottConfig>& cfg) {
+  if (cfg.has_value()) {
+    burst_.emplace(*cfg);
+  } else {
+    burst_.reset();
+  }
+}
 
 void LossyWirePair::carry(int from_side, const rudp::Segment& segment) {
   const int to_side = from_side == 0 ? 1 : 0;
-  if (rng_.chance(cfg_.drop_probability)) {
+  // Keep the base drop coin first and unconditional: fault features must not
+  // shift the original seeded drop/duplicate streams.
+  const bool base_drop = rng_.chance(cfg_.drop_probability);
+  if (blackout_) {
+    ++dropped_;
+    ++blackout_drops_;
+    return;
+  }
+  if (burst_.has_value() && burst_->lose()) {
+    ++dropped_;
+    ++burst_drops_;
+    return;
+  }
+  if (base_drop) {
     ++dropped_;
     return;
   }
   ++carried_;
-  deliver_later(to_side, segment);
+  const bool corrupted = corrupt_probability_ > 0.0 &&
+                         fault_rng_.chance(corrupt_probability_);
+  if (corrupted) ++corrupt_deliveries_;
+  deliver_later(to_side, segment, corrupted);
   if (rng_.chance(cfg_.duplicate_probability)) {
     ++duplicated_;
-    deliver_later(to_side, segment);
+    // The duplicate is an independent copy on the wire; it is delivered
+    // clean even when the first copy took the bit errors.
+    deliver_later(to_side, segment, /*corrupted=*/false);
   }
 }
 
-void LossyWirePair::deliver_later(int to_side, const rudp::Segment& segment) {
-  Duration delay = cfg_.one_way_delay;
+void LossyWirePair::deliver_later(int to_side, const rudp::Segment& segment,
+                                  bool corrupted) {
+  Duration delay = cfg_.one_way_delay + extra_delay_;
   if (!cfg_.reorder_jitter.is_zero()) {
     delay += Duration::nanos(
         rng_.uniform_int(0, cfg_.reorder_jitter.ns()));
   }
   LossyWire& dst = to_side == 0 ? a_ : b_;
+  if (corrupted) {
+    // A corrupted segment arrives as garbage bytes: the receiver's checksum
+    // rejects it before the engine ever sees a Segment.
+    exec_.schedule_after(delay, [&dst] {
+      ++dst.checksum_rejects_;
+      if (dst.corrupt_fn_) dst.corrupt_fn_();
+    });
+    return;
+  }
   exec_.schedule_after(delay, [&dst, seg = segment] {
     if (dst.recv_) dst.recv_(seg);
   });

@@ -1,11 +1,16 @@
 #pragma once
 // LossyWirePair: failure injection for protocol tests — independent drop,
-// duplication and reordering on each direction of an in-memory pipe, all
-// seeded and deterministic.
+// duplication, reordering, blackouts, burst loss and delivered corruption on
+// an in-memory pipe, all seeded and deterministic. Implements
+// fault::FaultTarget, so a FaultInjector can drive it from a FaultPlan the
+// same way it drives net::Link.
 
 #include <memory>
+#include <optional>
 
 #include "iq/common/rng.hpp"
+#include "iq/fault/loss_model.hpp"
+#include "iq/fault/target.hpp"
 #include "iq/rudp/segment_wire.hpp"
 
 namespace iq::wire {
@@ -28,42 +33,73 @@ class LossyWire final : public rudp::SegmentWire {
 
   void send(const rudp::Segment& segment) override;
   void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  void set_corruption_handler(CorruptionFn fn) override {
+    corrupt_fn_ = std::move(fn);
+  }
   sim::Executor& executor() override;
+
+  /// Corrupted-delivered segments this endpoint rejected.
+  std::uint64_t checksum_rejects() const { return checksum_rejects_; }
 
  private:
   friend class LossyWirePair;
   LossyWirePair& pair_;
   int side_;
   RecvFn recv_;
+  CorruptionFn corrupt_fn_;
+  std::uint64_t checksum_rejects_ = 0;
 };
 
-class LossyWirePair {
+class LossyWirePair final : public fault::FaultTarget {
  public:
   LossyWirePair(sim::Executor& exec, const LossyConfig& cfg);
 
   LossyWire& a() { return a_; }
   LossyWire& b() { return b_; }
 
-  /// Change loss characteristics mid-run (e.g. congestion phases).
-  void set_drop_probability(double p) { cfg_.drop_probability = p; }
+  // FaultTarget: change loss characteristics mid-run. The base drop and
+  // duplicate coins keep their original RNG consumption order, so enabling
+  // blackout/burst/corruption does not perturb existing seeded streams.
+  void set_blackout(bool on) override { blackout_ = on; }
+  void set_drop_probability(double p) override { cfg_.drop_probability = p; }
+  void set_burst_loss(
+      const std::optional<fault::GilbertElliottConfig>& cfg) override;
+  void set_corrupt_probability(double p) override { corrupt_probability_ = p; }
+  void set_duplicate_probability(double p) override {
+    cfg_.duplicate_probability = p;
+  }
+  void set_extra_delay(Duration d) override { extra_delay_ = d; }
 
+  bool blackout() const { return blackout_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t duplicated() const { return duplicated_; }
   std::uint64_t carried() const { return carried_; }
+  std::uint64_t blackout_drops() const { return blackout_drops_; }
+  std::uint64_t burst_drops() const { return burst_drops_; }
+  std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
 
  private:
   friend class LossyWire;
   void carry(int from_side, const rudp::Segment& segment);
-  void deliver_later(int to_side, const rudp::Segment& segment);
+  void deliver_later(int to_side, const rudp::Segment& segment,
+                     bool corrupted);
 
   sim::Executor& exec_;
   LossyConfig cfg_;
   Rng rng_;
+  Rng fault_rng_;
   LossyWire a_;
   LossyWire b_;
+  bool blackout_ = false;
+  std::optional<fault::GilbertElliottModel> burst_;
+  double corrupt_probability_ = 0.0;
+  Duration extra_delay_ = Duration::zero();
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t carried_ = 0;
+  std::uint64_t blackout_drops_ = 0;
+  std::uint64_t burst_drops_ = 0;
+  std::uint64_t corrupt_deliveries_ = 0;
 };
 
 }  // namespace iq::wire

@@ -32,6 +32,13 @@ void SimWire::deliver(net::PacketPtr packet) {
   const auto* seg = dynamic_cast<const rudp::Segment*>(packet->body.get());
   IQ_CHECK_MSG(seg != nullptr, "non-RUDP packet delivered to SimWire");
   ++received_;
+  if (packet->corrupted) {
+    // Bit errors in flight: what the byte codec's CRC rejects on a real
+    // socket, the sim rejects here. The segment never reaches the engine.
+    ++checksum_rejects_;
+    if (corrupt_fn_) corrupt_fn_();
+    return;
+  }
   if (recv_) recv_(*seg);
 }
 

@@ -27,6 +27,9 @@ class SimWire final : public rudp::SegmentWire, public net::PacketSink {
   void send(const rudp::Segment& segment) override;
   void send(rudp::Segment&& segment) override;
   void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  void set_corruption_handler(CorruptionFn fn) override {
+    corrupt_fn_ = std::move(fn);
+  }
   sim::Executor& executor() override { return net_.sim(); }
 
   // PacketSink (inbound from the node).
@@ -34,6 +37,9 @@ class SimWire final : public rudp::SegmentWire, public net::PacketSink {
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
+  /// Corrupted-delivered packets rejected (the sim stand-in for the wire
+  /// format's CRC check — see rudp::segment_checksum).
+  std::uint64_t checksum_rejects() const { return checksum_rejects_; }
   net::PoolStats segment_pool_stats() const { return pool_.stats(); }
 
  private:
@@ -45,8 +51,10 @@ class SimWire final : public rudp::SegmentWire, public net::PacketSink {
   net::Endpoint remote_;
   std::uint32_t flow_;
   RecvFn recv_;
+  CorruptionFn corrupt_fn_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t checksum_rejects_ = 0;
 };
 
 }  // namespace iq::wire

@@ -143,10 +143,15 @@ void UdpWire::on_readable() {
   for (;;) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) break;  // EWOULDBLOCK or error — drained
+    rudp::DecodeStatus status = rudp::DecodeStatus::Ok;
     auto decoded = rudp::decode_segment(
-        BytesView(buf, static_cast<std::size_t>(n)));
+        BytesView(buf, static_cast<std::size_t>(n)), &status);
     if (!decoded) {
       ++decode_failures_;
+      if (status == rudp::DecodeStatus::BadChecksum) {
+        ++checksum_rejects_;
+        if (corrupt_fn_) corrupt_fn_();
+      }
       continue;
     }
     ++received_;

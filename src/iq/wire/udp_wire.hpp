@@ -59,11 +59,18 @@ class UdpWire final : public rudp::SegmentWire {
 
   void send(const rudp::Segment& segment) override;
   void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
+  void set_corruption_handler(CorruptionFn fn) override {
+    corrupt_fn_ = std::move(fn);
+  }
   sim::Executor& executor() override { return loop_; }
 
   std::uint64_t datagrams_sent() const { return sent_; }
   std::uint64_t datagrams_received() const { return received_; }
+  /// All rejected inbound datagrams (any DecodeStatus failure).
   std::uint64_t decode_failures() const { return decode_failures_; }
+  /// Subset rejected specifically by the wire checksum: well-framed IQ
+  /// datagrams whose CRC did not match (corruption in flight).
+  std::uint64_t checksum_rejects() const { return checksum_rejects_; }
 
  private:
   void on_readable();
@@ -72,9 +79,11 @@ class UdpWire final : public rudp::SegmentWire {
   int fd_ = -1;
   std::uint16_t remote_port_;
   RecvFn recv_;
+  CorruptionFn corrupt_fn_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t decode_failures_ = 0;
+  std::uint64_t checksum_rejects_ = 0;
 };
 
 }  // namespace iq::wire

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "iq/common/rng.hpp"
+#include "iq/fault/injector.hpp"
+#include "iq/fault/plan.hpp"
 #include "iq/rudp/connection.hpp"
 #include "iq/sim/simulator.hpp"
 #include "iq/wire/lossy_wire.hpp"
@@ -111,6 +113,95 @@ TEST_P(ChaosTest, EverythingOnAtOnce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Range<std::uint64_t>(1, 13),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+// -------------------------------------------------------- fault-plan soak --
+//
+// The chaos workload again, but with a scripted FaultPlan layered on top of
+// the background loss: a mid-run blackout (survivable — must NOT trip the
+// failure detector) plus a Gilbert–Elliott burst phase. The same
+// conservation and ordering invariants must hold once the plan has run out.
+
+class ChaosFaultPlanTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosFaultPlanTest, BlackoutAndBurstSoak) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  sim::Simulator sim;
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = rng.uniform(0.02, 0.1);
+  lcfg.reorder_jitter = Duration::millis(rng.uniform_int(0, 20));
+  lcfg.seed = seed * 11 + 3;
+  wire::LossyWirePair wire(sim, lcfg);
+
+  fault::FaultInjector injector(sim);
+  fault::GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.3;
+  ge.loss_bad = 0.6;
+  ge.seed = seed + 41;
+  fault::FaultPlan plan;
+  const int target = injector.add_target(wire);
+  plan.blackout(Duration::seconds(20), Duration::seconds(2), target)
+      .burst_loss(Duration::seconds(40), Duration::seconds(8), ge, target);
+  injector.arm(plan);
+
+  RudpConfig scfg;  // defaults: max_rto_streak = 8 must ride out the outage
+  RudpConfig rcfg = scfg;
+  rcfg.recv_loss_tolerance = rng.uniform(0.0, 0.4);
+  RudpConnection snd(wire.a(), scfg, Role::Client);
+  RudpConnection rcv(wire.b(), rcfg, Role::Server);
+  int failures = 0;
+  snd.set_error_handler([&](FailureReason) { ++failures; });
+  std::vector<DeliveredMessage> delivered;
+  rcv.set_message_handler(
+      [&](const DeliveredMessage& m) { delivered.push_back(m); });
+  rcv.listen();
+  snd.connect();
+  sim.run_until(TimePoint::zero() + Duration::seconds(5));
+  ASSERT_TRUE(snd.established()) << "seed=" << seed;
+
+  // Offer traffic across the whole fault timeline (~60 s).
+  std::vector<Offered> offered;
+  const int kMessages = 150;
+  for (int i = 0; i < kMessages; ++i) {
+    MessageSpec spec;
+    spec.bytes = rng.uniform_int(0, 5000);
+    spec.marked = rng.chance(0.5);
+    auto result = snd.send_message(spec);
+    ASSERT_FALSE(result.discarded);
+    offered.push_back(Offered{result.msg_id, spec.bytes, spec.marked});
+    sim.run_until(sim.now() + Duration::millis(400));
+  }
+  sim.run_until(sim.now() + Duration::seconds(600));
+
+  // The outage was survivable: no false Failed, and it was actually felt.
+  EXPECT_FALSE(snd.failed()) << "seed=" << seed;
+  EXPECT_EQ(failures, 0) << "seed=" << seed;
+  EXPECT_GT(wire.blackout_drops() + wire.burst_drops(), 0u)
+      << "seed=" << seed;
+
+  // Post-recovery conservation and ordering.
+  EXPECT_EQ(delivered.size() + rcv.stats().messages_dropped,
+            static_cast<std::size_t>(kMessages))
+      << "seed=" << seed;
+  std::size_t oi = 0;
+  for (const auto& m : delivered) {
+    while (oi < offered.size() && offered[oi].msg_id != m.msg_id) ++oi;
+    ASSERT_LT(oi, offered.size())
+        << "delivered unknown/out-of-order msg " << m.msg_id
+        << " seed=" << seed;
+    EXPECT_EQ(m.bytes, offered[oi].bytes);
+    ++oi;
+  }
+  EXPECT_TRUE(snd.send_idle()) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFaultPlanTest,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4),
                          [](const auto& param_info) {
                            return "seed" + std::to_string(param_info.param);
                          });

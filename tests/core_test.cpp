@@ -7,6 +7,7 @@
 
 #include "iq/core/iq_connection.hpp"
 #include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
 #include "iq/wire/wire.hpp"
 
 namespace iq::core {
@@ -279,6 +280,51 @@ TEST(MetricsExportTest, EpochsFeedCallbackRegistryAllMetrics) {
   EXPECT_GT(rtt_fired, 0);
   EXPECT_GT(rate_fired, 0);
   EXPECT_GT(cwnd_fired, 0);
+}
+
+TEST(MetricsExportTest, FailureCountersExportedPerEpoch) {
+  // Regression: the robustness counters ride along with every epoch export,
+  // and a healthy connection reads NET_FAILED = 0 (FailureReason::None).
+  CorePair p;
+  for (int i = 0; i < 200; ++i) p.snd->send({.bytes = 1400});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  auto& store = p.snd->attributes();
+  ASSERT_TRUE(store.has(attr::kNetConnectRetries));
+  ASSERT_TRUE(store.has(attr::kNetRtoBackoffs));
+  ASSERT_TRUE(store.has(attr::kNetKeepaliveMisses));
+  ASSERT_TRUE(store.has(attr::kNetChecksumRejects));
+  ASSERT_TRUE(store.has(attr::kNetFailed));
+  EXPECT_EQ(*store.query_double(attr::kNetConnectRetries), 0.0);
+  EXPECT_EQ(*store.query_double(attr::kNetChecksumRejects), 0.0);
+  EXPECT_EQ(*store.query_double(attr::kNetFailed), 0.0);
+}
+
+TEST(MetricsExportTest, FailurePublishesImmediatelyAndNotifiesObserver) {
+  // A connection that never establishes produces no epochs, so the failure
+  // path must publish NET_FAILED by itself, and the facade's error observer
+  // must hear about it.
+  sim::Simulator sim;
+  wire::LossyConfig lcfg;
+  lcfg.drop_probability = 1.0;  // nothing ever arrives
+  wire::LossyWirePair wires(sim, lcfg);
+  rudp::RudpConfig cfg;
+  cfg.connect_retry = Duration::millis(100);
+  cfg.max_connect_attempts = 2;
+  IqRudpConnection snd(wires.a(), cfg, rudp::Role::Client);
+  std::vector<rudp::FailureReason> observed;
+  snd.set_error_observer(
+      [&](rudp::FailureReason r) { observed.push_back(r); });
+  snd.connect();
+  sim.run_until(TimePoint::zero() + Duration::seconds(10));
+
+  EXPECT_TRUE(snd.transport().failed());
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0], rudp::FailureReason::HandshakeTimeout);
+  auto& store = snd.attributes();
+  ASSERT_TRUE(store.has(attr::kNetFailed));
+  EXPECT_EQ(*store.query_double(attr::kNetFailed),
+            static_cast<double>(rudp::FailureReason::HandshakeTimeout));
+  EXPECT_EQ(*store.query_double(attr::kNetConnectRetries), 1.0);
 }
 
 TEST(IqConnectionTest, ThresholdCallbackDrivesCoordination) {

@@ -1,0 +1,284 @@
+// Fault subsystem tests: the Gilbert–Elliott chain, FaultPlan construction
+// and reproducible random generation, and the FaultInjector driving a live
+// net::Link through blackouts, bursts, corruption, duplication and
+// bandwidth/delay changes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "iq/fault/injector.hpp"
+#include "iq/fault/loss_model.hpp"
+#include "iq/fault/plan.hpp"
+#include "iq/net/network.hpp"
+#include "iq/net/sinks.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace iq::fault {
+namespace {
+
+// ------------------------------------------------------- Gilbert–Elliott --
+
+TEST(GilbertElliottTest, StationaryLossRatioFormula) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.1;
+  cfg.p_bad_to_good = 0.4;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 0.5;
+  // pi_bad = 0.1 / 0.5 = 0.2; ratio = 0.2 * 0.5 = 0.1.
+  EXPECT_NEAR(cfg.stationary_loss_ratio(), 0.1, 1e-12);
+}
+
+TEST(GilbertElliottTest, EmpiricalLossMatchesStationaryRatio) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.02;
+  cfg.p_bad_to_good = 0.25;
+  cfg.loss_bad = 0.8;
+  cfg.seed = 9;
+  GilbertElliottModel model(cfg);
+  const int kSteps = 200'000;
+  for (int i = 0; i < kSteps; ++i) model.lose();
+  const double empirical =
+      static_cast<double>(model.losses()) / static_cast<double>(model.steps());
+  EXPECT_NEAR(empirical, cfg.stationary_loss_ratio(), 0.01);
+  EXPECT_GT(model.bursts_entered(), 100u);  // many distinct bad phases
+}
+
+TEST(GilbertElliottTest, SameSeedReplaysExactly) {
+  GilbertElliottConfig cfg;
+  cfg.seed = 123;
+  GilbertElliottModel m1(cfg), m2(cfg);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(m1.lose(), m2.lose()) << "diverged at step " << i;
+  }
+  EXPECT_EQ(m1.losses(), m2.losses());
+  EXPECT_EQ(m1.bursts_entered(), m2.bursts_entered());
+}
+
+TEST(GilbertElliottTest, LossesClusterIntoBursts) {
+  // With long bad phases and certain loss inside them, consecutive losses
+  // must appear in runs much longer than i.i.d. loss would produce.
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.1;  // mean burst length 10
+  cfg.loss_bad = 1.0;
+  cfg.seed = 5;
+  GilbertElliottModel model(cfg);
+  int longest_run = 0, run = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (model.lose()) {
+      longest_run = std::max(longest_run, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_GE(longest_run, 10);
+}
+
+// ------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlanTest, ActionsKeptTimeOrdered) {
+  FaultPlan plan;
+  plan.corruption(Duration::seconds(30), 0.01)
+      .blackout(Duration::seconds(10), Duration::seconds(2))
+      .drop_probability(Duration::seconds(20), 0.1);
+  ASSERT_EQ(plan.size(), 4u);  // blackout expands to on + off
+  for (std::size_t i = 1; i < plan.actions().size(); ++i) {
+    EXPECT_LE(plan.actions()[i - 1].at.ns(), plan.actions()[i].at.ns());
+  }
+  EXPECT_EQ(plan.horizon().ns(), Duration::seconds(30).ns());
+}
+
+TEST(FaultPlanTest, BlackoutExpandsToOnAndOff) {
+  FaultPlan plan;
+  plan.blackout(Duration::seconds(5), Duration::seconds(3), /*target=*/2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.actions()[0].kind, FaultKind::Blackout);
+  EXPECT_TRUE(plan.actions()[0].on);
+  EXPECT_EQ(plan.actions()[0].target, 2);
+  EXPECT_FALSE(plan.actions()[1].on);
+  EXPECT_EQ(plan.actions()[1].at.ns(), Duration::seconds(8).ns());
+}
+
+TEST(FaultPlanTest, FlapAlternatesDownAndUp) {
+  FaultPlan plan;
+  plan.flap(Duration::seconds(1), Duration::millis(500), Duration::millis(250),
+            /*cycles=*/3);
+  ASSERT_EQ(plan.size(), 6u);
+  bool expect_on = true;
+  for (const FaultAction& a : plan.actions()) {
+    EXPECT_EQ(a.kind, FaultKind::Blackout);
+    EXPECT_EQ(a.on, expect_on);
+    expect_on = !expect_on;
+  }
+}
+
+TEST(FaultPlanTest, BurstLossExpandsToOnAndOff) {
+  GilbertElliottConfig ge;
+  ge.loss_bad = 0.9;
+  FaultPlan plan;
+  plan.burst_loss(Duration::seconds(2), Duration::seconds(4), ge);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.actions()[0].kind, FaultKind::BurstLossOn);
+  EXPECT_DOUBLE_EQ(plan.actions()[0].burst.loss_bad, 0.9);
+  EXPECT_EQ(plan.actions()[1].kind, FaultKind::BurstLossOff);
+  EXPECT_EQ(plan.actions()[1].at.ns(), Duration::seconds(6).ns());
+}
+
+TEST(FaultPlanTest, RandomPlanIsReproducible) {
+  RandomFaultProfile profile;
+  profile.run_length = Duration::seconds(60);
+  const FaultPlan p1 = FaultPlan::random(77, profile);
+  const FaultPlan p2 = FaultPlan::random(77, profile);
+  const FaultPlan p3 = FaultPlan::random(78, profile);
+  EXPECT_FALSE(p1.empty());
+  EXPECT_EQ(p1.describe(), p2.describe());
+  EXPECT_NE(p1.describe(), p3.describe());
+}
+
+TEST(FaultPlanTest, RandomPlanStaysInsideRunWindow) {
+  RandomFaultProfile profile;
+  profile.run_length = Duration::seconds(100);
+  profile.blackouts = 2;
+  profile.bursts = 2;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, profile);
+    for (const FaultAction& a : plan.actions()) {
+      EXPECT_GE(a.at.ns(), Duration::seconds(10).ns()) << a.describe();
+      // Off-edges of a fault that starts near 90% may extend past it, but
+      // never beyond the run itself.
+      EXPECT_LE(a.at.ns(), profile.run_length.ns()) << a.describe();
+    }
+  }
+}
+
+// ---------------------------------------------------- injector over Link --
+
+struct LinkRig {
+  sim::Simulator sim;
+  net::Network net{sim};
+  std::vector<net::PacketPtr> received;
+  net::CallbackSink sink{[this](net::PacketPtr p) {
+    received.push_back(std::move(p));
+  }};
+  net::Link link;
+
+  explicit LinkRig(net::LinkConfig cfg = {.rate_bps = 12'000'000,
+                                          .propagation = Duration::millis(3),
+                                          .queue_capacity_bytes = 1'000'000})
+      : link(sim, "faulty", cfg, sink) {}
+
+  void offer(int n, std::int64_t bytes = 1500) {
+    for (int i = 0; i < n; ++i) {
+      link.deliver(net.make_packet({0, 1}, {1, 1}, 1, bytes));
+    }
+  }
+};
+
+TEST(FaultInjectorTest, BlackoutWindowDropsThenRestores) {
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+  FaultPlan plan;
+  plan.blackout(Duration::millis(10), Duration::millis(100), target);
+  injector.arm(plan);
+
+  // 5 packets land inside the blackout window, 5 after it lifts.
+  rig.sim.schedule_after(Duration::millis(20), [&] { rig.offer(5); });
+  rig.sim.schedule_after(Duration::millis(200), [&] { rig.offer(5); });
+  rig.sim.run();
+
+  EXPECT_EQ(rig.link.blackout_drops(), 5u);
+  EXPECT_EQ(rig.received.size(), 5u);
+  EXPECT_EQ(injector.actions_scheduled(), 2u);
+  EXPECT_EQ(injector.actions_applied(), 2u);
+}
+
+TEST(FaultInjectorTest, CorruptedPacketsAreDeliveredFlagged) {
+  LinkRig rig;
+  rig.link.set_corrupt_probability(1.0);
+  rig.offer(10);
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 10u);
+  for (const auto& p : rig.received) EXPECT_TRUE(p->corrupted);
+  EXPECT_EQ(rig.link.corrupt_deliveries(), 10u);
+  // Corruption consumes bandwidth: the link transmitted all ten.
+  EXPECT_EQ(rig.link.transmitted(), 10u);
+}
+
+TEST(FaultInjectorTest, DuplicatesArriveTwiceAndClean) {
+  LinkRig rig;
+  rig.link.set_duplicate_probability(1.0);
+  rig.offer(4);
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 8u);
+  for (const auto& p : rig.received) EXPECT_FALSE(p->corrupted);
+  EXPECT_EQ(rig.link.duplicates(), 4u);
+}
+
+TEST(FaultInjectorTest, BurstPhaseLosesClusteredPackets) {
+  LinkRig rig;
+  GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.3;
+  ge.p_bad_to_good = 0.2;
+  ge.loss_bad = 1.0;
+  ge.seed = 4;
+  FaultInjector injector(rig.sim);
+  FaultPlan plan;
+  plan.burst_loss(Duration::millis(1), Duration::seconds(5), ge,
+                  injector.add_target(rig.link));
+  injector.arm(plan);
+  rig.sim.schedule_after(Duration::millis(10), [&] { rig.offer(200); });
+  rig.sim.run();
+  EXPECT_GT(rig.link.burst_drops(), 20u);
+  EXPECT_EQ(rig.received.size(), 200u - rig.link.burst_drops());
+}
+
+TEST(FaultInjectorTest, DelayChangeStretchesArrival) {
+  LinkRig rig;  // 1500 B @ 12 Mb/s = 1 ms serialization + 3 ms propagation
+  FaultInjector injector(rig.sim);
+  FaultPlan plan;
+  plan.delay_change(Duration::zero(), Duration::millis(10),
+                    injector.add_target(rig.link));
+  injector.arm(plan);
+  rig.sim.schedule_after(Duration::millis(1), [&] { rig.offer(1); });
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.sim.now().ns(), Duration::millis(1 + 1 + 3 + 10).ns());
+}
+
+TEST(FaultInjectorTest, RateChangeSlowsSerialization) {
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  FaultPlan plan;
+  // 12 Mb/s → 1.2 Mb/s: serialization of 1500 B goes from 1 ms to 10 ms.
+  plan.rate_change(Duration::zero(), 1'200'000, injector.add_target(rig.link));
+  injector.arm(plan);
+  rig.sim.schedule_after(Duration::millis(1), [&] { rig.offer(1); });
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.sim.now().ns(), Duration::millis(1 + 10 + 3).ns());
+}
+
+TEST(FaultInjectorTest, DropProbabilityChangeLeavesSeededStreamIntact) {
+  // Turning fault features on must not perturb the i.i.d. drop stream:
+  // two identically-seeded links, one with corruption+duplication active,
+  // must drop exactly the same packets.
+  net::LinkConfig cfg{.rate_bps = 12'000'000,
+                      .propagation = Duration::millis(3),
+                      .queue_capacity_bytes = 1'000'000,
+                      .drop_probability = 0.3,
+                      .drop_seed = 11};
+  LinkRig plain(cfg), faulted(cfg);
+  faulted.link.set_corrupt_probability(0.5);
+  faulted.link.set_duplicate_probability(0.5);
+  plain.offer(300);
+  faulted.offer(300);
+  plain.sim.run();
+  faulted.sim.run();
+  EXPECT_EQ(plain.link.random_drops(), faulted.link.random_drops());
+}
+
+}  // namespace
+}  // namespace iq::fault

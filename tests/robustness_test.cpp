@@ -29,12 +29,36 @@ TEST_P(CodecFuzzTest, RandomBytesNeverCrash) {
     auto decoded = decode_segment(garbage);
     if (decoded.has_value()) {
       const Segment& s = decoded->segment;
-      EXPECT_GE(static_cast<int>(s.type), 1);
-      EXPECT_LE(static_cast<int>(s.type), 7);
+      // Bounds come from the enum itself — adding a segment type must not
+      // silently invalidate this fuzz oracle (it once asserted <= 7 while
+      // Parity = 8 existed).
+      EXPECT_GE(static_cast<int>(s.type), static_cast<int>(kSegmentTypeMin));
+      EXPECT_LE(static_cast<int>(s.type), static_cast<int>(kSegmentTypeMax));
       if (s.type == SegmentType::Data) {
         EXPECT_LT(s.frag_index, s.frag_count);
       }
     }
+  }
+}
+
+// Regression: every declared segment type — including the highest one
+// (Parity = 8, which the old hardcoded [1,7] fuzz bound excluded) — must
+// round-trip through the codec.
+TEST(CodecTypeRangeTest, EveryDeclaredTypeRoundTrips) {
+  for (int t = static_cast<int>(kSegmentTypeMin);
+       t <= static_cast<int>(kSegmentTypeMax); ++t) {
+    Segment seg;
+    seg.type = static_cast<SegmentType>(t);
+    seg.seq = 100 + static_cast<Seq>(t);
+    if (seg.type == SegmentType::Data || seg.type == SegmentType::Parity) {
+      seg.msg_id = 5;
+      seg.payload_bytes = 32;
+    }
+    const Bytes wire = encode_segment(seg);
+    auto decoded = decode_segment(wire);
+    ASSERT_TRUE(decoded.has_value()) << "type " << t;
+    EXPECT_EQ(decoded->segment.type, seg.type) << "type " << t;
+    EXPECT_EQ(decoded->segment.seq, seg.seq) << "type " << t;
   }
 }
 

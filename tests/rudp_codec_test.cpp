@@ -182,7 +182,68 @@ TEST(CodecTest, RejectsBadMagic) {
 TEST(CodecTest, RejectsBadType) {
   Bytes wire = encode_segment(data_segment());
   wire[2] = 0x7f;
+  // Re-seal so the corruption is not masked by the checksum: this test is
+  // about the type-range validation specifically.
+  seal_segment(wire);
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode_segment(wire, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::Malformed);
+}
+
+// ------------------------------------------------------------- checksum ---
+
+TEST(CodecTest, ChecksumRejectsBitFlip) {
+  Segment s = data_segment();
+  s.payload_bytes = 4;
+  const Bytes clean = encode_segment(s, Bytes{1, 2, 3, 4});
+  // Flip one bit at every offset past the magic (a flipped magic reads as
+  // BadMagic, not BadChecksum) — every single-bit error must be caught.
+  for (std::size_t i = 2; i < clean.size(); ++i) {
+    Bytes corrupted = clean;
+    corrupted[i] ^= 0x01;
+    DecodeStatus status = DecodeStatus::Ok;
+    EXPECT_FALSE(decode_segment(corrupted, &status).has_value())
+        << "bit flip at offset " << i << " accepted";
+    EXPECT_EQ(status, DecodeStatus::BadChecksum) << "offset " << i;
+  }
+}
+
+TEST(CodecTest, ChecksumFieldItselfIsProtected) {
+  Bytes wire = encode_segment(data_segment());
+  wire[kChecksumOffset] ^= 0xff;  // corrupt the stored checksum
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode_segment(wire, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::BadChecksum);
+}
+
+TEST(CodecTest, DecodeStatusDistinguishesFailureModes) {
+  const Bytes wire = encode_segment(data_segment());
+  {
+    Bytes bad_magic = wire;
+    bad_magic[0] ^= 0xff;
+    DecodeStatus status = DecodeStatus::Ok;
+    EXPECT_FALSE(decode_segment(bad_magic, &status).has_value());
+    EXPECT_EQ(status, DecodeStatus::BadMagic);
+  }
+  {
+    BytesView truncated(wire.data(), wire.size() - 1);
+    DecodeStatus status = DecodeStatus::Ok;
+    EXPECT_FALSE(decode_segment(truncated, &status).has_value());
+    EXPECT_EQ(status, DecodeStatus::BadChecksum);
+  }
+  {
+    DecodeStatus status = DecodeStatus::BadMagic;
+    EXPECT_TRUE(decode_segment(wire, &status).has_value());
+    EXPECT_EQ(status, DecodeStatus::Ok);
+  }
+}
+
+TEST(CodecTest, SealAfterMutationRestoresDecodability) {
+  Bytes wire = encode_segment(data_segment());
+  wire[kChecksumOffset + 8] ^= 0x01;  // perturb a header field
   EXPECT_FALSE(decode_segment(wire).has_value());
+  seal_segment(wire);
+  EXPECT_TRUE(decode_segment(wire).has_value());
 }
 
 TEST(CodecTest, RejectsEveryTruncation) {
@@ -203,10 +264,13 @@ TEST(CodecTest, RejectsZeroFragCount) {
   s.frag_count = 1;
   s.frag_index = 0;
   Bytes wire = encode_segment(s);
-  // frag_count lives 4+2 bytes after the 36-byte fixed header.
-  wire[36 + 4 + 2] = 0;
-  wire[36 + 4 + 3] = 0;
-  EXPECT_FALSE(decode_segment(wire).has_value());
+  // frag_count lives 4+2 bytes after the 40-byte fixed header.
+  wire[kFixedHeaderBytes + 4 + 2] = 0;
+  wire[kFixedHeaderBytes + 4 + 3] = 0;
+  seal_segment(wire);  // re-seal: the semantic check must fire, not the CRC
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode_segment(wire, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::Malformed);
 }
 
 TEST(CodecTest, HeaderBytesMatchesEncodedSizeWithoutPayload) {

@@ -74,6 +74,7 @@ TEST(RudpConnectionTest, HandshakeSurvivesSynLoss) {
   lcfg.seed = 3;
   RudpConfig cfg;
   cfg.max_connect_attempts = 200;
+  cfg.connect_retry_cap = cfg.connect_retry;  // fixed interval: 200 × 500ms
   Pair p(lcfg, cfg);
   p.run_ms(60000);
   EXPECT_TRUE(p.sender->established());
@@ -181,7 +182,7 @@ TEST(RudpConnectionTest, UnmarkedSkippedWithinTolerance) {
   RudpConfig rcfg;
   rcfg.recv_loss_tolerance = 0.5;
   Pair p(lcfg, scfg, rcfg);
-  p.run_ms(2000);
+  p.run_ms(8000);  // lossy handshake + exponential retry backoff
   ASSERT_TRUE(p.sender->established());
   EXPECT_DOUBLE_EQ(p.sender->peer_recv_tolerance(), 0.5);
 
