@@ -11,7 +11,12 @@
 # across {blackout, burst loss, corruption, ack-path loss} plus the failure
 # detectors and chaos soaks (docs/ROBUSTNESS.md) — in both the default and
 # the sanitized build.
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos]
+# `--audit` runs the full suite plus the chaos matrix with the protocol
+# invariant auditor armed process-wide (IQ_AUDIT=1, docs/AUDIT.md): every
+# RudpConnection records its event stream into a flight recorder and a
+# tripped invariant aborts the run after writing a JSON dump whose path is
+# in the abort message. Default and ASan+UBSan builds.
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos|--audit]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,8 +53,8 @@ perf_smoke() {
 
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--chaos) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--chaos|--audit) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos|--audit]" >&2
      exit 2 ;;
 esac
 
@@ -59,6 +64,21 @@ if [[ "$mode" == "--chaos" ]]; then
   echo "== CI: chaos fault matrix, sanitized build (ASan+UBSan) =="
   chaos_suite build-sanitize -DIQ_SANITIZE=ON
   echo "== CI: chaos fault matrix passed =="
+  exit 0
+fi
+
+if [[ "$mode" == "--audit" ]]; then
+  export IQ_AUDIT=1
+  export IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-build}"
+  echo "== CI: audited full suite, default build (IQ_AUDIT=1) =="
+  run_suite build
+  echo "== CI: audited chaos fault matrix, default build =="
+  chaos_suite build
+  echo "== CI: audited full suite, sanitized build (ASan+UBSan) =="
+  run_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: audited chaos fault matrix, sanitized build =="
+  chaos_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: audited suites passed =="
   exit 0
 fi
 

@@ -1,0 +1,124 @@
+#include "iq/audit/audit.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "iq/common/log.hpp"
+
+namespace iq::audit {
+
+namespace {
+
+std::atomic<std::uint64_t> dump_counter{0};
+
+}  // namespace
+
+AuditContext::AuditContext(std::uint32_t conn_id, AuditConfig cfg)
+    : conn_id_(conn_id),
+      cfg_(std::move(cfg)),
+      recorder_(cfg_.ring_capacity) {}
+
+void AuditContext::record(const Event& e) {
+  recorder_.record(e);
+  auditor_.on_event(e);
+  if (auditor_.violations().size() != violations_handled_) {
+    handle_violations();
+  }
+}
+
+void AuditContext::check_quiescent() {
+  auditor_.check_quiescent();
+  if (auditor_.violations().size() != violations_handled_) {
+    handle_violations();
+  }
+}
+
+void AuditContext::handle_violations() {
+  const auto& all = auditor_.violations();
+  // Dump once, when the first violation appears, so the recorder window
+  // still shows the lead-up to it.
+  if (cfg_.dump_on_violation && dump_path_.empty()) {
+    dump_path_ = dump_to_file();
+  }
+  while (violations_handled_ < all.size()) {
+    const Violation& v = all[violations_handled_++];
+    log_warn("audit conn ", conn_id_, ": invariant '", v.invariant,
+             "' violated — ", v.detail,
+             dump_path_.empty() ? "" : (" (dump: " + dump_path_ + ")"));
+    if (cfg_.on_violation) cfg_.on_violation(v);
+    if (cfg_.fatal) {
+      std::fprintf(stderr,
+                   "IQ_AUDIT violation: conn %u invariant '%s' — %s\n"
+                   "flight-recorder dump: %s\n",
+                   conn_id_, v.invariant.c_str(), v.detail.c_str(),
+                   dump_path_.empty() ? "(no dump)" : dump_path_.c_str());
+      std::abort();
+    }
+  }
+}
+
+std::string AuditContext::dump_json() const {
+  std::string out;
+  out += "{\"conn_id\":";
+  out += std::to_string(conn_id_);
+  out += ",\"violations\":[";
+  bool first = true;
+  for (const Violation& v : auditor_.violations()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"invariant\":\"";
+    out += v.invariant;
+    out += "\",\"detail\":\"";
+    // Details are generated from fixed format strings (no quotes or
+    // backslashes), so a plain copy is JSON-safe.
+    out += v.detail;
+    out += "\",\"event_index\":";
+    out += std::to_string(v.event_index);
+    out += ",\"event\":";
+    append_event_json(out, v.event);
+    out += '}';
+  }
+  out += "],\"flight_recorder\":";
+  out += recorder_.to_json();
+  out += '}';
+  return out;
+}
+
+std::string AuditContext::dump_to_file() const {
+  const std::uint64_t n = dump_counter.fetch_add(1);
+  std::string path = cfg_.dump_dir.empty() ? "." : cfg_.dump_dir;
+  path += "/iq_audit_dump_" + std::to_string(conn_id_) + "_" +
+          std::to_string(n) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    log_warn("audit conn ", conn_id_, ": cannot write dump to ", path);
+    return "";
+  }
+  out << dump_json() << '\n';
+  return path;
+}
+
+const AuditConfig* env_audit_config() {
+  static const std::unique_ptr<AuditConfig> cfg = [] {
+    std::unique_ptr<AuditConfig> c;
+    const char* armed = std::getenv("IQ_AUDIT");
+    if (armed == nullptr || *armed == '\0' || *armed == '0') return c;
+    c = std::make_unique<AuditConfig>();
+    c->fatal = true;
+    if (const char* ring = std::getenv("IQ_AUDIT_RING");
+        ring != nullptr && *ring != '\0') {
+      const long v = std::strtol(ring, nullptr, 10);
+      if (v > 0) c->ring_capacity = static_cast<std::size_t>(v);
+    }
+    if (const char* dir = std::getenv("IQ_AUDIT_DUMP_DIR");
+        dir != nullptr && *dir != '\0') {
+      c->dump_dir = dir;
+    }
+    return c;
+  }();
+  return cfg.get();
+}
+
+}  // namespace iq::audit

@@ -1,0 +1,236 @@
+#include "iq/audit/auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace iq::audit {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+constexpr std::size_t kMaxRecordedViolations = 256;
+
+}  // namespace
+
+void InvariantAuditor::violate(const Event& e, const char* invariant,
+                               std::string detail) {
+  if (violations_.size() >= kMaxRecordedViolations) return;
+  Violation v;
+  v.invariant = invariant;
+  v.detail = std::move(detail);
+  v.event = e;
+  v.event_index = events_;
+  violations_.push_back(std::move(v));
+}
+
+void InvariantAuditor::on_event(const Event& e) {
+  ++events_;
+  switch (e.type) {
+    case EventType::SegSent: {
+      ++checks_;
+      if (any_sent_ && e.seq <= last_sent_seq_) {
+        violate(e, "seq-monotonicity",
+                fmt("first transmission of seq %llu after seq %llu",
+                    (unsigned long long)e.seq,
+                    (unsigned long long)last_sent_seq_));
+      }
+      last_sent_seq_ = e.seq;
+      any_sent_ = true;
+      if (live_.count(e.seq) || terminal_.count(e.seq)) {
+        violate(e, "seg-exactly-once",
+                fmt("seq %llu transmitted fresh twice",
+                    (unsigned long long)e.seq));
+      }
+      live_[e.seq] = SegState::Live;
+      break;
+    }
+    case EventType::SegRetransmit:
+      ++checks_;
+      if (!live_.count(e.seq)) {
+        violate(e, "seg-exactly-once",
+                fmt("retransmission of %s seq %llu",
+                    terminal_.count(e.seq) ? "resolved" : "never-sent",
+                    (unsigned long long)e.seq));
+      }
+      break;
+    case EventType::SegAcked: {
+      ++checks_;
+      auto it = live_.find(e.seq);
+      if (it == live_.end()) {
+        violate(e, "seg-exactly-once",
+                fmt("ack evidence for %s seq %llu",
+                    terminal_.count(e.seq) ? "already-resolved" : "never-sent",
+                    (unsigned long long)e.seq));
+      } else {
+        live_.erase(it);
+        terminal_[e.seq] = SegState::Acked;
+      }
+      ++batch_acked_;
+      ++epoch_acked_accum_;
+      break;
+    }
+    case EventType::SegSkipped: {
+      ++checks_;
+      auto it = live_.find(e.seq);
+      if (it == live_.end()) {
+        violate(e, "seg-exactly-once",
+                fmt("skip of %s seq %llu",
+                    terminal_.count(e.seq) ? "already-resolved" : "never-sent",
+                    (unsigned long long)e.seq));
+      } else {
+        live_.erase(it);
+        terminal_[e.seq] = SegState::Skipped;
+      }
+      break;
+    }
+    case EventType::LossCondemned:
+      ++checks_;
+      if (!live_.count(e.seq)) {
+        violate(e, "seg-exactly-once",
+                fmt("loss condemnation of non-live seq %llu",
+                    (unsigned long long)e.seq));
+      }
+      ++epoch_lost_accum_;
+      break;
+    case EventType::AckReceived:
+      ++checks_;
+      if (e.a != batch_acked_) {
+        violate(e, "ack-batch",
+                fmt("ack reported %llu newly acked but %llu SegAcked events "
+                    "were emitted for the batch",
+                    (unsigned long long)e.a,
+                    (unsigned long long)batch_acked_));
+      }
+      batch_acked_ = 0;
+      break;
+    case EventType::CwndChange: {
+      ++checks_;
+      if (!std::isfinite(e.x) || !std::isfinite(e.y) || e.y <= 0.0) {
+        violate(e, "cwnd-bounds",
+                fmt("cwnd %g -> %g (cause %s) is not finite-positive", e.x,
+                    e.y, cwnd_cause_name(static_cast<CwndCause>(e.flag))));
+        break;
+      }
+      const double slack =
+          1e-9 * std::max({1.0, std::fabs(bounds_.min_cwnd),
+                           std::fabs(bounds_.max_cwnd)});
+      if (e.y < bounds_.min_cwnd - slack || e.y > bounds_.max_cwnd + slack) {
+        violate(e, "cwnd-bounds",
+                fmt("cwnd %g -> %g (cause %s) escapes [%g, %g]", e.x, e.y,
+                    cwnd_cause_name(static_cast<CwndCause>(e.flag)),
+                    bounds_.min_cwnd, bounds_.max_cwnd));
+      }
+      break;
+    }
+    case EventType::CoordRescale:
+      ++checks_;
+      if (!std::isfinite(e.x) || e.x <= 0.0) {
+        violate(e, "rescale-factor",
+                fmt("coordinator rescale factor %g is not finite-positive",
+                    e.x));
+      }
+      break;
+    case EventType::EpochClose: {
+      ++checks_;
+      if (e.seq != last_epoch_ + 1) {
+        violate(e, "epoch-ordering",
+                fmt("epoch %llu closed after epoch %llu",
+                    (unsigned long long)e.seq,
+                    (unsigned long long)last_epoch_));
+      }
+      last_epoch_ = e.seq;
+      if (e.a != epoch_acked_accum_ || e.b != epoch_lost_accum_) {
+        violate(e, "epoch-conservation",
+                fmt("epoch %llu reports acked=%llu lost=%llu but the stream "
+                    "counted acked=%llu lost=%llu",
+                    (unsigned long long)e.seq, (unsigned long long)e.a,
+                    (unsigned long long)e.b,
+                    (unsigned long long)epoch_acked_accum_,
+                    (unsigned long long)epoch_lost_accum_));
+      }
+      const auto resolved = static_cast<double>(e.a + e.b);
+      if (e.a + e.b == 0) {
+        violate(e, "epoch-conservation", "epoch closed with zero segments");
+      } else {
+        const double expect = static_cast<double>(e.b) / resolved;
+        if (!std::isfinite(e.x) || std::fabs(e.x - expect) > 1e-9) {
+          violate(e, "epoch-ratio",
+                  fmt("epoch %llu loss ratio %g != lost/(acked+lost) = %g",
+                      (unsigned long long)e.seq, e.x, expect));
+        }
+      }
+      sum_epoch_acked_ += e.a;
+      sum_epoch_lost_ += e.b;
+      if (e.c != sum_epoch_acked_ + discarded_acked_ ||
+          e.d != sum_epoch_lost_ + discarded_lost_) {
+        violate(e, "lifetime-conservation",
+                fmt("lifetime totals acked=%llu lost=%llu != closed epochs "
+                    "(%llu/%llu) + reset discards (%llu/%llu)",
+                    (unsigned long long)e.c, (unsigned long long)e.d,
+                    (unsigned long long)sum_epoch_acked_,
+                    (unsigned long long)sum_epoch_lost_,
+                    (unsigned long long)discarded_acked_,
+                    (unsigned long long)discarded_lost_));
+      }
+      epoch_acked_accum_ = 0;
+      epoch_lost_accum_ = 0;
+      break;
+    }
+    case EventType::EpochReset: {
+      ++checks_;
+      if (e.a != epoch_acked_accum_ || e.b != epoch_lost_accum_) {
+        violate(e, "epoch-conservation",
+                fmt("epoch reset discards acked=%llu lost=%llu but the "
+                    "stream counted acked=%llu lost=%llu pending",
+                    (unsigned long long)e.a, (unsigned long long)e.b,
+                    (unsigned long long)epoch_acked_accum_,
+                    (unsigned long long)epoch_lost_accum_));
+      }
+      discarded_acked_ += e.a;
+      discarded_lost_ += e.b;
+      if (e.c != discarded_acked_ || e.d != discarded_lost_) {
+        violate(e, "lifetime-conservation",
+                fmt("monitor lifetime discards %llu/%llu != audited %llu/%llu",
+                    (unsigned long long)e.c, (unsigned long long)e.d,
+                    (unsigned long long)discarded_acked_,
+                    (unsigned long long)discarded_lost_));
+      }
+      epoch_acked_accum_ = 0;
+      epoch_lost_accum_ = 0;
+      break;
+    }
+    case EventType::ConnOpen:
+    case EventType::Established:
+    case EventType::Failed:
+    case EventType::MsgEnqueued:
+    case EventType::MsgDiscarded:
+    case EventType::MsgShed:
+    case EventType::Rto:
+    case EventType::Probe:
+      break;
+  }
+}
+
+void InvariantAuditor::check_quiescent() {
+  ++checks_;
+  if (live_.empty()) return;
+  Event e;
+  e.type = EventType::Probe;
+  e.seq = live_.begin()->first;
+  violate(e, "seg-conservation",
+          fmt("%llu transmitted segments never resolved (first seq %llu)",
+              (unsigned long long)live_.size(),
+              (unsigned long long)live_.begin()->first));
+}
+
+}  // namespace iq::audit

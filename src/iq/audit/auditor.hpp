@@ -1,0 +1,93 @@
+#pragma once
+// Invariant auditor: consumes one endpoint's event stream and continuously
+// cross-checks the accounting identities the adaptation schemes depend on
+// (docs/AUDIT.md lists them with their rationale):
+//
+//   * sequence monotonicity — first transmissions carry strictly
+//     increasing unwrapped sequence numbers;
+//   * exactly-once resolution — every transmitted segment reaches at most
+//     one terminal state (acked or skipped), retransmissions and loss
+//     condemnations only touch live segments, and check_quiescent()
+//     verifies a drained sender resolved everything;
+//   * ack-batch consistency — SendBuffer's newly_acked counter equals the
+//     per-sequence SegAcked events of the same batch;
+//   * epoch conservation — each EpochClose reports exactly the acked/lost
+//     events counted since the previous epoch boundary, its loss ratio is
+//     lost/(acked+lost), and the LossMonitor lifetime totals equal the sum
+//     of closed epochs plus reset_epoch() discards;
+//   * cwnd sanity — the congestion window stays finite, positive and
+//     within [min_cwnd, max_cwnd] through every mutation, including
+//     coordinator rescales and FEC debits; rescale factors are finite and
+//     positive.
+//
+// The auditor models a single endpoint (one RudpConnection's stream); each
+// audited connection owns its own instance via audit::AuditContext.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iq/audit/event.hpp"
+
+namespace iq::audit {
+
+struct Violation {
+  std::string invariant;  ///< short identifier, e.g. "epoch-conservation"
+  std::string detail;     ///< human-readable specifics
+  Event event;            ///< the event that exposed the violation
+  std::uint64_t event_index = 0;  ///< ordinal in the stream (1-based)
+};
+
+class InvariantAuditor {
+ public:
+  struct CwndBounds {
+    double min_cwnd = 0.0;
+    double max_cwnd = 1e18;
+  };
+
+  void set_cwnd_bounds(const CwndBounds& b) { bounds_ = b; }
+
+  void on_event(const Event& e);
+
+  /// Call once the sender has drained (send_idle): every transmitted
+  /// segment must have resolved; leftovers are reported as violations.
+  void check_quiescent();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t events_seen() const { return events_; }
+  std::uint64_t live_segments() const { return live_.size(); }
+  std::uint64_t checks_performed() const { return checks_; }
+
+ private:
+  enum class SegState : std::uint8_t { Live, Acked, Skipped };
+
+  void violate(const Event& e, const char* invariant, std::string detail);
+
+  CwndBounds bounds_;
+  std::uint64_t events_ = 0;
+  std::uint64_t checks_ = 0;
+  std::vector<Violation> violations_;
+
+  // Segment lifecycle. `live_` holds transmitted-but-unresolved sequences;
+  // resolved ones move to `terminal_` (kept so a double resolution or a
+  // retransmit of a resolved segment is detected, bounded by the run).
+  std::map<std::uint64_t, SegState> live_;
+  std::map<std::uint64_t, SegState> terminal_;
+  std::uint64_t last_sent_seq_ = 0;
+  bool any_sent_ = false;
+
+  // Ack-batch cross-check.
+  std::uint64_t batch_acked_ = 0;
+
+  // Epoch accounting.
+  std::uint64_t epoch_acked_accum_ = 0;
+  std::uint64_t epoch_lost_accum_ = 0;
+  std::uint64_t sum_epoch_acked_ = 0;
+  std::uint64_t sum_epoch_lost_ = 0;
+  std::uint64_t discarded_acked_ = 0;
+  std::uint64_t discarded_lost_ = 0;
+  std::uint64_t last_epoch_ = 0;
+};
+
+}  // namespace iq::audit

@@ -1,0 +1,40 @@
+#include "iq/audit/event.hpp"
+
+namespace iq::audit {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::ConnOpen: return "conn-open";
+    case EventType::Established: return "established";
+    case EventType::Failed: return "failed";
+    case EventType::MsgEnqueued: return "msg-enqueued";
+    case EventType::MsgDiscarded: return "msg-discarded";
+    case EventType::MsgShed: return "msg-shed";
+    case EventType::SegSent: return "seg-sent";
+    case EventType::SegRetransmit: return "seg-retransmit";
+    case EventType::SegAcked: return "seg-acked";
+    case EventType::SegSkipped: return "seg-skipped";
+    case EventType::LossCondemned: return "loss-condemned";
+    case EventType::AckReceived: return "ack-received";
+    case EventType::Rto: return "rto";
+    case EventType::CwndChange: return "cwnd-change";
+    case EventType::EpochClose: return "epoch-close";
+    case EventType::EpochReset: return "epoch-reset";
+    case EventType::CoordRescale: return "coord-rescale";
+    case EventType::Probe: return "probe";
+  }
+  return "?";
+}
+
+const char* cwnd_cause_name(CwndCause c) {
+  switch (c) {
+    case CwndCause::Ack: return "ack";
+    case CwndCause::Loss: return "loss";
+    case CwndCause::Timeout: return "timeout";
+    case CwndCause::Epoch: return "epoch";
+    case CwndCause::Scale: return "scale";
+  }
+  return "?";
+}
+
+}  // namespace iq::audit

@@ -1,0 +1,66 @@
+#pragma once
+// Structured protocol events for the flight recorder and invariant auditor.
+//
+// One fixed-size POD per protocol action. Producers (RudpConnection, the
+// Coordinator) fill the generic payload slots seq/a/b/c/d/x/y with
+// per-type meanings documented in docs/AUDIT.md; keeping the record binary
+// and flat is what makes steady-state recording a memcpy into a ring.
+
+#include <cstdint>
+
+namespace iq::audit {
+
+enum class EventType : std::uint8_t {
+  ConnOpen = 0,     ///< audit armed on a connection; a = role (0 cli, 1 srv)
+  Established,      ///< handshake completed
+  Failed,           ///< entered ConnState::Failed; a = FailureReason
+  MsgEnqueued,      ///< seq = msg_id, a = frag_count, b = bytes
+  MsgDiscarded,     ///< send-side discard of unmarked data; seq = msg_id
+  MsgShed,          ///< backpressure shed before send; seq = msg_id, a = frags
+  SegSent,          ///< first transmission; seq, a = msg_id, b = payload bytes
+  SegRetransmit,    ///< retransmission; seq, flag bit0 = from RTO
+  SegAcked,         ///< first receipt evidence for seq (terminal)
+  SegSkipped,       ///< abandoned via ADVANCE (terminal); seq, a = msg_id
+  LossCondemned,    ///< counted toward the loss epoch; seq, flag bit0 = RTO
+  AckReceived,      ///< seq = unwrapped cum, a = newly_acked, b = bytes,
+                    ///< c = eack count
+  Rto,              ///< timeout fired; a = streak length, x = rto seconds
+  CwndChange,       ///< x = cwnd before, y = after, flag = CwndCause
+  EpochClose,       ///< seq = epoch index, a = acked, b = lost,
+                    ///< c = lifetime acked, d = lifetime lost,
+                    ///< x = loss ratio, y = smoothed ratio
+  EpochReset,       ///< blackout-recovery discard; a = pending acked dropped,
+                    ///< b = pending lost dropped, c/d = lifetime discards
+  CoordRescale,     ///< coordinator window rescale; x = factor, y = eratio
+  Probe,            ///< test-only injected event (seeded-violation hook)
+};
+
+/// Which code path mutated the congestion window (CwndChange.flag).
+enum class CwndCause : std::uint8_t {
+  Ack = 0,
+  Loss,
+  Timeout,
+  Epoch,
+  Scale,  ///< coordinator / FEC-debit scale_congestion_window
+};
+
+struct Event {
+  std::uint64_t t_us = 0;   ///< executor clock, microseconds
+  std::uint64_t seq = 0;    ///< unwrapped sequence / msg_id / epoch index
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+  double x = 0.0;
+  double y = 0.0;
+  std::uint32_t conn_id = 0;
+  EventType type = EventType::ConnOpen;
+  std::uint8_t flag = 0;
+  std::uint16_t reserved = 0;
+};
+static_assert(sizeof(Event) == 72, "Event is a fixed binary record");
+
+const char* event_type_name(EventType t);
+const char* cwnd_cause_name(CwndCause c);
+
+}  // namespace iq::audit

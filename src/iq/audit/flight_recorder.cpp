@@ -1,0 +1,102 @@
+#include "iq/audit/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "iq/common/check.hpp"
+
+namespace iq::audit {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Mirrors harness::JsonWriter's contract: a non-finite double must never
+// leak into the output as a bare nan/inf token.
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 16)) {}
+
+void FlightRecorder::record(const Event& e) {
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  total_ = 0;
+}
+
+std::size_t FlightRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  return total_ - size();
+}
+
+void append_event_json(std::string& out, const Event& e) {
+  out += "{\"t_us\":";
+  append_u64(out, e.t_us);
+  out += ",\"type\":\"";
+  out += event_type_name(e.type);
+  out += "\",\"conn\":";
+  append_u64(out, e.conn_id);
+  out += ",\"seq\":";
+  append_u64(out, e.seq);
+  out += ",\"a\":";
+  append_u64(out, e.a);
+  out += ",\"b\":";
+  append_u64(out, e.b);
+  out += ",\"c\":";
+  append_u64(out, e.c);
+  out += ",\"d\":";
+  append_u64(out, e.d);
+  out += ",\"x\":";
+  append_double(out, e.x);
+  out += ",\"y\":";
+  append_double(out, e.y);
+  out += ",\"flag\":";
+  append_u64(out, e.flag);
+  out += '}';
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out;
+  out.reserve(size() * 160 + 128);
+  out += "{\"capacity\":";
+  append_u64(out, ring_.size());
+  out += ",\"recorded\":";
+  append_u64(out, total_);
+  out += ",\"overwritten\":";
+  append_u64(out, overwritten());
+  out += ",\"events\":[";
+  bool first = true;
+  for_each([&](const Event& e) {
+    if (!first) out += ',';
+    first = false;
+    append_event_json(out, e);
+  });
+  out += "]}";
+  return out;
+}
+
+}  // namespace iq::audit

@@ -1,0 +1,55 @@
+#pragma once
+// Flight recorder: a fixed-size ring of binary protocol events.
+//
+// Recording is a struct copy into a preallocated vector — no allocation, no
+// formatting — so it can stay armed through full-length chaos runs. The
+// JSON rendering only happens on demand (a dump after a violation or an
+// explicit request), never on the record path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iq/audit/event.hpp"
+
+namespace iq::audit {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  void record(const Event& e);
+  void clear();
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (≤ capacity).
+  std::size_t size() const;
+  /// Events recorded over the recorder's lifetime.
+  std::uint64_t total_recorded() const { return total_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t overwritten() const;
+
+  /// Visit held events oldest → newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    const std::size_t cap = ring_.size();
+    const std::size_t start = (head_ + cap - n) % cap;
+    for (std::size_t i = 0; i < n; ++i) fn(ring_[(start + i) % cap]);
+  }
+
+  /// Render the held window as a JSON object:
+  ///   {"capacity":..,"recorded":..,"overwritten":..,"events":[...]}
+  /// Non-finite doubles are emitted as null (never bare nan/inf tokens).
+  std::string to_json() const;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::uint64_t total_ = 0;
+};
+
+/// Append one event as a JSON object to `out` (shared with dump files).
+void append_event_json(std::string& out, const Event& e);
+
+}  // namespace iq::audit

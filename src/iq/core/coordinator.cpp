@@ -36,7 +36,14 @@ void Coordinator::on_fec_redundancy(double redundancy) {
   }
   const double factor = (1.0 + old_rho) / (1.0 + redundancy);
   ++stats_.fec_rescales;
+  conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/3);
   conn_.scale_congestion_window(factor);
+}
+
+void Coordinator::cancel_deferral() {
+  if (!deferral_pending_) return;
+  deferral_pending_ = false;
+  ++stats_.deferrals_cancelled;
 }
 
 double Coordinator::rescale_factor(double rate_chg, double eratio_then,
@@ -63,6 +70,25 @@ void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
     return;
   }
 
+  // Scheme 3 resolution: any *concrete* adaptation — resolution or
+  // frequency, from either path — closes an open deferral. On the send path
+  // this is the deferred adaptation landing (the CMwritev_attr path); on
+  // the callback path a newer concrete adaptation supersedes the deferred
+  // one. Previously only a send-path resolution_change cleared the flag, so
+  // a deferral followed by a frequency adaptation (or a superseding
+  // callback) left deferral_pending_ stuck forever. Reliability (mark)
+  // adaptations deliberately do not touch deferral state: they are
+  // orthogonal to the rate adaptation the deferral announced.
+  if (deferral_pending_ &&
+      (rec.resolution_change.has_value() || rec.freq_ratio.has_value())) {
+    deferral_pending_ = false;
+    if (from_send_call) {
+      ++stats_.deferred_resolved;
+    } else {
+      ++stats_.deferrals_superseded;
+    }
+  }
+
   // Scheme 1: reliability adaptation → send-side discard of unmarked data.
   if (rec.mark_degree.has_value() && coordinated &&
       cfg_.enable_conflict_scheme) {
@@ -87,16 +113,13 @@ void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
           std::clamp(1.0 / *rec.freq_ratio, 1.0 / 8.0, 8.0);
       stats_.last_rescale_factor = factor;
       ++stats_.window_rescales;
+      conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/2);
       conn_.scale_congestion_window(factor);
     }
   }
 
   // Schemes 2/3: resolution adaptation → packet-window rescale.
   if (rec.resolution_change.has_value()) {
-    if (from_send_call && deferral_pending_) {
-      deferral_pending_ = false;
-      ++stats_.deferred_resolved;
-    }
     if (coordinated && cfg_.enable_overreaction_scheme) {
       // Rescale only when the (post-adaptation) frame is below the segment
       // size; above it, packets stay MSS-sized and the bit rate is already
@@ -115,6 +138,7 @@ void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
         if (compensate) ++stats_.cond_compensations;
         stats_.last_rescale_factor = factor;
         ++stats_.window_rescales;
+        conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/1);
         conn_.scale_congestion_window(factor);
       }
     }

@@ -70,7 +70,10 @@ struct CoordinatorStats {
   std::uint64_t discard_enables = 0;
   std::uint64_t discard_disables = 0;
   std::uint64_t deferrals_noted = 0;
-  std::uint64_t deferred_resolved = 0;
+  std::uint64_t deferred_resolved = 0;      ///< landed on a later send call
+  std::uint64_t deferrals_superseded = 0;   ///< replaced by a newer callback
+                                            ///< adaptation before landing
+  std::uint64_t deferrals_cancelled = 0;    ///< cancel_deferral() calls
   std::uint64_t cond_compensations = 0;
   std::uint64_t freq_adaptations = 0;  ///< seen, intentionally no rescale
   double last_rescale_factor = 1.0;
@@ -94,8 +97,17 @@ class Coordinator {
   /// including parity — is invariant across retunes.
   void on_fec_redundancy(double redundancy);
 
+  /// The application abandoned a deferred adaptation (ADAPT_WHEN = deferred
+  /// with no later concrete adaptation). Clears the pending flag so eq. (1)
+  /// compensation is not applied to an unrelated future adaptation. No-op
+  /// when nothing is pending.
+  void cancel_deferral();
+
   const CoordinatorStats& stats() const { return stats_; }
   const CoordinatorConfig& config() const { return cfg_; }
+  /// True between a deferred announcement and its resolution — resolved by
+  /// the deferred adaptation landing on a send call, superseded by a newer
+  /// concrete callback adaptation, or cancelled via cancel_deferral().
   bool deferral_pending() const { return deferral_pending_; }
   double current_error_ratio() const { return current_eratio_; }
 

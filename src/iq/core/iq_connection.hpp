@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "iq/attr/callbacks.hpp"
 #include "iq/attr/store.hpp"
@@ -81,6 +82,16 @@ class IqRudpConnection {
       double upper, double lower, attr::ThresholdCallback on_upper,
       attr::ThresholdCallback on_lower,
       attr::FiringMode mode = attr::FiringMode::EveryEpoch);
+
+  // -------------------------------------------------------------- audit ---
+  /// Arm the flight recorder + invariant auditor on the underlying
+  /// transport (see docs/AUDIT.md). Also armed process-wide via IQ_AUDIT=1.
+  audit::AuditContext* enable_audit(audit::AuditConfig acfg = {}) {
+    return conn_.enable_audit(std::move(acfg));
+  }
+  /// nullptr while audit is disarmed.
+  audit::AuditContext* audit() { return conn_.audit(); }
+  const audit::AuditContext* audit() const { return conn_.audit(); }
 
   // ------------------------------------------------------------- access ---
   rudp::RudpConnection& transport() { return conn_; }

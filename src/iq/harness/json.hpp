@@ -17,6 +17,10 @@ class JsonWriter {
   JsonWriter& key(const std::string& name);
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v) { return value(std::string(v)); }
+  /// Non-finite doubles (NaN, ±inf) are emitted as `null` — JSON has no
+  /// representation for them, and a bare `nan`/`inf` token renders the whole
+  /// document unparseable. Consumers must treat a null metric as "not
+  /// computable", not 0. (Pinned by JsonWriterTest.NonFiniteDoublesAreNull.)
   JsonWriter& value(double v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(std::uint64_t v);

@@ -47,6 +47,12 @@ class CongestionController {
   /// IQ coordination hook: multiply the window by `factor` (clamped).
   virtual void scale_window(double factor) = 0;
 
+  /// The clamp bounds every mutation must respect — the invariant auditor
+  /// verifies cwnd() stays within [min_cwnd(), max_cwnd()] through every
+  /// ack/loss/timeout/epoch/scale transition.
+  virtual double min_cwnd() const = 0;
+  virtual double max_cwnd() const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -72,6 +78,8 @@ class LdaController final : public CongestionController {
   void set_srtt(Duration srtt) override { srtt_ = srtt; }
   double cwnd() const override { return cwnd_; }
   void scale_window(double factor) override;
+  double min_cwnd() const override { return cfg_.min_cwnd; }
+  double max_cwnd() const override { return cfg_.max_cwnd; }
   std::string name() const override { return "lda"; }
 
   /// TCP-throughput-equation window for the given loss ratio (packets).
@@ -103,6 +111,8 @@ class AimdController final : public CongestionController {
   void set_srtt(Duration srtt) override { srtt_ = srtt; }
   double cwnd() const override { return cwnd_; }
   void scale_window(double factor) override;
+  double min_cwnd() const override { return cfg_.min_cwnd; }
+  double max_cwnd() const override { return cfg_.max_cwnd; }
   std::string name() const override { return "aimd"; }
 
   double ssthresh() const { return ssthresh_; }
@@ -130,6 +140,9 @@ class FixedWindowController final : public CongestionController {
   void set_srtt(Duration) override {}
   double cwnd() const override { return cwnd_; }
   void scale_window(double factor) override;
+  // scale_window clamps to [1, 65536] around the configured fixed window.
+  double min_cwnd() const override { return 1.0; }
+  double max_cwnd() const override { return 65536.0; }
   std::string name() const override { return "fixed"; }
 
  private:

@@ -43,6 +43,59 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
   wire_.set_corruption_handler([this] { ++stats_.checksum_rejects; });
   loss_.set_epoch_handler(
       [this](const EpochReport& report) { on_epoch_report(report); });
+  // IQ_AUDIT=1 arms every connection in the process (scripts/ci.sh --audit
+  // runs the whole ctest suite and chaos matrix this way).
+  if (const audit::AuditConfig* env = audit::env_audit_config()) {
+    enable_audit(*env);
+  }
+}
+
+// --------------------------------------------------------------- audit ----
+
+audit::AuditContext* RudpConnection::enable_audit(audit::AuditConfig acfg) {
+  audit_ = std::make_unique<audit::AuditContext>(cfg_.conn_id,
+                                                 std::move(acfg));
+  audit::InvariantAuditor::CwndBounds bounds;
+  bounds.min_cwnd = cc_->min_cwnd();
+  bounds.max_cwnd = cc_->max_cwnd();
+  audit_->auditor().set_cwnd_bounds(bounds);
+  audit_emit(audit::EventType::ConnOpen, 0,
+             role_ == Role::Server ? 1u : 0u);
+  return audit_.get();
+}
+
+void RudpConnection::audit_emit(audit::EventType type, Seq seq,
+                                std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c, std::uint64_t d, double x,
+                                double y, std::uint8_t flag) {
+  if (!audit_) return;
+  audit::Event e;
+  e.t_us = now_us();
+  e.conn_id = cfg_.conn_id;
+  e.type = type;
+  e.seq = seq;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.d = d;
+  e.x = x;
+  e.y = y;
+  e.flag = flag;
+  audit_->record(e);
+}
+
+void RudpConnection::audit_coord_rescale(double factor, double eratio,
+                                         std::uint8_t scheme) {
+  audit_emit(audit::EventType::CoordRescale, 0, 0, 0, 0, 0, factor, eratio,
+             scheme);
+}
+
+void RudpConnection::audit_cwnd(audit::CwndCause cause, double before) {
+  if (!audit_) return;
+  const double after = cc_->cwnd();
+  if (after == before) return;
+  audit_emit(audit::EventType::CwndChange, 0, 0, 0, 0, 0, before, after,
+             static_cast<std::uint8_t>(cause));
 }
 
 RudpConnection::~RudpConnection() = default;
@@ -87,6 +140,8 @@ void RudpConnection::enter_failed(FailureReason reason) {
   state_ = ConnState::Failed;
   failure_reason_ = reason;
   ++stats_.failures;
+  audit_emit(audit::EventType::Failed, 0,
+             static_cast<std::uint64_t>(reason));
   rto_timer_.stop();
   connect_timer_.stop();
   keepalive_timer_.stop();
@@ -145,6 +200,7 @@ void RudpConnection::on_keepalive_tick() {
 void RudpConnection::become_established() {
   if (state_ == ConnState::Established) return;
   state_ = ConnState::Established;
+  audit_emit(audit::EventType::Established);
   if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
   if (on_established_) on_established_();
 }
@@ -166,6 +222,7 @@ RudpConnection::SendResult RudpConnection::send_message(
       budget_.may_skip_message()) {
     budget_.on_message_skipped(msg_id);
     ++stats_.messages_discarded_at_send;
+    audit_emit(audit::EventType::MsgDiscarded, msg_id);
     return SendResult{msg_id, /*discarded=*/true};
   }
 
@@ -186,6 +243,8 @@ RudpConnection::SendResult RudpConnection::send_message(
     pending_.push_back(std::move(p));
   }
   ++stats_.messages_enqueued;
+  audit_emit(audit::EventType::MsgEnqueued, msg_id, frag_count,
+             static_cast<std::uint64_t>(spec.bytes));
   shed_pending();
   pump();
   return SendResult{msg_id, /*discarded=*/false};
@@ -208,6 +267,7 @@ void RudpConnection::shed_pending() {
     while (j < pending_.size() && pending_[j].frag_index != 0) ++j;
     if (j >= pending_.size()) return;  // nothing evictable
     const auto n = static_cast<std::size_t>(pending_[j].frag_count);
+    audit_emit(audit::EventType::MsgShed, pending_[j].msg_id, n);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j),
                    pending_.begin() + static_cast<std::ptrdiff_t>(j + n));
     ++stats_.messages_shed;
@@ -248,6 +308,10 @@ void RudpConnection::pump() {
     o.first_sent = wire_.executor().now();
     o.last_sent = o.first_sent;
     send_buf_.add(o);
+    audit_emit(audit::EventType::SegSent, o.seq, o.msg_id,
+               static_cast<std::uint64_t>(o.payload_bytes), 0, 0, 0.0, 0.0,
+               static_cast<std::uint8_t>((o.marked ? 1 : 0) |
+                                         (o.fec ? 2 : 0)));
     transmit(*send_buf_.find(o.seq), /*retransmission=*/false);
   }
 }
@@ -369,7 +433,11 @@ void RudpConnection::on_segment(const Segment& seg) {
   // loss epoch: it is a wall of outage losses that would close as a
   // ~100%-loss report and slam the window shut just as the path comes back.
   if (rto_streak_ >= cfg_.rto_streak_for_epoch_reset) {
+    const std::uint64_t pending_acked = loss_.pending_acked();
+    const std::uint64_t pending_lost = loss_.pending_lost();
     loss_.reset_epoch();
+    audit_emit(audit::EventType::EpochReset, 0, pending_acked, pending_lost,
+               loss_.discarded_acked(), loss_.discarded_lost());
     ++stats_.blackout_recoveries;
   }
   rto_streak_ = 0;
@@ -561,13 +629,29 @@ void RudpConnection::on_ack(const Segment& seg) {
     resend_outstanding_skips();
   }
 
-  auto outcome = send_buf_.on_ack(cum, eacks, cfg_.dup_threshold);
+  audit_acked_scratch_.clear();
+  auto outcome = send_buf_.on_ack(cum, eacks, cfg_.dup_threshold,
+                                  audit_ ? &audit_acked_scratch_ : nullptr);
+  if (audit_) {
+    // Per-seq terminal evidence first, then the batch summary the auditor
+    // cross-checks against it; both precede the LossMonitor update so a
+    // resulting epoch-close event lands after the acks that closed it.
+    for (Seq s : audit_acked_scratch_) {
+      audit_emit(audit::EventType::SegAcked, s);
+    }
+    audit_emit(audit::EventType::AckReceived, cum,
+               static_cast<std::uint64_t>(outcome.newly_acked),
+               static_cast<std::uint64_t>(outcome.newly_acked_bytes),
+               eacks.size());
+  }
   if (outcome.newly_acked > 0) {
     stats_.payload_bytes_acked += outcome.newly_acked_bytes;
     // Grow the window only when the window is what limits us; an
     // application-limited sender must not inflate cwnd (window validation).
     if (window_limited_) {
+      const double cwnd_before = cc_->cwnd();
       cc_->on_ack(outcome.newly_acked, now);
+      audit_cwnd(audit::CwndCause::Ack, cwnd_before);
     }
     loss_.on_acked(static_cast<std::uint32_t>(outcome.newly_acked),
                    outcome.newly_acked_bytes, now);
@@ -611,8 +695,14 @@ std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
   const bool recovery_wait = o->fec && !from_timeout && !o->fec_deferred;
   const bool recovery_failed = o->fec && from_timeout && o->fec_deferred;
   if (!recovery_failed) {
+    audit_emit(audit::EventType::LossCondemned, seq, 0, 0, 0, 0, 0.0, 0.0,
+               from_timeout ? 1 : 0);
     loss_.on_lost(1, now);
-    if (!from_timeout) cc_->on_loss(now);
+    if (!from_timeout) {
+      const double cwnd_before = cc_->cwnd();
+      cc_->on_loss(now);
+      audit_cwnd(audit::CwndCause::Loss, cwnd_before);
+    }
   }
   if (recovery_wait) {
     o->loss_reported = true;
@@ -629,6 +719,7 @@ std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
     SkippedSeq rec{to_wire(seq), o->msg_id, o->frag_count};
     if (budget_.on_message_skipped(o->msg_id)) ++stats_.messages_skipped;
     ++stats_.segments_skipped;
+    audit_emit(audit::EventType::SegSkipped, seq, o->msg_id);
     send_buf_.remove(seq);
     skip_outstanding_.emplace(seq, rec);
     return rec;
@@ -637,6 +728,8 @@ std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
   o->loss_reported = true;
   ++o->transmissions;
   if (!from_timeout) ++stats_.fast_retransmits;
+  audit_emit(audit::EventType::SegRetransmit, seq, 0, 0, 0, 0, 0.0, 0.0,
+             from_timeout ? 1 : 0);
   transmit(*o, /*retransmission=*/true);
   return std::nullopt;
 }
@@ -676,6 +769,9 @@ void RudpConnection::on_rto() {
     rto_streak_seq_ = o->seq;
     rto_streak_ = 1;
   }
+  audit_emit(audit::EventType::Rto, o->seq,
+             static_cast<std::uint64_t>(rto_streak_), 0, 0, 0,
+             rtt_.rto().to_seconds());
   if (cfg_.max_rto_streak > 0 && rto_streak_ >= cfg_.max_rto_streak) {
     enter_failed(FailureReason::RtoStreak);
     return;
@@ -693,7 +789,11 @@ void RudpConnection::on_rto() {
     for (int i = 0; i < probes; ++i) send_control(SegmentType::Nul);
     stats_.rto_probe_nuls += static_cast<std::uint64_t>(probes);
   }
-  cc_->on_timeout(wire_.executor().now());
+  {
+    const double cwnd_before = cc_->cwnd();
+    cc_->on_timeout(wire_.executor().now());
+    audit_cwnd(audit::CwndCause::Timeout, cwnd_before);
+  }
   if (auto skip = resolve_loss(o->seq, /*from_timeout=*/true)) {
     std::vector<SkippedSeq> skips{*skip};
     // Consecutive unmarked losses are common under a burst; sweep the rest
@@ -715,7 +815,9 @@ void RudpConnection::arm_rto() { rto_timer_.start(rtt_.rto()); }
 // --------------------------------------------------------- adaptation -----
 
 void RudpConnection::scale_congestion_window(double factor) {
+  const double cwnd_before = cc_->cwnd();
   cc_->scale_window(factor);
+  audit_cwnd(audit::CwndCause::Scale, cwnd_before);
   pump();
 }
 
@@ -733,7 +835,12 @@ void RudpConnection::set_local_recv_tolerance(double tolerance) {
 }
 
 void RudpConnection::on_epoch_report(const EpochReport& report) {
+  audit_emit(audit::EventType::EpochClose, report.epoch, report.acked,
+             report.lost, loss_.total_acked(), loss_.total_lost(),
+             report.loss_ratio, report.smoothed_loss_ratio);
+  const double cwnd_before = cc_->cwnd();
   cc_->on_epoch(report.loss_ratio, report.at);
+  audit_cwnd(audit::CwndCause::Epoch, cwnd_before);
   if (on_epoch_) on_epoch_(report);
   pump();
 }

@@ -23,7 +23,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "iq/audit/audit.hpp"
 #include "iq/fec/group.hpp"
 #include "iq/rudp/congestion.hpp"
 #include "iq/rudp/loss_monitor.hpp"
@@ -224,6 +226,24 @@ class RudpConnection {
   /// immediately if the queue already exceeds the new bound.
   void set_max_pending_segments(std::size_t limit);
 
+  // --------------------------------------------------------------- audit --
+  /// Arm the flight recorder + invariant auditor on this connection. Every
+  /// protocol event (send/ack/loss/RTO/cwnd-change/epoch-close/rescale)
+  /// flows into a fixed-size binary ring and through the conservation and
+  /// monotonicity checks (docs/AUDIT.md). Near-zero cost while disarmed:
+  /// every emission site is a single null-pointer test. Also armed
+  /// process-wide by exporting IQ_AUDIT=1 (scripts/ci.sh --audit).
+  audit::AuditContext* enable_audit(audit::AuditConfig acfg = {});
+  /// nullptr while audit is disarmed.
+  audit::AuditContext* audit() { return audit_.get(); }
+  const audit::AuditContext* audit() const { return audit_.get(); }
+  /// Loss-epoch accounting (exposed for the auditor's seed tests).
+  const LossMonitor& loss_monitor() const { return loss_; }
+  /// Coordinator hook: record a CoordRescale audit event describing the
+  /// upcoming scale_congestion_window call (no-op while disarmed).
+  /// `scheme`: 1 = resolution rescale, 2 = frequency ablation, 3 = FEC debit.
+  void audit_coord_rescale(double factor, double eratio, std::uint8_t scheme);
+
   // -------------------------------------------------------------- status --
   CongestionController& congestion() { return *cc_; }
   const CongestionController& congestion() const { return *cc_; }
@@ -285,6 +305,14 @@ class RudpConnection {
 
   void on_epoch_report(const EpochReport& report);
   void deliver(RecvBuffer::Result& result);
+
+  // Audit emission helpers — no-ops (single branch) while disarmed.
+  void audit_emit(audit::EventType type, Seq seq = 0, std::uint64_t a = 0,
+                  std::uint64_t b = 0, std::uint64_t c = 0,
+                  std::uint64_t d = 0, double x = 0.0, double y = 0.0,
+                  std::uint8_t flag = 0);
+  /// Emit a CwndChange event if cwnd moved relative to `before`.
+  void audit_cwnd(audit::CwndCause cause, double before);
   void become_established();
   void enter_failed(FailureReason reason);
   void on_keepalive_tick();
@@ -339,6 +367,9 @@ class RudpConnection {
   std::uint64_t last_ts_to_echo_ = 0;
 
   RudpStats stats_;
+
+  std::unique_ptr<audit::AuditContext> audit_;
+  std::vector<Seq> audit_acked_scratch_;
 
   MessageFn on_message_;
   EstablishedFn on_established_;

@@ -43,8 +43,14 @@ class LossMonitor {
   /// when a connection recovers from a blackout: the wall of outage losses
   /// would otherwise poison the first post-recovery report and keep the
   /// congestion window collapsed. Lifetime totals, the smoothed ratio and
-  /// the epoch count are preserved.
+  /// the epoch count are preserved; the dropped counts are accounted in
+  /// discarded_acked()/discarded_lost() so the conservation identity
+  ///   total == Σ closed-epoch counts + discards + pending
+  /// holds at all times (the invariant auditor checks it).
   void reset_epoch() {
+    discarded_acked_ += acked_;
+    discarded_lost_ += lost_;
+    ++epoch_resets_;
     acked_ = 0;
     lost_ = 0;
     acked_bytes_ = 0;
@@ -58,6 +64,14 @@ class LossMonitor {
   std::uint64_t total_lost() const { return total_lost_; }
   /// Lifetime loss ratio across all epochs.
   double lifetime_loss_ratio() const;
+
+  /// In-progress (not yet closed) epoch counters.
+  std::uint64_t pending_acked() const { return acked_; }
+  std::uint64_t pending_lost() const { return lost_; }
+  /// Counts dropped by reset_epoch() over the monitor's lifetime.
+  std::uint64_t discarded_acked() const { return discarded_acked_; }
+  std::uint64_t discarded_lost() const { return discarded_lost_; }
+  std::uint64_t epoch_resets() const { return epoch_resets_; }
 
  private:
   void resolve(TimePoint now);
@@ -78,6 +92,9 @@ class LossMonitor {
   std::uint64_t epoch_ = 0;
   std::uint64_t total_acked_ = 0;
   std::uint64_t total_lost_ = 0;
+  std::uint64_t discarded_acked_ = 0;
+  std::uint64_t discarded_lost_ = 0;
+  std::uint64_t epoch_resets_ = 0;
 };
 
 }  // namespace iq::rudp

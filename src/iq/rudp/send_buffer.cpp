@@ -13,7 +13,8 @@ void SendBuffer::add(Outstanding o) {
 
 SendBuffer::AckOutcome SendBuffer::on_ack(Seq cum_ack,
                                           std::span<const Seq> eacks,
-                                          int dup_threshold) {
+                                          int dup_threshold,
+                                          std::vector<Seq>* newly_acked_out) {
   AckOutcome out;
 
   auto evidence = [&](Outstanding& o) {
@@ -21,6 +22,7 @@ SendBuffer::AckOutcome SendBuffer::on_ack(Seq cum_ack,
       o.counted_received = true;
       ++out.newly_acked;
       out.newly_acked_bytes += o.payload_bytes;
+      if (newly_acked_out != nullptr) newly_acked_out->push_back(o.seq);
       --inflight_;
       IQ_CHECK(inflight_ >= 0);
     }

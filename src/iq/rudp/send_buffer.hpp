@@ -49,8 +49,12 @@ class SendBuffer {
   };
   /// Process a cumulative ack + selective acks. Removes segments the
   /// cumulative ack covers; marks eacked ones; performs loss detection.
+  /// When `newly_acked_out` is non-null (audit armed), the sequences first
+  /// evidenced by this ack are appended to it — the per-seq view the
+  /// invariant auditor cross-checks against newly_acked.
   AckOutcome on_ack(Seq cum_ack, std::span<const Seq> eacks,
-                    int dup_threshold);
+                    int dup_threshold,
+                    std::vector<Seq>* newly_acked_out = nullptr);
 
   Outstanding* find(Seq seq);
   const Outstanding* find(Seq seq) const;

@@ -18,7 +18,12 @@ Histogram::Histogram(double min_value, double max_value, std::size_t buckets)
 }
 
 std::size_t Histogram::bucket_for(double value) const {
-  if (value <= min_value_) return 0;
+  // Negated comparison so NaN (for which every comparison is false) takes
+  // the early return instead of reaching the float→size_t cast below, which
+  // is undefined for NaN/inf. add() filters non-finite values, but keep
+  // this defensive: bucket_for must be total over doubles.
+  if (!(value > min_value_)) return 0;
+  if (std::isinf(value)) return counts_.size() - 1;
   const double idx = (std::log(value) - log_min_) / log_step_;
   const auto i = static_cast<std::size_t>(std::max(idx, 0.0));
   return std::min(i, counts_.size() - 1);
@@ -33,6 +38,10 @@ double Histogram::bucket_upper(std::size_t i) const {
 }
 
 void Histogram::add(double value) {
+  if (!std::isfinite(value)) {
+    ++nonfinite_;  // a NaN here would poison min/max/sum and UB the bucket
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = value;
   } else {
@@ -47,6 +56,7 @@ void Histogram::add(double value) {
 void Histogram::merge(const Histogram& other) {
   IQ_CHECK_MSG(counts_.size() == other.counts_.size(),
                "merging differently-shaped histograms");
+  nonfinite_ += other.nonfinite_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;

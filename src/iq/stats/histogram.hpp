@@ -17,10 +17,16 @@ class Histogram {
   Histogram(double min_value = 1e-6, double max_value = 1e3,
             std::size_t buckets = 128);
 
+  /// Non-finite values (NaN, ±inf) are counted in nonfinite() and excluded
+  /// from count/min/max/mean/quantiles — previously a NaN slipped past the
+  /// edge clamp and indexed the bucket array through an undefined
+  /// float→size_t cast.
   void add(double value);
   void merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
+  /// Values rejected by add() because they were NaN or ±inf.
+  std::uint64_t nonfinite() const { return nonfinite_; }
   bool empty() const { return count_ == 0; }
   double min() const { return empty() ? 0.0 : min_; }
   double max() const { return empty() ? 0.0 : max_; }
@@ -45,6 +51,7 @@ class Histogram {
   double log_step_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
+  std::uint64_t nonfinite_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

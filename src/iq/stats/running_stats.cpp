@@ -44,6 +44,11 @@ double RunningStats::variance() const {
   return m2_ / static_cast<double>(n_);
 }
 
+double RunningStats::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 }  // namespace iq::stats

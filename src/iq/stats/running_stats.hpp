@@ -16,8 +16,17 @@ class RunningStats {
   std::uint64_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
   double mean() const { return n_ == 0 ? 0.0 : mean_; }
-  /// Population variance; 0 with fewer than 2 samples.
+  /// *Population* variance (M2/n); 0 with fewer than 2 samples. The metrics
+  /// here summarize the complete packet trace of a run — the whole
+  /// population, not a sample of a larger one — so no Bessel correction is
+  /// applied. Chan's parallel-merge formula used by merge() keeps M2 exact,
+  /// so merged shards and a serial pass agree to rounding (pinned by
+  /// RunningStatsTest.MergeMatchesSerial).
   double variance() const;
+  /// Sample variance (M2/(n-1), Bessel-corrected), for comparisons against
+  /// external tools that default to it; 0 with fewer than 2 samples.
+  double sample_variance() const;
+  /// sqrt of the population variance().
   double stddev() const;
   double min() const { return n_ == 0 ? 0.0 : min_; }
   double max() const { return n_ == 0 ? 0.0 : max_; }

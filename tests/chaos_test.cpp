@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "iq/audit/audit.hpp"
 #include "iq/common/rng.hpp"
 #include "iq/fault/injector.hpp"
 #include "iq/fault/plan.hpp"
@@ -46,6 +47,12 @@ TEST_P(ChaosTest, EverythingOnAtOnce) {
 
   RudpConnection snd(wire.a(), scfg, Role::Client);
   RudpConnection rcv(wire.b(), rcfg, Role::Server);
+  // Full-length audited soak: every protocol event is cross-checked by the
+  // invariant auditor while the chaos wire does its worst.
+  audit::AuditConfig acfg;
+  acfg.dump_on_violation = false;
+  audit::AuditContext* snd_audit = snd.enable_audit(acfg);
+  audit::AuditContext* rcv_audit = rcv.enable_audit(acfg);
   std::vector<DeliveredMessage> delivered;
   rcv.set_message_handler(
       [&](const DeliveredMessage& m) { delivered.push_back(m); });
@@ -109,6 +116,18 @@ TEST_P(ChaosTest, EverythingOnAtOnce) {
   // fraction above the new, lower tolerance).
   EXPECT_LE(snd.skip_budget().skipped_fraction(), max_tolerance + 1e-9)
       << "seed=" << seed;
+
+  // Invariant 5: a clean audit on both endpoints, including segment
+  // conservation on the drained sender.
+  snd_audit->check_quiescent();
+  EXPECT_TRUE(snd_audit->violations().empty())
+      << "seed=" << seed << " "
+      << snd_audit->violations().front().invariant << ": "
+      << snd_audit->violations().front().detail;
+  EXPECT_TRUE(rcv_audit->violations().empty())
+      << "seed=" << seed << " "
+      << rcv_audit->violations().front().invariant << ": "
+      << rcv_audit->violations().front().detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
@@ -154,6 +173,10 @@ TEST_P(ChaosFaultPlanTest, BlackoutAndBurstSoak) {
   rcfg.recv_loss_tolerance = rng.uniform(0.0, 0.4);
   RudpConnection snd(wire.a(), scfg, Role::Client);
   RudpConnection rcv(wire.b(), rcfg, Role::Server);
+  audit::AuditConfig acfg;
+  acfg.dump_on_violation = false;
+  audit::AuditContext* snd_audit = snd.enable_audit(acfg);
+  audit::AuditContext* rcv_audit = rcv.enable_audit(acfg);
   int failures = 0;
   snd.set_error_handler([&](FailureReason) { ++failures; });
   std::vector<DeliveredMessage> delivered;
@@ -198,6 +221,18 @@ TEST_P(ChaosFaultPlanTest, BlackoutAndBurstSoak) {
     ++oi;
   }
   EXPECT_TRUE(snd.send_idle()) << "seed=" << seed;
+
+  // Clean audit through blackout + burst, including the epoch-reset
+  // discard accounting the recovery path exercises.
+  snd_audit->check_quiescent();
+  EXPECT_TRUE(snd_audit->violations().empty())
+      << "seed=" << seed << " "
+      << snd_audit->violations().front().invariant << ": "
+      << snd_audit->violations().front().detail;
+  EXPECT_TRUE(rcv_audit->violations().empty())
+      << "seed=" << seed << " "
+      << rcv_audit->violations().front().invariant << ": "
+      << rcv_audit->violations().front().detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFaultPlanTest,

@@ -184,6 +184,76 @@ TEST(CoordinatorTest, DeferredThenResolvedOnSend) {
   EXPECT_EQ(p.snd->coordinator().stats().deferred_resolved, 1u);
 }
 
+// Regression: deferral_pending_ used to stick forever unless a *send-path
+// resolution* adaptation arrived — a deferral resolved by a frequency
+// adaptation, superseded by a later concrete callback, or simply abandoned
+// left the flag set, mis-applying eq. (1) compensation to the next
+// unrelated adaptation.
+TEST(CoordinatorTest, DeferredResolvedByFrequencySend) {
+  CorePair p;
+  attr::CallbackContext ctx;
+  attr::AttrList deferred{{attr::kAdaptWhen, attr::kAdaptDeferred}};
+  p.snd->coordinator().on_callback_result(deferred, ctx);
+  ASSERT_TRUE(p.snd->coordinator().deferral_pending());
+
+  rudp::MessageSpec spec;
+  spec.bytes = 700;
+  attr::AttrList attrs{{attr::kAdaptFreq, 0.5}};
+  p.snd->send_with_attrs(spec, attrs);
+  EXPECT_FALSE(p.snd->coordinator().deferral_pending());
+  EXPECT_EQ(p.snd->coordinator().stats().deferred_resolved, 1u);
+  EXPECT_EQ(p.snd->coordinator().stats().deferrals_superseded, 0u);
+}
+
+TEST(CoordinatorTest, DeferredSupersededByConcreteCallback) {
+  CorePair p;
+  attr::CallbackContext ctx;
+  attr::AttrList deferred{{attr::kAdaptWhen, attr::kAdaptDeferred}};
+  p.snd->coordinator().on_callback_result(deferred, ctx);
+  ASSERT_TRUE(p.snd->coordinator().deferral_pending());
+
+  // A later callback announces an immediate (non-deferred) adaptation: the
+  // old deferral is superseded, not left pending.
+  attr::AttrList concrete{{attr::kAdaptPktSize, 0.2},
+                          {attr::kAppFrameBytes, std::int64_t{700}}};
+  p.snd->coordinator().on_callback_result(concrete, ctx);
+  EXPECT_FALSE(p.snd->coordinator().deferral_pending());
+  EXPECT_EQ(p.snd->coordinator().stats().deferrals_superseded, 1u);
+  EXPECT_EQ(p.snd->coordinator().stats().deferred_resolved, 0u);
+}
+
+TEST(CoordinatorTest, MarkOnlySendLeavesDeferralPending) {
+  CorePair p;
+  attr::CallbackContext ctx;
+  attr::AttrList deferred{{attr::kAdaptWhen, attr::kAdaptDeferred}};
+  p.snd->coordinator().on_callback_result(deferred, ctx);
+
+  // Reliability adaptations are orthogonal to the announced rate
+  // adaptation; they must not count as its resolution.
+  rudp::MessageSpec spec;
+  spec.bytes = 700;
+  attr::AttrList attrs{{attr::kAdaptMark, 0.4}};
+  p.snd->send_with_attrs(spec, attrs);
+  EXPECT_TRUE(p.snd->coordinator().deferral_pending());
+  EXPECT_EQ(p.snd->coordinator().stats().deferred_resolved, 0u);
+}
+
+TEST(CoordinatorTest, CancelDeferralClearsAndCounts) {
+  CorePair p;
+  attr::CallbackContext ctx;
+  attr::AttrList deferred{{attr::kAdaptWhen, attr::kAdaptDeferred}};
+  p.snd->coordinator().on_callback_result(deferred, ctx);
+  ASSERT_TRUE(p.snd->coordinator().deferral_pending());
+
+  p.snd->coordinator().cancel_deferral();
+  EXPECT_FALSE(p.snd->coordinator().deferral_pending());
+  EXPECT_EQ(p.snd->coordinator().stats().deferrals_cancelled, 1u);
+
+  // Cancelling with nothing pending is a no-op and is not counted.
+  p.snd->coordinator().cancel_deferral();
+  EXPECT_EQ(p.snd->coordinator().stats().deferrals_cancelled, 1u);
+}
+
 TEST(CoordinatorTest, CondCompensationUsesCurrentEratio) {
   CorePair p;
   const double w0 = p.snd->transport().congestion().cwnd();

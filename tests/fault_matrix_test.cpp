@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "iq/audit/audit.hpp"
 #include "iq/fault/injector.hpp"
 #include "iq/fault/plan.hpp"
 #include "iq/net/dumbbell.hpp"
@@ -31,6 +32,8 @@ struct Rig {
   wire::LossyWirePair wire;
   RudpConnection sender;
   RudpConnection receiver;
+  audit::AuditContext* snd_audit;
+  audit::AuditContext* rcv_audit;
   std::vector<DeliveredMessage> delivered;
   int failures = 0;
 
@@ -39,11 +42,30 @@ struct Rig {
       : wire(sim, lcfg),
         sender(wire.a(), scfg, Role::Client),
         receiver(wire.b(), rcfg, Role::Server) {
+    // Every fault scenario runs with the invariant auditor armed; the
+    // destructor requires a clean audit on both endpoints.
+    audit::AuditConfig acfg;
+    acfg.dump_on_violation = false;
+    snd_audit = sender.enable_audit(acfg);
+    rcv_audit = receiver.enable_audit(acfg);
     receiver.set_message_handler(
         [this](const DeliveredMessage& m) { delivered.push_back(m); });
     sender.set_error_handler([this](FailureReason) { ++failures; });
     receiver.listen();
     sender.connect();
+  }
+
+  ~Rig() {
+    // A drained sender must have resolved every transmitted segment; a
+    // failed or still-busy one legitimately strands some, so only then is
+    // the quiescence check skipped.
+    if (!sender.failed() && sender.send_idle()) snd_audit->check_quiescent();
+    EXPECT_TRUE(snd_audit->violations().empty())
+        << snd_audit->violations().front().invariant << ": "
+        << snd_audit->violations().front().detail;
+    EXPECT_TRUE(rcv_audit->violations().empty())
+        << rcv_audit->violations().front().invariant << ": "
+        << rcv_audit->violations().front().detail;
   }
 
   void run_ms(std::int64_t ms) {

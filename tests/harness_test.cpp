@@ -3,11 +3,69 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "iq/harness/json.hpp"
 #include "iq/harness/paper.hpp"
 #include "iq/harness/scenarios.hpp"
 
 namespace iq::harness {
 namespace {
+
+// Non-finite doubles must render as `null`, never as bare nan/inf tokens
+// that make the whole document unparseable (the contract json.hpp
+// documents; the audit flight recorder mirrors it).
+TEST(JsonWriterTest, NonFiniteDoublesAreNull) {
+  JsonWriter w;
+  w.begin_object()
+      .field("nan", std::nan(""))
+      .field("pinf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("finite", 2.5)
+      .end_object();
+  const std::string json = w.take();
+
+  // "nan"/"inf" appear only inside the key strings, never as bare tokens.
+  std::size_t nan_count = 0;
+  for (std::size_t p = json.find("nan"); p != std::string::npos;
+       p = json.find("nan", p + 1)) {
+    ++nan_count;
+  }
+  EXPECT_EQ(nan_count, 1u) << json;
+  std::size_t inf_count = 0;
+  for (std::size_t p = json.find("inf"); p != std::string::npos;
+       p = json.find("inf", p + 1)) {
+    ++inf_count;
+  }
+  EXPECT_EQ(inf_count, 2u) << json;
+  EXPECT_NE(json.find("\"nan\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pinf\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ninf\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"finite\":2.5"), std::string::npos) << json;
+}
+
+// Round trip through a nested document: the writer's output stays
+// structurally balanced with non-finite metrics present.
+TEST(JsonWriterTest, NonFiniteRoundTripStaysBalanced) {
+  JsonWriter w;
+  w.begin_object().key("metrics").begin_object();
+  w.field("owd_p99", std::numeric_limits<double>::quiet_NaN());
+  w.field("rate", 1.0e6);
+  w.end_object().end_object();
+  const std::string json = w.take();
+
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0) << json;
+  }
+  EXPECT_EQ(depth, 0) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"owd_p99\":null"), std::string::npos) << json;
+}
 
 TEST(SchemeSpecTest, FactoriesSetModes) {
   EXPECT_TRUE(SchemeSpec::tcp().use_tcp);

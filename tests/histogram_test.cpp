@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "iq/common/rng.hpp"
@@ -89,6 +91,48 @@ TEST(HistogramTest, MergeMatchesCombined) {
   // Summation order differs, so allow floating-point slack on the mean.
   EXPECT_NEAR(a.mean(), all.mean(), all.mean() * 1e-12);
   EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+}
+
+// Regression: a NaN used to slip past the `value <= min_value_` edge clamp
+// (NaN comparisons are false) and reach an undefined float->size_t cast in
+// bucket_for; ±inf likewise. Non-finite values must be counted separately
+// and leave every statistic untouched.
+TEST(HistogramTest, NonFiniteValuesAreIsolated) {
+  Histogram h(1.0, 10.0, 8);
+  h.add(2.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(4.0);
+
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.nonfinite(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_TRUE(std::isfinite(h.p50()));
+  EXPECT_TRUE(std::isfinite(h.p99()));
+}
+
+TEST(HistogramTest, HugeAndTinyFiniteValuesStayClamped) {
+  Histogram h(1.0, 10.0, 8);
+  h.add(std::numeric_limits<double>::max());
+  h.add(std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.nonfinite(), 0u);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_TRUE(std::isfinite(h.quantile(q)));
+  }
+}
+
+TEST(HistogramTest, MergeCarriesNonFiniteCount) {
+  Histogram a(1.0, 10.0, 8), b(1.0, 10.0, 8);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(std::numeric_limits<double>::infinity());
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.nonfinite(), 2u);
 }
 
 TEST(HistogramTest, SummaryMentionsQuantiles) {

@@ -1,0 +1,141 @@
+// Property test for LossMonitor epoch accounting: under any interleaving of
+// on_acked / on_lost / reset_epoch, the conservation identity
+//   lifetime total == Σ closed-epoch counts + reset discards + pending
+// holds for acked and lost independently, epochs number consecutively from
+// 1, and every report's loss ratio equals lost/(acked+lost) for its own
+// counts. This is the identity the invariant auditor enforces on live
+// connections (docs/AUDIT.md); here it is pinned directly on the monitor.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/rudp/loss_monitor.hpp"
+
+namespace iq::rudp {
+namespace {
+
+struct Tally {
+  std::uint64_t epoch_acked = 0;
+  std::uint64_t epoch_lost = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t last_epoch = 0;
+};
+
+void check_conservation(const LossMonitor& lm, const Tally& t,
+                        std::uint64_t seed, int step) {
+  ASSERT_EQ(lm.total_acked(),
+            t.epoch_acked + lm.discarded_acked() + lm.pending_acked())
+      << "seed=" << seed << " step=" << step;
+  ASSERT_EQ(lm.total_lost(),
+            t.epoch_lost + lm.discarded_lost() + lm.pending_lost())
+      << "seed=" << seed << " step=" << step;
+  ASSERT_EQ(lm.epochs_closed(), t.reports)
+      << "seed=" << seed << " step=" << step;
+}
+
+class LossMonitorPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossMonitorPropertyTest, ConservationUnderAnyInterleaving) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  const auto epoch_packets =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 50));
+  LossMonitor lm(epoch_packets, /*ewma_gain=*/0.3);
+
+  Tally tally;
+  lm.set_epoch_handler([&](const EpochReport& r) {
+    // Reports number consecutively and carry self-consistent counts.
+    ASSERT_EQ(r.epoch, tally.last_epoch + 1) << "seed=" << seed;
+    tally.last_epoch = r.epoch;
+    ++tally.reports;
+    tally.epoch_acked += r.acked;
+    tally.epoch_lost += r.lost;
+    ASSERT_GE(r.acked + r.lost, epoch_packets) << "seed=" << seed;
+    const double expect = static_cast<double>(r.lost) /
+                          static_cast<double>(r.acked + r.lost);
+    ASSERT_DOUBLE_EQ(r.loss_ratio, expect) << "seed=" << seed;
+    ASSERT_GE(r.smoothed_loss_ratio, 0.0);
+    ASSERT_LE(r.smoothed_loss_ratio, 1.0);
+  });
+
+  TimePoint now;
+  const int kSteps = 600;
+  for (int step = 0; step < kSteps; ++step) {
+    now = now + Duration::millis(rng.uniform_int(0, 10));
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.55) {
+      lm.on_acked(static_cast<std::uint32_t>(rng.uniform_int(0, 12)),
+                  rng.uniform_int(0, 1500), now);
+    } else if (roll < 0.9) {
+      lm.on_lost(static_cast<std::uint32_t>(rng.uniform_int(0, 6)), now);
+    } else {
+      lm.reset_epoch();
+    }
+    check_conservation(lm, tally, seed, step);
+  }
+
+  // Pending counts are bounded by the epoch threshold: anything at or above
+  // it would have closed an epoch at the last resolve.
+  ASSERT_LT(lm.pending_acked() + lm.pending_lost(), epoch_packets);
+
+  // Drain the in-progress epoch and re-check the identity end-state.
+  lm.reset_epoch();
+  ASSERT_EQ(lm.pending_acked(), 0u);
+  ASSERT_EQ(lm.pending_lost(), 0u);
+  check_conservation(lm, tally, seed, kSteps);
+  ASSERT_EQ(lm.total_acked(), tally.epoch_acked + lm.discarded_acked());
+  ASSERT_EQ(lm.total_lost(), tally.epoch_lost + lm.discarded_lost());
+  ASSERT_GT(lm.epoch_resets(), 0u);  // the interleaving really reset
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossMonitorPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+// Directed edge cases the random walk may miss.
+
+TEST(LossMonitorEdgeTest, ZeroCountCallsAreNoOps) {
+  LossMonitor lm(10);
+  lm.on_acked(0, 0, TimePoint{});
+  lm.on_lost(0, TimePoint{});
+  EXPECT_EQ(lm.total_acked(), 0u);
+  EXPECT_EQ(lm.total_lost(), 0u);
+  EXPECT_EQ(lm.pending_acked(), 0u);
+  EXPECT_EQ(lm.pending_lost(), 0u);
+}
+
+TEST(LossMonitorEdgeTest, ResetWithoutTrafficIsHarmless) {
+  LossMonitor lm(10);
+  lm.reset_epoch();
+  EXPECT_EQ(lm.discarded_acked(), 0u);
+  EXPECT_EQ(lm.discarded_lost(), 0u);
+  EXPECT_EQ(lm.epoch_resets(), 1u);
+  EXPECT_EQ(lm.epochs_closed(), 0u);
+}
+
+TEST(LossMonitorEdgeTest, ResetJustBelowThresholdDiscardsExactly) {
+  LossMonitor lm(10);
+  TimePoint now;
+  lm.on_acked(5, 500, now);
+  lm.on_lost(4, now);
+  ASSERT_EQ(lm.epochs_closed(), 0u);
+  lm.reset_epoch();
+  EXPECT_EQ(lm.discarded_acked(), 5u);
+  EXPECT_EQ(lm.discarded_lost(), 4u);
+  EXPECT_EQ(lm.total_acked(), 5u);
+  EXPECT_EQ(lm.total_lost(), 4u);
+  // Next epoch starts from zero: 10 more resolutions close epoch 1.
+  lm.on_acked(10, 1000, now);
+  EXPECT_EQ(lm.epochs_closed(), 1u);
+  EXPECT_DOUBLE_EQ(lm.last_loss_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace iq::rudp

@@ -71,6 +71,46 @@ TEST(RunningStatsTest, NumericalStabilityLargeOffset) {
   EXPECT_NEAR(s.variance(), 0.25, 1e-6);
 }
 
+// Pins the documented semantics: variance() is the *population* variance
+// (M2/n, no Bessel correction — a run's packet trace is the whole
+// population), sample_variance() is M2/(n-1), and Chan's merge keeps the
+// sharded result equal to a serial pass over the same samples.
+TEST(RunningStatsTest, PopulationVsSampleVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Textbook example: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+
+  RunningStats tiny;
+  tiny.add(3.0);
+  EXPECT_EQ(tiny.variance(), 0.0);
+  EXPECT_EQ(tiny.sample_variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSerial) {
+  // Four shards merged pairwise-unevenly must agree with one serial pass.
+  RunningStats shard[4], serial;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::cos(i * 0.7) * 1e3 + i * 0.01;
+    shard[i % 4].add(v);
+    serial.add(v);
+  }
+  shard[2].merge(shard[3]);
+  shard[0].merge(shard[1]);
+  shard[0].merge(shard[2]);
+  EXPECT_EQ(shard[0].count(), serial.count());
+  EXPECT_NEAR(shard[0].mean(), serial.mean(), 1e-9);
+  EXPECT_NEAR(shard[0].variance(), serial.variance(),
+              serial.variance() * 1e-10);
+  EXPECT_NEAR(shard[0].sample_variance(), serial.sample_variance(),
+              serial.sample_variance() * 1e-10);
+  EXPECT_DOUBLE_EQ(shard[0].min(), serial.min());
+  EXPECT_DOUBLE_EQ(shard[0].max(), serial.max());
+  EXPECT_NEAR(shard[0].sum(), serial.sum(), std::fabs(serial.sum()) * 1e-10);
+}
+
 TEST(InterarrivalTest, UniformArrivalsZeroJitter) {
   InterarrivalTracker t;
   for (int i = 0; i < 10; ++i) {
