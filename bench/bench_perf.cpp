@@ -18,6 +18,9 @@
 #include <thread>
 #include <vector>
 
+// Count every global operator-new in this binary so the steady-state
+// allocation metrics below are exact, not sampled.
+#define IQ_COUNT_ALLOCS
 #include "bench_util.hpp"
 #include "iq/harness/json.hpp"
 #include "iq/net/dumbbell.hpp"
@@ -145,10 +148,51 @@ PumpResult bench_packet_pump() {
   return out;
 }
 
+/// CRC throughput: the slice-by-8 wire checksum against the byte-at-a-time
+/// reference, over a buffer big enough to stream (64 KiB).
+struct CrcResult {
+  double slice8_mb_s = 0.0;
+  double bytewise_mb_s = 0.0;
+};
+
+CrcResult bench_crc() {
+  constexpr std::size_t kBuf = 64 * 1024;
+  constexpr std::uint64_t kPasses = 2'000;
+  Bytes buf(kBuf);
+  for (std::size_t i = 0; i < kBuf; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  CrcResult out;
+  std::uint32_t sink = 0;
+  out.slice8_mb_s = best_rate(5, [&] {
+                      for (std::uint64_t p = 0; p < kPasses; ++p) {
+                        sink ^= iq::crc32(buf);
+                      }
+                      return kPasses * kBuf;
+                    }) /
+                    1e6;
+  out.bytewise_mb_s =
+      best_rate(3, [&] {
+        // Fewer passes: the reference path is an order of magnitude slower.
+        for (std::uint64_t p = 0; p < kPasses / 10; ++p) {
+          sink ^= iq::crc32_update_bytewise(iq::kCrc32Init, buf);
+        }
+        return kPasses / 10 * kBuf;
+      }) /
+      1e6;
+  if (sink == 0xdeadbeef) std::fprintf(stderr, "impossible\n");
+  return out;
+}
+
 /// Codec round trip on a representative DATA segment (attrs + payload).
 struct CodecResult {
   double encode_per_s = 0.0;
   double decode_per_s = 0.0;
+  double arena_encode_per_s = 0.0;
+  double inplace_decode_per_s = 0.0;
+  /// operator-new calls across 10k arena-encode + in-place-decode round
+  /// trips after warmup. The zero-allocation fast path claims exactly 0.
+  std::uint64_t steady_roundtrip_allocs = 0;
 };
 
 CodecResult bench_codec() {
@@ -190,6 +234,40 @@ CodecResult bench_codec() {
                                    static_cast<unsigned long long>(kIters - ok));
     return kIters;
   });
+
+  // Zero-allocation fast path: encode into a reused arena, decode in place.
+  ByteWriter arena;
+  out.arena_encode_per_s = best_rate(3, [&] {
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      bytes += rudp::encode_segment_into(arena, seg, payload).size();
+    }
+    if (bytes == 0) std::fprintf(stderr, "impossible\n");
+    return kIters;
+  });
+  out.inplace_decode_per_s = best_rate(3, [&] {
+    std::uint64_t ok = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      ok += rudp::decode_segment_view(wire).has_value() ? 1 : 0;
+    }
+    if (ok != kIters) std::fprintf(stderr, "inplace decode failures: %llu\n",
+                                   static_cast<unsigned long long>(kIters - ok));
+    return kIters;
+  });
+
+  // Steady-state allocation count: after one warmup round trip the arena is
+  // at its high-water size and every container stays inline/pooled.
+  {
+    const BytesView warm = rudp::encode_segment_into(arena, seg, payload);
+    (void)rudp::decode_segment_view(warm);
+    const std::uint64_t before = iq::bench::alloc_count();
+    for (int i = 0; i < 10'000; ++i) {
+      const BytesView v = rudp::encode_segment_into(arena, seg, payload);
+      auto d = rudp::decode_segment_view(v);
+      if (!d) std::fprintf(stderr, "steady decode failed\n");
+    }
+    out.steady_roundtrip_allocs = iq::bench::alloc_count() - before;
+  }
   return out;
 }
 
@@ -269,11 +347,26 @@ int main(int argc, char** argv) {
   const PumpResult pump = bench_packet_pump();
   std::printf("  packet pump:        %8.2f M events/s (%.0f pkts/s)\n",
               pump.events_per_s / 1e6, pump.packets_per_s);
+  const CrcResult crc = bench_crc();
+  std::printf("  crc32 slice-by-8:   %8.1f MB/s\n", crc.slice8_mb_s);
+  std::printf("  crc32 bytewise:     %8.1f MB/s (%.1fx speedup)\n",
+              crc.bytewise_mb_s,
+              crc.bytewise_mb_s > 0 ? crc.slice8_mb_s / crc.bytewise_mb_s
+                                    : 0.0);
   const CodecResult codec = bench_codec();
   std::printf("  codec encode:       %8.2f M segs/s\n",
               codec.encode_per_s / 1e6);
   std::printf("  codec decode:       %8.2f M segs/s\n",
               codec.decode_per_s / 1e6);
+  std::printf("  codec arena encode: %8.2f M segs/s\n",
+              codec.arena_encode_per_s / 1e6);
+  std::printf("  codec view decode:  %8.2f M segs/s (%.1fx owning)\n",
+              codec.inplace_decode_per_s / 1e6,
+              codec.decode_per_s > 0
+                  ? codec.inplace_decode_per_s / codec.decode_per_s
+                  : 0.0);
+  std::printf("  steady-state allocs: %llu per 10k codec round trips\n",
+              static_cast<unsigned long long>(codec.steady_roundtrip_allocs));
   const ScenarioResult t1 = bench_table1_scenario();
   std::printf("  table1 scenario:    %8.2f M events/s (%llu events/run)\n",
               t1.events_per_s / 1e6,
@@ -291,8 +384,13 @@ int main(int argc, char** argv) {
       .field("sched_cancel_ops", sc)
       .field("packet_pump_eps", pump.events_per_s)
       .field("packet_pump_pps", pump.packets_per_s)
+      .field("crc_mb_s", crc.slice8_mb_s)
+      .field("crc_bytewise_mb_s", crc.bytewise_mb_s)
       .field("codec_encode_per_s", codec.encode_per_s)
       .field("codec_decode_per_s", codec.decode_per_s)
+      .field("codec_arena_encode_per_s", codec.arena_encode_per_s)
+      .field("codec_inplace_decode_per_s", codec.inplace_decode_per_s)
+      .field("codec_steady_roundtrip_allocs", codec.steady_roundtrip_allocs)
       .field("table1_eps", t1.events_per_s)
       .field("table1_events", t1.events)
       .field("runner_serial_s", runner.serial_s)
@@ -306,5 +404,9 @@ int main(int argc, char** argv) {
   f << w.take() << "\n";
   std::printf("wrote %s\n", out_path.c_str());
 
-  return runner.identical ? 0 : 1;
+  // Invariant failures (not throughput — that is machine-dependent): the
+  // parallel runner must reproduce serial rows, and the codec fast path
+  // must stay allocation-free at steady state.
+  const bool ok = runner.identical && codec.steady_roundtrip_allocs == 0;
+  return ok ? 0 : 1;
 }

@@ -89,3 +89,92 @@ inline std::vector<double> overreaction_row(
 }
 
 }  // namespace iq::bench
+
+// ---------------------------------------------------------------------------
+// Counting allocator (opt-in).
+//
+// A binary that defines IQ_COUNT_ALLOCS before including this header (in
+// exactly ONE translation unit — these are replacements of the global
+// allocation functions) gets process-wide allocation counting:
+// iq::bench::alloc_count() returns the number of operator-new calls since
+// process start. The zero-allocation steady-state benches and tests
+// snapshot it around a hot loop and assert the delta.
+//
+// All forms route through malloc/aligned_alloc so the matching deletes can
+// free uniformly; only allocations are counted (frees are not interesting
+// for the steady-state claim).
+#ifdef IQ_COUNT_ALLOCS
+
+#include <atomic>
+#include <new>
+
+namespace iq::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_calls{0};
+
+/// Global operator-new calls since process start.
+inline std::uint64_t alloc_count() {
+  return g_alloc_calls.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t n) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_alloc(std::size_t n, std::size_t align) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = align;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  n = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace iq::bench
+
+void* operator new(std::size_t n) { return iq::bench::counted_alloc(n); }
+void* operator new[](std::size_t n) { return iq::bench::counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return iq::bench::counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return iq::bench::counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return iq::bench::counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return iq::bench::counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // IQ_COUNT_ALLOCS

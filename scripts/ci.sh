@@ -11,12 +11,17 @@
 # across {blackout, burst loss, corruption, ack-path loss} plus the failure
 # detectors and chaos soaks (docs/ROBUSTNESS.md) — in both the default and
 # the sanitized build.
+# `--perf-compare` builds the Release bench_perf, runs it, and compares the
+# fresh numbers against the committed BENCH_PERF.json baseline
+# (scripts/perf_compare.py): deterministic invariants — table1_events,
+# runner_rows_identical, codec_steady_roundtrip_allocs — fail on any drift;
+# throughput deltas only warn, because wall-clock swings with the machine.
 # `--audit` runs the full suite plus the chaos matrix with the protocol
 # invariant auditor armed process-wide (IQ_AUDIT=1, docs/AUDIT.md): every
 # RudpConnection records its event stream into a flight recorder and a
 # tripped invariant aborts the run after writing a JSON dump whose path is
 # in the abort message. Default and ASan+UBSan builds.
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos|--audit]
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,12 +56,28 @@ perf_smoke() {
   echo "perf baseline archived at $out_dir/BENCH_PERF.json"
 }
 
+perf_compare() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_perf
+  local fresh="$build_dir/BENCH_PERF.fresh.json"
+  "$build_dir/bench/bench_perf" "$fresh"
+  python3 scripts/perf_compare.py BENCH_PERF.json "$fresh"
+}
+
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--chaos|--audit) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--chaos|--audit]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit]" >&2
      exit 2 ;;
 esac
+
+if [[ "$mode" == "--perf-compare" ]]; then
+  echo "== CI: perf compare vs committed BENCH_PERF.json =="
+  perf_compare
+  echo "== CI: perf compare passed =="
+  exit 0
+fi
 
 if [[ "$mode" == "--chaos" ]]; then
   echo "== CI: chaos fault matrix, default build =="

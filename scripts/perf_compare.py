@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_perf run against the committed BENCH_PERF.json.
+
+Two classes of metric:
+  - deterministic invariants (event counts, row-identity, allocation
+    counts): identical inputs must produce identical values, so any drift
+    fails the run;
+  - throughput (events/s, MB/s, wall-clock): swings with the machine and
+    its load, so drift beyond the threshold only warns.
+"""
+import json
+import sys
+
+THROUGHPUT_WARN_PCT = 30.0
+
+# Non-throughput scalars: excluded from the warn pass (each is either an
+# invariant checked exactly below or a machine property).
+EXACT_KEYS = {
+    "table1_events",
+    "runner_threads",
+    "hardware_concurrency",
+    "codec_steady_roundtrip_allocs",
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} baseline.json fresh.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    failures = []
+    if base.get("table1_events") != fresh.get("table1_events"):
+        failures.append(
+            "table1_events drifted: baseline "
+            f"{base.get('table1_events')} vs fresh {fresh.get('table1_events')}"
+            " (the Table-1 scenario is deterministic; this is a behavior"
+            " change, not noise)"
+        )
+    if fresh.get("runner_rows_identical") is not True:
+        failures.append(
+            "runner_rows_identical is not true: parallel runner output"
+            " diverged from the serial reference"
+        )
+    if fresh.get("codec_steady_roundtrip_allocs") != 0:
+        failures.append(
+            "codec_steady_roundtrip_allocs = "
+            f"{fresh.get('codec_steady_roundtrip_allocs')} (expected 0: the"
+            " arena encode / in-place decode roundtrip must not allocate)"
+        )
+
+    for key in sorted(base):
+        b = base[key]
+        if not isinstance(b, (int, float)) or isinstance(b, bool):
+            continue
+        if key in EXACT_KEYS:
+            continue
+        f_ = fresh.get(key)
+        if f_ is None:
+            print(f"warn: {key} missing from fresh run")
+            continue
+        if b == 0:
+            continue
+        delta = (f_ - b) / b * 100.0
+        if abs(delta) > THROUGHPUT_WARN_PCT:
+            print(f"warn: {key} {delta:+.1f}% vs baseline ({b:.4g} -> {f_:.4g})")
+
+    for key in sorted(set(fresh) - set(base)):
+        print(f"note: new metric {key} = {fresh[key]} (not in baseline)")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("perf-compare: invariants hold (throughput deltas warn only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

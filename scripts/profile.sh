@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Profile the simulator hot path.
+#
+# Builds Release with IQ_PROFILE=ON (frame pointers + DWARF symbols, see
+# CMakeLists.txt) so stacks unwind cleanly, then:
+#   - with perf(1) available: `perf record -g` on the deterministic Table-1
+#     scenario sweep (the canonical end-to-end hot path: event loop, codec,
+#     RUDP state machines) and print the top of the report;
+#   - without perf: fall back to the component microbenchmarks
+#     (bench_micro_components), which time the same hot-path pieces —
+#     event queue, codec, CRC, controller — individually.
+# Usage: scripts/profile.sh [perf.data-output-path]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build-profile
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release -DIQ_PROFILE=ON
+cmake --build "$build_dir" -j --target bench_table1_basic bench_micro_components
+
+if command -v perf >/dev/null 2>&1; then
+  out="${1:-$build_dir/perf.data}"
+  perf record -g --output "$out" -- "$build_dir/bench/bench_table1_basic"
+  perf report --stdio --input "$out" | head -n 40
+  echo "full profile: perf report --input $out"
+else
+  echo "perf(1) not found; running component microbenchmarks instead" >&2
+  "$build_dir/bench/bench_micro_components"
+fi

@@ -8,9 +8,9 @@
 #include <optional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "iq/attr/value.hpp"
+#include "iq/common/inline_vec.hpp"
 
 namespace iq::attr {
 
@@ -50,7 +50,10 @@ class AttrList {
   friend bool operator==(const AttrList&, const AttrList&) = default;
 
  private:
-  std::vector<std::pair<std::string, AttrValue>> entries_;
+  // Two inline slots cover the data-path fast case (a marked flag plus one
+  // channel/quality attribute); the occasional adaptation message with a
+  // full report spills once and is off the per-segment path anyway.
+  iq::InlineVec<std::pair<std::string, AttrValue>, 2> entries_;
 };
 
 }  // namespace iq::attr

@@ -3,25 +3,38 @@
 #include <array>
 #include <bit>
 
+#include "iq/common/check.hpp"
+
 namespace iq {
 
-void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+std::uint8_t* ByteWriter::grow(std::size_t n) {
+  if (size_ + n > buf_.size()) {
+    // resize() value-initializes, so new physical bytes are zero and the
+    // dirty_end_ invariant (buf_[dirty_end_..) == 0) is preserved.
+    buf_.resize(std::max(size_ + n, buf_.size() * 2));
+  }
+  std::uint8_t* cursor = buf_.data() + size_;
+  size_ += n;
+  if (size_ > dirty_end_) dirty_end_ = size_;
+  return cursor;
+}
+
+void ByteWriter::u8(std::uint8_t v) { *grow(1) = v; }
 
 void ByteWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  std::uint8_t* p = grow(2);
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  std::uint8_t* p = grow(4);
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  std::uint8_t* p = grow(8);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
 }
 
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -35,10 +48,47 @@ void ByteWriter::bytes16(BytesView v) {
 
 void ByteWriter::str16(const std::string& s) {
   u16(static_cast<std::uint16_t>(s.size()));
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  std::uint8_t* p = grow(s.size());
+  std::memcpy(p, s.data(), s.size());
 }
 
-void ByteWriter::raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+void ByteWriter::raw(BytesView v) {
+  if (v.empty()) return;  // empty views may carry a null data pointer
+  std::uint8_t* p = grow(v.size());
+  std::memcpy(p, v.data(), v.size());
+}
+
+void ByteWriter::zeros(std::size_t n) {
+  const std::size_t start = size_;
+  const std::size_t end = start + n;
+  if (end > buf_.size()) buf_.resize(std::max(end, buf_.size() * 2));
+  // Only the overlap with the dirty region can hold stale nonzero bytes;
+  // everything past dirty_end_ is zero by invariant.
+  if (start < dirty_end_) {
+    std::memset(buf_.data() + start, 0, std::min(dirty_end_, end) - start);
+  }
+  // If the zero run reaches the dirty watermark, everything from `start`
+  // to the end of physical storage is now zero — lower the watermark so
+  // the next encode of the same shape skips the memset entirely.
+  if (end >= dirty_end_) dirty_end_ = std::min(dirty_end_, start);
+  size_ = end;
+}
+
+void ByteWriter::poke_u32(std::size_t offset, std::uint32_t v) {
+  IQ_CHECK_MSG(offset + 4 <= size_, "poke_u32 past written bytes");
+  std::uint8_t* p = buf_.data() + offset;
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+  if (offset + 4 > dirty_end_) dirty_end_ = offset + 4;
+}
+
+Bytes ByteWriter::take() {
+  buf_.resize(size_);
+  Bytes out = std::move(buf_);
+  buf_ = Bytes();
+  size_ = 0;
+  dirty_end_ = 0;
+  return out;
+}
 
 std::optional<std::uint8_t> ByteReader::u8() {
   if (!need(1)) return std::nullopt;
@@ -98,34 +148,79 @@ std::optional<std::string> ByteReader::str16() {
   return out;
 }
 
+std::optional<BytesView> ByteReader::view(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 }  // namespace iq
 
 namespace iq {
 
 namespace {
-// Table for the reflected IEEE polynomial, built once on first use.
-const std::uint32_t* crc32_table() {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
+
+// Slice-by-8 tables for the reflected IEEE polynomial. Row 0 is the
+// classic byte-at-a-time table; row k advances a byte's contribution k
+// extra positions, so one round folds 8 input bytes into the state with
+// eight independent table lookups instead of an 8-iteration dependency
+// chain.
+struct Crc32Tables {
+  std::uint32_t t[8][256];
+};
+
+const Crc32Tables& crc32_tables() {
+  static const Crc32Tables tables = [] {
+    Crc32Tables tb{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
       }
-      t[i] = c;
+      tb.t[0][i] = c;
     }
-    return t;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = tb.t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = tb.t[0][c & 0xffu] ^ (c >> 8);
+        tb.t[k][i] = c;
+      }
+    }
+    return tb;
   }();
-  return table.data();
+  return tables;
 }
+
 }  // namespace
 
-std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
-  const std::uint32_t* table = crc32_table();
+std::uint32_t crc32_update_bytewise(std::uint32_t state, BytesView chunk) {
+  const std::uint32_t* table = crc32_tables().t[0];
   for (std::uint8_t b : chunk) {
     state = table[(state ^ b) & 0xffu] ^ (state >> 8);
   }
   return state;
+}
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
+  const std::uint8_t* p = chunk.data();
+  std::size_t n = chunk.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    const auto& tb = crc32_tables();
+    while (n >= 8) {
+      std::uint64_t word;
+      std::memcpy(&word, p, 8);
+      word ^= state;
+      state = tb.t[7][word & 0xffu] ^ tb.t[6][(word >> 8) & 0xffu] ^
+              tb.t[5][(word >> 16) & 0xffu] ^ tb.t[4][(word >> 24) & 0xffu] ^
+              tb.t[3][(word >> 32) & 0xffu] ^ tb.t[2][(word >> 40) & 0xffu] ^
+              tb.t[1][(word >> 48) & 0xffu] ^
+              tb.t[0][(word >> 56) & 0xffu];
+      p += 8;
+      n -= 8;
+    }
+  }
+  return crc32_update_bytewise(state, {p, n});
 }
 
 std::uint32_t crc32(BytesView data) {

@@ -1,9 +1,12 @@
 #pragma once
 // Byte-order-safe serialization helpers for wire formats.
 //
-// All multi-byte fields are big-endian (network order). ByteWriter grows an
-// owned buffer; ByteReader is a bounds-checked cursor over a span and reports
-// truncation instead of crashing, since readers face untrusted input.
+// All multi-byte fields are big-endian (network order). ByteWriter is a
+// reusable arena: it keeps a logical size separate from the physical
+// buffer, so clear() + re-encode into the same writer reuses the storage
+// (and any still-zero tail) without reallocating or re-zeroing. ByteReader
+// is a bounds-checked cursor over a span and reports truncation instead of
+// crashing, since readers face untrusted input.
 
 #include <cstdint>
 #include <cstring>
@@ -22,8 +25,13 @@ using BytesView = std::span<const std::uint8_t>;
 std::uint32_t crc32(BytesView data);
 /// Incremental form: seed with kCrc32Init, feed chunks, finish by XOR with
 /// kCrc32Init. crc32(d) == crc32_update(kCrc32Init, d) ^ kCrc32Init.
+/// Implemented slice-by-8 (8 bytes per table round); chunk boundaries do
+/// not affect the result.
 inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
 std::uint32_t crc32_update(std::uint32_t state, BytesView chunk);
+/// Byte-at-a-time reference implementation of the same polynomial. Kept as
+/// the oracle the slice-by-8 fast path is tested and benchmarked against.
+std::uint32_t crc32_update_bytewise(std::uint32_t state, BytesView chunk);
 
 class ByteWriter {
  public:
@@ -39,17 +47,38 @@ class ByteWriter {
   void str16(const std::string& s);
   /// Raw bytes, no prefix.
   void raw(BytesView v);
+  /// Append `n` zero bytes. Skips the memset for any part of the run the
+  /// arena already guarantees to be zero — after the first encode of a
+  /// mostly-virtual payload, re-encoding through the same writer zeroes
+  /// nothing at all.
+  void zeros(std::size_t n);
+  /// Overwrite 4 already-written bytes at `offset` (big-endian) — how the
+  /// codec seals a checksum into a header it wrote earlier.
+  void poke_u32(std::size_t offset, std::uint32_t v);
+
+  /// Reset the logical size to zero. Storage (and the knowledge of which
+  /// tail bytes are still zero) is retained for the next encode.
+  void clear() { size_ = 0; }
 
   /// Pre-size the buffer when the caller can compute the wire size up
   /// front; writes then append without reallocating.
   void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
-  std::size_t size() const { return buf_.size(); }
-  const Bytes& data() const { return buf_; }
-  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return size_; }
+  /// View of the bytes written since the last clear(). Invalidated by any
+  /// subsequent write into this writer.
+  BytesView view() const { return {buf_.data(), size_}; }
+  BytesView data() const { return view(); }
+  /// Move the written bytes out as an owned buffer; the writer resets.
+  Bytes take();
 
  private:
-  Bytes buf_;
+  /// Make room for `n` more bytes and return the write cursor.
+  std::uint8_t* grow(std::size_t n);
+
+  Bytes buf_;              ///< physical storage; buf_[dirty_end_..) is zero
+  std::size_t size_ = 0;   ///< logical bytes written since clear()
+  std::size_t dirty_end_ = 0;  ///< watermark of possibly-nonzero bytes
 };
 
 class ByteReader {
@@ -64,6 +93,9 @@ class ByteReader {
   std::optional<double> f64();
   std::optional<Bytes> bytes16();
   std::optional<std::string> str16();
+  /// Borrow `n` bytes from the cursor without copying. The view aliases
+  /// the reader's underlying buffer.
+  std::optional<BytesView> view(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }

@@ -60,7 +60,7 @@ class FecEncoder {
   struct Lane {
     std::uint32_t group_id = 0;
     std::uint16_t target = 0;  ///< group size captured when the group opened
-    std::vector<rudp::FecMember> members;
+    rudp::FecMemberList members;  ///< moves straight into Segment::fec_members
     std::int32_t parity_bytes = 0;  ///< max member payload so far
   };
 

@@ -13,7 +13,7 @@ bool valid_type(std::uint8_t t) {
   return t >= kSegmentTypeMin && t <= kSegmentTypeMax;
 }
 
-std::optional<DecodedSegment> fail(DecodeStatus why, DecodeStatus* status) {
+std::optional<SegmentView> fail(DecodeStatus why, DecodeStatus* status) {
   if (status != nullptr) *status = why;
   return std::nullopt;
 }
@@ -41,8 +41,9 @@ void seal_segment(Bytes& datagram) {
   }
 }
 
-Bytes encode_segment(const Segment& seg, BytesView payload) {
-  ByteWriter w;
+BytesView encode_segment_into(ByteWriter& w, const Segment& seg,
+                              BytesView payload) {
+  w.clear();
   // header_bytes() mirrors this format exactly, so one reservation covers
   // the whole datagram and the writer never reallocates.
   w.reserve(static_cast<std::size_t>(seg.header_bytes()) +
@@ -112,15 +113,23 @@ Bytes encode_segment(const Segment& seg, BytesView payload) {
     const auto want = static_cast<std::size_t>(seg.payload_bytes);
     const std::size_t real = std::min(payload.size(), want);
     w.raw(payload.subspan(0, real));
-    for (std::size_t i = real; i < want; ++i) w.u8(0);
+    // Virtual remainder: zeros() skips the fill for any tail the arena
+    // already guarantees zero, so steady-state virtual-payload encodes
+    // write ~a header, not ~a datagram.
+    w.zeros(want - real);
   }
-  Bytes out = w.take();
-  seal_segment(out);
-  return out;
+  w.poke_u32(kChecksumOffset, segment_checksum(w.view()));
+  return w.view();
 }
 
-std::optional<DecodedSegment> decode_segment(BytesView datagram,
-                                             DecodeStatus* status) {
+Bytes encode_segment(const Segment& seg, BytesView payload) {
+  ByteWriter w;
+  encode_segment_into(w, seg, payload);
+  return w.take();
+}
+
+std::optional<SegmentView> decode_segment_view(BytesView datagram,
+                                               DecodeStatus* status) {
   if (status != nullptr) *status = DecodeStatus::Ok;
   ByteReader r(datagram);
   auto magic = r.u16();
@@ -149,7 +158,7 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram,
     return fail(DecodeStatus::Malformed, status);
   }
 
-  DecodedSegment out;
+  SegmentView out;
   Segment& seg = out.segment;
   seg.type = static_cast<SegmentType>(*type);
   seg.marked = (*flags & kFlagMarked) != 0;
@@ -249,10 +258,20 @@ std::optional<DecodedSegment> decode_segment(BytesView datagram,
   if ((seg.type == SegmentType::Data || seg.type == SegmentType::Parity) &&
       seg.payload_bytes > 0) {
     const auto want = static_cast<std::size_t>(seg.payload_bytes);
-    if (r.remaining() < want) return fail(DecodeStatus::Malformed, status);
-    out.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                       datagram.begin() + static_cast<std::ptrdiff_t>(r.position() + want));
+    auto view = r.view(want);
+    if (!view) return fail(DecodeStatus::Malformed, status);
+    out.payload = *view;  // borrows `datagram`; the caller owns the lifetime
   }
+  return out;
+}
+
+std::optional<DecodedSegment> decode_segment(BytesView datagram,
+                                             DecodeStatus* status) {
+  auto view = decode_segment_view(datagram, status);
+  if (!view) return std::nullopt;
+  DecodedSegment out;
+  out.segment = std::move(view->segment);
+  out.payload.assign(view->payload.begin(), view->payload.end());
   return out;
 }
 

@@ -41,15 +41,34 @@ std::uint32_t segment_checksum(BytesView datagram);
 /// Recompute and store the checksum of an encoded datagram in place.
 void seal_segment(Bytes& datagram);
 
-/// Serialize (checksum already sealed). `payload` supplies real payload
-/// bytes for the socket backend; when it is shorter than seg.payload_bytes
-/// the remainder is zero-filled (virtual payload), when longer it is
-/// truncated.
+/// Serialize into a caller-owned writer (checksum sealed in place) and
+/// return a view of the finished datagram. The writer is cleared first, so
+/// a per-connection arena writer can be reused across sends without
+/// allocating: after the first encode its buffer holds the high-water
+/// datagram size, and virtual-payload zero-fill is skipped for any tail the
+/// arena already keeps zeroed. The returned view aliases the writer and is
+/// invalidated by its next use.
+///
+/// `payload` supplies real payload bytes for the socket backend; when it is
+/// shorter than seg.payload_bytes the remainder is zero-filled (virtual
+/// payload), when longer it is truncated.
+BytesView encode_segment_into(ByteWriter& w, const Segment& seg,
+                              BytesView payload = {});
+
+/// Owning convenience wrapper over encode_segment_into (tests, one-shot
+/// callers).
 Bytes encode_segment(const Segment& seg, BytesView payload = {});
 
 struct DecodedSegment {
   Segment segment;
   Bytes payload;
+};
+
+/// Zero-copy decode result: `payload` aliases the datagram that was passed
+/// to decode_segment_view and MUST NOT outlive or outlast mutations of it.
+struct SegmentView {
+  Segment segment;
+  BytesView payload;
 };
 
 enum class DecodeStatus {
@@ -59,9 +78,15 @@ enum class DecodeStatus {
   Malformed,    ///< CRC passed but fields are invalid/truncated
 };
 
-/// Parse; nullopt on bad magic, checksum mismatch, or malformed fields.
-/// `status` (optional) reports which, so transports can count corruption
-/// rejects separately from noise.
+/// Parse in place; nullopt on bad magic, checksum mismatch, or malformed
+/// fields. `status` (optional) reports which, so transports can count
+/// corruption rejects separately from noise. The returned payload view
+/// borrows `datagram` — copy it before the datagram buffer is reused.
+std::optional<SegmentView> decode_segment_view(BytesView datagram,
+                                               DecodeStatus* status = nullptr);
+
+/// Owning wrapper over decode_segment_view: copies the payload out so the
+/// result is independent of the datagram buffer.
 std::optional<DecodedSegment> decode_segment(BytesView datagram,
                                              DecodeStatus* status = nullptr);
 

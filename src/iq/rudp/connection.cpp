@@ -268,8 +268,7 @@ void RudpConnection::shed_pending() {
     if (j >= pending_.size()) return;  // nothing evictable
     const auto n = static_cast<std::size_t>(pending_[j].frag_count);
     audit_emit(audit::EventType::MsgShed, pending_[j].msg_id, n);
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(j + n));
+    pending_.erase(j, n);
     ++stats_.messages_shed;
   }
 }
@@ -384,11 +383,11 @@ void RudpConnection::send_ack(std::uint64_t ts_echo_us) {
   emit(std::move(seg));
 }
 
-void RudpConnection::send_advance(const std::vector<SkippedSeq>& skipped) {
+void RudpConnection::send_advance(std::span<const SkippedSeq> skipped) {
   Segment seg;
   seg.type = SegmentType::Advance;
   seg.conn_id = cfg_.conn_id;
-  seg.skipped = skipped;
+  seg.skipped.assign(skipped.begin(), skipped.end());
   seg.cum_ack = to_wire(recv_buf_.cum());
   seg.ts_us = now_us();
   ++stats_.advances_sent;
@@ -400,8 +399,7 @@ void RudpConnection::send_advance(const std::vector<SkippedSeq>& skipped) {
 
 void RudpConnection::resend_outstanding_skips() {
   if (skip_outstanding_.empty()) return;
-  std::vector<SkippedSeq> skips;
-  skips.reserve(skip_outstanding_.size());
+  iq::InlineVec<SkippedSeq, 8> skips;
   for (const auto& [_, rec] : skip_outstanding_) skips.push_back(rec);
   last_skip_resend_ = wire_.executor().now();
   send_advance(skips);
@@ -516,9 +514,11 @@ void RudpConnection::on_data(const Segment& seg) {
   rs.ts_us = seg.ts_us;
   rs.attrs = seg.attrs;
 
-  auto result = recv_buf_.on_data(rs, wire_.executor().now());
-  if (result.duplicate) ++stats_.duplicates_received;
-  deliver(result);
+  recv_buf_.on_data(rs, wire_.executor().now(), recv_scratch_);
+  // The FEC injection below reuses the scratch; latch the flag first.
+  const bool duplicate = recv_scratch_.duplicate;
+  if (duplicate) ++stats_.duplicates_received;
+  deliver(recv_scratch_);
 
   // A (possibly late) FEC member arrival may make a held parity group
   // solvable — or settle it outright.
@@ -532,7 +532,7 @@ void RudpConnection::on_data(const Segment& seg) {
   // detection stays sharp.
   ++unacked_arrivals_;
   last_ts_to_echo_ = seg.ts_us;
-  const bool unusual = result.duplicate || recv_buf_.buffered() > 0;
+  const bool unusual = duplicate || recv_buf_.buffered() > 0;
   if (cfg_.ack_every <= 1 || unacked_arrivals_ >= cfg_.ack_every || unusual) {
     send_ack(seg.ts_us);
   } else {
@@ -542,14 +542,13 @@ void RudpConnection::on_data(const Segment& seg) {
 
 void RudpConnection::on_advance(const Segment& seg) {
   if (!established()) return;
-  std::vector<RecvBuffer::SkipInfo> skips;
-  skips.reserve(seg.skipped.size());
+  iq::InlineVec<RecvBuffer::SkipInfo, 8> skips;
   for (const SkippedSeq& s : seg.skipped) {
     skips.push_back(RecvBuffer::SkipInfo{unwrap(s.seq, recv_buf_.cum()),
                                          s.msg_id, s.frag_count});
   }
-  auto result = recv_buf_.on_skip(skips, wire_.executor().now());
-  deliver(result);
+  recv_buf_.on_skip(skips, wire_.executor().now(), recv_scratch_);
+  deliver(recv_scratch_);
   send_ack(seg.ts_us);
 }
 
@@ -585,8 +584,8 @@ void RudpConnection::inject_recovered(std::vector<RecvSegment> recovered) {
   const TimePoint now = wire_.executor().now();
   for (RecvSegment& rs : recovered) {
     ++stats_.segments_recovered;
-    auto result = recv_buf_.on_data(rs, now);
-    deliver(result);
+    recv_buf_.on_data(rs, now, recv_scratch_);
+    deliver(recv_scratch_);
   }
   fec_dec_.prune_below(recv_buf_.cum());
 }
@@ -614,8 +613,7 @@ void RudpConnection::on_ack(const Segment& seg) {
 
   const Seq ref = send_buf_.lowest_or(next_seq_);
   const Seq cum = unwrap(seg.cum_ack, ref);
-  std::vector<Seq> eacks;
-  eacks.reserve(seg.eacks.size());
+  iq::InlineVec<Seq, 16> eacks;
   for (WireSeq e : seg.eacks) eacks.push_back(unwrap(e, cum));
 
   // Skips the peer's cumulative ack has passed are settled; if the peer is
@@ -670,9 +668,9 @@ void RudpConnection::on_ack(const Segment& seg) {
 
 // ---------------------------------------------------------------- loss ----
 
-void RudpConnection::handle_lost_segments(const std::vector<Seq>& lost) {
+void RudpConnection::handle_lost_segments(std::span<const Seq> lost) {
   if (lost.empty()) return;
-  std::vector<SkippedSeq> skips;
+  iq::InlineVec<SkippedSeq, 8> skips;
   for (Seq seq : lost) {
     if (auto skip = resolve_loss(seq, /*from_timeout=*/false)) {
       skips.push_back(*skip);
@@ -795,7 +793,7 @@ void RudpConnection::on_rto() {
     audit_cwnd(audit::CwndCause::Timeout, cwnd_before);
   }
   if (auto skip = resolve_loss(o->seq, /*from_timeout=*/true)) {
-    std::vector<SkippedSeq> skips{*skip};
+    iq::InlineVec<SkippedSeq, 8> skips{*skip};
     // Consecutive unmarked losses are common under a burst; sweep the rest
     // of the timed-out window head in the same ADVANCE.
     while (Outstanding* next = send_buf_.first_unacked()) {

@@ -19,13 +19,13 @@
 // wire's executor context.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "iq/audit/audit.hpp"
+#include "iq/common/ring_queue.hpp"
 #include "iq/fec/group.hpp"
 #include "iq/rudp/congestion.hpp"
 #include "iq/rudp/loss_monitor.hpp"
@@ -282,7 +282,7 @@ class RudpConnection {
   void pump();
   void transmit(Outstanding& o, bool retransmission);
   void send_ack(std::uint64_t ts_echo_us);
-  void send_advance(const std::vector<SkippedSeq>& skipped);
+  void send_advance(std::span<const SkippedSeq> skipped);
   /// Re-advertise every still-unacknowledged skip (lost-ADVANCE recovery).
   void resend_outstanding_skips();
   void send_syn();
@@ -296,7 +296,7 @@ class RudpConnection {
   void inject_recovered(std::vector<RecvSegment> recovered);
 
   // Loss handling.
-  void handle_lost_segments(const std::vector<Seq>& lost);
+  void handle_lost_segments(std::span<const Seq> lost);
   /// Retransmit or skip one condemned segment; returns a skip record if the
   /// segment was abandoned.
   std::optional<SkippedSeq> resolve_loss(Seq seq, bool from_timeout);
@@ -331,15 +331,23 @@ class RudpConnection {
   LossMonitor loss_;
   SendBuffer send_buf_;
   RecvBuffer recv_buf_;
+  /// Reused across every on_data/on_skip call: a gap fill can release a
+  /// large delivery backlog at once, and the scratch keeps that high-water
+  /// capacity instead of reallocating it per segment.
+  RecvBuffer::Result recv_scratch_;
   SkipBudget budget_;  ///< sender-side budget; tolerance = peer's advertised
   fec::FecEncoder fec_enc_;
   fec::FecDecoder fec_dec_;
 
-  std::deque<PendingSegment> pending_;
+  /// Unsent fragment queue. A ring buffer, not a deque: deques allocate a
+  /// chunk per chunk-worth of push/pop traffic, which would break the
+  /// zero-allocation steady state of the segment path.
+  iq::RingQueue<PendingSegment> pending_;
   /// Skips announced via ADVANCE but not yet covered by the peer's
   /// cumulative ack; ADVANCE itself can be lost, so these are
   /// re-advertised until acknowledged (keyed by unwrapped seq).
-  std::map<Seq, SkippedSeq> skip_outstanding_;
+  net::PooledMap<Seq, SkippedSeq> skip_outstanding_ =
+      net::make_pooled_map<Seq, SkippedSeq>();
   TimePoint last_skip_resend_;
   Seq next_seq_ = 1;
   std::uint32_t next_msg_id_ = 1;

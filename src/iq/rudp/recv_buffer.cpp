@@ -7,34 +7,52 @@ namespace iq::rudp {
 RecvBuffer::RecvBuffer(std::uint32_t max_buffered_packets, Seq initial_seq)
     : max_buffered_(max_buffered_packets), cum_(initial_seq) {}
 
+void RecvBuffer::Result::reset() {
+  delivered.clear();  // InlineVec keeps its high-water capacity
+  dropped_messages = 0;
+  duplicate = false;
+  advanced = false;
+}
+
 RecvBuffer::Result RecvBuffer::on_data(const RecvSegment& seg, TimePoint now) {
   Result out;
+  on_data(seg, now, out);
+  return out;
+}
+
+void RecvBuffer::on_data(const RecvSegment& seg, TimePoint now, Result& out) {
+  out.reset();
   if (seg.seq < cum_ || buffered_.contains(seg.seq)) {
     ++duplicates_;
     out.duplicate = true;
-    return out;
+    return;
   }
   if (buffered_.size() >= max_buffered_) {
     // Receive window exhausted; drop silently (sender respects rwnd, so
     // this only happens under pathological reordering).
-    return out;
+    return;
   }
   // A late arrival for a sequence the sender abandoned supersedes the skip.
   skip_pending_.erase(seg.seq);
   buffered_.emplace(seg.seq, seg);
   advance(out, now);
-  return out;
 }
 
 RecvBuffer::Result RecvBuffer::on_skip(std::span<const SkipInfo> skipped,
                                        TimePoint now) {
   Result out;
+  on_skip(skipped, now, out);
+  return out;
+}
+
+void RecvBuffer::on_skip(std::span<const SkipInfo> skipped, TimePoint now,
+                         Result& out) {
+  out.reset();
   for (const SkipInfo& info : skipped) {
     if (info.seq < cum_ || buffered_.contains(info.seq)) continue;  // resolved
     skip_pending_[info.seq] = info;
   }
   advance(out, now);
-  return out;
 }
 
 void RecvBuffer::advance(Result& out, TimePoint now) {
@@ -99,9 +117,8 @@ void RecvBuffer::account(Result& out, Seq seq, TimePoint now) {
   }
 }
 
-std::vector<Seq> RecvBuffer::eacks(std::size_t max_n) const {
-  std::vector<Seq> out;
-  out.reserve(std::min(max_n, buffered_.size()));
+iq::InlineVec<Seq, 16> RecvBuffer::eacks(std::size_t max_n) const {
+  iq::InlineVec<Seq, 16> out;
   for (const auto& [seq, _] : buffered_) {
     if (out.size() >= max_n) break;
     out.push_back(seq);

@@ -10,11 +10,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <span>
-#include <vector>
 
+#include "iq/common/inline_vec.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/rudp/message.hpp"
 #include "iq/rudp/seq.hpp"
 
@@ -38,10 +37,16 @@ class RecvBuffer {
                       Seq initial_seq = 1);
 
   struct Result {
-    std::vector<DeliveredMessage> delivered;
+    iq::InlineVec<DeliveredMessage, 2> delivered;
     std::uint32_t dropped_messages = 0;
     bool duplicate = false;
     bool advanced = false;   ///< cumulative point moved
+
+    /// Clear for reuse. `delivered` keeps its capacity, so a caller that
+    /// passes the same Result to every on_data/on_skip call stops
+    /// allocating once it has seen its largest delivery batch (a gap fill
+    /// can release a whole reorder backlog at once).
+    void reset();
   };
 
   /// One abandoned sequence, with the owning message's identity and size.
@@ -55,6 +60,12 @@ class RecvBuffer {
   /// Sender abandoned these sequences (ADVANCE segment contents).
   Result on_skip(std::span<const SkipInfo> skipped, TimePoint now);
 
+  // Allocation-free variants: fill a caller-owned Result (reset first).
+  // The connection reuses one scratch Result so delivery batches stop
+  // allocating once it has grown to the high-water batch size.
+  void on_data(const RecvSegment& seg, TimePoint now, Result& out);
+  void on_skip(std::span<const SkipInfo> skipped, TimePoint now, Result& out);
+
   /// Next expected sequence (the cumulative ack we advertise).
   Seq cum() const { return cum_; }
   /// True if `seq` is already accounted for: finalized below the cumulative
@@ -64,7 +75,9 @@ class RecvBuffer {
     return seq < cum_ || buffered_.contains(seq) || skip_pending_.contains(seq);
   }
   /// Out-of-order sequences currently buffered, ascending, at most `max_n`.
-  std::vector<Seq> eacks(std::size_t max_n) const;
+  /// Inline capacity matches Segment::EackList — callers that cap max_n at
+  /// 16 never allocate.
+  iq::InlineVec<Seq, 16> eacks(std::size_t max_n) const;
   /// Advertised receive window, packets.
   std::uint32_t rwnd() const;
 
@@ -90,9 +103,14 @@ class RecvBuffer {
 
   std::uint32_t max_buffered_;
   Seq cum_;
-  std::map<Seq, RecvSegment> buffered_;  ///< received, >= cum_
-  std::map<Seq, SkipInfo> skip_pending_;
-  std::map<std::uint32_t, MsgAccumulator> accumulators_;
+  // Pooled nodes: reassembly churns these maps once per segment/message;
+  // after warmup every insert is served from the arena freelist.
+  net::PooledMap<Seq, RecvSegment> buffered_ =
+      net::make_pooled_map<Seq, RecvSegment>();  ///< received, >= cum_
+  net::PooledMap<Seq, SkipInfo> skip_pending_ =
+      net::make_pooled_map<Seq, SkipInfo>();
+  net::PooledMap<std::uint32_t, MsgAccumulator> accumulators_ =
+      net::make_pooled_map<std::uint32_t, MsgAccumulator>();
   std::uint64_t duplicates_ = 0;
   std::uint64_t delivered_count_ = 0;
   std::uint64_t dropped_count_ = 0;

@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "iq/attr/list.hpp"
+#include "iq/common/inline_vec.hpp"
 #include "iq/common/time.hpp"
 #include "iq/net/packet.hpp"
 #include "iq/rudp/seq.hpp"
@@ -69,6 +69,16 @@ struct FecMember {
   friend bool operator==(const FecMember&, const FecMember&) = default;
 };
 
+// Small-buffer list types for the per-segment containers. Inline capacities
+// are sized to the protocol's steady-state caps so segment copies through
+// the sim wires and object pools never allocate: eacks spill only past 16
+// out-of-order holes per ack (connections that must never spill set
+// max_eacks_per_ack accordingly), skip batches past 8 abandoned sequences,
+// FEC descriptors past 4 group members.
+using EackList = iq::InlineVec<WireSeq, 16>;
+using SkippedList = iq::InlineVec<SkippedSeq, 8>;
+using FecMemberList = iq::InlineVec<FecMember, 4>;
+
 struct Segment : net::PacketBody {
   SegmentType type = SegmentType::Data;
   std::uint32_t conn_id = 0;
@@ -86,19 +96,19 @@ struct Segment : net::PacketBody {
 
   // Ack.
   WireSeq cum_ack = 0;               ///< next expected sequence
-  std::vector<WireSeq> eacks;        ///< out-of-order sequences held
+  EackList eacks;                    ///< out-of-order sequences held
   std::uint32_t rwnd_packets = 0;    ///< advertised receive window
   /// Echo of the sender timestamp that triggered this ack (µs since run
   /// start, 0 = none) — RTT measurement without Karn ambiguity.
   std::uint64_t ts_echo_us = 0;
 
   // Advance.
-  std::vector<SkippedSeq> skipped;
+  SkippedList skipped;
 
   // Parity: XOR group descriptor; payload_bytes is the parity payload
   // length (the largest member payload).
   std::uint32_t fec_group = 0;
-  std::vector<FecMember> fec_members;
+  FecMemberList fec_members;
 
   // Handshake.
   double recv_loss_tolerance = 0.0;  ///< SynAck: receiver's tolerance

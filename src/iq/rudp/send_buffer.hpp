@@ -6,12 +6,13 @@
 // after a fast retransmission, only the RTO can condemn it again.
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
 #include "iq/attr/list.hpp"
+#include "iq/common/inline_vec.hpp"
 #include "iq/common/time.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/rudp/seq.hpp"
 
 namespace iq::rudp {
@@ -44,7 +45,7 @@ class SendBuffer {
   struct AckOutcome {
     int newly_acked = 0;                ///< segments first evidenced received
     std::int64_t newly_acked_bytes = 0; ///< their payload bytes
-    std::vector<Seq> lost;              ///< newly condemned (still buffered)
+    iq::InlineVec<Seq, 8> lost;         ///< newly condemned (still buffered)
     bool cum_advanced = false;
   };
   /// Process a cumulative ack + selective acks. Removes segments the
@@ -76,7 +77,10 @@ class SendBuffer {
   Seq high_water() const { return high_water_; }
 
  private:
-  std::map<Seq, Outstanding> segments_;
+  // Pooled nodes: retransmission-buffer churn is the sender's hottest
+  // map traffic and must not reach malloc at steady state.
+  net::PooledMap<Seq, Outstanding> segments_ =
+      net::make_pooled_map<Seq, Outstanding>();
   Seq high_water_ = 0;  ///< max seq with receipt evidence; 0 = none yet
   bool any_evidence_ = false;
   int inflight_ = 0;

@@ -6,7 +6,11 @@ LossyWire::LossyWire(LossyWirePair& pair, int side)
     : pair_(pair), side_(side) {}
 
 void LossyWire::send(const rudp::Segment& segment) {
-  pair_.carry(side_, segment);
+  pair_.carry(side_, pair_.pool_.make(segment));
+}
+
+void LossyWire::send(rudp::Segment&& segment) {
+  pair_.carry(side_, pair_.pool_.make(std::move(segment)));
 }
 
 sim::Executor& LossyWire::executor() { return pair_.exec_; }
@@ -28,7 +32,8 @@ void LossyWirePair::set_burst_loss(
   }
 }
 
-void LossyWirePair::carry(int from_side, const rudp::Segment& segment) {
+void LossyWirePair::carry(int from_side,
+                          std::shared_ptr<const rudp::Segment> body) {
   const int to_side = from_side == 0 ? 1 : 0;
   // Keep the base drop coin first and unconditional: fault features must not
   // shift the original seeded drop/duplicate streams.
@@ -51,16 +56,18 @@ void LossyWirePair::carry(int from_side, const rudp::Segment& segment) {
   const bool corrupted = corrupt_probability_ > 0.0 &&
                          fault_rng_.chance(corrupt_probability_);
   if (corrupted) ++corrupt_deliveries_;
-  deliver_later(to_side, segment, corrupted);
+  deliver_later(to_side, body, corrupted);
   if (rng_.chance(cfg_.duplicate_probability)) {
     ++duplicated_;
-    // The duplicate is an independent copy on the wire; it is delivered
-    // clean even when the first copy took the bit errors.
-    deliver_later(to_side, segment, /*corrupted=*/false);
+    // The duplicate is an independent copy on the wire (sharing the same
+    // immutable body); it is delivered clean even when the first copy took
+    // the bit errors.
+    deliver_later(to_side, std::move(body), /*corrupted=*/false);
   }
 }
 
-void LossyWirePair::deliver_later(int to_side, const rudp::Segment& segment,
+void LossyWirePair::deliver_later(int to_side,
+                                  std::shared_ptr<const rudp::Segment> body,
                                   bool corrupted) {
   Duration delay = cfg_.one_way_delay + extra_delay_;
   if (!cfg_.reorder_jitter.is_zero()) {
@@ -77,8 +84,9 @@ void LossyWirePair::deliver_later(int to_side, const rudp::Segment& segment,
     });
     return;
   }
-  exec_.schedule_after(delay, [&dst, seg = segment] {
-    if (dst.recv_) dst.recv_(seg);
+  // shared_ptr + reference: 24 bytes, well inside InlineFn's inline buffer.
+  exec_.schedule_after(delay, [&dst, body = std::move(body)] {
+    if (dst.recv_) dst.recv_(*body);
   });
 }
 

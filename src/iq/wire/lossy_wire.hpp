@@ -11,6 +11,7 @@
 #include "iq/common/rng.hpp"
 #include "iq/fault/loss_model.hpp"
 #include "iq/fault/target.hpp"
+#include "iq/net/pool.hpp"
 #include "iq/rudp/segment_wire.hpp"
 
 namespace iq::wire {
@@ -32,6 +33,7 @@ class LossyWire final : public rudp::SegmentWire {
   LossyWire(LossyWirePair& pair, int side);
 
   void send(const rudp::Segment& segment) override;
+  void send(rudp::Segment&& segment) override;
   void set_receiver(RecvFn fn) override { recv_ = std::move(fn); }
   void set_corruption_handler(CorruptionFn fn) override {
     corrupt_fn_ = std::move(fn);
@@ -80,14 +82,19 @@ class LossyWirePair final : public fault::FaultTarget {
 
  private:
   friend class LossyWire;
-  void carry(int from_side, const rudp::Segment& segment);
-  void deliver_later(int to_side, const rudp::Segment& segment,
+  /// Segments travel as pooled immutable bodies: a duplicate delivery
+  /// shares the first copy's body, and the InlineFn capture (shared_ptr +
+  /// destination pointer) stays within the scheduler's inline buffer — the
+  /// pipe adds no heap traffic at steady state.
+  void carry(int from_side, std::shared_ptr<const rudp::Segment> body);
+  void deliver_later(int to_side, std::shared_ptr<const rudp::Segment> body,
                      bool corrupted);
 
   sim::Executor& exec_;
   LossyConfig cfg_;
   Rng rng_;
   Rng fault_rng_;
+  net::ObjectPool<rudp::Segment> pool_;
   LossyWire a_;
   LossyWire b_;
   bool blackout_ = false;

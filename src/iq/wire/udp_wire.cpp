@@ -123,7 +123,9 @@ UdpWire::~UdpWire() {
 }
 
 void UdpWire::send(const rudp::Segment& segment) {
-  const Bytes wire = rudp::encode_segment(segment);
+  // Encode into the per-wire arena: after the first datagram the writer's
+  // buffer is at its high-water size and sends stop allocating.
+  const BytesView wire = rudp::encode_segment_into(encode_arena_, segment);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -144,7 +146,9 @@ void UdpWire::on_readable() {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) break;  // EWOULDBLOCK or error — drained
     rudp::DecodeStatus status = rudp::DecodeStatus::Ok;
-    auto decoded = rudp::decode_segment(
+    // In-place decode: the payload view borrows `buf`, which lives until
+    // the next recv() — long enough for the synchronous recv_ dispatch.
+    auto decoded = rudp::decode_segment_view(
         BytesView(buf, static_cast<std::size_t>(n)), &status);
     if (!decoded) {
       ++decode_failures_;

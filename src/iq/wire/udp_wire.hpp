@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "iq/common/bytes.hpp"
 #include "iq/rudp/segment_wire.hpp"
 #include "iq/sim/event_queue.hpp"
 
@@ -78,6 +79,8 @@ class UdpWire final : public rudp::SegmentWire {
   RealtimeLoop& loop_;
   int fd_ = -1;
   std::uint16_t remote_port_;
+  /// Reusable encode buffer (see rudp::encode_segment_into).
+  ByteWriter encode_arena_;
   RecvFn recv_;
   CorruptionFn corrupt_fn_;
   std::uint64_t sent_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "iq/common/bytes.hpp"
 #include "iq/common/inline_fn.hpp"
 #include "iq/common/log.hpp"
@@ -307,6 +309,127 @@ TEST(InlineFnTest, ResetClearsCallable) {
 TEST(InlineFnTest, ArgumentsForwarded) {
   InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
   EXPECT_EQ(add(2, 3), 5);
+}
+
+// ------------------------------------------------------------------ CRC ---
+
+TEST(Crc32Test, CheckVector) {
+  // The standard CRC-32/ISO-HDLC check value: crc of "123456789". Pins the
+  // polynomial, reflection, init and final XOR against any reimplementation.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(BytesView(msg, sizeof(msg))), 0xCBF43926u);
+  EXPECT_EQ(crc32(BytesView()), 0u);
+}
+
+TEST(Crc32Test, Slice8MatchesBytewiseOracle) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    Bytes buf(static_cast<std::size_t>(rng.uniform_int(0, 512)));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(crc32_update(kCrc32Init, buf),
+              crc32_update_bytewise(kCrc32Init, buf));
+  }
+}
+
+TEST(Crc32Test, StreamingIsChunkBoundaryInvariant) {
+  Rng rng(13);
+  Bytes buf(1458);  // an MTU-sized datagram, the codec's shape
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::uint32_t whole = crc32(buf);
+  for (int round = 0; round < 30; ++round) {
+    std::uint32_t s = kCrc32Init;
+    std::size_t pos = 0;
+    while (pos < buf.size()) {
+      // Odd-sized chunks exercise the slice-by-8 head/tail handling.
+      const auto n = std::min<std::size_t>(
+          buf.size() - pos,
+          static_cast<std::size_t>(rng.uniform_int(1, 23)));
+      s = crc32_update(s, BytesView(buf.data() + pos, n));
+      pos += n;
+    }
+    EXPECT_EQ(s ^ kCrc32Init, whole);
+  }
+}
+
+// ----------------------------------------------------- ByteWriter arena ---
+
+TEST(ByteWriterTest, ClearReusesStorageAndViewTracksSize) {
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  EXPECT_EQ(w.size(), 4u);
+  const std::uint8_t* p = w.view().data();
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.u32(0x01020304);
+  EXPECT_EQ(w.view().data(), p);  // same storage, no reallocation
+  EXPECT_EQ(w.view()[0], 0x01);
+  EXPECT_EQ(w.view()[3], 0x04);
+}
+
+TEST(ByteWriterTest, PokeU32OverwritesInPlace) {
+  ByteWriter w;
+  w.u32(0);
+  w.u32(0xffffffff);
+  w.poke_u32(0, 0x0a0b0c0d);
+  const BytesView v = w.view();
+  EXPECT_EQ(v[0], 0x0a);
+  EXPECT_EQ(v[3], 0x0d);
+  EXPECT_EQ(v[4], 0xff);  // later bytes untouched
+}
+
+TEST(ByteWriterTest, ZerosAreZeroEvenAfterDirtyReuse) {
+  ByteWriter w;
+  // Dirty the whole buffer with nonzero bytes...
+  for (int i = 0; i < 64; ++i) w.u8(0xee);
+  w.clear();
+  // ...then write a shorter prefix and a zero run over the dirty region.
+  w.u8(1);
+  w.zeros(40);
+  w.u8(2);
+  const BytesView v = w.view();
+  ASSERT_EQ(v.size(), 42u);
+  EXPECT_EQ(v[0], 1u);
+  for (std::size_t i = 1; i < 41; ++i) EXPECT_EQ(v[i], 0u) << i;
+  EXPECT_EQ(v[41], 2u);
+}
+
+TEST(ByteWriterTest, ZerosSpanningCleanTailStaysZero) {
+  ByteWriter w;
+  w.u8(0xaa);
+  w.zeros(100);  // mostly beyond any dirty watermark on first use
+  w.clear();
+  w.u8(0xbb);
+  w.zeros(200);  // longer run: part previously-clean, part fresh growth
+  const BytesView v = w.view();
+  ASSERT_EQ(v.size(), 201u);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_EQ(v[i], 0u) << i;
+}
+
+TEST(ByteWriterTest, TakeReturnsExactBytesAndResets) {
+  ByteWriter w;
+  w.u16(0x1234);
+  w.zeros(3);
+  Bytes out = w.take();
+  EXPECT_EQ(out, (Bytes{0x12, 0x34, 0, 0, 0}));
+  EXPECT_EQ(w.size(), 0u);
+  // The writer is reusable after take(), including the zero invariant.
+  w.u8(0x77);
+  w.zeros(2);
+  EXPECT_EQ(Bytes(w.view().begin(), w.view().end()), (Bytes{0x77, 0, 0}));
+}
+
+TEST(ByteReaderTest, ViewBorrowsWithoutCopy) {
+  ByteWriter w;
+  w.u8(1);
+  w.raw(Bytes{2, 3, 4});
+  const BytesView all = w.view();
+  ByteReader r(all);
+  ASSERT_TRUE(r.u8().has_value());
+  auto v = r.view(3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->data(), all.data() + 1);  // aliases, does not copy
+  EXPECT_EQ((*v)[2], 4u);
+  EXPECT_FALSE(r.view(1).has_value());  // exhausted
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+// InlineVec tests: targeted edge cases (spill boundary, aliasing insert,
+// moves) plus a randomized property test that replays the same operation
+// stream against std::vector and demands identical observable state.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iq/common/inline_vec.hpp"
+#include "iq/common/rng.hpp"
+
+namespace iq {
+namespace {
+
+TEST(InlineVecTest, StartsInlineAndSpillsAtCapacity) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  v.push_back(4);  // fifth element crosses the inline boundary
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GE(v.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVecTest, PushBackOfOwnElementSurvivesGrowth) {
+  // The classic aliasing bug: push_back(v[0]) while the push reallocates.
+  InlineVec<std::string, 2> v;
+  v.push_back(std::string(40, 'a'));  // heap-allocated string
+  v.push_back(std::string(40, 'b'));
+  v.push_back(v[0]);  // growth relocates storage mid-call
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], std::string(40, 'a'));
+}
+
+TEST(InlineVecTest, InsertOwnElementSurvivesShift) {
+  InlineVec<std::string, 4> v;
+  v.push_back("aaaa");
+  v.push_back("bbbb");
+  v.push_back("cccc");
+  // insert takes its argument by value, so inserting an element of the
+  // same vector is safe even though the shift moves it.
+  v.insert(v.begin(), v.back());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "cccc");
+  EXPECT_EQ(v[3], "cccc");
+}
+
+TEST(InlineVecTest, MoveStealsHeapBlockAndEmptiesSource) {
+  InlineVec<std::string, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back(std::string(30, 'x'));
+  ASSERT_TRUE(v.spilled());
+  const std::string* block = v.data();
+  InlineVec<std::string, 2> w = std::move(v);
+  EXPECT_EQ(w.data(), block);  // pointer steal, not element copies
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(InlineVecTest, MoveOfInlineVectorMovesElements) {
+  InlineVec<std::string, 4> v;
+  v.push_back("hello");
+  InlineVec<std::string, 4> w = std::move(v);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], "hello");
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(InlineVecTest, EqualityAndInitializerList) {
+  const InlineVec<int, 3> a{1, 2, 3, 4};
+  const InlineVec<int, 3> b{1, 2, 3, 4};
+  const InlineVec<int, 3> c{1, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.spilled());
+  EXPECT_FALSE(c.spilled());
+}
+
+TEST(InlineVecTest, SpanConversion) {
+  InlineVec<int, 4> v{10, 20, 30};
+  std::span<const int> s = v;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 20);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random op streams against std::vector as the reference.
+
+template <typename T>
+struct ValueGen;
+
+template <>
+struct ValueGen<int> {
+  static int make(Rng& rng) {
+    return static_cast<int>(rng.uniform_int(-1000, 1000));
+  }
+};
+
+template <>
+struct ValueGen<std::string> {
+  static std::string make(Rng& rng) {
+    // Mix SSO-sized and heap-backed strings so element lifetime bugs show.
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    return std::string(len, static_cast<char>('a' + rng.uniform_int(0, 25)));
+  }
+};
+
+template <typename T, std::size_t N>
+void check_same(const InlineVec<T, N>& v, const std::vector<T>& ref) {
+  ASSERT_EQ(v.size(), ref.size());
+  ASSERT_GE(v.capacity(), v.size());
+  ASSERT_EQ(v.spilled(), v.capacity() > N);
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(v[i], ref[i]);
+  if (!ref.empty()) {
+    ASSERT_EQ(v.front(), ref.front());
+    ASSERT_EQ(v.back(), ref.back());
+  }
+}
+
+template <typename T, std::size_t N>
+void run_property(std::uint64_t seed) {
+  Rng rng(seed);
+  InlineVec<T, N> v;
+  std::vector<T> ref;
+  for (int step = 0; step < 1500; ++step) {
+    const auto op = rng.uniform_int(0, 11);
+    switch (op) {
+      case 0:
+      case 1:
+      case 2: {  // push_back (weighted: growth is the interesting path)
+        T x = ValueGen<T>::make(rng);
+        v.push_back(x);
+        ref.push_back(std::move(x));
+        break;
+      }
+      case 3: {  // emplace_back
+        T x = ValueGen<T>::make(rng);
+        v.emplace_back(x);
+        ref.emplace_back(std::move(x));
+        break;
+      }
+      case 4: {
+        if (!ref.empty()) {
+          v.pop_back();
+          ref.pop_back();
+        }
+        break;
+      }
+      case 5: {  // insert at random position
+        const auto pos =
+            static_cast<std::size_t>(rng.uniform_int(0, ref.size()));
+        T x = ValueGen<T>::make(rng);
+        v.insert(v.begin() + static_cast<std::ptrdiff_t>(pos), x);
+        ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::move(x));
+        break;
+      }
+      case 6: {  // erase one
+        if (!ref.empty()) {
+          const auto pos =
+              static_cast<std::size_t>(rng.uniform_int(0, ref.size() - 1));
+          v.erase(v.begin() + static_cast<std::ptrdiff_t>(pos));
+          ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        break;
+      }
+      case 7: {  // erase range
+        if (!ref.empty()) {
+          const auto a =
+              static_cast<std::size_t>(rng.uniform_int(0, ref.size()));
+          const auto b =
+              static_cast<std::size_t>(rng.uniform_int(a, ref.size()));
+          v.erase(v.begin() + static_cast<std::ptrdiff_t>(a),
+                  v.begin() + static_cast<std::ptrdiff_t>(b));
+          ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(a),
+                    ref.begin() + static_cast<std::ptrdiff_t>(b));
+        }
+        break;
+      }
+      case 8: {  // resize
+        const auto n = static_cast<std::size_t>(rng.uniform_int(0, 24));
+        v.resize(n);
+        ref.resize(n);
+        break;
+      }
+      case 9: {  // reserve (must not change contents)
+        const auto n = static_cast<std::size_t>(rng.uniform_int(0, 32));
+        v.reserve(n);
+        break;
+      }
+      case 10: {  // occasional clear keeps revisiting the inline regime
+        if (rng.uniform_int(0, 9) == 0) {
+          v.clear();
+          ref.clear();
+        }
+        break;
+      }
+      case 11: {  // copy + move round trip through fresh objects
+        InlineVec<T, N> copy = v;
+        InlineVec<T, N> moved = std::move(copy);
+        v = std::move(moved);
+        break;
+      }
+      default:
+        break;
+    }
+    check_same(v, ref);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(InlineVecProperty, MatchesVectorTrivialElements) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE(seed);
+    run_property<int, 4>(seed);
+  }
+}
+
+TEST(InlineVecProperty, MatchesVectorStringElements) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE(seed);
+    run_property<std::string, 2>(seed);
+  }
+}
+
+}  // namespace
+}  // namespace iq

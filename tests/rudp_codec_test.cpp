@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "iq/common/rng.hpp"
 #include "iq/rudp/codec.hpp"
 
@@ -409,5 +411,173 @@ TEST_P(CodecPropertyTest, RandomRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ------------------------------------------- golden bytes (wire freeze) --
+
+// A sealed v2 datagram, byte for byte. Any codec or CRC change that alters
+// the wire image — field order, widths, checksum algorithm — fails here.
+// Captured from the v2 sealing implementation and cross-checked against an
+// independently hand-assembled header below.
+TEST(CodecGoldenTest, SealedV2DatagramIsBitIdentical) {
+  Segment s;
+  s.type = SegmentType::Data;
+  s.conn_id = 7;
+  s.seq = 0x01020304;
+  s.cum_ack = 0x0a0b0c0d;
+  s.rwnd_packets = 512;
+  s.ts_us = 0x1122334455ull;
+  s.ts_echo_us = 0x5544332211ull;
+  s.msg_id = 9;
+  s.frag_index = 0;
+  s.frag_count = 1;
+  s.marked = true;
+  s.payload_bytes = 8;
+  const Bytes payload{1, 2, 3, 4, 5, 6, 7, 8};
+
+  static const std::uint8_t kGolden[] = {
+      0x49, 0x51, 0x03, 0x01, 0xf2, 0x56, 0x5d, 0xcb, 0x00, 0x00, 0x00,
+      0x07, 0x01, 0x02, 0x03, 0x04, 0x0a, 0x0b, 0x0c, 0x0d, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x00,
+      0x00, 0x00, 0x55, 0x44, 0x33, 0x22, 0x11, 0x00, 0x00, 0x00, 0x09,
+      0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x08, 0x01, 0x02, 0x03,
+      0x04, 0x05, 0x06, 0x07, 0x08};
+
+  const Bytes wire = encode_segment(s, payload);
+  ASSERT_EQ(wire.size(), sizeof(kGolden));
+  EXPECT_EQ(wire, Bytes(kGolden, kGolden + sizeof(kGolden)));
+
+  // Cross-check: assemble the same datagram field by field, independent of
+  // the codec, and seal it with crc32 (whose polynomial is pinned by the
+  // check-vector test in common_test). Golden bytes can't drift silently.
+  ByteWriter w;
+  w.u16(kWireMagic);
+  w.u8(0x03);  // Data
+  w.u8(0x01);  // marked
+  w.u32(0);    // checksum placeholder
+  w.u32(s.conn_id);
+  w.u32(s.seq);
+  w.u32(s.cum_ack);
+  w.u32(s.rwnd_packets);
+  w.u64(s.ts_us);
+  w.u64(s.ts_echo_us);
+  w.u32(s.msg_id);
+  w.u16(s.frag_index);
+  w.u16(s.frag_count);
+  w.u32(static_cast<std::uint32_t>(s.payload_bytes));
+  w.raw(payload);
+  Bytes manual = w.take();
+  w.clear();
+  seal_segment(manual);
+  EXPECT_EQ(manual, wire);
+  ASSERT_TRUE(decode_segment(manual).has_value());
+}
+
+// --------------------------------------- in-place decode (SegmentView) ---
+
+TEST(CodecViewTest, ViewMatchesOwningDecode) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Segment s = random_segment(rng);
+    Bytes payload;
+    if ((s.type == SegmentType::Data || s.type == SegmentType::Parity) &&
+        s.payload_bytes > 0) {
+      payload.resize(static_cast<std::size_t>(s.payload_bytes));
+      for (auto& b : payload) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+    }
+    const Bytes wire = encode_segment(s, payload);
+    auto owned = decode_segment(wire);
+    auto view = decode_segment_view(wire);
+    ASSERT_TRUE(owned.has_value());
+    ASSERT_TRUE(view.has_value());
+    expect_equal(view->segment, owned->segment);
+    ASSERT_EQ(view->payload.size(), owned->payload.size());
+    EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                           owned->payload.begin()));
+  }
+}
+
+TEST(CodecViewTest, PayloadAliasesTheDatagram) {
+  Segment s = data_segment();
+  s.payload_bytes = 4;
+  Bytes wire = encode_segment(s, Bytes{9, 9, 9, 9});
+  auto view = decode_segment_view(wire);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->payload.size(), 4u);
+  EXPECT_EQ(view->payload[0], 9);
+  // The view borrows the datagram: mutating the buffer shows through. This
+  // is the contract (and the hazard) zero-copy callers sign up for.
+  wire[wire.size() - 4] = 123;
+  EXPECT_EQ(view->payload[0], 123);
+  EXPECT_EQ(view->payload.data(), wire.data() + wire.size() - 4);
+}
+
+TEST(CodecViewTest, RejectsSameInputsAsOwningDecode) {
+  Rng rng(7);
+  const Bytes wire = encode_segment(data_segment());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = wire;
+    // Truncate, corrupt, or extend at random; both decoders must agree.
+    const auto mode = rng.uniform_int(0, 2);
+    if (mode == 0) {
+      mutated.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(wire.size()))));
+    } else if (mode == 1) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    } else {
+      mutated.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    DecodeStatus st_owned = DecodeStatus::Ok;
+    DecodeStatus st_view = DecodeStatus::Ok;
+    auto owned = decode_segment(mutated, &st_owned);
+    auto view = decode_segment_view(mutated, &st_view);
+    ASSERT_EQ(owned.has_value(), view.has_value());
+    ASSERT_EQ(st_owned, st_view);
+    if (owned.has_value()) expect_equal(view->segment, owned->segment);
+  }
+}
+
+// ------------------------------------------ arena reuse & virtual zeros --
+
+TEST(CodecArenaTest, ArenaEncodeMatchesOwningEncode) {
+  Rng rng(31);
+  ByteWriter arena;
+  for (int i = 0; i < 200; ++i) {
+    const Segment s = random_segment(rng);
+    const Bytes fresh = encode_segment(s);
+    const BytesView reused = encode_segment_into(arena, s);
+    ASSERT_EQ(Bytes(reused.begin(), reused.end()), fresh) << s.describe();
+  }
+}
+
+// Regression: encode_segment used to zero-fill the whole virtual payload
+// byte by byte on every encode. The arena now skips the memset for any tail
+// it already keeps zeroed — which must not change the bytes (or checksum)
+// even when a previous encode dirtied the buffer with a real payload.
+TEST(CodecArenaTest, VirtualPayloadIdenticalAfterDirtyArenaReuse) {
+  Segment virt = data_segment();
+  virt.payload_bytes = 1000;  // no real bytes: fully virtual payload
+
+  const Bytes reference = encode_segment(virt);
+  // The virtual payload region must be all zeros on the wire.
+  for (std::size_t i = reference.size() - 1000; i < reference.size(); ++i) {
+    ASSERT_EQ(reference[i], 0u);
+  }
+
+  // Dirty the arena with a real nonzero payload, then re-encode the
+  // virtual segment through it: bit-identical, checksum included.
+  ByteWriter arena;
+  Segment real = data_segment();
+  real.payload_bytes = 1400;
+  const Bytes junk(1400, 0xee);
+  (void)encode_segment_into(arena, real, junk);
+  const BytesView reused = encode_segment_into(arena, virt);
+  EXPECT_EQ(Bytes(reused.begin(), reused.end()), reference);
+  EXPECT_EQ(segment_checksum(reused), segment_checksum(reference));
+}
+
 }  // namespace
 }  // namespace iq::rudp
+

@@ -383,7 +383,7 @@ TEST(RecvBufferTest, OutOfOrderBuffersAndEacks) {
   buf.on_data(rseg(3, 3, 0, 1), at_ms(1));
   buf.on_data(rseg(5, 5, 0, 1), at_ms(2));
   EXPECT_EQ(buf.cum(), 1u);
-  EXPECT_EQ(buf.eacks(10), (std::vector<Seq>{3, 5}));
+  EXPECT_EQ(buf.eacks(10), (iq::InlineVec<Seq, 16>{3, 5}));
   auto r = buf.on_data(rseg(1, 1, 0, 1), at_ms(3));
   EXPECT_EQ(r.delivered.size(), 1u);
   EXPECT_EQ(buf.cum(), 2u);

@@ -1,0 +1,117 @@
+// Steady-state allocation pinning: after warmup, a lossy RUDP transfer must
+// run without touching the global heap — InlineVec keeps protocol lists
+// inline, PooledMap/ObjectPool recycle nodes and segment bodies, the
+// scheduler's InlineFn keeps callbacks in its inline buffer, and the wire
+// pipe shares immutable pooled segment bodies. A regression in any of those
+// layers shows up here as a nonzero allocation delta.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+// Replace the global allocation functions in this binary so every
+// operator-new is counted (see bench_util.hpp).
+#define IQ_COUNT_ALLOCS
+#include "../bench/bench_util.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/sim/simulator.hpp"
+#include "iq/wire/lossy_wire.hpp"
+
+namespace iq::rudp {
+namespace {
+
+struct Transfer {
+  sim::Simulator sim;
+  wire::LossyWirePair pipe;
+  RudpConnection sender;
+  RudpConnection receiver;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t target = 0;
+
+  static wire::LossyConfig lossy_config() {
+    wire::LossyConfig l;
+    l.drop_probability = 0.02;          // retransmission paths stay hot
+    l.reorder_jitter = Duration::millis(2);  // eack/dup-ack paths stay hot
+    l.seed = 7;
+    return l;
+  }
+
+  static RudpConfig rudp_config() {
+    RudpConfig cfg;
+    // Cap eacks at the Segment::EackList inline capacity so ACK assembly
+    // never spills. The default (64) would heap-allocate by design.
+    cfg.max_eacks_per_ack = 16;
+    return cfg;
+  }
+
+  Transfer()
+      : pipe(sim, lossy_config()),
+        sender(pipe.a(), rudp_config(), Role::Client),
+        receiver(pipe.b(), rudp_config(), Role::Server) {
+    receiver.set_message_handler(
+        [this](const DeliveredMessage&) { ++delivered; });
+    receiver.listen();
+    sender.connect();
+  }
+
+  // Self-rescheduling pacer. A tiny trivially-copyable functor (one
+  // pointer) so the scheduler stores it inline: the test harness itself
+  // must not allocate in the measured phase.
+  struct Pace {
+    Transfer* t;
+    void operator()() const {
+      if (t->sent >= t->target) return;
+      ++t->sent;
+      t->sender.send_message({.bytes = 1000, .marked = true});
+      t->sim.after(Duration::millis(2), Pace{t});
+    }
+  };
+
+  /// Send `n` more paced messages and run until the pipe drains.
+  void send_and_drain(std::uint64_t n) {
+    target += n;
+    sim.after(Duration::millis(1), Pace{this});
+    sim.run_until(sim.now() + Duration::seconds(
+                                  static_cast<std::int64_t>(n) / 100 + 10));
+  }
+};
+
+TEST(ZeroAllocTest, SteadyStateLossyTransferDoesNotAllocate) {
+  if (std::getenv("IQ_AUDIT") != nullptr) {
+    GTEST_SKIP() << "IQ_AUDIT arms the flight recorder on every connection; "
+                    "its event bookkeeping allocates by design, so the "
+                    "zero-allocation pin only holds for the production path";
+  }
+  Transfer t;
+
+  // Warmup: handshake, pool/arena growth to high water, first losses,
+  // retransmissions, RTO timers — every steady-state path runs at least
+  // once while allocation is still allowed. Capacity growth is high-water
+  // driven (pool freelists, reorder backlog, delivery batches), so the
+  // warmup must reach a *deeper* state than anything the measured phase
+  // hits: a blackout forces a worst-case gap-repair episode (RTO backoff
+  // chain, full-window reorder backlog, then a burst drain), and the long
+  // tail of the warmup covers the rare multi-drop repair episodes that a
+  // short warmup would first encounter during measurement.
+  t.sim.after(Duration::millis(1500), [&t] { t.pipe.set_blackout(true); });
+  t.sim.after(Duration::millis(3000), [&t] { t.pipe.set_blackout(false); });
+  t.send_and_drain(10'000);
+  ASSERT_TRUE(t.sender.established());
+  const std::uint64_t warm_delivered = t.delivered;
+  ASSERT_GT(warm_delivered, 9900u);  // losses are recovered, not lost
+
+  // Measured phase: 10'000 more segments through the same lossy pipe.
+  const std::uint64_t before = iq::bench::alloc_count();
+  t.send_and_drain(10'000);
+  const std::uint64_t allocs = iq::bench::alloc_count() - before;
+
+  EXPECT_EQ(t.sent, 20'000u);
+  EXPECT_GT(t.delivered, warm_delivered + 9900u);
+  EXPECT_EQ(allocs, 0u) << "steady-state transfer touched the heap "
+                        << allocs << " times";
+}
+
+}  // namespace
+}  // namespace iq::rudp
