@@ -1,16 +1,37 @@
 // Extension experiment (beyond the paper): intra-protocol fairness.
 //
-// N greedy IQ-RUDP flows share the 20 Mb/s bottleneck. The paper argues its
-// LDA-style control is TCP-friendly across protocols (Table 2); this bench
-// measures how fairly RUDP flows share with *each other* — Jain's fairness
-// index over per-flow goodput — for N = 2, 4, 8.
+// Part 1 — N greedy IQ-RUDP flows on separate hosts share the 20 Mb/s
+// bottleneck. The paper argues its LDA-style control is TCP-friendly across
+// protocols (Table 2); this bench measures how fairly RUDP flows share with
+// *each other* — Jain's fairness index over per-flow goodput — for
+// N = 2, 4, 8.
+//
+// Part 2 — the Congestion-Manager ablation (docs/CM.md): N flows between
+// ONE host pair, with and without a shared CongestionManager. Without a CM
+// each flow probes the path independently; with one, the flows split a
+// single macro-flow window by priority weight. Reported per run: per-flow
+// goodput, weight-normalized Jain index, and convergence time (first
+// 1-second interval after which the per-interval index stays >= 0.95).
+// With an output path argument, the results are written as JSON —
+// committed as BENCH_CM.json and regression-gated by scripts/perf_compare.py
+// (CM-on 4-equal-flow Jain >= 0.95; 2:1 priority split within 10%).
+//
+// The testbed is deterministic (integer-ns simulator, fixed seeds), so the
+// JSON is bit-reproducible on any machine.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "iq/cm/manager.hpp"
+#include "iq/harness/json.hpp"
 #include "iq/net/dumbbell.hpp"
 #include "iq/rudp/connection.hpp"
+#include "iq/stats/jain.hpp"
 #include "iq/stats/table.hpp"
 #include "iq/wire/sim_wire.hpp"
 
@@ -24,18 +45,12 @@ struct Flow {
   std::unique_ptr<rudp::RudpConnection> snd;
   std::unique_ptr<rudp::RudpConnection> rcv;
   std::unique_ptr<sim::PeriodicTask> refill;
+  cm::FlowHandle* handle = nullptr;
   std::int64_t delivered_bytes = 0;
+  std::vector<std::int64_t> interval_bytes;  // per 1 s sampling interval
 };
 
-double jain(const std::vector<double>& xs) {
-  double sum = 0, sum_sq = 0;
-  for (double x : xs) {
-    sum += x;
-    sum_sq += x * x;
-  }
-  if (sum_sq == 0) return 0;
-  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
-}
+// ------------------------------------------------- part 1: per-host flows --
 
 void run(std::size_t n_flows, stats::Table& table) {
   sim::Simulator sim;
@@ -90,12 +105,159 @@ void run(std::size_t n_flows, stats::Table& table) {
   const double mx = *std::max_element(rates.begin(), rates.end());
   table.add_row({std::to_string(n_flows), stats::Table::num(total),
                  stats::Table::num(mn), stats::Table::num(mx),
-                 stats::Table::num(jain(rates), 4)});
+                 stats::Table::num(stats::jain_index(rates), 4)});
+}
+
+// --------------------------------------- part 2: shared-destination flows --
+
+struct SharedResult {
+  std::vector<double> rates_kBps;   // per flow, whole-run goodput
+  double total_kBps = 0.0;
+  double jain = 0.0;                // weight-normalized, whole run
+  double convergence_s = 0.0;       // see compute below; run length if never
+  std::uint64_t apportion_changes = 0;  // 0 when CM off
+};
+
+/// N flows between ONE host pair (one dumbbell leaf each side, distinct
+/// ports), optionally sharing a CongestionManager. Connects are staggered
+/// 250 ms apart so the join/re-apportion path runs mid-traffic.
+SharedResult run_shared(const std::vector<double>& weights, bool use_cm) {
+  const std::size_t n_flows = weights.size();
+  const double seconds = 30.0;
+
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Dumbbell db(network, {.pairs = 1});
+
+  std::optional<cm::CongestionManager> mgr;
+  if (use_cm) {
+    cm::CmConfig mcfg;
+    mcfg.aggregate.initial_cwnd = 8.0;  // the whole macro-flow's start
+    mgr.emplace(mcfg);
+  }
+
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    auto f = std::make_unique<Flow>();
+    const std::uint16_t port = static_cast<std::uint16_t>(1000 + i);
+    const net::Endpoint a{db.left(0).id(), port};
+    const net::Endpoint b{db.right(0).id(), port};
+    f->wire_snd = std::make_unique<wire::SimWire>(network, a, b,
+                                                  static_cast<std::uint32_t>(i));
+    f->wire_rcv = std::make_unique<wire::SimWire>(network, b, a,
+                                                  static_cast<std::uint32_t>(i));
+    rudp::RudpConfig cfg;
+    cfg.conn_id = static_cast<std::uint32_t>(i + 1);
+    f->snd = std::make_unique<rudp::RudpConnection>(*f->wire_snd, cfg,
+                                                    rudp::Role::Client);
+    f->rcv = std::make_unique<rudp::RudpConnection>(*f->wire_rcv, cfg,
+                                                    rudp::Role::Server);
+    Flow* fp = f.get();
+    f->rcv->set_message_handler([fp](const rudp::DeliveredMessage& m) {
+      fp->delivered_bytes += m.bytes;
+    });
+    f->refill = std::make_unique<sim::PeriodicTask>(
+        sim, Duration::millis(2), [fp] {
+          if (!fp->snd->established()) return;
+          while (fp->snd->queued_segments() < 64) {
+            fp->snd->send_message({.bytes = 1400});
+          }
+        });
+    if (use_cm) {
+      f->handle = mgr->register_flow(weights[i]);
+      rudp::RudpConnection* snd = f->snd.get();
+      f->handle->set_share_listener([snd] { snd->window_updated(); });
+      snd->set_external_congestion(f->handle);
+    }
+    f->rcv->listen();
+    // Staggered joins: flow i starts 250 ms after flow i-1.
+    rudp::RudpConnection* snd = f->snd.get();
+    sim::PeriodicTask* refill = f->refill.get();
+    sim.after(Duration::millis(static_cast<std::int64_t>(250 * i) + 1),
+              [snd, refill] {
+                snd->connect();
+                refill->start(/*fire_now=*/true);
+              });
+    flows.push_back(std::move(f));
+  }
+
+  // 1 s goodput sampling for the convergence metric.
+  std::vector<std::int64_t> last_total(n_flows, 0);
+  sim::PeriodicTask sampler(sim, Duration::seconds(1), [&] {
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      flows[i]->interval_bytes.push_back(flows[i]->delivered_bytes -
+                                         last_total[i]);
+      last_total[i] = flows[i]->delivered_bytes;
+    }
+  });
+  sampler.start();
+  sim.run_until(TimePoint::zero() + Duration::from_seconds(seconds));
+
+  SharedResult r;
+  std::vector<double> normalized;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const double kBps =
+        static_cast<double>(flows[i]->delivered_bytes) / 1000.0 / seconds;
+    r.rates_kBps.push_back(kBps);
+    r.total_kBps += kBps;
+    normalized.push_back(weights[i] > 0.0 ? kBps / weights[i] : kBps);
+  }
+  r.jain = stats::jain_index(normalized);
+
+  // Convergence: the earliest interval boundary after which every
+  // subsequent 1 s interval's weight-normalized index stays >= 0.95. Skip
+  // the staggered-join prefix — fairness is only defined once every flow
+  // is up. Never converging reports the run length.
+  const std::size_t first_full =
+      static_cast<std::size_t>((250.0 * static_cast<double>(n_flows - 1)) /
+                               1000.0) + 1;
+  const std::size_t intervals = flows[0]->interval_bytes.size();
+  std::size_t converged_at = intervals;
+  for (std::size_t k = intervals; k-- > first_full;) {
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      const double bytes =
+          static_cast<double>(flows[i]->interval_bytes[k]);
+      xs.push_back(weights[i] > 0.0 ? bytes / weights[i] : bytes);
+    }
+    if (stats::jain_index(xs) >= 0.95) {
+      converged_at = k;
+    } else {
+      break;
+    }
+  }
+  r.convergence_s = static_cast<double>(converged_at);
+
+  if (use_cm) {
+    r.apportion_changes = mgr->stats().apportion_changes;
+    for (auto& f : flows) {
+      f->snd->set_external_congestion(nullptr);
+      mgr->unregister_flow(f->handle);
+    }
+  }
+  return r;
+}
+
+std::string label(bool use_cm, std::size_t n) {
+  return (use_cm ? std::string("CM-on ") : std::string("CM-off ")) +
+         std::to_string(n) + " flows";
+}
+
+void add_shared_row(stats::Table& table, const std::string& name,
+                    const SharedResult& r) {
+  const double mn = *std::min_element(r.rates_kBps.begin(),
+                                      r.rates_kBps.end());
+  const double mx = *std::max_element(r.rates_kBps.begin(),
+                                      r.rates_kBps.end());
+  table.add_row({name, stats::Table::num(r.total_kBps),
+                 stats::Table::num(mn), stats::Table::num(mx),
+                 stats::Table::num(r.jain, 4),
+                 stats::Table::num(r.convergence_s, 0)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Extension: RUDP-vs-RUDP fairness on the 20 Mb/s bottleneck ==\n");
   iq::stats::Table table(
       {"flows", "total(KB/s)", "min(KB/s)", "max(KB/s)", "Jain index"});
@@ -103,5 +265,57 @@ int main() {
   std::printf("%s", table.render().c_str());
   std::printf("\nexpectation: Jain index near 1.0 (equal shares) and total "
               "goodput near the 20 Mb/s bottleneck across flow counts.\n");
+
+  std::printf("\n== Congestion-Manager ablation: one host pair, shared path "
+              "(docs/CM.md) ==\n");
+  const std::vector<double> equal4{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> prio2{2.0, 1.0};
+  const SharedResult off4 = run_shared(equal4, /*use_cm=*/false);
+  const SharedResult on4 = run_shared(equal4, /*use_cm=*/true);
+  const SharedResult prio = run_shared(prio2, /*use_cm=*/true);
+
+  iq::stats::Table cm_table({"run", "total(KB/s)", "min(KB/s)", "max(KB/s)",
+                             "Jain (norm)", "conv(s)"});
+  add_shared_row(cm_table, label(false, 4), off4);
+  add_shared_row(cm_table, label(true, 4), on4);
+  add_shared_row(cm_table, label(true, 2) + " 2:1", prio);
+  std::printf("%s", cm_table.render().c_str());
+
+  const double prio_ratio =
+      prio.rates_kBps[0] / std::max(prio.rates_kBps[1], 1e-9);
+  std::printf("\nCM-on priority split 2:1 -> measured goodput ratio %.2f "
+              "(apportion changes: %llu)\n",
+              prio_ratio,
+              static_cast<unsigned long long>(prio.apportion_changes));
+  std::printf("expectation: CM-on Jain >= 0.95 with faster convergence than "
+              "CM-off, and the 2:1 split lands within 10%%.\n");
+
+  if (argc > 1) {
+    iq::harness::JsonWriter w;
+    w.begin_object()
+        .field("schema", std::string("bench_multiflow_cm_v1"))
+        .field("cm_off_jain4", off4.jain)
+        .field("cm_on_jain4", on4.jain)
+        .field("cm_off_total_kBps4", off4.total_kBps)
+        .field("cm_on_total_kBps4", on4.total_kBps)
+        .field("cm_off_convergence_s4", off4.convergence_s)
+        .field("cm_on_convergence_s4", on4.convergence_s)
+        .field("cm_on_apportion_changes4", on4.apportion_changes)
+        .field("cm_prio_ratio", prio_ratio)
+        .field("cm_prio_jain_norm", prio.jain);
+    for (std::size_t i = 0; i < off4.rates_kBps.size(); ++i) {
+      w.field("cm_off_flow" + std::to_string(i) + "_kBps",
+              off4.rates_kBps[i]);
+      w.field("cm_on_flow" + std::to_string(i) + "_kBps", on4.rates_kBps[i]);
+    }
+    for (std::size_t i = 0; i < prio.rates_kBps.size(); ++i) {
+      w.field("cm_prio_flow" + std::to_string(i) + "_kBps",
+              prio.rates_kBps[i]);
+    }
+    w.end_object();
+    std::ofstream f(argv[1]);
+    f << w.take() << "\n";
+    std::printf("wrote %s\n", argv[1]);
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "iq/stats/jain.hpp"
 
 int main() {
   using namespace iq;
@@ -31,5 +32,12 @@ int main() {
       tcp.summary.throughput_kBps / std::max(iq.summary.throughput_kBps, 1.0);
   std::printf("measured TCP/IQ-RUDP throughput ratio: %.2f (paper: %.2f)\n",
               ratio, 118.0 / 99.0);
+  // Same two throughputs as a fairness index (1.0 = perfectly equal;
+  // the paper's own numbers score 0.992).
+  const double throughputs[] = {tcp.summary.throughput_kBps,
+                                iq.summary.throughput_kBps};
+  const double paper[] = {118.0, 99.0};
+  std::printf("Jain index over the two throughputs: %.3f (paper: %.3f)\n",
+              stats::jain_index(throughputs), stats::jain_index(paper));
   return (tcp.completed && iq.completed) ? 0 : 1;
 }

@@ -21,7 +21,13 @@
 # RudpConnection records its event stream into a flight recorder and a
 # tripped invariant aborts the run after writing a JSON dump whose path is
 # in the abort message. Default and ASan+UBSan builds.
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit]
+# `--cm` runs the congestion-manager suites (docs/CM.md) — unit, property,
+# auditor, integration, shared-destination fault matrix, zero-alloc and
+# metrics-export pins — plainly and under IQ_AUDIT=1, in default and
+# sanitized builds, then runs the bench_multiflow CM ablation and gates the
+# fresh numbers against the committed BENCH_CM.json (Jain >= 0.95 floor,
+# 2:1 priority split within 10%, <= 5% drift on any cm_* key).
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +36,11 @@ cd "$(dirname "$0")/.."
 # detector. Kept as one regex so the default and sanitized runs sweep the
 # identical set.
 chaos_filter='^(GilbertElliottTest|FaultPlanTest|FaultInjectorTest|FailureTest|FaultMatrixTest|Seeds/Chaos)'
+
+# The congestion-manager matrix: apportionment unit + property suites, the
+# CM auditor, facade integration, the shared-destination fault rows, and
+# the CM-attached zero-allocation / metrics-export pins.
+cm_filter='^(ApportionTest|CongestionManagerTest|CmAuditorTest|CmIntegrationTest|Seeds/CmApportionProperty|FaultMatrixTest\.SharedDestination|ZeroAllocTest|MetricsExportTest|JainIndexTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -65,10 +76,33 @@ perf_compare() {
   python3 scripts/perf_compare.py BENCH_PERF.json "$fresh"
 }
 
+cm_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$cm_filter"
+  # Same sweep with the invariant auditor armed: the CM's share-conservation
+  # / anti-starvation / loss-dedup checks abort on violation. (The
+  # zero-alloc pins skip themselves under IQ_AUDIT — recording allocates.)
+  IQ_AUDIT=1 IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-$build_dir}" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+          -R "$cm_filter"
+}
+
+cm_ablation() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_multiflow
+  local fresh="$build_dir/BENCH_CM.fresh.json"
+  "$build_dir/bench/bench_multiflow" "$fresh"
+  python3 scripts/perf_compare.py BENCH_CM.json "$fresh"
+}
+
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm]" >&2
      exit 2 ;;
 esac
 
@@ -76,6 +110,17 @@ if [[ "$mode" == "--perf-compare" ]]; then
   echo "== CI: perf compare vs committed BENCH_PERF.json =="
   perf_compare
   echo "== CI: perf compare passed =="
+  exit 0
+fi
+
+if [[ "$mode" == "--cm" ]]; then
+  echo "== CI: congestion-manager suites, default build =="
+  cm_suite build
+  echo "== CI: congestion-manager suites, sanitized build (ASan+UBSan) =="
+  cm_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: CM ablation vs committed BENCH_CM.json =="
+  cm_ablation
+  echo "== CI: congestion-manager suites passed =="
   exit 0
 fi
 

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_perf run against the committed BENCH_PERF.json.
+"""Compare a fresh bench run against its committed baseline JSON.
 
-Two classes of metric:
+Works for BENCH_PERF.json (bench_perf) and BENCH_CM.json (bench_multiflow's
+congestion-manager ablation). Three classes of metric:
   - deterministic invariants (event counts, row-identity, allocation
     counts): identical inputs must produce identical values, so any drift
     fails the run;
+  - simulated results (cm_* keys): the testbed is deterministic, so these
+    get a tight drift gate (fail beyond 5%) plus hard acceptance floors
+    (CM-on 4-flow Jain >= 0.95; 2:1 priority ratio within 10%);
   - throughput (events/s, MB/s, wall-clock): swings with the machine and
     its load, so drift beyond the threshold only warns.
 """
@@ -12,6 +16,13 @@ import json
 import sys
 
 THROUGHPUT_WARN_PCT = 30.0
+CM_FAIL_PCT = 5.0
+
+# Hard acceptance floors for the CM ablation (present only when comparing
+# BENCH_CM.json): the shared manager must actually deliver fair shares and
+# honor the priority split, not merely reproduce whatever it did last time.
+CM_JAIN_FLOOR = 0.95
+CM_PRIO_RANGE = (1.8, 2.2)
 
 # Non-throughput scalars: excluded from the warn pass (each is either an
 # invariant checked exactly below or a machine property).
@@ -33,19 +44,38 @@ def main() -> int:
         fresh = json.load(f)
 
     failures = []
-    if base.get("table1_events") != fresh.get("table1_events"):
+    if "cm_on_jain4" in fresh and fresh["cm_on_jain4"] < CM_JAIN_FLOOR:
+        failures.append(
+            f"cm_on_jain4 = {fresh['cm_on_jain4']:.4f} below the"
+            f" {CM_JAIN_FLOOR} acceptance floor: four equal-priority flows"
+            " under the congestion manager are not sharing fairly"
+        )
+    if "cm_prio_ratio" in fresh and not (
+        CM_PRIO_RANGE[0] <= fresh["cm_prio_ratio"] <= CM_PRIO_RANGE[1]
+    ):
+        failures.append(
+            f"cm_prio_ratio = {fresh['cm_prio_ratio']:.3f} outside"
+            f" {CM_PRIO_RANGE}: the 2:1 priority split drifted beyond 10%"
+        )
+    if "table1_events" in base and base.get("table1_events") != fresh.get(
+        "table1_events"
+    ):
         failures.append(
             "table1_events drifted: baseline "
             f"{base.get('table1_events')} vs fresh {fresh.get('table1_events')}"
             " (the Table-1 scenario is deterministic; this is a behavior"
             " change, not noise)"
         )
-    if fresh.get("runner_rows_identical") is not True:
+    if "runner_rows_identical" in base and fresh.get(
+        "runner_rows_identical"
+    ) is not True:
         failures.append(
             "runner_rows_identical is not true: parallel runner output"
             " diverged from the serial reference"
         )
-    if fresh.get("codec_steady_roundtrip_allocs") != 0:
+    if "codec_steady_roundtrip_allocs" in base and fresh.get(
+        "codec_steady_roundtrip_allocs"
+    ) != 0:
         failures.append(
             "codec_steady_roundtrip_allocs = "
             f"{fresh.get('codec_steady_roundtrip_allocs')} (expected 0: the"
@@ -65,7 +95,17 @@ def main() -> int:
         if b == 0:
             continue
         delta = (f_ - b) / b * 100.0
-        if abs(delta) > THROUGHPUT_WARN_PCT:
+        if key.startswith("cm_"):
+            # Simulated, deterministic testbed: anything beyond a small
+            # drift is a behavior change in the CM or transport, not noise.
+            if abs(delta) > CM_FAIL_PCT:
+                failures.append(
+                    f"{key} drifted {delta:+.1f}% vs baseline"
+                    f" ({b:.4g} -> {f_:.4g}); the CM ablation is"
+                    " deterministic, so regenerate BENCH_CM.json only for"
+                    " an intentional behavior change"
+                )
+        elif abs(delta) > THROUGHPUT_WARN_PCT:
             print(f"warn: {key} {delta:+.1f}% vs baseline ({b:.4g} -> {f_:.4g})")
 
     for key in sorted(set(fresh) - set(base)):

@@ -16,6 +16,13 @@ const std::string kAppFrameBytes = "APP_FRAME_BYTES";
 
 const std::string kRecvLossTolerance = "RECV_LOSS_TOLERANCE";
 
+const std::string kFlowPriority = "FLOW_PRIORITY";
+const std::string kCmShare = "iq.cm.share";
+const std::string kCmWeight = "iq.cm.weight";
+const std::string kCmAggregateCwnd = "iq.cm.aggregate_cwnd";
+const std::string kCmFlows = "iq.cm.flows";
+const std::string kCmApportionChanges = "iq.cm.apportion_changes";
+
 const std::string kNetLossRatio = "NET_LOSS_RATIO";
 const std::string kNetRttMs = "NET_RTT_MS";
 const std::string kNetRateBps = "NET_RATE_BPS";

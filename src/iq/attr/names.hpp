@@ -39,6 +39,18 @@ extern const std::string kAppFrameBytes;  ///< int: current app frame size
 // Connection-level reliability settings.
 extern const std::string kRecvLossTolerance;  ///< double in [0,1]
 
+// Congestion-manager coordination (docs/CM.md).
+// Application → transport: priority weight for this flow's share of the
+// per-destination aggregate window (≥ 0; carried in adaptation attrs).
+extern const std::string kFlowPriority;       ///< double, apportionment weight
+// Transport → application: macro-flow state exported per epoch while a
+// congestion manager is attached.
+extern const std::string kCmShare;            ///< double, this flow's share
+extern const std::string kCmWeight;           ///< double, current weight
+extern const std::string kCmAggregateCwnd;    ///< double, macro-flow window
+extern const std::string kCmFlows;            ///< int, live flows on the path
+extern const std::string kCmApportionChanges; ///< int, structural changes
+
 // Network performance metrics exported by the transport (sender side).
 extern const std::string kNetLossRatio;   ///< double in [0,1], per epoch
 extern const std::string kNetRttMs;       ///< double, smoothed RTT

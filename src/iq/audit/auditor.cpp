@@ -217,6 +217,13 @@ void InvariantAuditor::on_event(const Event& e) {
     case EventType::MsgShed:
     case EventType::Rto:
     case EventType::Probe:
+    // Congestion-manager events carry a manager's stream, not a
+    // connection's; CmAuditor owns their invariants (docs/CM.md).
+    case EventType::CmFlowJoin:
+    case EventType::CmFlowLeave:
+    case EventType::CmApportion:
+    case EventType::CmLoss:
+    case EventType::CmAggregateScale:
       break;
   }
 }

@@ -1,0 +1,174 @@
+#include "iq/audit/cm_auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace iq::audit {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+constexpr std::size_t kMaxRecordedViolations = 256;
+
+}  // namespace
+
+void CmAuditor::violate(const Event& e, const char* invariant,
+                        std::string detail) {
+  if (violations_.size() >= kMaxRecordedViolations) return;
+  Violation v;
+  v.invariant = invariant;
+  v.detail = std::move(detail);
+  v.event = e;
+  v.event_index = events_;
+  violations_.push_back(std::move(v));
+}
+
+void CmAuditor::check_apportion(const Event& e) {
+  ++checks_;
+  apportion_due_ = false;
+  const auto n = e.a;
+  if (n != flow_count_) {
+    violate(e, "cm-membership",
+            fmt("apportionment over %llu flows but %llu joined - left",
+                (unsigned long long)n, (unsigned long long)flow_count_));
+  }
+  const double sum = e.x;
+  const double aggregate = e.y;
+  if (!std::isfinite(sum) || !std::isfinite(aggregate)) {
+    violate(e, "cm-share-conservation",
+            fmt("non-finite apportionment: sum %g aggregate %g", sum,
+                aggregate));
+    return;
+  }
+  if (n == 0) {
+    if (sum != 0.0) {
+      violate(e, "cm-share-conservation",
+              fmt("no flows but shares sum to %g", sum));
+    }
+    return;
+  }
+  // Conservation is an equality (so "Σ shares ≤ aggregate" holds a
+  // fortiori); the tolerance covers drift-absorption rounding only.
+  const double slack = 1e-9 * std::max(1.0, std::fabs(aggregate));
+  if (std::fabs(sum - aggregate) > slack) {
+    violate(e, "cm-share-conservation",
+            fmt("shares sum to %.12g but aggregate cwnd is %.12g", sum,
+                aggregate));
+  }
+  const double min_share = static_cast<double>(e.d) * 1e-6;
+  const double entitled =
+      std::min(policy_.share_floor, aggregate / static_cast<double>(n));
+  // The millionths encoding truncates, so allow one ulp of it as slack.
+  if (min_share < entitled - 2e-6) {
+    violate(e, "cm-anti-starvation",
+            fmt("min share %g below entitlement min(floor %g, %g/%llu)",
+                min_share, policy_.share_floor, aggregate,
+                (unsigned long long)n));
+  }
+  const double bound_slack =
+      1e-9 * std::max({1.0, std::fabs(policy_.min_cwnd),
+                       std::fabs(policy_.max_cwnd)});
+  if (aggregate < policy_.min_cwnd - bound_slack ||
+      aggregate > policy_.max_cwnd + bound_slack) {
+    violate(e, "cm-aggregate-bounds",
+            fmt("aggregate cwnd %g escapes [%g, %g]", aggregate,
+                policy_.min_cwnd, policy_.max_cwnd));
+  }
+}
+
+void CmAuditor::on_event(const Event& e) {
+  ++events_;
+  // Membership changes must re-apportion before anything else happens.
+  if (apportion_due_ && e.type != EventType::CmApportion) {
+    ++checks_;
+    violate(e, "cm-reapportion-ordering",
+            "flow join/leave not followed immediately by an apportionment");
+    apportion_due_ = false;
+  }
+  switch (e.type) {
+    case EventType::CmFlowJoin:
+      ++checks_;
+      ++flow_count_;
+      if (e.a != flow_count_) {
+        violate(e, "cm-membership",
+                fmt("join reports %llu flows, audited count is %llu",
+                    (unsigned long long)e.a,
+                    (unsigned long long)flow_count_));
+      }
+      apportion_due_ = true;
+      break;
+    case EventType::CmFlowLeave:
+      ++checks_;
+      if (flow_count_ == 0) {
+        violate(e, "cm-membership", "flow left an empty manager");
+      } else {
+        --flow_count_;
+      }
+      if (e.a != flow_count_) {
+        violate(e, "cm-membership",
+                fmt("leave reports %llu flows, audited count is %llu",
+                    (unsigned long long)e.a,
+                    (unsigned long long)flow_count_));
+      }
+      apportion_due_ = true;
+      break;
+    case EventType::CmApportion:
+      check_apportion(e);
+      break;
+    case EventType::CmLoss: {
+      ++checks_;
+      if (e.a != e.b + e.c) {
+        violate(e, "cm-loss-dedup",
+                fmt("reported %llu != penalized %llu + deduped %llu",
+                    (unsigned long long)e.a, (unsigned long long)e.b,
+                    (unsigned long long)e.c));
+      }
+      if (e.a < last_reported_ || e.b < last_penalized_ ||
+          e.c < last_deduped_) {
+        violate(e, "cm-loss-dedup",
+                fmt("dedup counters regressed: %llu/%llu/%llu after "
+                    "%llu/%llu/%llu",
+                    (unsigned long long)e.a, (unsigned long long)e.b,
+                    (unsigned long long)e.c,
+                    (unsigned long long)last_reported_,
+                    (unsigned long long)last_penalized_,
+                    (unsigned long long)last_deduped_));
+      }
+      const bool penalized_now = (e.flag & 0x2) != 0;
+      if (penalized_now != (e.b > last_penalized_)) {
+        violate(e, "cm-loss-dedup",
+                penalized_now
+                    ? std::string("event flagged penalized but the "
+                                  "penalized counter did not advance")
+                    : std::string("penalized counter advanced on a "
+                                  "deduped event"));
+      }
+      last_reported_ = e.a;
+      last_penalized_ = e.b;
+      last_deduped_ = e.c;
+      break;
+    }
+    case EventType::CmAggregateScale:
+      ++checks_;
+      if (!std::isfinite(e.x) || e.x <= 0.0) {
+        violate(e, "cm-rescale-factor",
+                fmt("aggregate rescale factor %g is not finite-positive",
+                    e.x));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace iq::audit

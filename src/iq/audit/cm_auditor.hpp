@@ -1,0 +1,63 @@
+#pragma once
+// CmAuditor: invariant checks for a CongestionManager's event stream
+// (docs/CM.md), the macro-flow counterpart of InvariantAuditor:
+//
+//   * share conservation — after every apportionment the per-flow shares
+//     sum to the aggregate window (so in particular never exceed it), and
+//     a flow join/leave is followed immediately by a re-apportionment;
+//   * anti-starvation — the smallest share is at least
+//     min(floor, aggregate / n);
+//   * loss-event dedup accounting — reported == penalized + deduped, all
+//     three cumulative counters monotone (one shared path loss is never
+//     multiply penalized, and never silently dropped either);
+//   * aggregate sanity — the aggregate window stays finite and within its
+//     controller bounds; aggregate rescale factors are finite-positive.
+//
+// One instance audits one manager's stream; the CongestionManager owns it
+// (armed explicitly or via IQ_AUDIT=1) alongside a FlightRecorder ring.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iq/audit/auditor.hpp"
+#include "iq/audit/event.hpp"
+
+namespace iq::audit {
+
+class CmAuditor {
+ public:
+  struct Policy {
+    double share_floor = 1.0;
+    double min_cwnd = 0.0;
+    double max_cwnd = 1e18;
+  };
+
+  void set_policy(const Policy& p) { policy_ = p; }
+
+  void on_event(const Event& e);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t events_seen() const { return events_; }
+  std::uint64_t checks_performed() const { return checks_; }
+
+ private:
+  void violate(const Event& e, const char* invariant, std::string detail);
+  void check_apportion(const Event& e);
+
+  Policy policy_;
+  std::uint64_t events_ = 0;
+  std::uint64_t checks_ = 0;
+  std::vector<Violation> violations_;
+
+  // Membership cross-check, and the join/leave → apportion ordering flag.
+  std::uint64_t flow_count_ = 0;
+  bool apportion_due_ = false;
+
+  // Dedup accounting monotonicity.
+  std::uint64_t last_reported_ = 0;
+  std::uint64_t last_penalized_ = 0;
+  std::uint64_t last_deduped_ = 0;
+};
+
+}  // namespace iq::audit

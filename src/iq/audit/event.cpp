@@ -22,6 +22,11 @@ const char* event_type_name(EventType t) {
     case EventType::EpochReset: return "epoch-reset";
     case EventType::CoordRescale: return "coord-rescale";
     case EventType::Probe: return "probe";
+    case EventType::CmFlowJoin: return "cm-flow-join";
+    case EventType::CmFlowLeave: return "cm-flow-leave";
+    case EventType::CmApportion: return "cm-apportion";
+    case EventType::CmLoss: return "cm-loss";
+    case EventType::CmAggregateScale: return "cm-aggregate-scale";
   }
   return "?";
 }

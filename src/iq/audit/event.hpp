@@ -33,6 +33,16 @@ enum class EventType : std::uint8_t {
                     ///< b = pending lost dropped, c/d = lifetime discards
   CoordRescale,     ///< coordinator window rescale; x = factor, y = eratio
   Probe,            ///< test-only injected event (seeded-violation hook)
+  // Congestion-manager events (docs/CM.md). conn_id carries the manager id.
+  CmFlowJoin,       ///< seq = flow id, a = flow count after, x = weight
+  CmFlowLeave,      ///< seq = flow id, a = flow count after
+  CmApportion,      ///< a = flow count, c = structural change counter,
+                    ///< d = min share in millionths, x = Σ shares,
+                    ///< y = aggregate cwnd, flag = ApportionCause
+  CmLoss,           ///< a = reported, b = penalized, c = deduped (all
+                    ///< cumulative, losses + timeouts); flag bit0 = timeout,
+                    ///< bit1 = this event was penalized (not deduped)
+  CmAggregateScale, ///< x = factor, y = aggregate cwnd after
 };
 
 /// Which code path mutated the congestion window (CwndChange.flag).

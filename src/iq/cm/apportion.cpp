@@ -1,0 +1,58 @@
+#include "iq/cm/apportion.hpp"
+
+#include <algorithm>
+
+#include "iq/common/check.hpp"
+
+namespace iq::cm {
+
+ApportionResult apportion(double aggregate, std::span<const double> weights,
+                          double floor, std::span<double> shares_out) {
+  IQ_CHECK(weights.size() == shares_out.size());
+  ApportionResult r;
+  const std::size_t n = weights.size();
+  if (n == 0) return r;
+
+  const double nd = static_cast<double>(n);
+  if (aggregate < floor * nd) {
+    // Degenerate regime: the window cannot cover every floor. An equal split
+    // keeps conservation exact and starves nobody relative to anyone else.
+    const double each = aggregate / nd;
+    std::fill(shares_out.begin(), shares_out.end(), each);
+    r.sum = aggregate;
+    r.min_share = each;
+    return r;
+  }
+
+  double total_w = 0.0;
+  for (double w : weights) total_w += std::max(w, 0.0);
+  const double surplus = aggregate - floor * nd;
+  r.min_share = aggregate;  // running min below
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = std::max(weights[i], 0.0);
+    // total_w == 0 (all weights zero): the surplus splits equally.
+    const double extra = total_w > 0.0 ? surplus * (w / total_w) : surplus / nd;
+    shares_out[i] = floor + extra;
+    sum += shares_out[i];
+    r.min_share = std::min(r.min_share, shares_out[i]);
+  }
+  // Pin conservation tight: rounding drift in the proportional terms is
+  // absorbed by the largest share, then the result is re-summed so callers
+  // (and the auditor) see the true total, not the intended one.
+  const double drift = aggregate - sum;
+  if (drift != 0.0) {
+    auto largest = std::max_element(shares_out.begin(), shares_out.end());
+    *largest += drift;
+    sum = 0.0;
+    r.min_share = aggregate;
+    for (double s : shares_out) {
+      sum += s;
+      r.min_share = std::min(r.min_share, s);
+    }
+  }
+  r.sum = sum;
+  return r;
+}
+
+}  // namespace iq::cm

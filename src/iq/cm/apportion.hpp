@@ -1,0 +1,30 @@
+#pragma once
+// Weighted apportionment of an aggregate congestion window (docs/CM.md).
+//
+// Pure policy, separated from the CongestionManager so it can be property
+// tested in isolation: given the macro-flow's aggregate window and the live
+// flows' priority weights, compute each flow's share such that
+//   * conservation: the shares sum to exactly the aggregate (the auditor's
+//     share-conservation invariant is an equality, not a bound);
+//   * anti-starvation: every flow gets at least min(floor, aggregate / n)
+//     packets regardless of its weight — a zero-weight flow still drains;
+//   * proportionality: window above the floors is split w_i / Σw;
+//   * determinism: same inputs, bit-identical outputs (no internal state).
+
+#include <span>
+
+namespace iq::cm {
+
+struct ApportionResult {
+  double sum = 0.0;        ///< Σ shares (== aggregate when n > 0)
+  double min_share = 0.0;  ///< smallest share granted
+};
+
+/// Split `aggregate` across `weights.size()` flows into `shares_out`
+/// (same length, caller-provided — the hot path must not allocate).
+/// Negative weights are treated as zero. When the aggregate cannot cover
+/// every floor, it degrades to an equal split (aggregate / n).
+ApportionResult apportion(double aggregate, std::span<const double> weights,
+                          double floor, std::span<double> shares_out);
+
+}  // namespace iq::cm

@@ -13,6 +13,7 @@ AdaptationRecord AdaptationRecord::from_attrs(const attr::AttrList& attrs) {
   rec.cond_error_ratio = attrs.get_double(attr::kAdaptCondErrorRatio);
   rec.cond_rate_bps = attrs.get_double(attr::kAdaptCondRate);
   rec.frame_bytes = attrs.get_int(attr::kAppFrameBytes);
+  rec.priority = attrs.get_double(attr::kFlowPriority);
   return rec;
 }
 
@@ -27,6 +28,7 @@ attr::AttrList AdaptationRecord::to_attrs() const {
   }
   if (cond_rate_bps) attrs.set(attr::kAdaptCondRate, *cond_rate_bps);
   if (frame_bytes) attrs.set(attr::kAppFrameBytes, *frame_bytes);
+  if (priority) attrs.set(attr::kFlowPriority, *priority);
   return attrs;
 }
 
@@ -39,6 +41,7 @@ std::string AdaptationRecord::describe() const {
   os << " when=" << when;
   if (cond_error_ratio) os << " cond_eratio=" << *cond_error_ratio;
   if (frame_bytes) os << " frame=" << *frame_bytes;
+  if (priority) os << " priority=" << *priority;
   os << " }";
   return os.str();
 }

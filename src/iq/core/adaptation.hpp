@@ -35,10 +35,13 @@ struct AdaptationRecord {
   /// APP_FRAME_BYTES: the application's frame size after the adaptation —
   /// the window rescale only applies when this is below the segment size.
   std::optional<std::int64_t> frame_bytes;
+  /// FLOW_PRIORITY: the flow's apportionment weight within a per-host
+  /// congestion manager (docs/CM.md); ignored when no CM is attached.
+  std::optional<double> priority;
 
   /// True if any adaptation axis is present.
   bool any() const {
-    return freq_ratio || resolution_change || mark_degree ||
+    return freq_ratio || resolution_change || mark_degree || priority ||
            when != attr::kAdaptNow;
   }
   bool deferred() const { return when == attr::kAdaptDeferred; }

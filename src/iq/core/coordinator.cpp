@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "iq/cm/manager.hpp"
 #include "iq/common/check.hpp"
 #include "iq/common/log.hpp"
 
@@ -37,6 +38,30 @@ void Coordinator::on_fec_redundancy(double redundancy) {
   const double factor = (1.0 + old_rho) / (1.0 + redundancy);
   ++stats_.fec_rescales;
   conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/3);
+  rescale_window(factor);
+}
+
+void Coordinator::attach_cm(cm::CongestionManager& mgr, cm::FlowHandle& flow) {
+  cm_mgr_ = &mgr;
+  cm_flow_ = &flow;
+}
+
+void Coordinator::detach_cm() {
+  cm_mgr_ = nullptr;
+  cm_flow_ = nullptr;
+}
+
+void Coordinator::rescale_window(double factor) {
+  if (cm_mgr_ != nullptr && cfg_.cm_aggregate_rescale) {
+    // Macro-flow semantics: resize the whole aggregate, then pump this
+    // connection — the manager notifies the grown siblings itself.
+    ++stats_.aggregate_rescales;
+    cm_mgr_->scale_aggregate(factor);
+    conn_.window_updated();
+    return;
+  }
+  // Single-flow semantics; with a CM attached the flow's scale_window is a
+  // donation (the freed window goes to siblings, not back to the network).
   conn_.scale_congestion_window(factor);
 }
 
@@ -60,6 +85,16 @@ double Coordinator::rescale_factor(double rate_chg, double eratio_then,
 void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
   ++stats_.records_seen;
   const bool coordinated = cfg_.mode == CoordinationMode::Coordinated;
+
+  // FLOW_PRIORITY: the application's apportionment weight for this flow
+  // within the per-destination congestion manager. Applied regardless of
+  // coordination mode — it is a sharing policy between this host's own
+  // flows, not one of the paper's application/transport schemes — and
+  // silently ignored when no CM is attached.
+  if (rec.priority.has_value() && cm_flow_ != nullptr) {
+    ++stats_.priority_updates;
+    cm_flow_->set_weight(*rec.priority);
+  }
 
   // Scheme 3 bookkeeping: a deferred announcement means the application
   // will adapt on a later send call; the transport keeps adapting alone
@@ -114,7 +149,7 @@ void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
       stats_.last_rescale_factor = factor;
       ++stats_.window_rescales;
       conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/2);
-      conn_.scale_congestion_window(factor);
+      rescale_window(factor);
     }
   }
 
@@ -139,7 +174,7 @@ void Coordinator::apply(const AdaptationRecord& rec, bool from_send_call) {
         stats_.last_rescale_factor = factor;
         ++stats_.window_rescales;
         conn_.audit_coord_rescale(factor, current_eratio_, /*scheme=*/1);
-        conn_.scale_congestion_window(factor);
+        rescale_window(factor);
       }
     }
   }

@@ -38,6 +38,11 @@
 #include "iq/core/adaptation.hpp"
 #include "iq/rudp/connection.hpp"
 
+namespace iq::cm {
+class CongestionManager;
+class FlowHandle;
+}  // namespace iq::cm
+
 namespace iq::core {
 
 enum class CoordinationMode { Uncoordinated, Coordinated };
@@ -59,6 +64,13 @@ struct CoordinatorConfig {
   bool rescale_on_frequency = false;
   /// rate_chg is clamped to this to keep 1/(1-rate_chg) sane.
   double max_resolution_change = 0.9;
+  /// When a congestion manager is attached (docs/CM.md), route window
+  /// rescales to the macro-flow aggregate instead of this flow's share: the
+  /// §3.4/§3.5 argument is about the *path's* fair share, which the CM owns.
+  /// Off by default — the per-flow donation semantics (a rescale reweights
+  /// this flow within the unchanged aggregate) are usually what multi-flow
+  /// coordination wants.
+  bool cm_aggregate_rescale = false;
   /// Maximum segment payload; window rescale applies only to frames below
   /// it (§3.4). Keep in sync with RudpConfig::max_segment_payload.
   std::int64_t mss = 1400;
@@ -79,6 +91,8 @@ struct CoordinatorStats {
   double last_rescale_factor = 1.0;
   std::uint64_t fec_rescales = 0;      ///< window adjustments for parity
   double fec_redundancy = 0.0;         ///< current parity ratio rho (0 = off)
+  std::uint64_t aggregate_rescales = 0;  ///< rescales routed to the CM
+  std::uint64_t priority_updates = 0;    ///< FLOW_PRIORITY attrs applied
 };
 
 class Coordinator {
@@ -115,14 +129,28 @@ class Coordinator {
   static double rescale_factor(double rate_chg, double eratio_then,
                                double eratio_now, bool compensate);
 
+  // ---------------------------------------------- congestion manager -----
+  /// Attach the connection's CM registration so the coordinator can (a)
+  /// apply FLOW_PRIORITY adaptation attrs as apportionment weights and (b)
+  /// optionally route window rescales to the aggregate
+  /// (cm_aggregate_rescale). Both non-owning.
+  void attach_cm(cm::CongestionManager& mgr, cm::FlowHandle& flow);
+  void detach_cm();
+  bool cm_attached() const { return cm_flow_ != nullptr; }
+
  private:
   void apply(const AdaptationRecord& rec, bool from_send_call);
+  /// Route a coordination rescale to the flow (default) or, when attached
+  /// with cm_aggregate_rescale, to the CM aggregate.
+  void rescale_window(double factor);
 
   rudp::RudpConnection& conn_;
   CoordinatorConfig cfg_;
   CoordinatorStats stats_;
   bool deferral_pending_ = false;
   double current_eratio_ = 0.0;
+  cm::CongestionManager* cm_mgr_ = nullptr;
+  cm::FlowHandle* cm_flow_ = nullptr;
 };
 
 }  // namespace iq::core

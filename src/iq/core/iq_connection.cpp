@@ -1,5 +1,8 @@
 #include "iq/core/iq_connection.hpp"
 
+#include "iq/cm/manager.hpp"
+#include "iq/common/check.hpp"
+
 namespace iq::core {
 
 IqRudpConnection::IqRudpConnection(rudp::SegmentWire& wire,
@@ -24,6 +27,30 @@ IqRudpConnection::IqRudpConnection(rudp::SegmentWire& wire,
         coordinator_.on_callback_result(result, ctx);
       });
   recv_export_.start();
+}
+
+IqRudpConnection::~IqRudpConnection() { detach_cm(); }
+
+cm::FlowHandle* IqRudpConnection::attach_cm(cm::CongestionManager& mgr,
+                                            double priority) {
+  IQ_CHECK_MSG(cm_flow_ == nullptr, "attach_cm: already attached");
+  cm_mgr_ = &mgr;
+  cm_flow_ = mgr.register_flow(priority);
+  // Share growth caused by someone else's event (a sibling left, donated,
+  // or the aggregate was rescaled) re-enters this connection's send loop.
+  cm_flow_->set_share_listener([this] { conn_.window_updated(); });
+  conn_.set_external_congestion(cm_flow_);
+  coordinator_.attach_cm(mgr, *cm_flow_);
+  return cm_flow_;
+}
+
+void IqRudpConnection::detach_cm() {
+  if (cm_flow_ == nullptr) return;
+  coordinator_.detach_cm();
+  conn_.set_external_congestion(nullptr);
+  cm_mgr_->unregister_flow(cm_flow_);
+  cm_mgr_ = nullptr;
+  cm_flow_ = nullptr;
 }
 
 void IqRudpConnection::export_recv_metrics() {
@@ -93,6 +120,9 @@ void IqRudpConnection::on_failure(rudp::FailureReason reason) {
   // to keep the attribute store frozen at the failure snapshot.
   exporter_.on_failure(reason, conn_.executor().now());
   recv_export_.stop();
+  // A failed connection sends nothing more: leave the congestion manager so
+  // its share returns to the surviving siblings immediately.
+  detach_cm();
   if (error_observer_) error_observer_(reason);
 }
 
@@ -104,6 +134,7 @@ void IqRudpConnection::on_epoch(const rudp::EpochReport& report) {
     coordinator_.on_fec_redundancy(fec_ctrl_->redundancy());
     export_fec_attrs();
   }
+  if (cm_flow_ != nullptr) exporter_.export_cm(*cm_flow_, report.at);
   exporter_.on_epoch(report);
   if (epoch_observer_) epoch_observer_(report);
 }

@@ -40,6 +40,7 @@ class IqRudpConnection {
  public:
   IqRudpConnection(rudp::SegmentWire& wire, const rudp::RudpConfig& rcfg,
                    rudp::Role role, const CoordinatorConfig& ccfg = {});
+  ~IqRudpConnection();
   IqRudpConnection(const IqRudpConnection&) = delete;
   IqRudpConnection& operator=(const IqRudpConnection&) = delete;
 
@@ -82,6 +83,22 @@ class IqRudpConnection {
       double upper, double lower, attr::ThresholdCallback on_upper,
       attr::ThresholdCallback on_lower,
       attr::FiringMode mode = attr::FiringMode::EveryEpoch);
+
+  // ------------------------------------------------- congestion manager ---
+  /// Join a per-destination CongestionManager (docs/CM.md) with the given
+  /// priority weight: the transport's congestion control is delegated to
+  /// the returned flow handle (its window becomes the apportioned share of
+  /// the shared aggregate), share growth pumps the connection immediately,
+  /// the coordinator applies FLOW_PRIORITY attrs to the flow's weight, and
+  /// iq.cm.* metrics are exported each epoch. One CM at a time; detached
+  /// automatically on connection failure and at destruction.
+  cm::FlowHandle* attach_cm(cm::CongestionManager& mgr, double priority = 1.0);
+  /// Leave the CM: the share returns to the siblings and the built-in
+  /// controller takes over again. No-op when not attached.
+  void detach_cm();
+  /// nullptr while not attached.
+  cm::FlowHandle* cm_flow() { return cm_flow_; }
+  const cm::FlowHandle* cm_flow() const { return cm_flow_; }
 
   // -------------------------------------------------------------- audit ---
   /// Arm the flight recorder + invariant auditor on the underlying
@@ -130,6 +147,8 @@ class IqRudpConnection {
   Coordinator coordinator_;
   MetricsExporter exporter_;
   std::optional<fec::AdaptiveRedundancyController> fec_ctrl_;
+  cm::CongestionManager* cm_mgr_ = nullptr;  ///< non-owning, while attached
+  cm::FlowHandle* cm_flow_ = nullptr;
   rudp::RudpConnection::EpochFn epoch_observer_;
   rudp::RudpConnection::ErrorFn error_observer_;
   /// Receiver-side delivery metrics, published once per second.

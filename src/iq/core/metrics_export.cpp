@@ -1,5 +1,7 @@
 #include "iq/core/metrics_export.hpp"
 
+#include "iq/cm/manager.hpp"
+
 namespace iq::core {
 
 void MetricsExporter::on_epoch(const rudp::EpochReport& report) {
@@ -47,6 +49,21 @@ void MetricsExporter::export_failure_counters(TimePoint at) {
 void MetricsExporter::on_failure(rudp::FailureReason /*reason*/,
                                  TimePoint at) {
   export_failure_counters(at);
+}
+
+void MetricsExporter::export_cm(const cm::FlowHandle& flow, TimePoint at) {
+  const cm::CongestionManager& mgr = flow.manager();
+  const auto changes =
+      static_cast<std::int64_t>(mgr.stats().apportion_changes);
+  store_.update(attr::kCmShare, flow.share());
+  store_.update(attr::kCmWeight, flow.weight());
+  store_.update(attr::kCmAggregateCwnd, mgr.aggregate_cwnd());
+  store_.update(attr::kCmFlows, static_cast<std::int64_t>(mgr.flow_count()));
+  store_.update(attr::kCmApportionChanges, changes);
+  registry_.on_metric(attr::kCmShare, flow.share(), at);
+  registry_.on_metric(attr::kCmAggregateCwnd, mgr.aggregate_cwnd(), at);
+  registry_.on_metric(attr::kCmApportionChanges,
+                      static_cast<double>(changes), at);
 }
 
 }  // namespace iq::core

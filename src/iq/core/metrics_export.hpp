@@ -11,6 +11,10 @@
 #include "iq/attr/store.hpp"
 #include "iq/rudp/connection.hpp"
 
+namespace iq::cm {
+class FlowHandle;
+}  // namespace iq::cm
+
 namespace iq::core {
 
 class MetricsExporter {
@@ -26,6 +30,12 @@ class MetricsExporter {
   /// the terminal failure counters and NET_FAILED immediately — a Failed
   /// connection produces no further epochs to carry them.
   void on_failure(rudp::FailureReason reason, TimePoint at);
+
+  /// Publish congestion-manager state (iq.cm.*) for an attached flow: its
+  /// share and weight, the macro-flow aggregate, the live flow count and
+  /// the structural apportionment-change counter. Called per epoch by the
+  /// facade while a CM is attached (docs/CM.md).
+  void export_cm(const cm::FlowHandle& flow, TimePoint at);
 
   std::uint64_t epochs_exported() const { return epochs_; }
 

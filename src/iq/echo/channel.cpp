@@ -6,6 +6,11 @@ EventChannel::EventChannel(std::string name,
                            core::IqRudpConnection& transport)
     : name_(std::move(name)), transport_(transport) {}
 
+void EventChannel::set_priority(double weight) {
+  priority_ = weight;
+  priority_pending_ = true;
+}
+
 EventChannel::SubmitResult EventChannel::submit(
     const Event& ev, const attr::AttrList& adaptation) {
   rudp::MessageSpec spec;
@@ -15,7 +20,17 @@ EventChannel::SubmitResult EventChannel::submit(
   spec.attrs = ev.meta;
   spec.attrs.set(attr::kMsgMarked, ev.tagged);
 
-  auto result = transport_.send_with_attrs(spec, adaptation);
+  auto result = [&] {
+    if (priority_pending_) {
+      // Ride the declared priority on this send's adaptation attrs (the
+      // CMwritev_attr path) so the coordinator applies it in-band.
+      priority_pending_ = false;
+      attr::AttrList with_priority = adaptation;
+      with_priority.set(attr::kFlowPriority, priority_);
+      return transport_.send_with_attrs(spec, with_priority);
+    }
+    return transport_.send_with_attrs(spec, adaptation);
+  }();
   ++submitted_;
   SubmitResult out;
   out.event_id = next_event_id_++;

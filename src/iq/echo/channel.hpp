@@ -33,6 +33,13 @@ class EventChannel {
   SubmitResult submit(const Event& ev,
                       const attr::AttrList& adaptation = {});
 
+  /// Declare this channel's priority among the host's flows: carried as a
+  /// FLOW_PRIORITY attribute on the next submit, where the coordinator
+  /// applies it as the flow's congestion-manager apportionment weight
+  /// (docs/CM.md). No-op for the transport when no CM is attached.
+  void set_priority(double weight);
+  double priority() const { return priority_; }
+
   // ------------------------------------------------------------ sink side --
   using EventFn = std::function<void(const ReceivedEvent&)>;
   /// Install the sink handler (translates transport deliveries to events).
@@ -45,6 +52,8 @@ class EventChannel {
  private:
   std::string name_;
   core::IqRudpConnection& transport_;
+  double priority_ = 1.0;
+  bool priority_pending_ = false;
   std::uint64_t next_event_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t discarded_ = 0;

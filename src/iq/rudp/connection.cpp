@@ -56,8 +56,8 @@ audit::AuditContext* RudpConnection::enable_audit(audit::AuditConfig acfg) {
   audit_ = std::make_unique<audit::AuditContext>(cfg_.conn_id,
                                                  std::move(acfg));
   audit::InvariantAuditor::CwndBounds bounds;
-  bounds.min_cwnd = cc_->min_cwnd();
-  bounds.max_cwnd = cc_->max_cwnd();
+  bounds.min_cwnd = active_cc()->min_cwnd();
+  bounds.max_cwnd = active_cc()->max_cwnd();
   audit_->auditor().set_cwnd_bounds(bounds);
   audit_emit(audit::EventType::ConnOpen, 0,
              role_ == Role::Server ? 1u : 0u);
@@ -92,7 +92,7 @@ void RudpConnection::audit_coord_rescale(double factor, double eratio,
 
 void RudpConnection::audit_cwnd(audit::CwndCause cause, double before) {
   if (!audit_) return;
-  const double after = cc_->cwnd();
+  const double after = active_cc()->cwnd();
   if (after == before) return;
   audit_emit(audit::EventType::CwndChange, 0, 0, 0, 0, 0, before, after,
              static_cast<std::uint8_t>(cause));
@@ -285,7 +285,7 @@ void RudpConnection::pump() {
       window_limited_ = false;
       return;
     }
-    const int wnd = std::max(1, static_cast<int>(cc_->cwnd()));
+    const int wnd = std::max(1, static_cast<int>(active_cc()->cwnd()));
     const int limit = std::min<int>(wnd, static_cast<int>(
                                              std::max(1u, peer_rwnd_)));
     if (send_buf_.inflight() >= limit) {
@@ -608,7 +608,7 @@ void RudpConnection::on_ack(const Segment& seg) {
     const Duration sample =
         now - TimePoint::from_ns(static_cast<std::int64_t>(seg.ts_echo_us) * 1000);
     rtt_.add_sample(sample);
-    cc_->set_srtt(rtt_.srtt());
+    active_cc()->set_srtt(rtt_.srtt());
   }
 
   const Seq ref = send_buf_.lowest_or(next_seq_);
@@ -647,8 +647,8 @@ void RudpConnection::on_ack(const Segment& seg) {
     // Grow the window only when the window is what limits us; an
     // application-limited sender must not inflate cwnd (window validation).
     if (window_limited_) {
-      const double cwnd_before = cc_->cwnd();
-      cc_->on_ack(outcome.newly_acked, now);
+      const double cwnd_before = active_cc()->cwnd();
+      active_cc()->on_ack(outcome.newly_acked, now);
       audit_cwnd(audit::CwndCause::Ack, cwnd_before);
     }
     loss_.on_acked(static_cast<std::uint32_t>(outcome.newly_acked),
@@ -697,8 +697,8 @@ std::optional<SkippedSeq> RudpConnection::resolve_loss(Seq seq,
                from_timeout ? 1 : 0);
     loss_.on_lost(1, now);
     if (!from_timeout) {
-      const double cwnd_before = cc_->cwnd();
-      cc_->on_loss(now);
+      const double cwnd_before = active_cc()->cwnd();
+      active_cc()->on_loss(now);
       audit_cwnd(audit::CwndCause::Loss, cwnd_before);
     }
   }
@@ -788,8 +788,8 @@ void RudpConnection::on_rto() {
     stats_.rto_probe_nuls += static_cast<std::uint64_t>(probes);
   }
   {
-    const double cwnd_before = cc_->cwnd();
-    cc_->on_timeout(wire_.executor().now());
+    const double cwnd_before = active_cc()->cwnd();
+    active_cc()->on_timeout(wire_.executor().now());
     audit_cwnd(audit::CwndCause::Timeout, cwnd_before);
   }
   if (auto skip = resolve_loss(o->seq, /*from_timeout=*/true)) {
@@ -813,9 +813,23 @@ void RudpConnection::arm_rto() { rto_timer_.start(rtt_.rto()); }
 // --------------------------------------------------------- adaptation -----
 
 void RudpConnection::scale_congestion_window(double factor) {
-  const double cwnd_before = cc_->cwnd();
-  cc_->scale_window(factor);
+  const double cwnd_before = active_cc()->cwnd();
+  active_cc()->scale_window(factor);
   audit_cwnd(audit::CwndCause::Scale, cwnd_before);
+  pump();
+}
+
+void RudpConnection::set_external_congestion(CongestionController* external) {
+  ext_cc_ = external;
+  // The auditor's cwnd bounds must follow the controller in charge: a CM
+  // flow's share may legitimately sit below the built-in controller's
+  // minimum (its min_cwnd() is 0) and above it up to the aggregate maximum.
+  if (audit_) {
+    audit::InvariantAuditor::CwndBounds bounds;
+    bounds.min_cwnd = active_cc()->min_cwnd();
+    bounds.max_cwnd = active_cc()->max_cwnd();
+    audit_->auditor().set_cwnd_bounds(bounds);
+  }
   pump();
 }
 
@@ -836,8 +850,8 @@ void RudpConnection::on_epoch_report(const EpochReport& report) {
   audit_emit(audit::EventType::EpochClose, report.epoch, report.acked,
              report.lost, loss_.total_acked(), loss_.total_lost(),
              report.loss_ratio, report.smoothed_loss_ratio);
-  const double cwnd_before = cc_->cwnd();
-  cc_->on_epoch(report.loss_ratio, report.at);
+  const double cwnd_before = active_cc()->cwnd();
+  active_cc()->on_epoch(report.loss_ratio, report.at);
   audit_cwnd(audit::CwndCause::Epoch, cwnd_before);
   if (on_epoch_) on_epoch_(report);
   pump();

@@ -226,6 +226,19 @@ class RudpConnection {
   /// immediately if the queue already exceeds the new bound.
   void set_max_pending_segments(std::size_t limit);
 
+  /// Delegate congestion control to an external controller (non-owning) —
+  /// the congestion-manager hook: a cm::FlowHandle plugged in here makes
+  /// this connection's window its apportioned share of a per-destination
+  /// aggregate (docs/CM.md). nullptr restores the built-in controller.
+  /// The caller keeps `external` alive until it is unset or the connection
+  /// is destroyed.
+  void set_external_congestion(CongestionController* external);
+  CongestionController* external_congestion() { return ext_cc_; }
+  /// External notification that the active controller's window grew (e.g.
+  /// a sibling flow left the macro-flow and this flow's share rose):
+  /// re-enter the send loop to fill the freed window immediately.
+  void window_updated() { pump(); }
+
   // --------------------------------------------------------------- audit --
   /// Arm the flight recorder + invariant auditor on this connection. Every
   /// protocol event (send/ack/loss/RTO/cwnd-change/epoch-close/rescale)
@@ -245,8 +258,10 @@ class RudpConnection {
   void audit_coord_rescale(double factor, double eratio, std::uint8_t scheme);
 
   // -------------------------------------------------------------- status --
-  CongestionController& congestion() { return *cc_; }
-  const CongestionController& congestion() const { return *cc_; }
+  /// The controller actually in charge: the external one when attached
+  /// (set_external_congestion), the built-in otherwise.
+  CongestionController& congestion() { return *active_cc(); }
+  const CongestionController& congestion() const { return *active_cc(); }
   const RudpStats& stats() const { return stats_; }
   Duration srtt() const { return rtt_.srtt(); }
   Duration rto() const { return rtt_.rto(); }
@@ -321,12 +336,18 @@ class RudpConnection {
 
   std::uint64_t now_us() const;
 
+  CongestionController* active_cc() { return ext_cc_ ? ext_cc_ : cc_.get(); }
+  const CongestionController* active_cc() const {
+    return ext_cc_ ? ext_cc_ : cc_.get();
+  }
+
   SegmentWire& wire_;
   RudpConfig cfg_;
   Role role_;
   ConnState state_ = ConnState::Closed;
 
   std::unique_ptr<CongestionController> cc_;
+  CongestionController* ext_cc_ = nullptr;  ///< non-owning override
   RttEstimator rtt_;
   LossMonitor loss_;
   SendBuffer send_buf_;

@@ -1,0 +1,27 @@
+#include "iq/stats/jain.hpp"
+
+#include "iq/stats/running_stats.hpp"
+
+namespace iq::stats {
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
+}
+
+double jain_index(const RunningStats& s) {
+  if (s.empty()) return 0.0;
+  const double m2 = s.mean() * s.mean();
+  const double denom = m2 + s.variance();
+  if (denom <= 0.0) return 0.0;
+  return m2 / denom;
+}
+
+}  // namespace iq::stats

@@ -1,0 +1,27 @@
+#pragma once
+// Jain's fairness index: J(x) = (Σx)² / (n · Σx²), in (0, 1].
+//
+// 1.0 means perfectly equal allocations; k equally-served flows out of n
+// (the rest starved) score k/n. The fairness benches report it over
+// per-flow goodputs — for weighted (priority) scenarios, normalize each
+// flow's goodput by its weight first so a perfect 2:1 split still scores 1.
+
+#include <span>
+
+namespace iq::stats {
+
+class RunningStats;
+
+/// Index over explicit allocations. Empty input, or all-zero/non-positive
+/// sums of squares, return 0 (no traffic is maximally unfair, and it keeps
+/// the bench math total-order-safe).
+double jain_index(std::span<const double> xs);
+
+/// Index from streaming moments: J = mean² / (mean² + Var) with the
+/// *population* variance — Jain's denominator is n·Σx² over the complete
+/// set of flows, exactly M2/n + mean²; Bessel-corrected sample_variance()
+/// would overstate unfairness for small n (and disagree with the span
+/// overload, which JainIndexTest pins).
+double jain_index(const RunningStats& s);
+
+}  // namespace iq::stats

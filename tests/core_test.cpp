@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "iq/cm/manager.hpp"
 #include "iq/core/iq_connection.hpp"
 #include "iq/sim/simulator.hpp"
 #include "iq/wire/lossy_wire.hpp"
@@ -350,6 +351,57 @@ TEST(MetricsExportTest, EpochsFeedCallbackRegistryAllMetrics) {
   EXPECT_GT(rtt_fired, 0);
   EXPECT_GT(rate_fired, 0);
   EXPECT_GT(cwnd_fired, 0);
+}
+
+TEST(MetricsExportTest, EpochsFeedCallbackRegistryCmMetrics) {
+  // Regression mirroring EpochsFeedCallbackRegistryAllMetrics for the
+  // congestion-manager export path: with a CM attached, every epoch must
+  // forward the iq.cm.* gauges to the callback registry so applications can
+  // register thresholds on their apportioned share, not just on NET_*.
+  cm::CmConfig mcfg;
+  mcfg.aggregate.initial_cwnd = 8.0;
+  cm::CongestionManager mgr(mcfg);  // outlives the pair: detach-before-dtor
+  CorePair p;
+  p.snd->attach_cm(mgr);
+  int share_fired = 0, aggregate_fired = 0, changes_fired = 0;
+  const auto noop = [](const attr::CallbackContext&) {
+    return attr::AttrList{};
+  };
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kCmShare, .upper = 1.0, .lower = -1.0},
+      [&](const attr::CallbackContext& ctx) {
+        ++share_fired;
+        EXPECT_GT(ctx.value, 0.0);
+        return attr::AttrList{};
+      },
+      noop);
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kCmAggregateCwnd, .upper = 1.0, .lower = -1.0},
+      [&](const attr::CallbackContext&) {
+        ++aggregate_fired;
+        return attr::AttrList{};
+      },
+      noop);
+  p.snd->callbacks().register_threshold(
+      {.metric = attr::kCmApportionChanges, .upper = 0.5, .lower = -1.0},
+      [&](const attr::CallbackContext&) {
+        ++changes_fired;
+        return attr::AttrList{};
+      },
+      noop);
+  for (int i = 0; i < 200; ++i) p.snd->send({.bytes = 1400});
+  p.sim.run_until(TimePoint::zero() + Duration::seconds(60));
+  EXPECT_GT(share_fired, 0);
+  EXPECT_GT(aggregate_fired, 0);
+  // Attaching the flow was a structural apportionment, so the counter gauge
+  // crosses 0.5 on the first export.
+  EXPECT_GT(changes_fired, 0);
+  auto& store = p.snd->attributes();
+  ASSERT_TRUE(store.has(attr::kCmShare));
+  ASSERT_TRUE(store.has(attr::kCmWeight));
+  ASSERT_TRUE(store.has(attr::kCmFlows));
+  EXPECT_EQ(*store.query_double(attr::kCmFlows), 1.0);
+  p.snd->detach_cm();
 }
 
 TEST(MetricsExportTest, FailureCountersExportedPerEpoch) {

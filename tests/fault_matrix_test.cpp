@@ -13,9 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "iq/audit/audit.hpp"
+#include "iq/cm/manager.hpp"
 #include "iq/fault/injector.hpp"
 #include "iq/fault/plan.hpp"
 #include "iq/net/dumbbell.hpp"
@@ -238,6 +241,197 @@ TEST(FaultMatrixTest, BurstLossPreservesConservationAndOrdering) {
     EXPECT_LT(rig.delivered[i - 1].msg_id, rig.delivered[i].msg_id);
   }
   EXPECT_TRUE(rig.sender.send_idle());
+}
+
+// ------------------------------------------ shared-destination macro-flow --
+
+// Three flows to one destination share a CongestionManager (docs/CM.md)
+// through the same fault plan: the aggregate must ride out the fault like a
+// single connection would, no flow may starve, and the CM audit invariants
+// (share conservation, anti-starvation, loss dedup) must hold throughout.
+struct CmRig {
+  static constexpr int kFlows = 3;
+
+  sim::Simulator sim;
+  cm::CongestionManager mgr;  // declared first: destroyed after the flows
+  std::vector<std::unique_ptr<wire::LossyWirePair>> wires;
+  std::vector<std::unique_ptr<RudpConnection>> senders;
+  std::vector<std::unique_ptr<RudpConnection>> receivers;
+  std::vector<cm::FlowHandle*> flows;
+  std::vector<std::int64_t> delivered_bytes = std::vector<std::int64_t>(kFlows);
+  int failures = 0;
+
+  static cm::CmConfig cm_config() {
+    cm::CmConfig mcfg;
+    mcfg.aggregate.initial_cwnd = 6.0;  // the whole macro-flow's start
+    return mcfg;
+  }
+
+  explicit CmRig(const wire::LossyConfig& lcfg) : mgr(cm_config()) {
+    audit::AuditConfig acfg;
+    acfg.dump_on_violation = false;
+    mgr.enable_audit(acfg);
+    for (int i = 0; i < kFlows; ++i) {
+      wires.push_back(std::make_unique<wire::LossyWirePair>(sim, lcfg));
+      RudpConfig cfg;
+      cfg.conn_id = static_cast<std::uint32_t>(i + 1);
+      senders.push_back(std::make_unique<RudpConnection>(
+          wires.back()->a(), cfg, Role::Client));
+      receivers.push_back(std::make_unique<RudpConnection>(
+          wires.back()->b(), cfg, Role::Server));
+      senders.back()->enable_audit(acfg);
+      receivers.back()->enable_audit(acfg);
+      receivers.back()->set_message_handler(
+          [this, i](const DeliveredMessage& m) { delivered_bytes[static_cast<std::size_t>(i)] += m.bytes; });
+      senders.back()->set_error_handler([this](FailureReason) { ++failures; });
+      flows.push_back(mgr.register_flow());
+      RudpConnection* snd = senders.back().get();
+      flows.back()->set_share_listener([snd] { snd->window_updated(); });
+      snd->set_external_congestion(flows.back());
+      receivers.back()->listen();
+      snd->connect();
+    }
+  }
+
+  ~CmRig() {
+    EXPECT_TRUE(audits_clean());
+    for (int i = 0; i < kFlows; ++i) {
+      senders[static_cast<std::size_t>(i)]->set_external_congestion(nullptr);
+      mgr.unregister_flow(flows[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  bool audits_clean() const {
+    bool clean = mgr.auditor()->violations().empty();
+    if (!clean) {
+      ADD_FAILURE() << "cm audit: "
+                    << mgr.auditor()->violations().front().invariant << ": "
+                    << mgr.auditor()->violations().front().detail;
+    }
+    for (const auto& s : senders) {
+      if (s->audit() != nullptr && !s->audit()->violations().empty()) {
+        ADD_FAILURE() << "conn audit: "
+                      << s->audit()->violations().front().invariant;
+        clean = false;
+      }
+    }
+    return clean;
+  }
+
+  void run_ms(std::int64_t ms) {
+    sim.run_until(sim.now() + Duration::millis(ms));
+  }
+
+  std::int64_t total_delivered() const {
+    std::int64_t total = 0;
+    for (std::int64_t b : delivered_bytes) total += b;
+    return total;
+  }
+};
+
+TEST(FaultMatrixTest, SharedDestinationBlackoutNoStarvation) {
+  wire::LossyConfig lcfg;
+  CmRig rig(lcfg);
+  fault::FaultInjector injector(rig.sim);
+  fault::FaultPlan plan;
+  // One path, one blackout: all three wires go dark together (10 s .. 15 s).
+  for (auto& w : rig.wires) {
+    plan.blackout(Duration::seconds(10), Duration::seconds(5),
+                  injector.add_target(*w));
+  }
+  injector.arm(plan);
+
+  std::vector<std::unique_ptr<sim::PeriodicTask>> traffic;
+  traffic.reserve(CmRig::kFlows);
+  for (int i = 0; i < CmRig::kFlows; ++i) {
+    auto* snd = rig.senders[static_cast<std::size_t>(i)].get();
+    traffic.push_back(std::make_unique<sim::PeriodicTask>(
+        rig.sim, Duration::millis(50), [snd] {
+          if (snd->established()) snd->send_message({.bytes = 6000});
+        }));
+    traffic.back()->start();
+  }
+
+  rig.run_ms(9'900);
+  for (auto& s : rig.senders) ASSERT_TRUE(s->established());
+  const double aggregate_before = rig.mgr.aggregate_cwnd();
+  ASSERT_GT(aggregate_before, 4.0);  // the macro-flow warmed past its start
+
+  rig.run_ms(5'200);  // ride out the blackout
+  EXPECT_EQ(rig.failures, 0) << "false Failed during shared blackout";
+
+  // Aggregate recovery: within 10 s of restoration the macro-flow window
+  // must re-open to >= 80% of its pre-blackout value.
+  double aggregate_peak = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    rig.run_ms(100);
+    aggregate_peak = std::max(aggregate_peak, rig.mgr.aggregate_cwnd());
+  }
+  for (auto& t : traffic) t->stop();
+  rig.run_ms(10'000);  // drain
+
+  EXPECT_GE(aggregate_peak, 0.8 * aggregate_before)
+      << "aggregate " << aggregate_peak << " never re-opened to 80% of "
+      << aggregate_before;
+
+  // No starvation: every equal-weight flow moved a meaningful slice of the
+  // total (a starved flow would sit near zero).
+  const std::int64_t total = rig.total_delivered();
+  ASSERT_GT(total, 0);
+  for (int i = 0; i < CmRig::kFlows; ++i) {
+    EXPECT_GE(rig.delivered_bytes[static_cast<std::size_t>(i)],
+              total / (CmRig::kFlows * 10))
+        << "flow " << i << " starved";
+  }
+
+  // Loss dedup accounting stayed consistent through the fault.
+  const cm::CmStats& st = rig.mgr.stats();
+  EXPECT_EQ(st.losses_reported, st.losses_penalized + st.losses_deduped);
+  EXPECT_EQ(st.timeouts_reported, st.timeouts_penalized + st.timeouts_deduped);
+  EXPECT_GT(st.timeouts_reported, 0u);  // the blackout was actually felt
+}
+
+TEST(FaultMatrixTest, SharedDestinationBurstLossSurvives) {
+  wire::LossyConfig lcfg;
+  lcfg.seed = 47;
+  CmRig rig(lcfg);
+  fault::FaultInjector injector(rig.sim);
+  fault::GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.7;
+  ge.seed = 13;
+  fault::FaultPlan plan;
+  for (auto& w : rig.wires) {
+    plan.burst_loss(Duration::seconds(2), Duration::seconds(10), ge,
+                    injector.add_target(*w));
+  }
+  injector.arm(plan);
+
+  rig.run_ms(500);
+  const int kMessages = 80;
+  for (int i = 0; i < kMessages; ++i) {
+    for (auto& s : rig.senders) s->send_message({.bytes = 2000});
+    rig.run_ms(150);
+  }
+  rig.run_ms(120'000);
+
+  std::uint64_t burst_drops = 0;
+  for (auto& w : rig.wires) burst_drops += w->burst_drops();
+  EXPECT_GT(burst_drops, 0u);
+  EXPECT_EQ(rig.failures, 0) << "burst phases must be survivable";
+  for (int i = 0; i < CmRig::kFlows; ++i) {
+    auto& s = rig.senders[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(s->failed()) << "flow " << i;
+    EXPECT_TRUE(s->send_idle()) << "flow " << i;
+    EXPECT_EQ(rig.delivered_bytes[static_cast<std::size_t>(i)],
+              2000 * kMessages)
+        << "flow " << i << " lost data";
+  }
+  const cm::CmStats& st = rig.mgr.stats();
+  EXPECT_EQ(st.losses_reported, st.losses_penalized + st.losses_deduped);
+  EXPECT_GT(st.losses_deduped + st.timeouts_deduped, 0u)
+      << "shared-path events were never deduped across flows";
 }
 
 }  // namespace

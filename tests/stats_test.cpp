@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "iq/stats/interarrival.hpp"
+#include "iq/stats/jain.hpp"
 #include "iq/stats/metrics.hpp"
 #include "iq/stats/running_stats.hpp"
 #include "iq/stats/table.hpp"
@@ -238,6 +239,33 @@ TEST(MessageMetricsTest, NoSenderTimestampNoOwd) {
   m.on_message(rec);
   EXPECT_EQ(m.one_way_delay().count(), 0u);
   EXPECT_EQ(m.summary().owd_p95_ms, 0.0);
+}
+
+TEST(JainIndexTest, EqualAllocationsScoreOne) {
+  const double xs[] = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
+}
+
+TEST(JainIndexTest, OneHotScoresOneOverN) {
+  const double xs[] = {12.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.25);
+}
+
+TEST(JainIndexTest, EmptyAndAllZeroScoreZero) {
+  EXPECT_DOUBLE_EQ(jain_index(std::span<const double>{}), 0.0);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 0.0);
+}
+
+TEST(JainIndexTest, RunningStatsOverloadMatchesSpan) {
+  // The streaming overload must use the *population* variance — Jain's
+  // denominator is n·Σx², i.e. M2/n + mean², not the Bessel-corrected
+  // sample variance. Pin the two overloads to each other.
+  const double xs[] = {3.0, 7.0, 11.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(jain_index(s), jain_index(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(jain_index(RunningStats{}), 0.0);
 }
 
 TEST(TableTest, RendersAlignedColumns) {

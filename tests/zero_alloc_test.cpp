@@ -14,6 +14,7 @@
 // operator-new is counted (see bench_util.hpp).
 #define IQ_COUNT_ALLOCS
 #include "../bench/bench_util.hpp"
+#include "iq/cm/manager.hpp"
 #include "iq/rudp/connection.hpp"
 #include "iq/sim/simulator.hpp"
 #include "iq/wire/lossy_wire.hpp"
@@ -111,6 +112,64 @@ TEST(ZeroAllocTest, SteadyStateLossyTransferDoesNotAllocate) {
   EXPECT_GT(t.delivered, warm_delivered + 9900u);
   EXPECT_EQ(allocs, 0u) << "steady-state transfer touched the heap "
                         << allocs << " times";
+}
+
+TEST(ZeroAllocTest, SteadyStateTransferWithCongestionManagerDoesNotAllocate) {
+  if (std::getenv("IQ_AUDIT") != nullptr) {
+    GTEST_SKIP() << "IQ_AUDIT arms the flight recorder; its bookkeeping "
+                    "allocates by design";
+  }
+  // Same pin with a CongestionManager apportioning the window: the per-ack
+  // reapportion must stay inside the scratch arrays reserved at
+  // registration, and the share listener must not allocate per call.
+  cm::CmConfig mcfg;
+  mcfg.aggregate.initial_cwnd = 16.0;
+  // Cap the aggregate so the transfer's high-water state (send queue depth,
+  // in-flight map, reorder backlog) is fully reached during warmup; an
+  // ever-growing window would first hit new depths — and grow pools — in
+  // the measured phase.
+  mcfg.aggregate.max_cwnd = 24.0;
+  cm::CongestionManager mgr(mcfg);
+  Transfer t;
+  cm::FlowHandle* flow = mgr.register_flow(2.0);
+  // A phantom sibling: keeps the apportionment genuinely splitting (shares
+  // below the aggregate) rather than degenerating to the single-flow case.
+  cm::FlowHandle* sibling = mgr.register_flow(1.0);
+  flow->set_share_listener([&t] { t.sender.window_updated(); });
+  t.sender.set_external_congestion(flow);
+
+  // Same blackout as the built-in-controller pin, plus a delay spike once
+  // the capped aggregate is reached: stretching the pipe's transit time
+  // piles up far more simultaneously-live pooled segment bodies (in-transit
+  // copies + retransmissions of the same gaps) than the measured phase's
+  // 17 ms pipe ever holds, so the body pool's freelist is provisioned past
+  // its true high water while allocation is still allowed.
+  t.sim.after(Duration::millis(1500), [&t] { t.pipe.set_blackout(true); });
+  t.sim.after(Duration::millis(3000), [&t] { t.pipe.set_blackout(false); });
+  t.sim.after(Duration::millis(14'000),
+              [&t] { t.pipe.set_extra_delay(Duration::millis(300)); });
+  t.sim.after(Duration::millis(16'000),
+              [&t] { t.pipe.set_extra_delay(Duration::zero()); });
+  t.send_and_drain(10'000);
+  ASSERT_TRUE(t.sender.established());
+  const std::uint64_t warm_delivered = t.delivered;
+  ASSERT_GT(warm_delivered, 9900u);
+
+  const std::uint64_t before = iq::bench::alloc_count();
+  t.send_and_drain(10'000);
+  const std::uint64_t allocs = iq::bench::alloc_count() - before;
+
+  EXPECT_EQ(t.sent, 20'000u);
+  EXPECT_GT(t.delivered, warm_delivered + 9900u);
+  EXPECT_EQ(allocs, 0u) << "CM-attached steady state touched the heap "
+                        << allocs << " times";
+  // The CM actually mediated the transfer.
+  EXPECT_GT(mgr.stats().reapportions, 1000u);
+  EXPECT_LT(flow->share(), mgr.aggregate_cwnd());
+
+  t.sender.set_external_congestion(nullptr);
+  mgr.unregister_flow(flow);
+  mgr.unregister_flow(sibling);
 }
 
 }  // namespace
