@@ -21,6 +21,15 @@
 # RudpConnection records its event stream into a flight recorder and a
 # tripped invariant aborts the run after writing a JSON dump whose path is
 # in the abort message. Default and ASan+UBSan builds.
+# `--scale` runs the sharded determinism matrix (docs/SCALE.md): the
+# ShardedSim, city-scale, membership-churn, pool-affinity and runner-env
+# suites in the default build — plainly and with the invariant auditor
+# armed (IQ_AUDIT=1, small ring so 20k connections fit) — then the same
+# suites in a ThreadSanitizer build (IQ_TSAN=ON) to prove the lockstep
+# worker protocol race-free, and finally the Release bench_cityscale
+# (64 x 160 = 10240 subscriber flows at shard counts 1/2/4) gated against
+# the committed BENCH_SCALE.json (rows bit-identical, mailbox allocs zero,
+# <= 5% drift on behavioral aggregates) plus a short audited full-scale run.
 # `--cm` runs the congestion-manager suites (docs/CM.md) — unit, property,
 # auditor, integration, shared-destination fault matrix, zero-alloc and
 # metrics-export pins — plainly and under IQ_AUDIT=1, in default and
@@ -41,6 +50,11 @@ chaos_filter='^(GilbertElliottTest|FaultPlanTest|FaultInjectorTest|FailureTest|F
 # CM auditor, facade integration, the shared-destination fault rows, and
 # the CM-attached zero-allocation / metrics-export pins.
 cm_filter='^(ApportionTest|CongestionManagerTest|CmAuditorTest|CmIntegrationTest|Seeds/CmApportionProperty|FaultMatrixTest\.SharedDestination|ZeroAllocTest|MetricsExportTest|JainIndexTest)'
+
+# The sharded-determinism matrix: engine lockstep/ordering units, the
+# city-scale scenario (shard counts 1/2/4/7, serial and threaded, inside
+# the tests), membership churn edges, pool affinity, runner env overrides.
+scale_filter='^(ShardedSimTest|CityScaleTest|GroupMembershipTest|MboneTraceTest|ObjectPoolTest|RunnerThreadsTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -90,6 +104,34 @@ cm_suite() {
           -R "$cm_filter"
 }
 
+scale_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$scale_filter"
+  # Same matrix with the protocol auditor armed; the small ring keeps the
+  # per-connection flight recorders affordable at city scale.
+  IQ_AUDIT=1 IQ_AUDIT_RING=64 \
+  IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-$build_dir}" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+          -R "$scale_filter" -E 'ObjectPoolTest'
+}
+
+scale_bench() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_cityscale
+  local fresh="$build_dir/BENCH_SCALE.fresh.json"
+  "$build_dir/bench/bench_cityscale" "$fresh"
+  python3 scripts/perf_compare.py BENCH_SCALE.json "$fresh"
+  # Audit-clean at full fan-out: 10240 subscriber flows with the invariant
+  # auditor armed (short simulated run; any tripped invariant aborts).
+  IQ_AUDIT=1 IQ_AUDIT_RING=64 IQ_SCALE_SIM_S=2 \
+  IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-$build_dir}" \
+    "$build_dir/bench/bench_cityscale" "$build_dir/BENCH_SCALE.audited.json"
+}
+
 cm_ablation() {
   local build_dir=build-perf
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
@@ -101,8 +143,8 @@ cm_ablation() {
 
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale]" >&2
      exit 2 ;;
 esac
 
@@ -110,6 +152,17 @@ if [[ "$mode" == "--perf-compare" ]]; then
   echo "== CI: perf compare vs committed BENCH_PERF.json =="
   perf_compare
   echo "== CI: perf compare passed =="
+  exit 0
+fi
+
+if [[ "$mode" == "--scale" ]]; then
+  echo "== CI: sharded determinism matrix, default build =="
+  scale_suite build
+  echo "== CI: sharded determinism matrix, TSan build (IQ_TSAN=ON) =="
+  scale_suite build-tsan -DIQ_TSAN=ON
+  echo "== CI: city-scale bench vs committed BENCH_SCALE.json =="
+  scale_bench
+  echo "== CI: sharded determinism matrix passed =="
   exit 0
 fi
 

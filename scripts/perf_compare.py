@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Compare a fresh bench run against its committed baseline JSON.
 
-Works for BENCH_PERF.json (bench_perf) and BENCH_CM.json (bench_multiflow's
-congestion-manager ablation). Three classes of metric:
+Works for BENCH_PERF.json (bench_perf), BENCH_CM.json (bench_multiflow's
+congestion-manager ablation) and BENCH_SCALE.json (bench_cityscale's
+sharded 10k-flow fan-out). Three classes of metric:
   - deterministic invariants (event counts, row-identity, allocation
     counts): identical inputs must produce identical values, so any drift
     fails the run;
-  - simulated results (cm_* keys): the testbed is deterministic, so these
-    get a tight drift gate (fail beyond 5%) plus hard acceptance floors
-    (CM-on 4-flow Jain >= 0.95; 2:1 priority ratio within 10%);
+  - simulated results (cm_* and behavioral scale_* keys): the testbed is
+    deterministic, so these get a tight drift gate (fail beyond 5%) plus
+    hard acceptance floors (CM-on 4-flow Jain >= 0.95; 2:1 priority ratio
+    within 10%; sharded rows bit-identical; mailbox allocs zero);
   - throughput (events/s, MB/s, wall-clock): swings with the machine and
     its load, so drift beyond the threshold only warns.
 """
@@ -31,6 +33,28 @@ EXACT_KEYS = {
     "runner_threads",
     "hardware_concurrency",
     "codec_steady_roundtrip_allocs",
+    "scale_mailbox_steady_allocs",
+    "scale_sim_seconds",
+}
+
+# Deterministic-count invariants: the scenario is seeded and simulated, so
+# identical sources must produce identical integers. Any drift fails.
+EXACT_MATCH_KEYS = {
+    "table1_events",
+    "scale_flows",
+    "scale_frames",
+    "scale_events",
+    "scale_parcels",
+    "scale_epochs",
+    "scale_joins",
+    "scale_leaves",
+}
+
+# Throughput-class scale_* keys (wall-clock dependent): warn only.
+SCALE_THROUGHPUT_KEYS = {
+    "scale_events_per_s_1shard",
+    "scale_events_per_s_2shard",
+    "scale_events_per_s_4shard",
 }
 
 
@@ -57,36 +81,31 @@ def main() -> int:
             f"cm_prio_ratio = {fresh['cm_prio_ratio']:.3f} outside"
             f" {CM_PRIO_RANGE}: the 2:1 priority split drifted beyond 10%"
         )
-    if "table1_events" in base and base.get("table1_events") != fresh.get(
-        "table1_events"
-    ):
-        failures.append(
-            "table1_events drifted: baseline "
-            f"{base.get('table1_events')} vs fresh {fresh.get('table1_events')}"
-            " (the Table-1 scenario is deterministic; this is a behavior"
-            " change, not noise)"
-        )
-    if "runner_rows_identical" in base and fresh.get(
-        "runner_rows_identical"
-    ) is not True:
-        failures.append(
-            "runner_rows_identical is not true: parallel runner output"
-            " diverged from the serial reference"
-        )
-    if "codec_steady_roundtrip_allocs" in base and fresh.get(
-        "codec_steady_roundtrip_allocs"
-    ) != 0:
-        failures.append(
-            "codec_steady_roundtrip_allocs = "
-            f"{fresh.get('codec_steady_roundtrip_allocs')} (expected 0: the"
-            " arena encode / in-place decode roundtrip must not allocate)"
-        )
+    for key in sorted(EXACT_MATCH_KEYS):
+        if key in base and base.get(key) != fresh.get(key):
+            failures.append(
+                f"{key} drifted: baseline {base.get(key)} vs fresh"
+                f" {fresh.get(key)} (the scenario is deterministic; this is"
+                " a behavior change, not noise)"
+            )
+    for key in ("runner_rows_identical", "scale_rows_identical"):
+        if key in base and fresh.get(key) is not True:
+            failures.append(
+                f"{key} is not true: parallel/sharded output diverged from"
+                " the serial reference"
+            )
+    for key in ("codec_steady_roundtrip_allocs", "scale_mailbox_steady_allocs"):
+        if key in base and fresh.get(key) != 0:
+            failures.append(
+                f"{key} = {fresh.get(key)} (expected 0: this path must not"
+                " allocate in steady state)"
+            )
 
     for key in sorted(base):
         b = base[key]
         if not isinstance(b, (int, float)) or isinstance(b, bool):
             continue
-        if key in EXACT_KEYS:
+        if key in EXACT_KEYS or key in EXACT_MATCH_KEYS:
             continue
         f_ = fresh.get(key)
         if f_ is None:
@@ -95,7 +114,16 @@ def main() -> int:
         if b == 0:
             continue
         delta = (f_ - b) / b * 100.0
-        if key.startswith("cm_"):
+        if key.startswith("scale_") and key not in SCALE_THROUGHPUT_KEYS:
+            # Behavioral aggregate of the deterministic city-scale scenario.
+            if abs(delta) > CM_FAIL_PCT:
+                failures.append(
+                    f"{key} drifted {delta:+.1f}% vs baseline"
+                    f" ({b:.4g} -> {f_:.4g}); the city-scale scenario is"
+                    " deterministic, so regenerate BENCH_SCALE.json only"
+                    " for an intentional behavior change"
+                )
+        elif key.startswith("cm_"):
             # Simulated, deterministic testbed: anything beyond a small
             # drift is a behavior change in the CM or transport, not noise.
             if abs(delta) > CM_FAIL_PCT:

@@ -1,0 +1,65 @@
+#pragma once
+// Process-global strict shard-affinity mode.
+//
+// The sharded simulator (iq/sim/sharded.hpp) runs one Simulator per shard on
+// its own worker thread. Everything a shard owns — its pools, connections,
+// networks — must be touched only from that shard's thread while a lockstep
+// window is executing; the only legal cross-shard channel is the ShardedSim
+// mailbox. This header provides the switch that turns those ownership rules
+// from documentation into an enforced check:
+//
+//   - While no strict window is open (construction, teardown, ordinary
+//     single-threaded tests) affinity is unrestricted: owners rebind freely,
+//     so scenarios can be built on the main thread and destroyed there.
+//   - Inside a strict window (a StrictAffinityGuard is alive, i.e. a
+//     ShardedSim is running a lockstep epoch), the first thread to touch an
+//     owned resource in the current strict generation binds it; any other
+//     thread touching it afterwards is a cross-shard leak and aborts.
+//
+// The check stays on in release builds (the default RelWithDebInfo build
+// defines NDEBUG, so assert() would vanish); the cost outside strict windows
+// is one relaxed atomic load.
+
+#include <atomic>
+#include <cstdint>
+
+namespace iq::affinity {
+
+namespace detail {
+// Depth of nested strict windows and the generation counter. Generation
+// bumps on every 0 -> 1 transition so owner bindings from a previous window
+// are forgiven: a resource may migrate between runs, never within one.
+inline std::atomic<int> strict_depth{0};
+inline std::atomic<std::uint64_t> strict_generation{0};
+}  // namespace detail
+
+/// Is a strict window currently open?
+inline bool strict() {
+  return detail::strict_depth.load(std::memory_order_relaxed) > 0;
+}
+
+/// Current strict generation (only meaningful while strict() is true).
+inline std::uint64_t generation() {
+  return detail::strict_generation.load(std::memory_order_relaxed);
+}
+
+inline void enter_strict() {
+  if (detail::strict_depth.fetch_add(1, std::memory_order_relaxed) == 0) {
+    detail::strict_generation.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+inline void exit_strict() {
+  detail::strict_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+/// RAII strict window. The ShardedSim holds one across each lockstep run.
+class StrictAffinityGuard {
+ public:
+  StrictAffinityGuard() { enter_strict(); }
+  ~StrictAffinityGuard() { exit_strict(); }
+  StrictAffinityGuard(const StrictAffinityGuard&) = delete;
+  StrictAffinityGuard& operator=(const StrictAffinityGuard&) = delete;
+};
+
+}  // namespace iq::affinity

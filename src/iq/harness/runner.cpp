@@ -22,8 +22,18 @@ bool serial_forced() {
 
 }  // namespace
 
+std::size_t harness_threads_env() {
+  const char* v = std::getenv("IQ_HARNESS_THREADS");
+  if (v == nullptr || v[0] == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n < 1 || n > 1024) return 0;
+  return static_cast<std::size_t>(n);
+}
+
 std::size_t runner_threads(std::size_t jobs, std::size_t threads) {
   if (jobs <= 1 || serial_forced()) return 1;
+  if (threads == 0) threads = harness_threads_env();
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;

@@ -8,7 +8,7 @@
 namespace iq::net {
 
 Node& Network::add_node(const std::string& name) {
-  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeId id = node_id_base_ + static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, name));
   return *nodes_.back();
 }
@@ -27,39 +27,56 @@ void Network::add_duplex_link(Node& a, Node& b, const LinkConfig& cfg) {
   add_link(b, a, cfg);
 }
 
+Link& Network::add_portal_link(Node& from, PacketSink& sink,
+                               const std::string& name,
+                               const LinkConfig& cfg) {
+  auto link = std::make_unique<Link>(sim_, from.name() + "->" + name, cfg,
+                                     sink);
+  link->set_tracer(tracer_);
+  links_.push_back(std::move(link));
+  // Deliberately not an Edge: the sink is outside this network's node set,
+  // so compute_routes() must not see it.
+  return *links_.back();
+}
+
 void Network::compute_routes() {
+  // Node ids are node_id_base_ + local index; all graph arrays use the
+  // local index.
   const std::size_t n = nodes_.size();
+  const auto li = [this](NodeId id) {
+    return static_cast<std::size_t>(id - node_id_base_);
+  };
   // Adjacency: for each node, outgoing edges.
   std::vector<std::vector<const Edge*>> adj(n);
-  for (const Edge& e : edges_) adj[e.from].push_back(&e);
+  for (const Edge& e : edges_) adj[li(e.from)].push_back(&e);
 
   // For each destination, BFS on the reversed graph to find, for every
   // source, the first-hop link of a shortest path.
   std::vector<std::vector<const Edge*>> radj(n);
-  for (const Edge& e : edges_) radj[e.to].push_back(&e);
+  for (const Edge& e : edges_) radj[li(e.to)].push_back(&e);
 
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
-  for (NodeId dst = 0; dst < n; ++dst) {
+  for (std::size_t dst = 0; dst < n; ++dst) {
     std::vector<std::uint32_t> dist(n, kInf);
-    std::deque<NodeId> bfs;
+    std::deque<std::size_t> bfs;
     dist[dst] = 0;
     bfs.push_back(dst);
     while (!bfs.empty()) {
-      NodeId cur = bfs.front();
+      std::size_t cur = bfs.front();
       bfs.pop_front();
       for (const Edge* e : radj[cur]) {
-        if (dist[e->from] == kInf) {
-          dist[e->from] = dist[cur] + 1;
-          bfs.push_back(e->from);
+        if (dist[li(e->from)] == kInf) {
+          dist[li(e->from)] = dist[cur] + 1;
+          bfs.push_back(li(e->from));
         }
       }
     }
     // First hop at each source: any outgoing edge that decreases distance.
-    for (NodeId src = 0; src < n; ++src) {
+    for (std::size_t src = 0; src < n; ++src) {
       if (src == dst || dist[src] == kInf) continue;
       for (const Edge* e : adj[src]) {
-        if (dist[e->to] != kInf && dist[e->to] + 1 == dist[src]) {
-          nodes_[src]->set_route(dst, e->link);
+        if (dist[li(e->to)] != kInf && dist[li(e->to)] + 1 == dist[src]) {
+          nodes_[src]->set_route(nodes_[dst]->id(), e->link);
           break;
         }
       }
@@ -69,7 +86,8 @@ void Network::compute_routes() {
 
 PacketPtr Network::make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
                                std::int64_t wire_bytes,
-                               std::shared_ptr<const PacketBody> body) {
+                               std::shared_ptr<const PacketBody> body,
+                               bool corrupted) {
   IQ_CHECK(wire_bytes > 0);
   auto p = packet_pool_.make();
   p->id = next_packet_id_++;
@@ -78,7 +96,7 @@ PacketPtr Network::make_packet(Endpoint src, Endpoint dst, std::uint32_t flow,
   p->flow = flow;
   p->wire_bytes = wire_bytes;
   p->created = sim_.now();
-  p->corrupted = false;
+  p->corrupted = corrupted;
   p->body = std::move(body);
   return p;
 }
@@ -89,8 +107,8 @@ void Network::set_tracer(Tracer* tracer) {
 }
 
 Node& Network::node(NodeId id) {
-  IQ_CHECK(id < nodes_.size());
-  return *nodes_[id];
+  IQ_CHECK(id >= node_id_base_ && id - node_id_base_ < nodes_.size());
+  return *nodes_[id - node_id_base_];
 }
 
 }  // namespace iq::net

@@ -48,6 +48,7 @@ void Node::deliver(PacketPtr packet) {
 
 void Node::route_or_drop(PacketPtr packet) {
   Link* link = route(packet->dst.node);
+  if (link == nullptr) link = default_route_;
   if (link == nullptr) {
     ++dead_lettered_;
     log_debug("node ", name_, ": no route to ", packet->dst.node);

@@ -29,6 +29,13 @@ class Node final : public PacketSink {
   void set_route(NodeId dst, Link* link);
   Link* route(NodeId dst) const;
 
+  /// Fallback used when no per-destination route matches — the "default
+  /// gateway". Lets a gateway node reach destinations outside its own
+  /// Network (e.g. another shard's groups, via a portal link) without
+  /// enumerating every remote node id.
+  void set_default_route(Link* link) { default_route_ = link; }
+  Link* default_route() const { return default_route_; }
+
   /// Inject a locally-originated packet (from a socket on this node).
   void send(PacketPtr packet);
 
@@ -46,6 +53,7 @@ class Node final : public PacketSink {
   std::string name_;
   std::unordered_map<std::uint16_t, PacketSink*> ports_;
   std::unordered_map<NodeId, Link*> routes_;
+  Link* default_route_ = nullptr;
   std::uint64_t forwarded_ = 0;
   std::uint64_t delivered_local_ = 0;
   std::uint64_t dead_lettered_ = 0;

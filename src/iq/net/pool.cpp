@@ -1,10 +1,28 @@
 #include "iq/net/pool.hpp"
 
 #include <new>
+#include <thread>
 
+#include "iq/common/affinity.hpp"
 #include "iq/common/check.hpp"
 
 namespace iq::net::detail {
+
+void ArenaState::check_affinity() {
+  if (!affinity::strict()) return;
+  const std::uint64_t gen = affinity::generation();
+  if (owner_generation_ != gen) {
+    // First touch this strict window binds the arena to the toucher; a pool
+    // may migrate between lockstep runs, never within one.
+    owner_generation_ = gen;
+    owner_ = std::this_thread::get_id();
+    return;
+  }
+  IQ_CHECK_MSG(owner_ == std::this_thread::get_id(),
+               "ObjectPool touched from two threads inside one strict shard "
+               "window — cross-shard packet handoff must go through the "
+               "ShardedSim mailbox, not share pooled objects");
+}
 
 ArenaState::~ArenaState() {
   // Every control block holds a reference to this arena, so reaching the
@@ -14,6 +32,7 @@ ArenaState::~ArenaState() {
 }
 
 void* ArenaState::allocate(std::size_t bytes) {
+  check_affinity();
   if (block_size_ == 0) block_size_ = bytes;
   IQ_CHECK_MSG(bytes == block_size_, "pool arena serves one block size");
   ++outstanding_;
@@ -28,6 +47,7 @@ void* ArenaState::allocate(std::size_t bytes) {
 }
 
 void ArenaState::deallocate(void* p, std::size_t bytes) {
+  check_affinity();
   IQ_CHECK(bytes == block_size_ && outstanding_ > 0);
   --outstanding_;
   free_blocks_.push_back(p);

@@ -15,13 +15,22 @@
 //
 // Not thread-safe — a pool belongs to one simulator thread, matching the
 // single-threaded-by-design Simulator. The parallel experiment runner gives
-// every worker its own Network (and therefore its own pools).
+// every worker its own Network (and therefore its own pools), and the
+// sharded simulator gives every *shard* its own. That ownership is enforced,
+// not just documented: while a strict shard window is open
+// (iq::affinity::strict(), held by ShardedSim across every lockstep epoch),
+// the first thread to touch an arena in the window binds it, and any other
+// thread touching it afterwards aborts with a diagnostic — a cross-shard
+// Packet handoff that dodges the mailbox fails loudly instead of racing.
+// Outside strict windows the owner rebinds freely, so scenarios can be
+// built and torn down on the main thread.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,11 +60,16 @@ class ArenaState {
   PoolStats stats() const;
 
  private:
+  /// Bind-or-verify the owning thread while a strict shard window is open.
+  void check_affinity();
+
   std::size_t block_size_ = 0;
   std::vector<void*> free_blocks_;
   std::uint64_t fresh_allocations_ = 0;
   std::uint64_t reuses_ = 0;
   std::uint64_t outstanding_ = 0;
+  std::thread::id owner_;
+  std::uint64_t owner_generation_ = 0;
 };
 
 template <typename T>

@@ -1,0 +1,177 @@
+#pragma once
+// Sharded discrete-event simulation with deterministic cross-shard delivery.
+//
+// A ShardedSim runs K independent Simulators (shards) in lockstep windows of
+// length `lookahead` — classic conservative parallel DES. Within a window
+// every shard executes its own events with no locks; at the window boundary
+// the shards exchange *parcels* (timestamped closures) through a mailbox and
+// advance together. The conservative bound: a parcel posted while window
+// [T, T+Δ) executes must be due no earlier than T+Δ, so no shard can receive
+// work for sim-time it has already passed. In the packet layer this Δ is the
+// minimum inter-shard link latency (see wire::ShardPortal).
+//
+// Determinism contract — results are bit-identical at every shard count:
+//
+//   1. The unit of partitioning is the *group*, not the shard. A scenario
+//      registers a fixed set of groups (independent of K); group g always
+//      lives on shard g mod K. Groups share no mutable state.
+//   2. ALL cross-group traffic goes through post(), even when src and dst
+//      land on the same shard (including K=1). The code path never depends
+//      on placement.
+//   3. Parcels execute in the canonical total order (due, src_group, seq),
+//      where seq is a per-source-group counter — an order computed from
+//      logical identity, never from shard packing or thread timing.
+//   4. At equal timestamps a shard runs parcels before local events — a
+//      fixed tie rule that cannot depend on which shard the sender shares.
+//
+// With those rules each group observes the identical event sequence whether
+// the scenario runs on 1 shard or N, threaded or inline — which is exactly
+// what the determinism matrix (tests + ci.sh --scale) pins.
+//
+// While a lockstep run executes, the ShardedSim holds a strict affinity
+// window (iq/common/affinity.hpp): pooled objects leaking across shards
+// abort instead of racing. Parcels therefore carry plain values (e.g. a
+// rudp::Segment copied by value), and the destination re-materializes any
+// pooled state from its own arenas.
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "iq/common/inline_fn.hpp"
+#include "iq/common/time.hpp"
+#include "iq/sim/simulator.hpp"
+
+namespace iq::sim {
+
+/// A cross-shard message: a closure run on the destination shard's thread at
+/// its due time. The capacity is sized so a rudp::Segment copied by value
+/// (plus a few pointers) stays inline — the mailbox never touches malloc in
+/// steady state.
+using ParcelFn = InlineFn<void(), 1536>;
+
+class ShardedSim {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    /// Conservative lookahead Δ: lockstep window length, and the lower
+    /// bound every parcel's (due − post-time-window-end) must respect.
+    /// Must not exceed the minimum cross-group latency of the scenario.
+    Duration lookahead = Duration::millis(10);
+    /// When true (and shards > 1) each shard runs on its own persistent
+    /// worker thread; when false all shards run inline on the caller, with
+    /// the identical window/exchange protocol. Results are bit-identical.
+    bool threaded = true;
+  };
+
+  explicit ShardedSim(const Config& cfg);
+  ~ShardedSim();
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  bool threaded() const { return !workers_.empty(); }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Register a logical group and return its id. Call once per group during
+  /// scenario construction; the group count must not depend on the shard
+  /// count, or determinism across shard counts is forfeit.
+  std::uint32_t add_group();
+  std::size_t group_count() const { return groups_.size(); }
+
+  std::size_t shard_of(std::uint32_t group) const {
+    return group % shards_.size();
+  }
+  /// The Simulator the given group's components must schedule on.
+  Simulator& group_sim(std::uint32_t group) {
+    return shards_[shard_of(group)]->sim;
+  }
+  Simulator& shard_sim(std::size_t shard) { return shards_[shard]->sim; }
+  const Simulator& shard_sim(std::size_t shard) const {
+    return shards_[shard]->sim;
+  }
+
+  /// Post a parcel from src_group to dst_group, due at `due`. Must be called
+  /// either outside a run (setup) or from the src group's shard while it
+  /// executes a window; `due` must lie at or beyond the current window's
+  /// end (the conservative bound — aborts otherwise).
+  void post(std::uint32_t src_group, std::uint32_t dst_group, TimePoint due,
+            ParcelFn fn);
+
+  /// Advance all shards in lockstep to `deadline` (whole windows of
+  /// `lookahead`, plus one short final window if needed).
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now() + d); }
+  /// Keep running windows until every queue and mailbox is empty or
+  /// `hard_deadline` is reached; returns idle().
+  bool run_until_idle(TimePoint hard_deadline);
+
+  /// Global sim clock: the start of the next lockstep window. Every shard's
+  /// own clock equals this between runs.
+  TimePoint now() const { return window_start_; }
+
+  bool idle() const;
+  std::uint64_t events_executed() const;   ///< sum of shard event counts
+  std::uint64_t parcels_delivered() const;
+  std::uint64_t parcels_posted() const;
+  std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  struct Parcel {
+    TimePoint due;
+    std::uint32_t src_group = 0;
+    std::uint64_t seq = 0;
+    ParcelFn fn;
+  };
+  /// Min-heap comparator for the canonical (due, src_group, seq) order.
+  struct ParcelAfter {
+    bool operator()(const Parcel& a, const Parcel& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      if (a.src_group != b.src_group) return a.src_group > b.src_group;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Shard {
+    Simulator sim;
+    /// Pending inbound parcels, heap-ordered by ParcelAfter.
+    std::vector<Parcel> inbox;
+    /// Outbound parcels staged per destination shard; written only by this
+    /// shard's thread during a window (and by the caller during setup).
+    std::vector<std::vector<Parcel>> outbox;
+    std::uint64_t parcels_executed = 0;
+  };
+
+  struct Group {
+    std::uint64_t next_seq = 0;
+  };
+
+  void run_shard_window(Shard& sh, TimePoint end);
+  /// Move every shard's staged outbox for `dst` into dst's inbox heap.
+  void collect_inbox(std::size_t dst);
+  void run_window_serial(TimePoint end);
+  void worker_main(std::size_t shard_index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Group> groups_;
+  Duration lookahead_;
+
+  TimePoint window_start_ = TimePoint::zero();
+  /// End of the window currently (or most recently) executing; equals
+  /// window_start_ while no run is in progress. Synchronized with the
+  /// workers by the lockstep barriers.
+  TimePoint window_end_ = TimePoint::zero();
+  std::uint64_t epochs_ = 0;
+
+  // Threaded mode: persistent workers, one per shard, stepped through each
+  // window by three barriers (start -> run -> exchange -> end).
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> start_barrier_;
+  std::unique_ptr<std::barrier<>> mid_barrier_;
+  std::unique_ptr<std::barrier<>> end_barrier_;
+  bool stop_ = false;  // read by workers after the start barrier
+};
+
+}  // namespace iq::sim

@@ -37,6 +37,13 @@ void Simulator::run_until(TimePoint deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
+void Simulator::advance_to(TimePoint t) {
+  IQ_CHECK_MSG(t >= now_, "cannot advance the clock backwards");
+  IQ_CHECK_MSG(queue_.empty() || queue_.next_time() >= t,
+               "advance_to would skip pending events");
+  now_ = t;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   execute_next();

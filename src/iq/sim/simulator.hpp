@@ -42,8 +42,20 @@ class Simulator final : public Executor {
   /// Execute at most one event; returns false if none are pending.
   bool step();
 
-  bool idle() { return queue_.empty(); }
+  bool idle() const { return queue_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
+
+  /// Timestamp of the earliest pending event, or TimePoint::max() when the
+  /// queue is empty. Lets an external scheduler (the sharded lockstep loop)
+  /// interleave its own timestamped work with this queue's events.
+  TimePoint next_event_time() const {
+    return queue_.empty() ? TimePoint::max() : queue_.next_time();
+  }
+
+  /// Jump the clock forward to `t` without executing anything. Used by the
+  /// sharded engine to land the clock on a window boundary and to position
+  /// it at a cross-shard parcel's due time before running the parcel.
+  void advance_to(TimePoint t);
 
   /// Safety valve: stop the run loop after this many events (0 = unlimited).
   void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }

@@ -1,0 +1,41 @@
+#include "iq/wire/shard_portal.hpp"
+
+#include <type_traits>
+#include <utility>
+
+#include "iq/common/check.hpp"
+
+namespace iq::wire {
+
+ShardPortal::ShardPortal(sim::ShardedSim& sharded, net::Network& dst_net,
+                         const Config& cfg)
+    : sharded_(sharded), dst_net_(dst_net), cfg_(cfg) {
+  IQ_CHECK_MSG(cfg_.latency >= sharded_.lookahead(),
+               "portal latency below the ShardedSim lookahead bound");
+}
+
+void ShardPortal::deliver(net::PacketPtr packet) {
+  const auto* seg = dynamic_cast<const rudp::Segment*>(packet->body.get());
+  IQ_CHECK_MSG(seg != nullptr, "non-RUDP packet crossed a shard portal");
+  const TimePoint due =
+      sharded_.group_sim(cfg_.src_group).now() + cfg_.latency;
+  ++forwarded_;
+  // The segment crosses by VALUE; everything pooled stays on its own shard.
+  auto parcel = [this, seg = *seg, src = packet->src, dst = packet->dst,
+                 flow = packet->flow, wire_bytes = packet->wire_bytes,
+                 corrupted = packet->corrupted]() mutable {
+    auto body = dst_pool_.make(std::move(seg));
+    auto remade = dst_net_.make_packet(src, dst, flow, wire_bytes,
+                                       std::move(body), corrupted);
+    dst_net_.node(dst.node).deliver(std::move(remade));
+  };
+  // The handoff must stay allocation-free: the capture (Segment + addressing)
+  // has to fit the ParcelFn inline buffer, or every crossing would pay a
+  // heap box. If this fires, grow sim::ParcelFn's capacity.
+  static_assert(sizeof(parcel) <= 1536, "parcel capture outgrew ParcelFn");
+  static_assert(std::is_nothrow_move_constructible_v<decltype(parcel)>,
+                "parcel capture must relocate noexcept to stay inline");
+  sharded_.post(cfg_.src_group, cfg_.dst_group, due, std::move(parcel));
+}
+
+}  // namespace iq::wire

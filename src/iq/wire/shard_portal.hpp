@@ -1,0 +1,63 @@
+#pragma once
+// ShardPortal: deterministic cross-shard packet handoff.
+//
+// Sharded scenarios give every group its own net::Network (with a disjoint
+// node-id range) on its group's Simulator. A portal is the one-way junction
+// between two groups: on the source side it is the PacketSink at the end of
+// a zero-propagation net::Network::add_portal_link; on delivery it copies
+// the rudp::Segment payload BY VALUE into a ShardedSim parcel due
+// `latency` later, and the parcel re-materializes the packet on the
+// destination group's thread from destination-owned pools.
+//
+// Copying by value is the whole trick: pooled Packet/Segment objects never
+// cross a shard boundary (ObjectPool arenas are single-shard by contract,
+// enforced in strict affinity windows), and because the Segment plus its
+// addressing fits the ParcelFn inline buffer, the steady-state handoff
+// performs no heap allocation. `latency` must be at least the ShardedSim
+// lookahead — ShardedSim::post aborts otherwise — which makes the minimum
+// portal latency the conservative lookahead bound of the whole scenario.
+
+#include <cstdint>
+
+#include "iq/net/network.hpp"
+#include "iq/net/packet.hpp"
+#include "iq/net/pool.hpp"
+#include "iq/rudp/segment.hpp"
+#include "iq/sim/sharded.hpp"
+
+namespace iq::wire {
+
+class ShardPortal final : public net::PacketSink {
+ public:
+  struct Config {
+    std::uint32_t src_group = 0;
+    std::uint32_t dst_group = 0;
+    /// One-way cross-shard latency; must be >= the ShardedSim lookahead.
+    Duration latency = Duration::millis(10);
+  };
+
+  /// `dst_net` is the destination group's network: re-materialized packets
+  /// come from its pool and are delivered to its node matching packet->dst.
+  ShardPortal(sim::ShardedSim& sharded, net::Network& dst_net,
+              const Config& cfg);
+  ShardPortal(const ShardPortal&) = delete;
+  ShardPortal& operator=(const ShardPortal&) = delete;
+
+  /// PacketSink: a packet left the source group through a portal link.
+  /// Runs on the source shard.
+  void deliver(net::PacketPtr packet) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  net::PoolStats segment_pool_stats() const { return dst_pool_.stats(); }
+
+ private:
+  sim::ShardedSim& sharded_;
+  net::Network& dst_net_;
+  Config cfg_;
+  /// Destination-side segment pool: touched only by the parcel bodies,
+  /// i.e. only on the destination shard's thread.
+  net::ObjectPool<rudp::Segment> dst_pool_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace iq::wire

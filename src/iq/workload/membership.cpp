@@ -1,0 +1,30 @@
+#include "iq/workload/membership.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq::workload {
+
+void GroupMembership::advance_to(std::size_t target) {
+  target = std::min(target, roster_);
+  while (active_ < target) {
+    const std::size_t sub = active_++;
+    ++joins_;
+    if (on_join_) on_join_(sub);
+  }
+  while (active_ > target) {
+    const std::size_t sub = --active_;
+    ++leaves_;
+    if (on_leave_) on_leave_(sub);
+  }
+}
+
+void GroupMembership::advance_to_trace(const MboneTrace& trace,
+                                       Duration elapsed, double scale) {
+  const double raw = trace.group_at_time(elapsed) * scale;
+  const auto target =
+      static_cast<std::size_t>(std::max(0.0, std::llround(raw) * 1.0));
+  advance_to(target);
+}
+
+}  // namespace iq::workload

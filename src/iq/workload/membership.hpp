@@ -1,0 +1,60 @@
+#pragma once
+// GroupMembership: turns an MboneTrace member-count series into explicit
+// join/leave churn over a fixed roster of subscribers.
+//
+// The trace says *how many* members the multicast group has at each instant;
+// a fan-out scenario needs to know *which* subscribers those are. The rule
+// here is prefix membership: with target count n, exactly subscribers
+// 0..n-1 are members. That keeps churn deterministic and makes the edge
+// cases crisp — when the trace dips and recovers within one epoch the same
+// subscriber leaves and rejoins; when it dips to the configured floor the
+// group can empty entirely.
+//
+// advance_to(target) emits the leave/join callbacks for the delta and
+// returns how many of each fired. Callbacks fire in subscriber order
+// (joins ascending, leaves descending — peeling the prefix back), so replay
+// under a fixed trace is bit-identical.
+
+#include <cstdint>
+#include <functional>
+
+#include "iq/common/time.hpp"
+#include "iq/workload/mbone_trace.hpp"
+
+namespace iq::workload {
+
+class GroupMembership {
+ public:
+  using MemberFn = std::function<void(std::size_t subscriber)>;
+
+  /// `roster` is the subscriber universe; targets are clamped to [0, roster].
+  GroupMembership(std::size_t roster, MemberFn on_join, MemberFn on_leave)
+      : roster_(roster),
+        on_join_(std::move(on_join)),
+        on_leave_(std::move(on_leave)) {}
+
+  std::size_t roster() const { return roster_; }
+  std::size_t active() const { return active_; }
+  bool is_member(std::size_t subscriber) const { return subscriber < active_; }
+
+  /// Move membership to `target` members, firing callbacks for the delta.
+  void advance_to(std::size_t target);
+
+  /// Move membership to the trace's count at `elapsed` (1 s per sample),
+  /// scaled by `scale` and clamped to the roster.
+  void advance_to_trace(const MboneTrace& trace, Duration elapsed,
+                        double scale = 1.0);
+
+  std::uint64_t joins() const { return joins_; }
+  std::uint64_t leaves() const { return leaves_; }
+
+ private:
+  std::size_t roster_;
+  MemberFn on_join_;
+  MemberFn on_leave_;
+  std::size_t active_ = 0;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+}  // namespace iq::workload

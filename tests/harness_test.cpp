@@ -7,7 +7,11 @@
 #include <limits>
 #include <string>
 
+#include <cstdlib>
+
+#include "iq/harness/cityscale.hpp"
 #include "iq/harness/json.hpp"
+#include "iq/harness/runner.hpp"
 #include "iq/harness/paper.hpp"
 #include "iq/harness/scenarios.hpp"
 
@@ -182,6 +186,68 @@ TEST(RunExperimentTest, JitterSeriesCollectedWhenRequested) {
   cfg.max_sim_time = Duration::seconds(60);
   const ExperimentResult r = run_experiment(cfg);
   EXPECT_GT(r.jitter_series.size(), 40u);
+}
+
+
+// RAII save/set/restore for one environment variable (tests only; the
+// harness itself never mutates the environment).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(RunnerThreadsTest, EnvOverridePinsPoolWidth) {
+  ScopedEnv serial("IQ_HARNESS_SERIAL", nullptr);
+  ScopedEnv env("IQ_HARNESS_THREADS", "3");
+  EXPECT_EQ(harness_threads_env(), 3u);
+  EXPECT_EQ(runner_threads(8), 3u);
+  EXPECT_EQ(runner_threads(2), 2u);  // still capped by the job count
+  EXPECT_EQ(cityscale_shards(), 3u);
+}
+
+TEST(RunnerThreadsTest, ExplicitArgumentBeatsEnv) {
+  ScopedEnv serial("IQ_HARNESS_SERIAL", nullptr);
+  ScopedEnv env("IQ_HARNESS_THREADS", "3");
+  EXPECT_EQ(runner_threads(8, 5), 5u);
+}
+
+TEST(RunnerThreadsTest, SerialBeatsEverything) {
+  ScopedEnv serial("IQ_HARNESS_SERIAL", "1");
+  ScopedEnv env("IQ_HARNESS_THREADS", "3");
+  EXPECT_EQ(runner_threads(8), 1u);
+  EXPECT_EQ(runner_threads(8, 5), 1u);
+  EXPECT_EQ(cityscale_shards(), 1u);
+}
+
+TEST(RunnerThreadsTest, InvalidEnvValuesAreUnset) {
+  ScopedEnv serial("IQ_HARNESS_SERIAL", nullptr);
+  for (const char* bad : {"0", "-2", "garbage", "", "1025", "3x"}) {
+    ScopedEnv env("IQ_HARNESS_THREADS", bad);
+    EXPECT_EQ(harness_threads_env(), 0u) << "value=\"" << bad << "\"";
+  }
+  ScopedEnv env("IQ_HARNESS_THREADS", nullptr);
+  EXPECT_EQ(harness_threads_env(), 0u);
 }
 
 }  // namespace

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <string>
 #include <vector>
 
+#include "iq/common/affinity.hpp"
 #include "iq/net/packet.hpp"
 #include "iq/net/pool.hpp"
 
@@ -105,6 +107,48 @@ TEST(ObjectPoolTest, PacketsPoolCleanly) {
   EXPECT_EQ(pool.stats().reuses, 1u);
   EXPECT_EQ(p->flow, 0u);
   EXPECT_EQ(p->wire_bytes, 0);
+}
+
+TEST(ObjectPoolTest, CrossThreadUseInsideStrictWindowAborts) {
+  // Shard-safety by construction: inside a strict affinity window (what
+  // ShardedSim holds while shards run), a pool belongs to the first thread
+  // that touches it in that window. A second thread means pooled state
+  // leaked across a shard boundary — fail loudly instead of racing.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ObjectPool<Widget> pool;
+        iq::affinity::StrictAffinityGuard guard;
+        auto a = pool.make();  // binds the pool to this thread
+        std::thread other([&pool] { auto b = pool.make(); });
+        other.join();
+      },
+      "two threads");
+}
+
+TEST(ObjectPoolTest, CrossThreadUseAcrossWindowsIsFine) {
+  // A new strict window (new generation) rebinds ownership — pools may move
+  // between worker threads across lockstep windows, just not within one.
+  ObjectPool<Widget> pool;
+  {
+    iq::affinity::StrictAffinityGuard guard;
+    auto a = pool.make();
+  }
+  std::thread other([&pool] {
+    iq::affinity::StrictAffinityGuard guard;
+    auto b = pool.make();
+    EXPECT_EQ(b->value, 7);
+  });
+  other.join();
+}
+
+TEST(ObjectPoolTest, NoAffinityCheckOutsideStrictWindows) {
+  // Outside strict windows (ordinary single-simulator runs) the pool keeps
+  // its historical behavior: any thread may use it, sequentially.
+  ObjectPool<Widget> pool;
+  auto a = pool.make();
+  std::thread other([&pool] { auto b = pool.make(); });
+  other.join();
 }
 
 }  // namespace
