@@ -1,0 +1,131 @@
+// Hostile-network scenario matrix bench: runs the three path profiles
+// (satellite rain fade, cellular burst/tunnel, datacenter incast) in both
+// coordination modes and pins the graceful-degradation scores to
+// BENCH_SCENARIOS.json (gated by perf_compare.py).
+//
+// Everything here is simulated and deterministic — two runs must be
+// bit-identical, so any drift in the JSON is a behavior change, not noise.
+// The gate enforces hard survivability floors on top of drift detection:
+//
+//   * no scenario may wedge, in either mode;
+//   * every transfer ends complete and byte-identical (crc_ok), with all
+//     critical blocks delivered;
+//   * coordinated blackout recovery must reach >= 80% of the pre-fault
+//     delivered-byte rate;
+//   * per-profile coordinated deadline-hit floors.
+//
+// The coordinated-vs-uncoordinated deadline delta per profile is the
+// paper's degradation story in one number and is pinned explicitly.
+//
+// Usage: bench_scenarios [output.json]  (default BENCH_SCENARIOS.json in CWD)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "iq/harness/json.hpp"
+#include "iq/scenario/profile.hpp"
+#include "iq/scenario/runner.hpp"
+
+namespace {
+
+using namespace iq;
+using scenario::Profile;
+using scenario::ScenarioResult;
+
+struct Row {
+  Profile profile;
+  ScenarioResult coord;
+  ScenarioResult uncoord;
+};
+
+void print_result(const ScenarioResult& r) {
+  std::printf(
+      "  %-18s %s%s  blocks %llu/%llu  deadline %.3f (crit %.3f)"
+      "  recovery %.3f"
+      " (%.1fs)  shed %llu  fail %llu  reconn %llu  video %llu  %s\n",
+      r.name.c_str(), r.completed ? "complete" : "INCOMPLETE",
+      r.wedged ? " WEDGED" : "",
+      static_cast<unsigned long long>(r.blocks_received),
+      static_cast<unsigned long long>(r.blocks_total), r.deadline_hit_ratio,
+      r.critical_deadline_hit_ratio,
+      r.recovery.recovery_ratio, r.recovery.recovery_time_s,
+      static_cast<unsigned long long>(r.messages_shed),
+      static_cast<unsigned long long>(r.failures),
+      static_cast<unsigned long long>(r.reconnects),
+      static_cast<unsigned long long>(r.video_frames_delivered),
+      r.audits_clean ? "audit-clean" : "** AUDIT VIOLATION **");
+}
+
+void emit(harness::JsonWriter& w, const std::string& prefix,
+          const ScenarioResult& r) {
+  w.field(prefix + "_completed", r.completed)
+      .field(prefix + "_wedged", r.wedged)
+      .field(prefix + "_crc_ok", r.crc_ok)
+      .field(prefix + "_critical_complete", r.critical_complete)
+      .field(prefix + "_audits_clean", r.audits_clean)
+      .field(prefix + "_blocks_total", r.blocks_total)
+      .field(prefix + "_blocks_received", r.blocks_received)
+      .field(prefix + "_messages_shed", r.messages_shed)
+      .field(prefix + "_reconnects", r.reconnects)
+      .field(prefix + "_failures", r.failures)
+      .field(prefix + "_video_delivered", r.video_frames_delivered)
+      .field(prefix + "_events", r.events_executed)
+      .field(prefix + "_deadline_hit", r.deadline_hit_ratio)
+      .field(prefix + "_critical_deadline_hit", r.critical_deadline_hit_ratio)
+      .field(prefix + "_recovery_ratio", r.recovery.recovery_ratio)
+      .field(prefix + "_recovery_time_s", r.recovery.recovery_time_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_SCENARIOS.json";
+  std::printf("== hostile-network scenario matrix ==\n");
+
+  std::vector<Row> rows;
+  bool floors_ok = true;
+  for (Profile p :
+       {Profile::Satellite, Profile::Cellular, Profile::Incast}) {
+    Row row;
+    row.profile = p;
+    row.coord = scenario::run_scenario(scenario::make_profile(p, true));
+    print_result(row.coord);
+    row.uncoord = scenario::run_scenario(scenario::make_profile(p, false));
+    print_result(row.uncoord);
+    // Local floors mirror the gate so a broken baseline can't be committed.
+    for (const ScenarioResult* r : {&row.coord, &row.uncoord}) {
+      floors_ok = floors_ok && r->completed && !r->wedged && r->crc_ok &&
+                  r->critical_complete && r->audits_clean;
+    }
+    rows.push_back(row);
+  }
+
+  harness::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "iq-bench-scenarios-v1");
+  for (const Row& row : rows) {
+    const std::string base = std::string("scn_") +
+                             scenario::profile_name(row.profile);
+    emit(w, base + "_coord", row.coord);
+    emit(w, base + "_uncoord", row.uncoord);
+    // Coordination benefit: how much of the deadline story the IQ layer
+    // buys. The critical delta is the paper's claim — shedding unmarked
+    // blocks keeps the marked ones timely; the overall delta can go
+    // negative on paths with spare capacity (full reliability is also
+    // timely there), and the matrix pins both.
+    w.field(base + "_delta_deadline_hit",
+            row.coord.deadline_hit_ratio - row.uncoord.deadline_hit_ratio);
+    w.field(base + "_delta_critical_deadline_hit",
+            row.coord.critical_deadline_hit_ratio -
+                row.uncoord.critical_deadline_hit_ratio);
+  }
+  w.end_object();
+
+  std::ofstream out(out_path);
+  out << w.take() << "\n";
+  std::printf("  wrote %s\n", out_path.c_str());
+  if (!floors_ok) std::printf("  ** survivability floor violated **\n");
+  return floors_ok ? 0 : 1;
+}

@@ -36,7 +36,16 @@
 # sanitized builds, then runs the bench_multiflow CM ablation and gates the
 # fresh numbers against the committed BENCH_CM.json (Jain >= 0.95 floor,
 # 2:1 priority split within 10%, <= 5% drift on any cm_* key).
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm]
+# `--scenarios` runs the hostile-network scenario matrix (docs/SCENARIOS.md):
+# the survivable-FTP, fault-precedence, failure-detector and scenario suites
+# in the default build — plainly and under IQ_AUDIT=1 — then the same sweep
+# in an ASan+UBSan build, and finally the Release bench_scenarios (three
+# path profiles x coordinated/uncoordinated) gated against the committed
+# BENCH_SCENARIOS.json (never wedge, byte-identical completion, recovery and
+# deadline floors, <= 5% drift) plus an audited run of the same bench.
+# `--full` chains every mode above: the default+sanitize+perf smoke, then
+# chaos, audit, cm, scale and scenarios.
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +64,11 @@ cm_filter='^(ApportionTest|CongestionManagerTest|CmAuditorTest|CmIntegrationTest
 # city-scale scenario (shard counts 1/2/4/7, serial and threaded, inside
 # the tests), membership churn edges, pool affinity, runner env overrides.
 scale_filter='^(ShardedSimTest|CityScaleTest|GroupMembershipTest|MboneTraceTest|ObjectPoolTest|RunnerThreadsTest)'
+
+# The hostile-network scenario matrix: the survivable file transfer and its
+# resume bookkeeping, the fault-plan precedence rows, the failure detectors
+# (incl. the high-RTT false-trip regressions), and the profile runs.
+scenarios_filter='^(FileSpecTest|FileImageTest|IqFtpTest|FtpResumeTest|ScenarioTest|RateScoreTest|FaultInjectorTest|FaultPlanTest|FailureTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -132,6 +146,32 @@ scale_bench() {
     "$build_dir/bench/bench_cityscale" "$build_dir/BENCH_SCALE.audited.json"
 }
 
+scenarios_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$scenarios_filter"
+  # Same sweep with the protocol invariant auditor armed (fatal on trip).
+  IQ_AUDIT=1 IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-$build_dir}" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+          -R "$scenarios_filter"
+}
+
+scenarios_bench() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_scenarios
+  local fresh="$build_dir/BENCH_SCENARIOS.fresh.json"
+  "$build_dir/bench/bench_scenarios" "$fresh"
+  python3 scripts/perf_compare.py BENCH_SCENARIOS.json "$fresh"
+  # The matrix is deterministic and audit-clean: an armed run must produce
+  # the identical JSON (any tripped invariant aborts the bench).
+  IQ_AUDIT=1 IQ_AUDIT_DUMP_DIR="${CI_ARTIFACTS_DIR:-$build_dir}" \
+    "$build_dir/bench/bench_scenarios" "$build_dir/BENCH_SCENARIOS.audited.json"
+  cmp "$fresh" "$build_dir/BENCH_SCENARIOS.audited.json"
+}
+
 cm_ablation() {
   local build_dir=build-perf
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
@@ -143,10 +183,32 @@ cm_ablation() {
 
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full]" >&2
      exit 2 ;;
 esac
+
+if [[ "$mode" == "--full" ]]; then
+  # The umbrella: every gate in sequence, each in its own process so the
+  # audit modes' exported env never leaks across.
+  for sub in all --chaos --audit --cm --scale --scenarios; do
+    echo "==== CI full: $sub ===="
+    "$0" "$sub"
+  done
+  echo "== CI: full matrix passed =="
+  exit 0
+fi
+
+if [[ "$mode" == "--scenarios" ]]; then
+  echo "== CI: scenario matrix suites, default build (plain + IQ_AUDIT=1) =="
+  scenarios_suite build
+  echo "== CI: scenario matrix suites, sanitized build (ASan+UBSan) =="
+  scenarios_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: scenario bench vs committed BENCH_SCENARIOS.json =="
+  scenarios_bench
+  echo "== CI: scenario matrix passed =="
+  exit 0
+fi
 
 if [[ "$mode" == "--perf-compare" ]]; then
   echo "== CI: perf compare vs committed BENCH_PERF.json =="

@@ -2,8 +2,9 @@
 """Compare a fresh bench run against its committed baseline JSON.
 
 Works for BENCH_PERF.json (bench_perf), BENCH_CM.json (bench_multiflow's
-congestion-manager ablation) and BENCH_SCALE.json (bench_cityscale's
-sharded 10k-flow fan-out). Three classes of metric:
+congestion-manager ablation), BENCH_SCALE.json (bench_cityscale's sharded
+10k-flow fan-out) and BENCH_SCENARIOS.json (bench_scenarios' hostile-network
+scenario matrix, docs/SCENARIOS.md). Three classes of metric:
   - deterministic invariants (event counts, row-identity, allocation
     counts): identical inputs must produce identical values, so any drift
     fails the run;
@@ -57,6 +58,25 @@ SCALE_THROUGHPUT_KEYS = {
     "scale_events_per_s_4shard",
 }
 
+# Hostile-network scenario matrix (scn_* keys): survivability is gated on
+# the FRESH run absolutely — these hold regardless of what the baseline
+# says, so a bad baseline cannot grandfather a regression in.
+#   - no scenario may wedge, in either coordination mode;
+#   - every transfer ends complete and byte-identical with all critical
+#     blocks delivered, and every connection audit-clean;
+#   - coordinated blackout recovery reaches >= 80% of the pre-fault
+#     delivered-byte rate (within the profile's recovery horizon);
+#   - per-profile floors on the coordinated critical-block deadline-hit
+#     ratio (the coordination claim), pinned below the measured values.
+SCN_TRUE_SUFFIXES = ("_completed", "_crc_ok", "_critical_complete",
+                     "_audits_clean")
+SCN_RECOVERY_FLOOR = 0.8
+SCN_CRITICAL_DEADLINE_FLOORS = {
+    "satellite": 0.60,  # measured 0.6875: AIMD ramp at 500 ms RTT
+    "cellular": 0.95,   # measured 1.0 across the tunnel + reconnect
+    "incast": 0.95,     # measured 1.0 through the fan-in collapse
+}
+
 
 def main() -> int:
     if len(sys.argv) != 3:
@@ -101,6 +121,37 @@ def main() -> int:
                 " allocate in steady state)"
             )
 
+    # Scenario-matrix survivability: absolute gates on the fresh run.
+    for key in sorted(fresh):
+        if not key.startswith("scn_"):
+            continue
+        v = fresh[key]
+        if key.endswith("_wedged") and v is not False:
+            failures.append(
+                f"{key} is true: the scenario stalled without finishing"
+                " or shedding — the transfer wedged"
+            )
+        elif key.endswith(SCN_TRUE_SUFFIXES) and v is not True:
+            failures.append(
+                f"{key} is {v}: survivability floor violated (transfer must"
+                " end complete, byte-identical, critical-complete and"
+                " audit-clean)"
+            )
+    for profile, floor in sorted(SCN_CRITICAL_DEADLINE_FLOORS.items()):
+        key = f"scn_{profile}_coord_recovery_ratio"
+        if key in fresh and fresh[key] < SCN_RECOVERY_FLOOR:
+            failures.append(
+                f"{key} = {fresh[key]:.3f} below the {SCN_RECOVERY_FLOOR}"
+                " floor: the coordinated run did not recover its pre-fault"
+                " delivered-byte rate after the blackout"
+            )
+        key = f"scn_{profile}_coord_critical_deadline_hit"
+        if key in fresh and fresh[key] < floor:
+            failures.append(
+                f"{key} = {fresh[key]:.3f} below the {floor} floor:"
+                " coordinated critical blocks are missing their deadlines"
+            )
+
     for key in sorted(base):
         b = base[key]
         if not isinstance(b, (int, float)) or isinstance(b, bool):
@@ -110,6 +161,16 @@ def main() -> int:
         f_ = fresh.get(key)
         if f_ is None:
             print(f"warn: {key} missing from fresh run")
+            continue
+        if key.startswith("scn_") and isinstance(b, int):
+            # Deterministic simulated counts (blocks, sheds, reconnects,
+            # event totals): identical sources must match exactly.
+            if f_ != b:
+                failures.append(
+                    f"{key} drifted: baseline {b} vs fresh {f_} (the"
+                    " scenario matrix is deterministic; this is a behavior"
+                    " change, not noise)"
+                )
             continue
         if b == 0:
             continue
@@ -121,6 +182,16 @@ def main() -> int:
                     f"{key} drifted {delta:+.1f}% vs baseline"
                     f" ({b:.4g} -> {f_:.4g}); the city-scale scenario is"
                     " deterministic, so regenerate BENCH_SCALE.json only"
+                    " for an intentional behavior change"
+                )
+        elif key.startswith("scn_"):
+            # Deterministic simulated ratios (deadline hit, recovery score,
+            # coordination delta): small drift is a behavior change.
+            if abs(delta) > CM_FAIL_PCT:
+                failures.append(
+                    f"{key} drifted {delta:+.1f}% vs baseline"
+                    f" ({b:.4g} -> {f_:.4g}); the scenario matrix is"
+                    " deterministic, so regenerate BENCH_SCENARIOS.json only"
                     " for an intentional behavior change"
                 )
         elif key.startswith("cm_"):

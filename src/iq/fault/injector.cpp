@@ -8,7 +8,16 @@ namespace iq::fault {
 
 int FaultInjector::add_target(FaultTarget& target) {
   targets_.push_back(&target);
+  state_.emplace_back();
   return static_cast<int>(targets_.size()) - 1;
+}
+
+int FaultInjector::blackout_depth(int target) const {
+  return state_.at(static_cast<std::size_t>(target)).blackout_depth;
+}
+
+int FaultInjector::burst_depth(int target) const {
+  return state_.at(static_cast<std::size_t>(target)).burst_depth;
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
@@ -24,18 +33,28 @@ void FaultInjector::apply(const FaultAction& action) {
   IQ_CHECK(action.target >= 0 &&
            static_cast<std::size_t>(action.target) < targets_.size());
   FaultTarget& t = *targets_[static_cast<std::size_t>(action.target)];
+  TargetFaultState& st = state_[static_cast<std::size_t>(action.target)];
   switch (action.kind) {
     case FaultKind::Blackout:
-      t.set_blackout(action.on);
+      // Overlapping windows nest: dark while any window is open.
+      if (action.on) {
+        if (++st.blackout_depth == 1) t.set_blackout(true);
+      } else if (st.blackout_depth > 0 && --st.blackout_depth == 0) {
+        t.set_blackout(false);
+      }
       break;
     case FaultKind::DropProbability:
       t.set_drop_probability(action.value);
       break;
     case FaultKind::BurstLossOn:
+      // Nested phases: the newest chain config wins while any is open.
+      ++st.burst_depth;
       t.set_burst_loss(action.burst);
       break;
     case FaultKind::BurstLossOff:
-      t.set_burst_loss(std::nullopt);
+      if (st.burst_depth > 0 && --st.burst_depth == 0) {
+        t.set_burst_loss(std::nullopt);
+      }
       break;
     case FaultKind::Corruption:
       t.set_corrupt_probability(action.value);

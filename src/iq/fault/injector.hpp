@@ -7,6 +7,21 @@
 // outlive the injector's scheduled events; in practice both live for the
 // whole simulation. Arm the same plan on differently-seeded targets to
 // replay one disturbance timeline across a parameter sweep.
+//
+// Overlap precedence. Scripted windows can overlap (a flap cycling through
+// a blackout, two burst phases sharing time); the injector resolves them
+// per target:
+//   * Blackout windows NEST: the target is dark while any window is open
+//     (a depth counter), so an off-edge from one window cannot prematurely
+//     restore a target another window still holds down.
+//   * Burst-loss phases nest the same way; while nested, the most recently
+//     installed Gilbert–Elliott config wins (last-install-wins), and the
+//     chain is removed only when the last phase ends.
+//   * Rate, delay and probability changes are level-triggered and
+//     orthogonal: they apply immediately and persist through any blackout
+//     or burst phase they overlap (a rate change mid-blackout is in force
+//     when the blackout lifts).
+// Stray off-edges (no matching on-edge) are ignored.
 
 #include <cstddef>
 #include <vector>
@@ -38,9 +53,21 @@ class FaultInjector {
   std::uint64_t actions_scheduled() const { return scheduled_; }
   std::uint64_t actions_applied() const { return applied_; }
 
+  /// Open blackout windows on a target (overlap bookkeeping, for tests).
+  int blackout_depth(int target) const;
+  /// Open burst-loss phases on a target.
+  int burst_depth(int target) const;
+
  private:
+  /// Per-target overlap bookkeeping (see precedence rules above).
+  struct TargetFaultState {
+    int blackout_depth = 0;
+    int burst_depth = 0;
+  };
+
   sim::Executor& exec_;
   std::vector<FaultTarget*> targets_;
+  std::vector<TargetFaultState> state_;
   std::uint64_t scheduled_ = 0;
   std::uint64_t applied_ = 0;
 };

@@ -194,14 +194,23 @@ void RudpConnection::on_keepalive_tick() {
       keepalive_probe_outstanding_ = false;
     }
   }
-  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
+  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(keepalive_interval());
+}
+
+Duration RudpConnection::keepalive_interval() const {
+  // Never judge a probe on an interval shorter than the retransmission
+  // timeout: RTO = SRTT + 4·RTTVAR already is the engine's "a reply should
+  // have arrived by now" bound. The configured interval still sets the pace
+  // on short paths; the RTO only stretches it when the path is slower than
+  // the probe clock (high-BDP satellite profiles).
+  return std::max(cfg_.keepalive, rtt_.rto());
 }
 
 void RudpConnection::become_established() {
   if (state_ == ConnState::Established) return;
   state_ = ConnState::Established;
   audit_emit(audit::EventType::Established);
-  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(cfg_.keepalive);
+  if (!cfg_.keepalive.is_zero()) keepalive_timer_.start(keepalive_interval());
   if (on_established_) on_established_();
 }
 

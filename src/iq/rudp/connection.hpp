@@ -331,6 +331,12 @@ class RudpConnection {
   void become_established();
   void enter_failed(FailureReason reason);
   void on_keepalive_tick();
+  /// Probe-judgment interval: the configured keepalive, bounded below by
+  /// the current RTO so a probe's reply has a full round trip (plus
+  /// variance margin) to arrive before the next tick judges it. Without
+  /// the bound, a keepalive shorter than the path RTT (satellite: 500 ms)
+  /// accumulates phantom misses into a false KeepaliveTimeout.
+  Duration keepalive_interval() const;
   /// Enforce max_pending_segments by shedding oldest whole unsent messages.
   void shed_pending();
 

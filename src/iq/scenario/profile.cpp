@@ -1,0 +1,185 @@
+#include "iq/scenario/profile.hpp"
+
+namespace iq::scenario {
+
+const char* profile_name(Profile p) {
+  switch (p) {
+    case Profile::Satellite: return "satellite";
+    case Profile::Cellular: return "cellular";
+    case Profile::Incast: return "incast";
+  }
+  return "?";
+}
+
+namespace {
+
+// Target indices used by every profile plan (registration order in the
+// runner): 0 = forward bottleneck (data), 1 = reverse bottleneck (acks).
+constexpr int kFwd = 0;
+constexpr int kRev = 1;
+
+void blackout_both(ScenarioConfig& cfg, Duration at, Duration dur) {
+  cfg.blackout_at = at;
+  cfg.blackout_dur = dur;
+  cfg.plan.blackout(at, dur, kFwd);
+  cfg.plan.blackout(at, dur, kRev);
+}
+
+// Shared degraded-mode knobs: coordinated runs use IQ (receiver loss
+// tolerance + marked/unmarked FTP blocks + adaptive video); uncoordinated
+// runs are fully reliable with non-adaptive video.
+void apply_mode(ScenarioConfig& cfg, bool coordinated) {
+  cfg.coordinated = coordinated;
+  if (!coordinated) {
+    cfg.recv_loss_tolerance = 0.0;
+    cfg.critical_stride = 1;
+  }
+  cfg.name = std::string(profile_name(cfg.profile)) +
+             (coordinated ? "_coord" : "_uncoord");
+}
+
+ScenarioConfig satellite() {
+  ScenarioConfig cfg;
+  cfg.profile = Profile::Satellite;
+
+  // GEO path: 500 ms RTT, 10 Mb/s, a deep (BDP-ish) bottleneck queue.
+  cfg.net.pairs = 2;  // flow 0 = ftp, flow 1 = video
+  cfg.net.bottleneck_bps = 10'000'000;
+  cfg.net.path_rtt = Duration::millis(500);
+  cfg.net.bottleneck_queue_bytes = 256 * 1500;
+
+  // A sub-RTT keepalive clock (the false-trip regression for this path
+  // lives in failure_test): the effective interval is max(200 ms, RTO)
+  // ≈ 600 ms here, and a 6-miss budget (~3.6 s of silence) rides out the
+  // 2 s rain fade — the satellite scenario survives *in place*; only the
+  // cellular tunnel is long enough to kill a connection terminally.
+  cfg.ftp_rudp.keepalive = Duration::millis(200);
+  cfg.ftp_rudp.max_keepalive_misses = 6;
+  cfg.ftp_rudp.initial_cwnd = 4.0;
+  cfg.ftp_rudp.max_pending_segments = 4096;
+
+  cfg.file = ftp::FileSpec{3 * 1024 * 1024, 16 * 1024};
+  cfg.critical_stride = 4;
+  cfg.recv_loss_tolerance = 0.3;
+  // Long-haul deadlines sized to the AIMD ramp at 500 ms RTT: the window
+  // grows one segment per RTT, so the transfer is a ~65 s affair and the
+  // per-block budget must track the achievable catch-up rate, not the
+  // 10 Mb/s line rate.
+  cfg.deadline.grace = Duration::seconds(5);
+  cfg.deadline.per_block = Duration::millis(400);
+
+  cfg.video = true;
+  cfg.video_frame_rate = 30.0;
+
+  // Rain fade: 2 s full outage both directions mid-run. Recovery is scored
+  // on the total delivered-byte rate (ftp + video) over a horizon matched
+  // to the path: the 2 s outage backs the RTO off to multiple seconds and
+  // the window re-grows at one segment per 500 ms RTT, so reclaiming the
+  // pre-fade rate takes ~40 s of sim time — physics, not a wedge.
+  blackout_both(cfg, Duration::seconds(20), Duration::seconds(2));
+  cfg.rate_score.recovery_window = Duration::seconds(5);
+  cfg.rate_score.recovery_horizon = Duration::seconds(45);
+  cfg.run_for = Duration::seconds(150);
+  cfg.settle_after_blackout = Duration::seconds(45);
+  return cfg;
+}
+
+ScenarioConfig cellular() {
+  ScenarioConfig cfg;
+  cfg.profile = Profile::Cellular;
+
+  cfg.net.pairs = 2;
+  cfg.net.bottleneck_bps = 8'000'000;
+  cfg.net.path_rtt = Duration::millis(80);
+  cfg.net.bottleneck_queue_bytes = 32 * 1500;
+
+  // Aggressive dead-path detection so the 6 s tunnel blackout is a
+  // TERMINAL failure (~3.0 s of backed-off RTOs from min_rto) — the ftp
+  // flow must reconnect and resume, not ride it out.
+  cfg.ftp_rudp.max_rto_streak = 4;
+  cfg.ftp_rudp.max_pending_segments = 2048;
+
+  cfg.file = ftp::FileSpec{4 * 1024 * 1024, 16 * 1024};
+  cfg.critical_stride = 4;
+  cfg.recv_loss_tolerance = 0.3;
+  cfg.deadline.grace = Duration::seconds(3);
+  cfg.deadline.per_block = Duration::millis(90);
+
+  cfg.video = true;
+
+  fault::GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_bad = 0.7;
+  ge.seed = 77;
+
+  // Handover burst phase, then a rate flap down to 2 Mb/s while the
+  // burst chain is still open (rate persists through it — precedence).
+  cfg.plan.burst_loss(Duration::seconds(4), Duration::seconds(6), ge, kFwd);
+  cfg.plan.rate_change(Duration::seconds(6), 2'000'000, kFwd);
+  cfg.plan.rate_change(Duration::seconds(10), 8'000'000, kFwd);
+
+  // Tunnel: 6 s dark both ways → terminal failure → reconnect + resume.
+  blackout_both(cfg, Duration::seconds(12), Duration::seconds(6));
+
+  // Second burst phase with a link flap overlapping it: flap off-edges
+  // must not clear the burst chain (nesting fix), and the extra delay
+  // installed mid-phase persists after it.
+  fault::GilbertElliottConfig ge2 = ge;
+  ge2.seed = 78;
+  cfg.plan.burst_loss(Duration::seconds(25), Duration::seconds(7), ge2, kFwd);
+  cfg.plan.flap(Duration::seconds(26), Duration::millis(300),
+                Duration::millis(300), 3, kFwd);
+  cfg.plan.delay_change(Duration::seconds(27), Duration::millis(60), kFwd);
+  cfg.plan.delay_change(Duration::seconds(40), Duration::zero(), kFwd);
+
+  cfg.run_for = Duration::seconds(90);
+  return cfg;
+}
+
+ScenarioConfig incast() {
+  ScenarioConfig cfg;
+  cfg.profile = Profile::Incast;
+
+  // Fan-in: 6 synchronized senders through one shallow-queue bottleneck.
+  cfg.senders = 6;
+  cfg.net.pairs = 6;
+  cfg.net.bottleneck_bps = 50'000'000;
+  cfg.net.access_bps = 1'000'000'000;
+  cfg.net.path_rtt = Duration::millis(2);
+  cfg.net.bottleneck_queue_bytes = 16 * 1500;
+  cfg.net.access_queue_bytes = 64 * 1500;
+
+  cfg.ftp_rudp.max_pending_segments = 4096;
+  cfg.ftp_rudp.rtt.min_rto = Duration::millis(10);
+
+  cfg.file = ftp::FileSpec{8 * 1024 * 1024, 16 * 1024};
+  cfg.critical_stride = 4;
+  cfg.recv_loss_tolerance = 0.3;
+  cfg.deadline.grace = Duration::seconds(2);
+  cfg.deadline.per_block = Duration::millis(30);
+
+  cfg.video = false;
+
+  // Short blackout; the restore re-synchronizes every sender's
+  // retransmission clock into a second incast burst.
+  blackout_both(cfg, Duration::seconds(5), Duration::millis(1500));
+  cfg.run_for = Duration::seconds(60);
+  cfg.settle_after_blackout = Duration::seconds(10);
+  return cfg;
+}
+
+}  // namespace
+
+ScenarioConfig make_profile(Profile p, bool coordinated) {
+  ScenarioConfig cfg;
+  switch (p) {
+    case Profile::Satellite: cfg = satellite(); break;
+    case Profile::Cellular: cfg = cellular(); break;
+    case Profile::Incast: cfg = incast(); break;
+  }
+  apply_mode(cfg, coordinated);
+  return cfg;
+}
+
+}  // namespace iq::scenario

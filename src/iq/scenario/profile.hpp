@@ -1,0 +1,88 @@
+#pragma once
+// Hostile-network scenario profiles (docs/SCENARIOS.md).
+//
+// A ScenarioConfig is declarative: topology, workload (survivable FTP
+// transfers with per-chunk deadlines, optionally mixed with echo video),
+// transport knobs, and a scripted FaultPlan — everything the runner needs
+// to replay one hostile path deterministically. make_profile() builds the
+// three canonical profiles the regression suite pins:
+//
+//   Satellite — high-BDP GEO path: 500 ms RTT, 10 Mb/s, deep queues, a
+//     rain-fade blackout mid-run. Exercises the RTO/keepalive bounds (a
+//     sub-RTT probe clock must not false-trip) and long-RTT slow start.
+//   Cellular — 8 Mb/s with Gilbert–Elliott burst phases, scripted rate
+//     flaps and delay excursions, and a 6 s tunnel blackout long enough to
+//     kill the connection terminally (aggressive RTO streak): the transfer
+//     must resume over a fresh connection and still finish byte-identical.
+//   Incast — datacenter fan-in: N senders → one receiver through a shallow
+//     bottleneck queue, synchronized start burst, plus a short blackout
+//     whose restore re-synchronizes all senders into a second burst.
+//
+// Every profile runs twice — coordinated (IQ: receiver loss tolerance,
+// criticality marking, adaptive video) and uncoordinated (plain reliable
+// transport) — and the golden metrics pin the delta.
+
+#include <cstdint>
+#include <string>
+
+#include "iq/fault/plan.hpp"
+#include "iq/ftp/iq_ftp.hpp"
+#include "iq/net/dumbbell.hpp"
+#include "iq/rudp/connection.hpp"
+#include "iq/scenario/score.hpp"
+
+namespace iq::scenario {
+
+enum class Profile { Satellite, Cellular, Incast };
+
+const char* profile_name(Profile p);
+
+struct ScenarioConfig {
+  Profile profile = Profile::Satellite;
+  std::string name = "satellite";
+  bool coordinated = true;
+
+  net::DumbbellConfig net;
+  /// FTP transport knobs (client side; the receiver copy additionally
+  /// advertises recv_loss_tolerance when coordinated).
+  rudp::RudpConfig ftp_rudp;
+  double recv_loss_tolerance = 0.3;
+
+  // FTP workload: one transfer per sender.
+  ftp::FileSpec file;
+  std::uint64_t content_seed = 11;
+  /// Block i is critical iff i % critical_stride == 0 (1 = every block).
+  /// Uncoordinated runs force stride 1 + tolerance 0 (fully reliable).
+  std::uint64_t critical_stride = 1;
+  ftp::DeadlinePolicy deadline;
+  std::size_t senders = 1;
+
+  // Echo video mixed onto the same bottleneck (satellite/cellular).
+  bool video = false;
+  double video_frame_rate = 30.0;
+  std::int64_t video_frame_bytes = 1400;
+
+  /// Scripted disturbances. Target indices: 0 = forward bottleneck,
+  /// 1 = reverse bottleneck. Offsets are absolute sim time (armed at 0).
+  fault::FaultPlan plan;
+  /// The scored blackout window (also present in `plan`, both directions):
+  /// recovery is judged against the delivered-byte rate before `at` and
+  /// after `at + dur`.
+  Duration blackout_at = Duration::seconds(20);
+  Duration blackout_dur = Duration::seconds(2);
+  /// Recovery scoring knobs. Per-profile: a 500 ms-RTT path cannot re-grow
+  /// its window in the default 10 s horizon — the satellite profile scores
+  /// over a horizon matched to its congestion-control physics.
+  RateScoreConfig rate_score;
+
+  Duration start_at = Duration::seconds(1);
+  Duration run_for = Duration::seconds(60);
+  /// Earliest finish: recovery windows need this much time after restore.
+  Duration settle_after_blackout = Duration::seconds(15);
+  Duration reconnect_backoff = Duration::millis(500);
+};
+
+/// The canonical, seeded profile configs the golden metrics pin.
+ScenarioConfig make_profile(Profile p, bool coordinated);
+
+}  // namespace iq::scenario

@@ -1,0 +1,68 @@
+#pragma once
+// Scenario runner: executes one ScenarioConfig end to end and scores it.
+//
+// Builds the dumbbell, arms the FaultPlan on both bottleneck directions,
+// runs one survivable FTP transfer per sender (plus the optional echo video
+// flow), and samples cumulative delivered bytes on a fixed clock for the
+// recovery score.
+//
+// Survivability: every FTP flow watches its connections for terminal
+// failure. When one dies (RTO streak / keepalive timeout during a
+// blackout), the runner waits a reconnect backoff, builds a fresh
+// connection pair on the next port generation, re-attaches the sender and
+// receiver (carrying all transfer bookkeeping and the dead connection's
+// receiver-side drop count), and the transfer resumes via the FTP resume
+// query. Receivers that complete with abandoned blocks get a reliable
+// second pass (fill_holes) so every scenario ends byte-identical — the
+// per-block CRCs are checked against the generating FileImage.
+//
+// Every connection runs with the invariant auditor armed (non-fatal);
+// `audits_clean` reports whether any connection tripped an invariant.
+
+#include <cstdint>
+#include <string>
+
+#include "iq/scenario/profile.hpp"
+#include "iq/scenario/score.hpp"
+
+namespace iq::scenario {
+
+struct ScenarioResult {
+  std::string name;
+
+  // Transfer outcome (summed over all senders).
+  bool completed = false;       ///< every transfer byte-complete (post fill)
+  bool wedged = false;          ///< stalled without finishing or shedding
+  bool crc_ok = false;          ///< every block digest matches the image
+  bool critical_complete = false;  ///< no critical block was lost
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_received = 0;
+  std::uint64_t blocks_on_time = 0;
+  double deadline_hit_ratio = 0.0;
+  /// Deadline hits restricted to critical (marked) blocks — the
+  /// coordination story: shedding unmarked blocks keeps these timely.
+  std::uint64_t critical_blocks_total = 0;
+  std::uint64_t critical_on_time = 0;
+  double critical_deadline_hit_ratio = 0.0;
+
+  // Survival bookkeeping (summed over all connections + generations).
+  std::uint64_t reconnects = 0;   ///< fresh connection pairs after failure
+  std::uint64_t failures = 0;     ///< terminal connection failures observed
+  std::uint64_t messages_shed = 0;
+  std::uint64_t blackout_recoveries = 0;
+
+  // Blackout recovery score (delivered-byte rate, all flows).
+  RateScore recovery;
+
+  // Video side channel (zero when the profile runs none).
+  std::uint64_t video_frames_delivered = 0;
+  std::uint64_t video_frames_offered = 0;
+
+  bool audits_clean = true;
+  double sim_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+};
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace iq::scenario

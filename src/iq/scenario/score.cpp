@@ -1,0 +1,83 @@
+#include "iq/scenario/score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq::scenario {
+
+namespace {
+
+/// Index of the last sample taken at or before absolute time `t`, or -1.
+std::ptrdiff_t sample_at_or_before(Duration t, Duration dt,
+                                   std::size_t count) {
+  if (dt <= Duration::zero() || count == 0) return -1;
+  // Sample k is taken at (k + 1) * dt.
+  const std::int64_t k = t.ns() / dt.ns() - 1;
+  if (k < 0) return -1;
+  return std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(k),
+                                  static_cast<std::ptrdiff_t>(count) - 1);
+}
+
+}  // namespace
+
+RateScore score_recovery(const std::vector<double>& cum_bytes,
+                         Duration fault_on, Duration fault_off,
+                         const RateScoreConfig& cfg) {
+  RateScore score;
+  const Duration dt = cfg.sample_every;
+  const auto count = cum_bytes.size();
+  const auto window =
+      static_cast<std::ptrdiff_t>(cfg.recovery_window.ns() / dt.ns());
+  const auto pre_span =
+      static_cast<std::ptrdiff_t>(cfg.prefault_window.ns() / dt.ns());
+  if (window <= 0 || pre_span <= 0) return score;
+
+  const std::ptrdiff_t on = sample_at_or_before(fault_on, dt, count);
+  if (on < 0) return score;
+  const std::ptrdiff_t pre_begin = std::max<std::ptrdiff_t>(0, on - pre_span);
+  const double pre_seconds =
+      static_cast<double>(on - pre_begin) * dt.to_seconds();
+  if (pre_seconds <= 0.0) return score;
+  score.prefault_rate_bps =
+      (cum_bytes[static_cast<std::size_t>(on)] -
+       cum_bytes[static_cast<std::size_t>(pre_begin)]) /
+      pre_seconds;
+  // Nothing was flowing before the fault: recovery is trivially perfect.
+  if (score.prefault_rate_bps < 1.0) return score;
+
+  const std::ptrdiff_t off = sample_at_or_before(fault_off, dt, count);
+  const std::ptrdiff_t horizon = sample_at_or_before(
+      fault_off + cfg.recovery_horizon, dt, count);
+  score.recovery_ratio = 0.0;
+  score.recovery_time_s = -1.0;
+  if (off < 0) return score;
+
+  const double window_s = static_cast<double>(window) * dt.to_seconds();
+  for (std::ptrdiff_t end = off + window; end <= horizon; ++end) {
+    const double rate = (cum_bytes[static_cast<std::size_t>(end)] -
+                         cum_bytes[static_cast<std::size_t>(end - window)]) /
+                        window_s;
+    const double ratio = rate / score.prefault_rate_bps;
+    score.recovery_ratio = std::max(score.recovery_ratio, ratio);
+    if (score.recovery_time_s < 0.0 && ratio >= cfg.recovery_threshold) {
+      // Window `end` is sampled at (end + 1) * dt.
+      score.recovery_time_s =
+          static_cast<double>(end + 1) * dt.to_seconds() -
+          fault_off.to_seconds();
+    }
+  }
+  return score;
+}
+
+bool is_wedged(const std::vector<double>& cum_bytes, Duration sample_every,
+               Duration stall_window) {
+  if (sample_every <= Duration::zero()) return false;
+  const auto span = static_cast<std::size_t>(
+      stall_window.ns() / sample_every.ns());
+  if (span == 0 || cum_bytes.size() < span + 1) return false;
+  const double tail = cum_bytes.back();
+  const double head = cum_bytes[cum_bytes.size() - 1 - span];
+  return tail - head < 1.0;
+}
+
+}  // namespace iq::scenario

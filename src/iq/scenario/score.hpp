@@ -1,0 +1,53 @@
+#pragma once
+// Graceful-degradation scoring over delivered-byte samples.
+//
+// The runner samples the scenario's cumulative delivered bytes (all FTP
+// receivers plus the video sink) on a fixed clock. From that one series the
+// scorer derives the blackout-recovery metrics the golden suite gates:
+//
+//   prefault_rate  — mean delivery rate over the window before the fault
+//   recovery_ratio — best post-restore sliding-window rate / prefault_rate
+//   recovery_time  — how long after restore until a window first reaches
+//                    the recovery threshold (negative = never)
+//
+// plus wedge detection: a run that is not complete and has delivered
+// nothing for the trailing window is wedged (stalled without shedding) —
+// the one outcome the suite hard-fails.
+
+#include <cstddef>
+#include <vector>
+
+#include "iq/common/time.hpp"
+
+namespace iq::scenario {
+
+struct RateScoreConfig {
+  Duration sample_every = Duration::millis(250);
+  Duration prefault_window = Duration::seconds(5);
+  Duration recovery_window = Duration::seconds(2);
+  /// Post-restore windows are searched this far past the fault clearing.
+  Duration recovery_horizon = Duration::seconds(10);
+  double recovery_threshold = 0.8;  ///< fraction of prefault_rate
+};
+
+struct RateScore {
+  double prefault_rate_bps = 0.0;  ///< bytes/s despite the name suffix
+  double recovery_ratio = 1.0;
+  double recovery_time_s = 0.0;  ///< -1 when the threshold is never reached
+};
+
+/// `cum_bytes[k]` is the cumulative delivered-byte count sampled at
+/// t = (k + 1) * sample_every (the first sample lands one interval after
+/// time zero). `fault_on` / `fault_off` are absolute sim times of the scored
+/// outage window. A prefault rate of ~0 scores as fully recovered.
+RateScore score_recovery(const std::vector<double>& cum_bytes,
+                         Duration fault_on, Duration fault_off,
+                         const RateScoreConfig& cfg = {});
+
+/// True when the tail of the series shows zero delivered-byte progress over
+/// `stall_window` (given `sample_every` spacing). Complete runs are never
+/// wedged — callers guard on completion before asking.
+bool is_wedged(const std::vector<double>& cum_bytes, Duration sample_every,
+               Duration stall_window);
+
+}  // namespace iq::scenario

@@ -171,6 +171,54 @@ TEST(FailureTest, AnsweredKeepalivesNeverAccumulateMisses) {
   EXPECT_GT(p.sender.stats().nuls_sent, 10u);  // probes did flow
 }
 
+TEST(FailureTest, HighRttKeepaliveDoesNotFalseTrip) {
+  // Satellite regression: a 500 ms RTT path with a 200 ms keepalive clock.
+  // Before the keepalive interval was bounded below by the RTO, two probe
+  // intervals (400 ms) elapsed before any probe's reply could return one
+  // full RTT later — an always-on keepalive false-tripped every healthy
+  // long-RTT connection. The effective interval max(keepalive, rto) keeps
+  // the probe clock at or above the path's reply time.
+  wire::LossyConfig lcfg;
+  lcfg.one_way_delay = Duration::millis(250);  // 500 ms RTT
+  RudpConfig cfg;
+  cfg.keepalive = Duration::millis(200);  // sub-RTT probe clock
+  cfg.max_keepalive_misses = 2;
+  LossyPair p(lcfg, cfg, cfg);
+  p.run_ms(2000);
+  ASSERT_TRUE(p.sender.established());
+
+  p.run_ms(30'000);  // long idle stretch at 500 ms RTT
+  EXPECT_TRUE(p.sender.established());
+  EXPECT_FALSE(p.sender.failed());
+  EXPECT_GT(p.sender.stats().nuls_sent, 5u);  // probes did flow
+
+  // Dead-peer detection still works with the bounded interval.
+  p.wire.set_blackout(true);
+  p.run_ms(60'000);
+  EXPECT_TRUE(p.sender.failed());
+  EXPECT_EQ(p.sender.failure_reason(), FailureReason::KeepaliveTimeout);
+}
+
+TEST(FailureTest, HighRttDataFlowNeverTripsRtoStreak) {
+  // 500 ms RTT with default failure knobs: a streaming sender must not
+  // accumulate a terminal RTO streak on a healthy (if slow) path — every
+  // delivery resets the streak.
+  wire::LossyConfig lcfg;
+  lcfg.one_way_delay = Duration::millis(250);
+  RudpConfig cfg;  // default max_rto_streak = 8
+  LossyPair p(lcfg, cfg);
+  p.run_ms(3000);
+  ASSERT_TRUE(p.sender.established());
+
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 5; ++i) p.sender.send_message({.bytes = 1200});
+    p.run_ms(1000);
+  }
+  EXPECT_FALSE(p.sender.failed());
+  EXPECT_TRUE(p.sender.established());
+  EXPECT_EQ(p.delivered.size(), 100u);
+}
+
 // ------------------------------------------------------ blackout recovery --
 
 TEST(FailureTest, SurvivableBlackoutRecoversAndResetsEpoch) {

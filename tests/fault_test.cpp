@@ -280,5 +280,120 @@ TEST(FaultInjectorTest, DropProbabilityChangeLeavesSeededStreamIntact) {
   EXPECT_EQ(plain.link.random_drops(), faulted.link.random_drops());
 }
 
+// ------------------------------------------- overlapping-fault precedence --
+
+TEST(FaultInjectorTest, OverlappingBlackoutsStayDarkUntilLastOff) {
+  // Windows [10,110]ms and [50,250]ms overlap: the first off-edge at 110ms
+  // must NOT restore the link (the second window still holds it down).
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+  FaultPlan plan;
+  plan.blackout(Duration::millis(10), Duration::millis(100), target);
+  plan.blackout(Duration::millis(50), Duration::millis(200), target);
+  injector.arm(plan);
+
+  // At 150ms — between the first off and the second off — still dark.
+  rig.sim.schedule_after(Duration::millis(150), [&] { rig.offer(3); });
+  // After 250ms both windows have closed: delivery resumes.
+  rig.sim.schedule_after(Duration::millis(300), [&] { rig.offer(3); });
+  rig.sim.run();
+
+  EXPECT_EQ(rig.link.blackout_drops(), 3u);
+  EXPECT_EQ(rig.received.size(), 3u);
+  EXPECT_EQ(injector.blackout_depth(target), 0);
+}
+
+TEST(FaultInjectorTest, FlapOverlappingBlackoutCannotRestoreEarly) {
+  // A flap cycling down/up inside a long blackout: each up-edge decrements
+  // the nest depth but the outer window keeps the link dark throughout.
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+  FaultPlan plan;
+  plan.blackout(Duration::millis(10), Duration::millis(500), target);
+  plan.flap(Duration::millis(100), Duration::millis(50), Duration::millis(50),
+            /*cycles=*/3, target);
+  injector.arm(plan);
+
+  // 160ms is inside an "up" phase of the flap but the outer blackout holds.
+  rig.sim.schedule_after(Duration::millis(160), [&] { rig.offer(2); });
+  rig.sim.schedule_after(Duration::millis(600), [&] { rig.offer(2); });
+  rig.sim.run();
+
+  EXPECT_EQ(rig.link.blackout_drops(), 2u);
+  EXPECT_EQ(rig.received.size(), 2u);
+}
+
+TEST(FaultInjectorTest, OverlappingBurstPhasesKeepChainUntilLastOff) {
+  // Phase A [1,200]ms (lossless chain) and phase B [100,400]ms (certain
+  // loss): A's off-edge at 200ms must not remove B's chain.
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+
+  GilbertElliottConfig clean;  // never leaves Good, loses nothing
+  clean.p_good_to_bad = 0.0;
+  clean.loss_good = 0.0;
+  GilbertElliottConfig lossy;  // always Bad, loses everything
+  lossy.p_good_to_bad = 1.0;
+  lossy.p_bad_to_good = 0.0;
+  lossy.loss_bad = 1.0;
+
+  FaultPlan plan;
+  plan.burst_loss(Duration::millis(1), Duration::millis(199), clean, target);
+  plan.burst_loss(Duration::millis(100), Duration::millis(300), lossy, target);
+  injector.arm(plan);
+
+  // 250ms: after A's off-edge, inside B — the lossy chain must still drop.
+  rig.sim.schedule_after(Duration::millis(250), [&] { rig.offer(4); });
+  // 500ms: after B's off-edge the chain is gone — delivery resumes.
+  rig.sim.schedule_after(Duration::millis(500), [&] { rig.offer(4); });
+  rig.sim.run();
+
+  EXPECT_EQ(rig.link.burst_drops(), 4u);
+  EXPECT_EQ(rig.received.size(), 4u);
+  EXPECT_EQ(injector.burst_depth(target), 0);
+}
+
+TEST(FaultInjectorTest, StrayOffEdgesAreIgnored) {
+  LinkRig rig;
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+  FaultAction off;
+  off.target = target;
+  off.kind = FaultKind::Blackout;
+  off.on = false;
+  injector.apply(off);  // no matching on-edge: must not underflow
+  FaultAction burst_off = off;
+  burst_off.kind = FaultKind::BurstLossOff;
+  injector.apply(burst_off);
+  EXPECT_EQ(injector.blackout_depth(target), 0);
+  EXPECT_EQ(injector.burst_depth(target), 0);
+
+  rig.offer(3);
+  rig.sim.run();
+  EXPECT_EQ(rig.received.size(), 3u);
+}
+
+TEST(FaultInjectorTest, RateChangeDuringBlackoutPersistsAfterRestore) {
+  // A bandwidth change scripted mid-blackout is level-triggered: it must be
+  // in force when the blackout lifts.
+  LinkRig rig;  // 12 Mb/s base: 1500 B = 1 ms serialization, 3 ms prop
+  FaultInjector injector(rig.sim);
+  const int target = injector.add_target(rig.link);
+  FaultPlan plan;
+  plan.blackout(Duration::millis(10), Duration::millis(100), target);
+  plan.rate_change(Duration::millis(50), 1'200'000, target);  // mid-blackout
+  injector.arm(plan);
+
+  // Offer one packet well after restore: serialization must take 10 ms
+  // (1.2 Mb/s), not 1 ms.
+  rig.sim.schedule_after(Duration::millis(200), [&] { rig.offer(1); });
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.sim.now().ns(), Duration::millis(200 + 10 + 3).ns());
+}
+
 }  // namespace
 }  // namespace iq::fault

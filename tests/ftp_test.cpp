@@ -1,10 +1,13 @@
 // Tests for the IQ-FTP module: manifest/framing, complete transfer,
-// selective loss under congestion, hole reporting.
+// selective loss under congestion, hole reporting, deterministic content
+// digests, per-chunk deadlines, and resume across terminal connection
+// failure.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "iq/fault/injector.hpp"
 #include "iq/ftp/iq_ftp.hpp"
 #include "iq/net/dumbbell.hpp"
 #include "iq/net/sinks.hpp"
@@ -158,6 +161,190 @@ TEST(IqFtpTest, MissingListMatchesBitmap) {
   for (std::size_t i = 1; i < rep.missing.size(); ++i) {
     EXPECT_LT(rep.missing[i - 1], rep.missing[i]);
   }
+}
+
+TEST(FileImageTest, DeterministicAcrossInstances) {
+  FileSpec file{.total_bytes = 100'000, .block_bytes = 16'384};
+  FileImage a(file, 42);
+  FileImage b(file, 42);
+  FileImage c(file, 43);
+  ASSERT_EQ(a.block_crcs().size(), file.block_count());
+  EXPECT_EQ(a.block_crcs(), b.block_crcs());
+  EXPECT_NE(a.block_crcs(), c.block_crcs());
+}
+
+TEST(FileImageTest, PartialFinalBlockDigestsOnlyItsBytes) {
+  // Same content seed, different tail length → the last block's digest
+  // must differ (only `bytes_of_block` bytes are hashed, not the buffer).
+  FileSpec full{.total_bytes = 2 * 16'384, .block_bytes = 16'384};
+  FileSpec ragged{.total_bytes = 16'384 + 100, .block_bytes = 16'384};
+  FileImage a(full, 42);
+  FileImage b(ragged, 42);
+  EXPECT_EQ(a.block_crc(0), b.block_crc(0));
+  EXPECT_NE(a.block_crc(1), b.block_crc(1));
+}
+
+TEST(IqFtpTest, ZeroLengthFileCompletesOnManifestAlone) {
+  FileSpec file{.total_bytes = 0, .block_bytes = 16'384};
+  FtpRig rig(file, [](std::uint64_t) { return true; }, 0.0, 0);
+  rig.run_until_complete(30);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto& rep = rig.receiver->report();
+  EXPECT_EQ(rep.blocks_total, 0u);
+  EXPECT_EQ(rep.blocks_received, 0u);
+  EXPECT_EQ(rep.bytes_received, 0);
+  EXPECT_TRUE(rep.missing.empty());
+  EXPECT_DOUBLE_EQ(rep.deadline_hit_ratio(), 1.0);
+  EXPECT_TRUE(rig.sender->done());
+}
+
+TEST(IqFtpTest, PartialFinalChunkDeliversExactByteCount) {
+  // total_bytes deliberately not a multiple of block_bytes.
+  FileSpec file{.total_bytes = 1'000'000 + 777, .block_bytes = 16'384};
+  FtpRig rig(file, [](std::uint64_t) { return true; }, 0.0, 0);
+  rig.run_until_complete(60);
+  ASSERT_TRUE(rig.receiver->complete());
+  const auto& rep = rig.receiver->report();
+  EXPECT_EQ(rep.blocks_received, file.block_count());
+  EXPECT_EQ(rep.bytes_received, file.total_bytes);
+  EXPECT_EQ(file.bytes_of_block(file.block_count() - 1),
+            file.total_bytes % file.block_bytes);
+}
+
+TEST(IqFtpTest, DeadlinePolicyScoresOnTimeBlocks) {
+  FileSpec file{.total_bytes = 500'000, .block_bytes = 16'384};
+
+  // Generous budget on a clean link: every block makes its deadline.
+  FtpRig generous(file, [](std::uint64_t) { return true; }, 0.0, 0);
+  generous.receiver->set_deadline_policy(
+      {.grace = Duration::seconds(30), .per_block = Duration::millis(100)});
+  generous.run_until_complete(60);
+  ASSERT_TRUE(generous.receiver->complete());
+  EXPECT_EQ(generous.receiver->report().blocks_on_time, file.block_count());
+  EXPECT_DOUBLE_EQ(generous.receiver->report().deadline_hit_ratio(), 1.0);
+
+  // An impossible budget: nothing can beat a zero-grace nanosecond clock.
+  FtpRig tight(file, [](std::uint64_t) { return true; }, 0.0, 0);
+  tight.receiver->set_deadline_policy(
+      {.grace = Duration::zero(), .per_block = Duration::nanos(1)});
+  tight.run_until_complete(60);
+  ASSERT_TRUE(tight.receiver->complete());
+  EXPECT_EQ(tight.receiver->report().blocks_on_time, 0u);
+  EXPECT_DOUBLE_EQ(tight.receiver->report().deadline_hit_ratio(), 0.0);
+}
+
+TEST(IqFtpTest, CleanTransferMatchesImageDigests) {
+  FileSpec file{.total_bytes = 1'000'000, .block_bytes = 16'384};
+  FileImage image(file, 7);
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Dumbbell db{network, {.pairs = 1}};
+  const net::Endpoint a{db.left(0).id(), 21};
+  const net::Endpoint b{db.right(0).id(), 21};
+  wire::SimWire wsnd(network, a, b, 1);
+  wire::SimWire wrcv(network, b, a, 1);
+  core::IqRudpConnection snd(wsnd, {}, rudp::Role::Client);
+  core::IqRudpConnection rcv(wrcv, {}, rudp::Role::Server);
+  IqFtpSender sender(snd, file, [](std::uint64_t) { return true; }, &image);
+  IqFtpReceiver receiver(rcv);
+  rcv.listen();
+  snd.set_established_handler([&] { sender.start(); });
+  snd.connect();
+  const TimePoint deadline = TimePoint::zero() + Duration::seconds(60);
+  while (sim.now() < deadline && !receiver.complete()) {
+    sim.run_for(Duration::millis(100));
+  }
+  ASSERT_TRUE(receiver.complete());
+  EXPECT_TRUE(receiver.matches(image));
+  // A different content seed must not match.
+  FileImage other(file, 8);
+  EXPECT_FALSE(receiver.matches(other));
+}
+
+// The acceptance scenario for survivable transfer: a mid-transfer blackout
+// kills the connection terminally; both endpoints re-attach to a fresh
+// connection pair and the transfer resumes to a byte-identical file.
+TEST(FtpResumeTest, SurvivesTerminalFailureByteIdentical) {
+  FileSpec file{.total_bytes = 6'000'000, .block_bytes = 16'384};
+  FileImage image(file, 99);
+
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Dumbbell db{network, {.pairs = 1}};
+  fault::FaultInjector injector(sim);
+  injector.add_target(db.bottleneck());
+  injector.add_target(db.bottleneck_reverse());
+  // Dark from 2s to 10s — far longer than the sender's RTO-streak budget.
+  fault::FaultPlan plan;
+  plan.blackout(Duration::seconds(2), Duration::seconds(8), 0);
+  plan.blackout(Duration::seconds(2), Duration::seconds(8), 1);
+  injector.arm(plan);
+
+  rudp::RudpConfig cfg;
+  cfg.max_rto_streak = 3;  // give up ~1.4s into the outage
+
+  auto open_pair = [&](std::uint16_t port) {
+    const net::Endpoint a{db.left(0).id(), port};
+    const net::Endpoint b{db.right(0).id(), port};
+    struct Gen {
+      std::unique_ptr<wire::SimWire> wsnd, wrcv;
+      std::unique_ptr<core::IqRudpConnection> snd, rcv;
+    } g;
+    g.wsnd = std::make_unique<wire::SimWire>(network, a, b, 1);
+    g.wrcv = std::make_unique<wire::SimWire>(network, b, a, 1);
+    g.snd = std::make_unique<core::IqRudpConnection>(*g.wsnd, cfg,
+                                                     rudp::Role::Client);
+    g.rcv = std::make_unique<core::IqRudpConnection>(*g.wrcv, cfg,
+                                                     rudp::Role::Server);
+    return g;
+  };
+
+  auto gen0 = open_pair(21);
+  IqFtpSender sender(*gen0.snd, file, [](std::uint64_t) { return true; },
+                     &image);
+  IqFtpReceiver receiver(*gen0.rcv);
+  bool failed = false;
+  gen0.snd->set_error_observer([&](rudp::FailureReason) { failed = true; });
+  gen0.rcv->listen();
+  gen0.snd->set_established_handler([&] { sender.start(); });
+  gen0.snd->connect();
+
+  // Run until the blackout kills the sender's connection.
+  const TimePoint fail_deadline = TimePoint::zero() + Duration::seconds(9);
+  while (sim.now() < fail_deadline && !failed) {
+    sim.run_for(Duration::millis(50));
+  }
+  ASSERT_TRUE(failed);
+  ASSERT_TRUE(gen0.snd->transport().failed());
+  EXPECT_FALSE(receiver.complete());
+  const std::uint64_t received_before =
+      receiver.report().blocks_received;
+  EXPECT_GT(received_before, 0u);
+  EXPECT_LT(received_before, file.block_count());
+
+  // Fresh connection generation on a new port; the old pair stays alive
+  // until attach() has harvested its counters.
+  auto gen1 = open_pair(22);
+  sender.attach(*gen1.snd);
+  receiver.attach(*gen1.rcv);
+  EXPECT_TRUE(sender.awaiting_resume());
+  EXPECT_EQ(sender.resumes(), 1u);
+  gen1.rcv->listen();
+  gen1.snd->set_established_handler([&] { sender.start(); });
+  gen1.snd->connect();
+
+  const TimePoint done_deadline = TimePoint::zero() + Duration::seconds(120);
+  while (sim.now() < done_deadline && !receiver.complete()) {
+    sim.run_for(Duration::millis(100));
+  }
+  ASSERT_TRUE(receiver.complete());
+  const auto& rep = receiver.report();
+  EXPECT_TRUE(rep.missing.empty());
+  EXPECT_EQ(rep.blocks_received, file.block_count());
+  EXPECT_EQ(rep.bytes_received, file.total_bytes);
+  EXPECT_FALSE(sender.awaiting_resume());
+  // Byte identity: every delivered digest matches the generating image.
+  EXPECT_TRUE(receiver.matches(image));
 }
 
 }  // namespace

@@ -301,8 +301,15 @@ TEST(RudpConnectionTest, KeepaliveNulsWhenIdle) {
   RudpConfig cfg;
   cfg.keepalive = Duration::millis(200);
   Pair p(cfg);
+  // Warm the RTT estimator: the probe clock never ticks faster than the
+  // RTO, and an unmeasured path sits at the conservative initial RTO (1 s).
+  // One round trip brings the RTO down to min_rto on this 30 ms path, and
+  // the probes then flow at the configured 200 ms pace.
+  p.sender->send_message({.bytes = 100});
+  p.run_ms(500);
+  const std::uint64_t before = p.sender->stats().nuls_sent;
   p.run_ms(2000);
-  EXPECT_GT(p.sender->stats().nuls_sent, 5u);
+  EXPECT_GT(p.sender->stats().nuls_sent - before, 5u);
 }
 
 TEST(RudpConnectionTest, CloseSendsRstAndNotifiesPeer) {
