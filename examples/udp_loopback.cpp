@@ -57,10 +57,18 @@ int main() {
   }
 
   std::printf("\nall %d messages delivered.\n", kMessages);
+  const auto& cs = client_wire.stats();
+  const auto& ss = server_wire.stats();
   std::printf("datagrams: client sent %llu, server sent %llu (acks), "
               "decode failures %llu\n",
-              static_cast<unsigned long long>(client_wire.datagrams_sent()),
-              static_cast<unsigned long long>(server_wire.datagrams_sent()),
-              static_cast<unsigned long long>(server_wire.decode_failures()));
+              static_cast<unsigned long long>(cs.datagrams_sent),
+              static_cast<unsigned long long>(ss.datagrams_sent),
+              static_cast<unsigned long long>(ss.decode_failures));
+  std::printf("batching:  client sendmmsg %llu calls (max %llu/batch), "
+              "server recvmmsg %llu calls (max %llu/batch)\n",
+              static_cast<unsigned long long>(cs.send_batches),
+              static_cast<unsigned long long>(cs.max_send_batch),
+              static_cast<unsigned long long>(ss.recv_batches),
+              static_cast<unsigned long long>(ss.max_recv_batch));
   return 0;
 }

@@ -43,9 +43,17 @@
 # path profiles x coordinated/uncoordinated) gated against the committed
 # BENCH_SCENARIOS.json (never wedge, byte-identical completion, recovery and
 # deadline floors, <= 5% drift) plus an audited run of the same bench.
+# `--wire` runs the real-socket matrix (docs/WIRE.md): the epoll event
+# loop's regression suite (fd-dispatch mutation, no forced-sleep timers,
+# sub-ms precision), the loopback integration tests (batching, send-drop
+# accounting, impairment row), the two-process survivable-FTP soak and the
+# socket-path zero-allocation pin — plainly and in an ASan+UBSan build —
+# then the Release bench_wire gated against the committed BENCH_WIRE.json
+# (exact counts and zero-alloc/decode invariants hard-fail; throughput and
+# RTT warn only, single-CPU containers run both endpoints on one core).
 # `--full` chains every mode above: the default+sanitize+perf smoke, then
-# chaos, audit, cm, scale and scenarios.
-# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full]
+# chaos, audit, cm, scale, scenarios and wire.
+# Usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--wire|--full]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,6 +77,10 @@ scale_filter='^(ShardedSimTest|CityScaleTest|GroupMembershipTest|MboneTraceTest|
 # resume bookkeeping, the fault-plan precedence rows, the failure detectors
 # (incl. the high-RTT false-trip regressions), and the profile runs.
 scenarios_filter='^(FileSpecTest|FileImageTest|IqFtpTest|FtpResumeTest|ScenarioTest|RateScoreTest|FaultInjectorTest|FaultPlanTest|FailureTest)'
+
+# The real-socket matrix: the epoll loop regression suite, the loopback
+# integration tests, the two-process soak and the socket zero-alloc pin.
+wire_filter='^(RealtimeLoopTest|UdpWireTest|WireSoakTest|WireAllocTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -172,6 +184,23 @@ scenarios_bench() {
   cmp "$fresh" "$build_dir/BENCH_SCENARIOS.audited.json"
 }
 
+wire_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$wire_filter"
+}
+
+wire_bench() {
+  local build_dir=build-perf
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_wire
+  local fresh="$build_dir/BENCH_WIRE.fresh.json"
+  "$build_dir/bench/bench_wire" "$fresh"
+  python3 scripts/perf_compare.py BENCH_WIRE.json "$fresh"
+}
+
 cm_ablation() {
   local build_dir=build-perf
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
@@ -183,15 +212,15 @@ cm_ablation() {
 
 mode="${1:-all}"
 case "$mode" in
-  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full) ;;
-  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--full]" >&2
+  all|--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--wire|--full) ;;
+  *) echo "usage: scripts/ci.sh [--default-only|--sanitize-only|--perf-only|--perf-compare|--chaos|--audit|--cm|--scale|--scenarios|--wire|--full]" >&2
      exit 2 ;;
 esac
 
 if [[ "$mode" == "--full" ]]; then
   # The umbrella: every gate in sequence, each in its own process so the
   # audit modes' exported env never leaks across.
-  for sub in all --chaos --audit --cm --scale --scenarios; do
+  for sub in all --chaos --audit --cm --scale --scenarios --wire; do
     echo "==== CI full: $sub ===="
     "$0" "$sub"
   done
@@ -207,6 +236,17 @@ if [[ "$mode" == "--scenarios" ]]; then
   echo "== CI: scenario bench vs committed BENCH_SCENARIOS.json =="
   scenarios_bench
   echo "== CI: scenario matrix passed =="
+  exit 0
+fi
+
+if [[ "$mode" == "--wire" ]]; then
+  echo "== CI: real-socket wire suites, default build =="
+  wire_suite build
+  echo "== CI: real-socket wire suites, sanitized build (ASan+UBSan) =="
+  wire_suite build-sanitize -DIQ_SANITIZE=ON
+  echo "== CI: wire bench vs committed BENCH_WIRE.json =="
+  wire_bench
+  echo "== CI: real-socket wire matrix passed =="
   exit 0
 fi
 

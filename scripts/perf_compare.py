@@ -3,8 +3,10 @@
 
 Works for BENCH_PERF.json (bench_perf), BENCH_CM.json (bench_multiflow's
 congestion-manager ablation), BENCH_SCALE.json (bench_cityscale's sharded
-10k-flow fan-out) and BENCH_SCENARIOS.json (bench_scenarios' hostile-network
-scenario matrix, docs/SCENARIOS.md). Three classes of metric:
+10k-flow fan-out), BENCH_SCENARIOS.json (bench_scenarios' hostile-network
+scenario matrix, docs/SCENARIOS.md) and BENCH_WIRE.json (bench_wire's
+real-socket loopback throughput/latency, docs/WIRE.md). Three classes of
+metric:
   - deterministic invariants (event counts, row-identity, allocation
     counts): identical inputs must produce identical values, so any drift
     fails the run;
@@ -36,12 +38,25 @@ EXACT_KEYS = {
     "codec_steady_roundtrip_allocs",
     "scale_mailbox_steady_allocs",
     "scale_sim_seconds",
+    "wire_blast_count",
+    "wire_blast_received",
+    "wire_blast_delivered_ratio",
+    "wire_ping_count",
+    "wire_ping_replies",
+    "wire_max_send_batch",
+    "wire_max_recv_batch",
+    "wire_steady_allocs",
+    "wire_decode_failures",
+    "wire_sends_dropped",
 }
 
 # Deterministic-count invariants: the scenario is seeded and simulated, so
 # identical sources must produce identical integers. Any drift fails.
 EXACT_MATCH_KEYS = {
     "table1_events",
+    "wire_blast_count",
+    "wire_ping_count",
+    "wire_max_send_batch",
     "scale_flows",
     "scale_frames",
     "scale_events",
@@ -76,6 +91,14 @@ SCN_CRITICAL_DEADLINE_FLOORS = {
     "cellular": 0.95,   # measured 1.0 across the tunnel + reconnect
     "incast": 0.95,     # measured 1.0 through the fan-in collapse
 }
+
+# Real-socket wire bench (wire_* keys, BENCH_WIRE.json): packets/second and
+# RTT swing with the machine (single-CPU containers run both endpoints on
+# one core) and only warn, but the fresh run is gated absolutely on the
+# fast path's invariants — zero steady-state allocations, zero decode
+# failures on loopback, a reply for every ping, batching actually engaged,
+# and a sane delivered ratio under the blast.
+WIRE_DELIVERED_FLOOR = 0.75
 
 
 def main() -> int:
@@ -151,6 +174,38 @@ def main() -> int:
                 f"{key} = {fresh[key]:.3f} below the {floor} floor:"
                 " coordinated critical blocks are missing their deadlines"
             )
+
+    # Wire-bench fast-path invariants: absolute gates on the fresh run.
+    for key in ("wire_steady_allocs", "wire_decode_failures"):
+        if key in fresh and fresh[key] != 0:
+            failures.append(
+                f"{key} = {fresh[key]} (expected 0: the batched socket path"
+                " must not allocate or mis-decode at steady state)"
+            )
+    if "wire_ping_replies" in fresh and fresh["wire_ping_replies"] != fresh.get(
+        "wire_ping_count"
+    ):
+        failures.append(
+            f"wire_ping_replies = {fresh['wire_ping_replies']} !="
+            f" wire_ping_count = {fresh.get('wire_ping_count')}: the echo"
+            " loop lost pings it was required to retransmit"
+        )
+    if "wire_max_recv_batch" in fresh and fresh["wire_max_recv_batch"] < 2:
+        failures.append(
+            f"wire_max_recv_batch = {fresh['wire_max_recv_batch']}: recvmmsg"
+            " never drained more than one datagram per syscall — receive"
+            " batching is not engaging"
+        )
+    if (
+        "wire_blast_delivered_ratio" in fresh
+        and fresh["wire_blast_delivered_ratio"] < WIRE_DELIVERED_FLOOR
+    ):
+        failures.append(
+            f"wire_blast_delivered_ratio ="
+            f" {fresh['wire_blast_delivered_ratio']:.3f} below the"
+            f" {WIRE_DELIVERED_FLOOR} floor: the loopback blast shed too"
+            " much to be a meaningful throughput measurement"
+        )
 
     for key in sorted(base):
         b = base[key]

@@ -32,6 +32,7 @@ const std::string kNetConnectRetries = "NET_CONNECT_RETRIES";
 const std::string kNetRtoBackoffs = "NET_RTO_BACKOFFS";
 const std::string kNetKeepaliveMisses = "NET_KEEPALIVE_MISSES";
 const std::string kNetChecksumRejects = "NET_CHECKSUM_REJECTS";
+const std::string kNetSendsDropped = "NET_SENDS_DROPPED";
 const std::string kNetFailed = "NET_FAILED";
 
 const std::string kRecvRateBps = "RECV_RATE_BPS";

@@ -63,6 +63,7 @@ extern const std::string kNetConnectRetries;   ///< int, SYN retransmissions
 extern const std::string kNetRtoBackoffs;      ///< int, RTO escalations
 extern const std::string kNetKeepaliveMisses;  ///< int, unanswered probes
 extern const std::string kNetChecksumRejects;  ///< int, corrupt datagrams
+extern const std::string kNetSendsDropped;     ///< int, wire-refused sends
 extern const std::string kNetFailed;           ///< int, FailureReason (0=ok)
 
 // Receiver-side delivery metrics (published periodically).

@@ -29,11 +29,13 @@ void MetricsExporter::export_failure_counters(TimePoint at) {
   const auto backoffs = static_cast<std::int64_t>(s.rto_backoffs);
   const auto misses = static_cast<std::int64_t>(s.keepalive_misses);
   const auto rejects = static_cast<std::int64_t>(s.checksum_rejects);
+  const auto send_drops = static_cast<std::int64_t>(s.sends_dropped);
   const auto failed = static_cast<std::int64_t>(conn_.failure_reason());
   store_.update(attr::kNetConnectRetries, retries);
   store_.update(attr::kNetRtoBackoffs, backoffs);
   store_.update(attr::kNetKeepaliveMisses, misses);
   store_.update(attr::kNetChecksumRejects, rejects);
+  store_.update(attr::kNetSendsDropped, send_drops);
   store_.update(attr::kNetFailed, failed);
   registry_.on_metric(attr::kNetConnectRetries,
                       static_cast<double>(retries), at);
@@ -43,6 +45,8 @@ void MetricsExporter::export_failure_counters(TimePoint at) {
                       static_cast<double>(misses), at);
   registry_.on_metric(attr::kNetChecksumRejects,
                       static_cast<double>(rejects), at);
+  registry_.on_metric(attr::kNetSendsDropped,
+                      static_cast<double>(send_drops), at);
   registry_.on_metric(attr::kNetFailed, static_cast<double>(failed), at);
 }
 

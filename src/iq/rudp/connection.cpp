@@ -41,6 +41,7 @@ RudpConnection::RudpConnection(SegmentWire& wire, RudpConfig cfg, Role role)
   next_seq_ = cfg_.initial_seq;
   wire_.set_receiver([this](const Segment& seg) { on_segment(seg); });
   wire_.set_corruption_handler([this] { ++stats_.checksum_rejects; });
+  wire_.set_send_drop_handler([this] { ++stats_.sends_dropped; });
   loss_.set_epoch_handler(
       [this](const EpochReport& report) { on_epoch_report(report); });
   // IQ_AUDIT=1 arms every connection in the process (scripts/ci.sh --audit

@@ -144,6 +144,7 @@ struct RudpStats {
   std::uint64_t keepalive_misses = 0;       ///< probe intervals w/o input
   std::uint64_t rto_probe_nuls = 0;         ///< dead-path probes during streaks
   std::uint64_t checksum_rejects = 0;       ///< corrupted datagrams rejected
+  std::uint64_t sends_dropped = 0;          ///< datagrams the wire refused
   std::uint64_t blackout_recoveries = 0;    ///< epoch resets after RTO streaks
   std::uint64_t messages_shed = 0;          ///< dropped by backpressure bound
   std::uint64_t failures = 0;               ///< times Failed was entered

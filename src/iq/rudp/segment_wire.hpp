@@ -33,6 +33,14 @@ class SegmentWire {
   /// without a corruption path ignore it.
   using CorruptionFn = std::function<void()>;
   virtual void set_corruption_handler(CorruptionFn /*fn*/) {}
+  /// Install a handler invoked each time the wire fails to transmit a
+  /// segment it was handed (real-socket backends: the kernel refused the
+  /// datagram — EWOULDBLOCK/ENOBUFS/EMSGSIZE). Simulated wires model loss
+  /// in the network instead and ignore it. The transport counts these in
+  /// RudpStats::sends_dropped (exported as NET_SENDS_DROPPED); recovery is
+  /// the protocol's job — a dropped send looks like loss to the peer.
+  using SendDropFn = std::function<void()>;
+  virtual void set_send_drop_handler(SendDropFn /*fn*/) {}
   /// The clock/timer service this wire lives on.
   virtual sim::Executor& executor() = 0;
 };

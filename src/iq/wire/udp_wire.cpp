@@ -3,11 +3,13 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -18,16 +20,44 @@
 namespace iq::wire {
 
 namespace {
+
+constexpr int kMaxEpollEvents = 64;
+
 std::int64_t steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Ceil a Duration to whole milliseconds for epoll_wait: rounding *up*
+/// keeps a sub-millisecond bound from truncating to a busy-spin; the
+/// timerfd provides the sub-millisecond precision inside the wait.
+int ceil_ms(Duration d) {
+  if (d <= Duration::zero()) return 0;
+  const std::int64_t ms = (d.ns() + 999'999) / 1'000'000;
+  return static_cast<int>(std::min<std::int64_t>(ms, 60'000));
+}
+
 }  // namespace
 
 // -------------------------------------------------------- RealtimeLoop ----
 
-RealtimeLoop::RealtimeLoop() : epoch_ns_(steady_ns()) {}
+RealtimeLoop::RealtimeLoop() : epoch_ns_(steady_ns()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  IQ_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1() failed");
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  IQ_CHECK_MSG(timer_fd_ >= 0, "timerfd_create() failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the timerfd
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  IQ_CHECK_MSG(rc == 0, "epoll_ctl(ADD timerfd) failed");
+}
+
+RealtimeLoop::~RealtimeLoop() {
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
 
 TimePoint RealtimeLoop::now() const {
   return TimePoint::from_ns(steady_ns() - epoch_ns_);
@@ -40,42 +70,117 @@ sim::EventId RealtimeLoop::schedule_at(TimePoint t, sim::EventFn fn) {
 bool RealtimeLoop::cancel_event(sim::EventId id) { return timers_.cancel(id); }
 
 void RealtimeLoop::add_fd(int fd, std::function<void()> on_readable) {
-  fds_.push_back(Watched{fd, std::move(on_readable)});
+  auto watcher = std::make_unique<Watcher>();
+  watcher->fd = fd;
+  watcher->on_readable = std::move(on_readable);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = watcher.get();
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  IQ_CHECK_MSG(rc == 0, "epoll_ctl(ADD) failed");
+  fds_.push_back(std::move(watcher));
 }
 
 void RealtimeLoop::remove_fd(int fd) {
-  std::erase_if(fds_, [fd](const Watched& w) { return w.fd == fd; });
+  for (auto& w : fds_) {
+    if (w->fd != fd || w->dead) continue;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    w->dead = true;
+    compact_needed_ = true;
+  }
+  // Mid-dispatch, the Watcher object must stay alive: a later event in the
+  // current ready batch may still point at it (it is skipped via `dead`).
+  if (!dispatching_ && compact_needed_) {
+    std::erase_if(fds_, [](const auto& w) { return w->dead; });
+    compact_needed_ = false;
+  }
 }
 
-void RealtimeLoop::fire_due_timers() {
+RealtimeLoop::HookId RealtimeLoop::add_before_wait(
+    std::function<void()> hook) {
+  const HookId id = next_hook_id_++;
+  hooks_.push_back(Hook{id, std::move(hook)});
+  return id;
+}
+
+void RealtimeLoop::remove_before_wait(HookId id) {
+  std::erase_if(hooks_, [id](const Hook& h) { return h.id == id; });
+}
+
+std::size_t RealtimeLoop::fire_due_timers() {
+  std::size_t fired = 0;
   while (!timers_.empty() && timers_.next_time() <= now()) {
     auto ev = timers_.pop();
     ev.fn();
+    ++fired;
   }
+  return fired;
+}
+
+void RealtimeLoop::run_hooks() {
+  // Hooks may not add/remove hooks during iteration (wires install exactly
+  // one for their lifetime); indexed loop tolerates growth regardless.
+  for (std::size_t i = 0; i < hooks_.size(); ++i) hooks_[i].fn();
+}
+
+void RealtimeLoop::arm_timerfd() {
+  std::int64_t want = -1;
+  if (!timers_.empty()) want = epoch_ns_ + timers_.next_time().ns();
+  if (want == armed_ns_) return;
+  itimerspec spec{};
+  if (want >= 0) {
+    spec.it_value.tv_sec = want / 1'000'000'000;
+    spec.it_value.tv_nsec = want % 1'000'000'000;
+  }
+  // want < 0 leaves it_value zeroed, which disarms the timer.
+  ::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr);
+  armed_ns_ = want;
 }
 
 void RealtimeLoop::poll_once(Duration max_wait) {
-  Duration wait = max_wait;
-  if (!timers_.empty()) {
-    const Duration until_timer = timers_.next_time() - now();
-    wait = std::clamp(until_timer, Duration::zero(), max_wait);
+  // A timer that is already due fires before any wait: the poll(2)
+  // predecessor slept >= 1 ms here regardless, putting a systematic floor
+  // under every RTO and keepalive on the real path.
+  const std::size_t fired = fire_due_timers();
+  run_hooks();
+
+  int timeout_ms;
+  if (fired > 0 || (!timers_.empty() && timers_.next_time() <= now())) {
+    // This iteration already did work (or more is due): poll readiness
+    // without blocking so run_until can re-evaluate its predicate — a
+    // satisfied caller must not wait out a full max_wait first.
+    timeout_ms = 0;
+  } else {
+    arm_timerfd();
+    timeout_ms = ceil_ms(max_wait);
   }
-  std::vector<pollfd> pfds;
-  pfds.reserve(fds_.size());
-  for (const Watched& w : fds_) {
-    pfds.push_back(pollfd{w.fd, POLLIN, 0});
-  }
-  const int timeout_ms =
-      static_cast<int>(std::max<std::int64_t>(0, wait.ms()));
-  const int rc = ::poll(pfds.empty() ? nullptr : pfds.data(),
-                        static_cast<nfds_t>(pfds.size()),
-                        std::max(timeout_ms, 1));
-  if (rc > 0) {
-    for (std::size_t i = 0; i < pfds.size(); ++i) {
-      if ((pfds[i].revents & POLLIN) != 0) fds_[i].on_readable();
+
+  epoll_event events[kMaxEpollEvents];
+  const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout_ms);
+  if (n > 0) {
+    dispatching_ = true;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        // Timerfd tick: drain the expiration count; the due timers fire
+        // below. A stale read (timer rearmed meanwhile) is harmless.
+        std::uint64_t expirations;
+        [[maybe_unused]] const ssize_t r =
+            ::read(timer_fd_, &expirations, sizeof(expirations));
+        continue;
+      }
+      auto* w = static_cast<Watcher*>(events[i].data.ptr);
+      if (!w->dead) w->on_readable();
+    }
+    dispatching_ = false;
+    if (compact_needed_) {
+      std::erase_if(fds_, [](const auto& w) { return w->dead; });
+      compact_needed_ = false;
     }
   }
   fire_due_timers();
+  // Flush before returning so acks and retransmissions produced by this
+  // dispatch round reach the kernel before the loop can block again.
+  run_hooks();
 }
 
 bool RealtimeLoop::run_until(const std::function<bool()>& done,
@@ -96,71 +201,153 @@ void RealtimeLoop::run_for(Duration wall) {
 // -------------------------------------------------------------- UdpWire ---
 
 UdpWire::UdpWire(RealtimeLoop& loop, std::uint16_t local_port,
-                 std::uint16_t remote_port)
-    : loop_(loop), remote_port_(remote_port) {
-  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+                 std::uint16_t remote_port, UdpWireConfig cfg)
+    : loop_(loop),
+      cfg_(cfg),
+      impairment_rng_(cfg.impairment_seed),
+      tx_arenas_(cfg.batch),
+      rx_bufs_(cfg.batch) {
+  IQ_CHECK(cfg_.batch >= 1);
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   IQ_CHECK_MSG(fd_ >= 0, "socket() failed");
-
-  int flags = ::fcntl(fd_, F_GETFL, 0);
-  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(local_port);
-  const int rc =
-      ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  int rc = ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   IQ_CHECK_MSG(rc == 0, "bind() failed");
 
+  // Connect the socket to the peer: sendmmsg needs no per-message address
+  // and the kernel filters stray datagrams from other sources.
+  addr.sin_port = htons(remote_port);
+  rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  IQ_CHECK_MSG(rc == 0, "connect() failed");
+
+  tx_msgs_ = std::make_unique<mmsghdr[]>(cfg_.batch);
+  tx_iovs_ = std::make_unique<iovec[]>(cfg_.batch);
+  rx_msgs_ = std::make_unique<mmsghdr[]>(cfg_.batch);
+  rx_iovs_ = std::make_unique<iovec[]>(cfg_.batch);
+  std::memset(tx_msgs_.get(), 0, sizeof(mmsghdr) * cfg_.batch);
+  std::memset(rx_msgs_.get(), 0, sizeof(mmsghdr) * cfg_.batch);
+  for (std::size_t i = 0; i < cfg_.batch; ++i) {
+    tx_msgs_[i].msg_hdr.msg_iov = &tx_iovs_[i];
+    tx_msgs_[i].msg_hdr.msg_iovlen = 1;
+    rx_bufs_[i].resize(cfg_.recv_slot_bytes);
+    rx_iovs_[i] = {rx_bufs_[i].data(), rx_bufs_[i].size()};
+    rx_msgs_[i].msg_hdr.msg_iov = &rx_iovs_[i];
+    rx_msgs_[i].msg_hdr.msg_iovlen = 1;
+  }
+
   loop_.add_fd(fd_, [this] { on_readable(); });
+  flush_hook_ = loop_.add_before_wait([this] { flush_sends(); });
 }
 
 UdpWire::~UdpWire() {
   if (fd_ >= 0) {
+    flush_sends();
+    loop_.remove_before_wait(flush_hook_);
     loop_.remove_fd(fd_);
     ::close(fd_);
   }
 }
 
 void UdpWire::send(const rudp::Segment& segment) {
-  // Encode into the per-wire arena: after the first datagram the writer's
-  // buffer is at its high-water size and sends stop allocating.
-  const BytesView wire = rudp::encode_segment_into(encode_arena_, segment);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(remote_port_);
-  const ssize_t n =
-      ::sendto(fd_, wire.data(), wire.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (n < 0) {
-    log_warn("udp_wire: sendto failed: ", std::strerror(errno));
+  if (blackout_ ||
+      (cfg_.tx_drop > 0.0 && impairment_rng_.chance(cfg_.tx_drop))) {
+    ++stats_.impaired_tx_drops;
     return;
   }
-  ++sent_;
+  // Encode into this slot's arena: after the first datagram through a slot
+  // the writer's buffer is at its high-water size and sends stop
+  // allocating. The slot is reused only after flush_sends() has pushed it.
+  ByteWriter& arena = tx_arenas_[tx_pending_];
+  const BytesView wire = rudp::encode_segment_into(arena, segment);
+  tx_iovs_[tx_pending_] = {const_cast<std::uint8_t*>(wire.data()),
+                           wire.size()};
+  ++tx_pending_;
+  if (tx_pending_ == cfg_.batch) flush_sends();
+}
+
+void UdpWire::flush_sends() {
+  std::size_t off = 0;
+  while (off < tx_pending_) {
+    const unsigned n = static_cast<unsigned>(tx_pending_ - off);
+    const int r = ::sendmmsg(fd_, &tx_msgs_[off], n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // The head datagram was refused (EWOULDBLOCK/ENOBUFS under pressure,
+      // EMSGSIZE for oversize): count the drop — silently log-warning it
+      // away hid real transmit losses from every stat — skip it, and keep
+      // the rest of the batch moving.
+      ++stats_.sends_dropped;
+      if (drop_fn_) drop_fn_();
+      log_warn("udp_wire: sendmmsg failed: ", std::strerror(errno));
+      ++off;
+      continue;
+    }
+    stats_.datagrams_sent += static_cast<std::uint64_t>(r);
+    ++stats_.send_batches;
+    stats_.max_send_batch =
+        std::max<std::uint64_t>(stats_.max_send_batch, r);
+    off += static_cast<std::size_t>(r);
+  }
+  tx_pending_ = 0;
 }
 
 void UdpWire::on_readable() {
-  std::uint8_t buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n < 0) break;  // EWOULDBLOCK or error — drained
-    rudp::DecodeStatus status = rudp::DecodeStatus::Ok;
-    // In-place decode: the payload view borrows `buf`, which lives until
-    // the next recv() — long enough for the synchronous recv_ dispatch.
-    auto decoded = rudp::decode_segment_view(
-        BytesView(buf, static_cast<std::size_t>(n)), &status);
-    if (!decoded) {
-      ++decode_failures_;
-      if (status == rudp::DecodeStatus::BadChecksum) {
-        ++checksum_rejects_;
-        if (corrupt_fn_) corrupt_fn_();
-      }
-      continue;
+    const int r = ::recvmmsg(fd_, rx_msgs_.get(),
+                             static_cast<unsigned>(cfg_.batch), MSG_DONTWAIT,
+                             nullptr);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;  // EWOULDBLOCK or error — drained
     }
-    ++received_;
-    if (recv_) recv_(decoded->segment);
+    ++stats_.recv_batches;
+    stats_.max_recv_batch =
+        std::max<std::uint64_t>(stats_.max_recv_batch, r);
+    for (int i = 0; i < r; ++i) {
+      if ((rx_msgs_[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        ++stats_.truncated_datagrams;
+        ++stats_.decode_failures;
+        continue;
+      }
+      const std::size_t len = rx_msgs_[i].msg_len;
+      if (len == 0) {
+        // A zero-length datagram is a real (empty) arrival, not "socket
+        // drained": count it and skip the decoder instead of letting it
+        // surface as a spurious decode failure.
+        ++stats_.empty_datagrams;
+        continue;
+      }
+      if (blackout_ ||
+          (cfg_.rx_drop > 0.0 && impairment_rng_.chance(cfg_.rx_drop))) {
+        ++stats_.impaired_rx_drops;
+        continue;
+      }
+      dispatch(BytesView(rx_bufs_[i].data(), len));
+    }
+    if (static_cast<std::size_t>(r) < cfg_.batch) break;
   }
+}
+
+void UdpWire::dispatch(BytesView datagram) {
+  rudp::DecodeStatus status = rudp::DecodeStatus::Ok;
+  // In-place decode: the payload view borrows the receive slot, which lives
+  // until the next recvmmsg — long enough for the synchronous recv_
+  // dispatch (zero-copy lifetime rules in docs/WIRE.md).
+  auto decoded = rudp::decode_segment_view(datagram, &status);
+  if (!decoded) {
+    ++stats_.decode_failures;
+    if (status == rudp::DecodeStatus::BadChecksum) {
+      ++stats_.checksum_rejects;
+      if (corrupt_fn_) corrupt_fn_();
+    }
+    return;
+  }
+  ++stats_.datagrams_received;
+  if (recv_) recv_(decoded->segment);
 }
 
 }  // namespace iq::wire

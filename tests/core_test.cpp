@@ -415,9 +415,11 @@ TEST(MetricsExportTest, FailureCountersExportedPerEpoch) {
   ASSERT_TRUE(store.has(attr::kNetRtoBackoffs));
   ASSERT_TRUE(store.has(attr::kNetKeepaliveMisses));
   ASSERT_TRUE(store.has(attr::kNetChecksumRejects));
+  ASSERT_TRUE(store.has(attr::kNetSendsDropped));
   ASSERT_TRUE(store.has(attr::kNetFailed));
   EXPECT_EQ(*store.query_double(attr::kNetConnectRetries), 0.0);
   EXPECT_EQ(*store.query_double(attr::kNetChecksumRejects), 0.0);
+  EXPECT_EQ(*store.query_double(attr::kNetSendsDropped), 0.0);
   EXPECT_EQ(*store.query_double(attr::kNetFailed), 0.0);
 }
 

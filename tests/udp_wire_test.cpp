@@ -1,7 +1,18 @@
 // Integration test: the RUDP engine over real UDP sockets on loopback.
+//
+// Includes the regression tests for the three event-loop/send-path defects
+// fixed in the epoll rewrite (docs/WIRE.md): fd-dispatch invalidation when
+// callbacks mutate the watch list, the >=1 ms poll timeout floor, and
+// silent kernel send drops.
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <vector>
 
 #include "iq/rudp/connection.hpp"
@@ -13,6 +24,12 @@ namespace {
 std::uint16_t pick_port(int offset) {
   // Ports unlikely to collide across test shards.
   return static_cast<std::uint16_t>(39200 + offset);
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 TEST(RealtimeLoopTest, TimersFireInOrder) {
@@ -31,6 +48,103 @@ TEST(RealtimeLoopTest, CancelWorks) {
   EXPECT_TRUE(loop.cancel_event(id));
   loop.run_for(Duration::millis(50));
   EXPECT_FALSE(ran);
+}
+
+// Regression (poll-loop defect #2): a timer already due must fire without
+// any forced sleep. The poll(2) predecessor floored every wait to 1 ms, so
+// 50 rounds of schedule-at-now cost >= 50 ms; the timerfd loop passes a
+// zero timeout when work is due and finishes in microseconds per round.
+TEST(RealtimeLoopTest, DueTimerFiresWithoutForcedSleep) {
+  RealtimeLoop loop;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    bool fired = false;
+    loop.schedule_at(loop.now(), [&] { fired = true; });
+    ASSERT_TRUE(loop.run_until([&] { return fired; }, Duration::seconds(5)));
+  }
+  EXPECT_LT(elapsed_ms_since(t0), 25.0);
+}
+
+// Regression (poll-loop defect #2, other half): sub-millisecond waits must
+// sleep their actual duration, not a 1 ms floor. 40 chained 200 µs timers
+// take ~8 ms here; the old loop took >= 40 ms.
+TEST(RealtimeLoopTest, SubMillisecondTimersAreNotFlooredToOneMs) {
+  RealtimeLoop loop;
+  constexpr int kSteps = 40;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < kSteps)
+      loop.schedule_after(Duration::micros(200), [&] { chain(); });
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.schedule_after(Duration::micros(200), [&] { chain(); });
+  ASSERT_TRUE(loop.run_until([&] { return fired == kSteps; },
+                             Duration::seconds(5)));
+  const double ms = elapsed_ms_since(t0);
+  EXPECT_GE(ms, 7.0);   // timers did sleep, not spin
+  EXPECT_LT(ms, 32.0);  // and were not floored to 1 ms each
+}
+
+// Regression (poll-loop defect #1): readiness callbacks may mutate the
+// watch list, including removing fds that are ready in the same epoll
+// round. The old loop dispatched by index into a snapshot of the pollfd
+// array and misdispatched (or crashed) after such a removal; the epoll loop
+// resolves each event against the live watch list and skips dead watchers.
+TEST(RealtimeLoopTest, RemoveFdDuringDispatchIsSafe) {
+  RealtimeLoop loop;
+  int pairs[3][2];
+  for (auto& p : pairs)
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_DGRAM, 0, p), 0);
+
+  int fired = 0;
+  int late_fired = 0;
+  int extra[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_DGRAM, 0, extra), 0);
+  for (auto& p : pairs) {
+    loop.add_fd(p[0], [&, fd = p[0]] {
+      char c;
+      (void)::read(fd, &c, 1);
+      ++fired;
+      // Tear down every watcher mid-dispatch, then grow the watch list —
+      // both mutations the old loop could not survive.
+      for (auto& q : pairs) loop.remove_fd(q[0]);
+      loop.add_fd(extra[0], [&, efd = extra[0]] {
+        char e;
+        (void)::read(efd, &e, 1);
+        ++late_fired;
+      });
+    });
+  }
+  for (auto& p : pairs) ASSERT_EQ(::write(p[1], "x", 1), 1);
+  loop.run_for(Duration::millis(20));
+  // All three were ready, but the first callback removed the other two:
+  // exactly one may run.
+  EXPECT_EQ(fired, 1);
+
+  // The watcher added mid-dispatch is live.
+  ASSERT_EQ(::write(extra[1], "y", 1), 1);
+  ASSERT_TRUE(loop.run_until([&] { return late_fired == 1; },
+                             Duration::seconds(5)));
+  loop.remove_fd(extra[0]);
+  for (auto& p : pairs) {
+    ::close(p[0]);
+    ::close(p[1]);
+  }
+  ::close(extra[0]);
+  ::close(extra[1]);
+}
+
+TEST(RealtimeLoopTest, BeforeWaitHooksRunEveryIterationUntilRemoved) {
+  RealtimeLoop loop;
+  int runs = 0;
+  auto id = loop.add_before_wait([&] { ++runs; });
+  loop.poll_once(Duration::zero());
+  loop.poll_once(Duration::zero());
+  EXPECT_GE(runs, 2);
+  const int before = runs;
+  loop.remove_before_wait(id);
+  loop.poll_once(Duration::zero());
+  EXPECT_EQ(runs, before);
 }
 
 TEST(UdpWireTest, LoopbackTransfer) {
@@ -87,6 +201,132 @@ TEST(UdpWireTest, AttrsSurviveRealSerialization) {
                              Duration::seconds(10)));
   EXPECT_EQ(delivered[0].attrs.get_double("ADAPT_PKTSIZE"), 0.3);
   EXPECT_EQ(delivered[0].attrs.get_string("label"), "frame-7");
+}
+
+// Regression (send-path defect #3): a datagram the kernel refuses must not
+// vanish silently. An encoded segment above the UDP payload limit fails
+// sendmmsg with EMSGSIZE deterministically; the wire counts it and the
+// drop handler propagates it into RudpStats::sends_dropped.
+TEST(UdpWireTest, RefusedSendIsCountedAndReachesRudpStats) {
+  RealtimeLoop loop;
+  UdpWire wire(loop, pick_port(4), pick_port(5));
+  rudp::RudpConfig cfg;
+  rudp::RudpConnection conn(wire, cfg, rudp::Role::Client);  // installs hook
+
+  rudp::Segment seg;
+  seg.type = rudp::SegmentType::Data;
+  seg.seq = 1;
+  seg.payload_bytes = 70'000;  // encodes past the 65507-byte UDP limit
+  wire.send(seg);
+  wire.flush_sends();
+
+  EXPECT_EQ(wire.stats().sends_dropped, 1u);
+  EXPECT_EQ(wire.stats().datagrams_sent, 0u);
+  EXPECT_EQ(conn.stats().sends_dropped, 1u);
+}
+
+// A zero-length datagram is a valid UDP arrival, distinct from "socket
+// drained": it must be counted, not fed to the decoder and not looped on.
+TEST(UdpWireTest, ZeroLengthDatagramIsCountedNotDecoded) {
+  RealtimeLoop loop;
+  UdpWire wire(loop, pick_port(6), pick_port(7));
+
+  // The wire's socket is connected, so the probe must source from the
+  // remote port it expects.
+  int probe = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in self{};
+  self.sin_family = AF_INET;
+  self.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  self.sin_port = htons(pick_port(7));
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&self), sizeof(self)),
+            0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(pick_port(6));
+  ASSERT_EQ(::sendto(probe, "", 0, 0, reinterpret_cast<sockaddr*>(&dst),
+                     sizeof(dst)),
+            0);
+  ASSERT_TRUE(loop.run_until([&] { return wire.stats().empty_datagrams > 0; },
+                             Duration::seconds(5)));
+  EXPECT_EQ(wire.stats().empty_datagrams, 1u);
+  EXPECT_EQ(wire.stats().decode_failures, 0u);
+  EXPECT_EQ(wire.stats().datagrams_received, 0u);
+
+  // Garbage from the same peer is a decode failure, not a checksum reject.
+  ASSERT_EQ(::sendto(probe, "not-iq", 6, 0,
+                     reinterpret_cast<sockaddr*>(&dst), sizeof(dst)),
+            6);
+  ASSERT_TRUE(loop.run_until([&] { return wire.stats().decode_failures > 0; },
+                             Duration::seconds(5)));
+  EXPECT_EQ(wire.stats().checksum_rejects, 0u);
+  ::close(probe);
+}
+
+// Batching engages under load: a fixed-window blast queues many segments
+// in one dispatch turn, so sendmmsg pushes multi-datagram batches and
+// recvmmsg drains them in kind — far fewer syscalls than datagrams.
+TEST(UdpWireTest, BurstTrafficBatchesSendsAndReceives) {
+  RealtimeLoop loop;
+  UdpWire wire_a(loop, pick_port(8), pick_port(9));
+  UdpWire wire_b(loop, pick_port(9), pick_port(8));
+
+  rudp::RudpConfig cfg;
+  cfg.cc_kind = rudp::CcKind::Fixed;
+  cfg.fixed_cwnd = 64.0;
+  rudp::RudpConnection client(wire_a, cfg, rudp::Role::Client);
+  rudp::RudpConnection server(wire_b, cfg, rudp::Role::Server);
+
+  std::vector<rudp::DeliveredMessage> delivered;
+  server.set_message_handler(
+      [&](const rudp::DeliveredMessage& m) { delivered.push_back(m); });
+  server.listen();
+  client.connect();
+  ASSERT_TRUE(loop.run_until([&] { return client.established(); },
+                             Duration::seconds(10)));
+  for (int i = 0; i < 20; ++i) client.send_message({.bytes = 10'000});
+  ASSERT_TRUE(loop.run_until([&] { return delivered.size() == 20; },
+                             Duration::seconds(30)));
+
+  EXPECT_GT(wire_a.stats().max_send_batch, 1u);
+  EXPECT_GT(wire_b.stats().max_recv_batch, 1u);
+  // Batching amortized syscalls: strictly fewer batches than datagrams.
+  EXPECT_LT(wire_a.stats().send_batches, wire_a.stats().datagrams_sent);
+  EXPECT_LT(wire_b.stats().recv_batches, wire_b.stats().datagrams_received);
+}
+
+// Fault-matrix row over the real link: seeded userspace rx impairment on
+// the receiver endpoint. The transfer still completes (retransmissions
+// recover every drop) and the drops are attributed to impairment, not to
+// decode/checksum failures.
+TEST(UdpWireTest, ImpairedLoopbackStillDeliversEverything) {
+  RealtimeLoop loop;
+  UdpWire wire_a(loop, pick_port(10), pick_port(11));
+  UdpWireConfig impaired;
+  impaired.rx_drop = 0.08;
+  impaired.impairment_seed = 7;
+  UdpWire wire_b(loop, pick_port(11), pick_port(10), impaired);
+
+  rudp::RudpConfig cfg;
+  rudp::RudpConnection client(wire_a, cfg, rudp::Role::Client);
+  rudp::RudpConnection server(wire_b, cfg, rudp::Role::Server);
+
+  std::vector<rudp::DeliveredMessage> delivered;
+  server.set_message_handler(
+      [&](const rudp::DeliveredMessage& m) { delivered.push_back(m); });
+  server.listen();
+  client.connect();
+  ASSERT_TRUE(loop.run_until([&] { return client.established(); },
+                             Duration::seconds(10)));
+  for (int i = 0; i < 20; ++i) client.send_message({.bytes = 10'000});
+  ASSERT_TRUE(loop.run_until([&] { return delivered.size() == 20; },
+                             Duration::seconds(60)));
+  for (const auto& m : delivered) EXPECT_EQ(m.bytes, 10'000);
+
+  EXPECT_GT(wire_b.stats().impaired_rx_drops, 0u);
+  EXPECT_EQ(wire_b.stats().decode_failures, 0u);
+  EXPECT_EQ(wire_b.stats().checksum_rejects, 0u);
 }
 
 }  // namespace
