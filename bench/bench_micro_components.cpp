@@ -6,12 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include "iq/attr/list.hpp"
+#include "iq/common/bytes.hpp"
 #include "iq/common/rng.hpp"
 #include "iq/net/dumbbell.hpp"
 #include "iq/net/sinks.hpp"
 #include "iq/rudp/codec.hpp"
 #include "iq/rudp/congestion.hpp"
+#include "iq/sim/event_queue.hpp"
 #include "iq/sim/simulator.hpp"
+#include "iq/sim/timer_wheel.hpp"
 
 namespace {
 
@@ -28,6 +31,43 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_TimerWheelScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::TimerWheel q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule(TimePoint::from_ns(i * 7919 % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimerWheelScheduleAndPop)->Arg(1024)->Arg(16384);
+
+/// The retransmission-timer mix both schedulers must serve: a standing
+/// population of armed timers, each op a cancel + reschedule, almost no
+/// fires. Arg = live-timer count (1k and 10k, the CityScale regime).
+template <typename Queue>
+void BM_SchedCancelChurn(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  Queue q;
+  std::vector<sim::EventId> ids(live, 0);
+  std::int64_t t = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < live; ++i) {
+      if (ids[i] != 0) q.cancel(ids[i]);
+      ids[i] = q.schedule(
+          TimePoint::from_ns(t + static_cast<std::int64_t>(i * 131) % 4093),
+          [] {});
+      ++ops;
+    }
+    t += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SchedCancelChurn<sim::EventQueue>)->Arg(1024)->Arg(10240);
+BENCHMARK(BM_SchedCancelChurn<sim::TimerWheel>)->Arg(1024)->Arg(10240);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -84,6 +124,30 @@ void BM_SegmentDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SegmentDecode);
+
+/// Per-tier CRC-32 rows over an MTU-sized datagram (the codec's case) —
+/// tier 0 = runtime dispatch, 1 = pclmul, 2 = slice8, 3 = bytewise.
+void BM_Crc32Tier(benchmark::State& state) {
+  using Kernel = std::uint32_t (*)(std::uint32_t, BytesView);
+  static constexpr Kernel kTiers[] = {
+      &crc32_update, &crc32_update_pclmul, &crc32_update_slice8,
+      &crc32_update_bytewise};
+  const Kernel kernel = kTiers[state.range(0)];
+  if (state.range(0) == 1 && !crc32_pclmul_supported()) {
+    state.SkipWithError("pclmul unsupported on this CPU");
+    return;
+  }
+  Bytes buf(1400);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel(kCrc32Init, buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32Tier)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_AttrListSetGet(benchmark::State& state) {
   for (auto _ : state) {

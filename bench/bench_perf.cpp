@@ -25,7 +25,9 @@
 #include "iq/harness/json.hpp"
 #include "iq/net/dumbbell.hpp"
 #include "iq/rudp/codec.hpp"
+#include "iq/sim/event_queue.hpp"
 #include "iq/sim/simulator.hpp"
+#include "iq/sim/timer_wheel.hpp"
 
 namespace {
 
@@ -77,18 +79,23 @@ double bench_event_churn() {
 
 /// The retransmission-timer pattern: a standing population of events that
 /// are almost always cancelled and rescheduled, almost never fired.
-double bench_sched_cancel() {
-  return best_rate(5, [] {
-    sim::EventQueue q;
-    constexpr int kLive = 1024;
+/// Templated so the 4-ary heap baseline and the timing wheel run the exact
+/// same op mix — the wheel's O(1) schedule/cancel vs the heap's O(log n)
+/// sifts is the whole point of the comparison.
+template <typename Queue>
+double bench_sched_cancel(std::size_t live) {
+  return best_rate(5, [live] {
+    Queue q;
     constexpr std::uint64_t kOps = 1'000'000;
-    sim::EventId ids[kLive] = {};
+    std::vector<sim::EventId> ids(live, 0);
     std::uint64_t ops = 0;
     std::int64_t t = 0;
     while (ops < kOps) {
-      for (int i = 0; i < kLive; ++i) {
+      for (std::size_t i = 0; i < live; ++i) {
         if (ids[i] != 0) q.cancel(ids[i]);
-        ids[i] = q.schedule(TimePoint::from_ns(t + (i * 131) % 4093), [] {});
+        ids[i] = q.schedule(
+            TimePoint::from_ns(t + static_cast<std::int64_t>(i * 131) % 4093),
+            [] {});
         ++ops;
       }
       t += 64;
@@ -96,6 +103,35 @@ double bench_sched_cancel() {
     while (!q.empty()) q.pop();
     return ops;
   });
+}
+
+/// Steady-state allocation count of the wheel's rearm path: after warmup,
+/// a full population of standing timers rearming forever must never touch
+/// the heap (pooled slots + inline callables + retained fire buffer).
+std::uint64_t bench_wheel_churn_allocs() {
+  sim::TimerWheel q;
+  constexpr std::size_t kLive = 1024;
+  std::vector<sim::EventId> ids(kLive, 0);
+  std::int64_t t = 0;
+  const auto cycle = [&] {
+    for (std::size_t i = 0; i < kLive; ++i) {
+      if (ids[i] != 0) q.cancel(ids[i]);
+      ids[i] = q.schedule(
+          TimePoint::from_ns(t + static_cast<std::int64_t>(i * 131) % 4093),
+          [] {});
+    }
+    t += 64;
+  };
+  // Warmup round has the exact shape of the measured round, so every pool
+  // (slot table, freelist, fire buffer) reaches its high-water size first.
+  const auto round = [&] {
+    for (int r = 0; r < 100; ++r) cycle();
+    for (int i = 0; i < 256 && !q.empty(); ++i) (void)q.pop();
+  };
+  round();
+  const std::uint64_t before = iq::bench::alloc_count();
+  round();
+  return iq::bench::alloc_count() - before;
 }
 
 /// Raw packet pump: CBR packets through the dumbbell's four hops, no
@@ -148,9 +184,14 @@ PumpResult bench_packet_pump() {
   return out;
 }
 
-/// CRC throughput: the slice-by-8 wire checksum against the byte-at-a-time
-/// reference, over a buffer big enough to stream (64 KiB).
+/// CRC throughput per dispatch tier over a streaming buffer (64 KiB):
+/// crc_mb_s is whatever tier crc32_update dispatches to on this machine
+/// (pclmul where CPUID allows), and each kernel is also measured directly
+/// so the baseline records the pclmul-vs-slice8 speedup explicitly.
 struct CrcResult {
+  const char* impl = "";      ///< active crc32_update tier
+  double dispatch_mb_s = 0.0; ///< through the dispatcher (= wire path)
+  double pclmul_mb_s = 0.0;   ///< 0 when the CPU lacks the instructions
   double slice8_mb_s = 0.0;
   double bytewise_mb_s = 0.0;
 };
@@ -163,23 +204,25 @@ CrcResult bench_crc() {
     buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
   }
   CrcResult out;
+  out.impl = iq::crc32_impl_name();
   std::uint32_t sink = 0;
-  out.slice8_mb_s = best_rate(5, [&] {
-                      for (std::uint64_t p = 0; p < kPasses; ++p) {
-                        sink ^= iq::crc32(buf);
-                      }
-                      return kPasses * kBuf;
-                    }) /
-                    1e6;
-  out.bytewise_mb_s =
-      best_rate(3, [&] {
-        // Fewer passes: the reference path is an order of magnitude slower.
-        for (std::uint64_t p = 0; p < kPasses / 10; ++p) {
-          sink ^= iq::crc32_update_bytewise(iq::kCrc32Init, buf);
-        }
-        return kPasses / 10 * kBuf;
-      }) /
-      1e6;
+  const auto tier = [&](std::uint32_t (*kernel)(std::uint32_t, iq::BytesView),
+                        std::uint64_t passes, int reps) {
+    return best_rate(reps, [&, kernel, passes] {
+             for (std::uint64_t p = 0; p < passes; ++p) {
+               sink ^= kernel(iq::kCrc32Init, buf);
+             }
+             return passes * kBuf;
+           }) /
+           1e6;
+  };
+  out.dispatch_mb_s = tier(&iq::crc32_update, kPasses, 5);
+  if (iq::crc32_pclmul_supported()) {
+    out.pclmul_mb_s = tier(&iq::crc32_update_pclmul, kPasses * 4, 5);
+  }
+  out.slice8_mb_s = tier(&iq::crc32_update_slice8, kPasses, 5);
+  // Fewer passes: the reference path is an order of magnitude slower.
+  out.bytewise_mb_s = tier(&iq::crc32_update_bytewise, kPasses / 10, 3);
   if (sink == 0xdeadbeef) std::fprintf(stderr, "impossible\n");
   return out;
 }
@@ -342,17 +385,29 @@ int main(int argc, char** argv) {
 
   const double churn = bench_event_churn();
   std::printf("  event churn:        %8.2f M events/s\n", churn / 1e6);
-  const double sc = bench_sched_cancel();
-  std::printf("  schedule+cancel:    %8.2f M ops/s\n", sc / 1e6);
+  const double sc_heap = bench_sched_cancel<sim::EventQueue>(1024);
+  std::printf("  heap sched+cancel:  %8.2f M ops/s (1k live)\n",
+              sc_heap / 1e6);
+  const double sc_wheel_1k = bench_sched_cancel<sim::TimerWheel>(1024);
+  const double sc_wheel_10k = bench_sched_cancel<sim::TimerWheel>(10240);
+  std::printf("  wheel sched+cancel: %8.2f M ops/s (1k live), %.2f M (10k)\n",
+              sc_wheel_1k / 1e6, sc_wheel_10k / 1e6);
+  const std::uint64_t wheel_allocs = bench_wheel_churn_allocs();
+  std::printf("  wheel churn allocs: %8llu per 100 rearm rounds\n",
+              static_cast<unsigned long long>(wheel_allocs));
   const PumpResult pump = bench_packet_pump();
   std::printf("  packet pump:        %8.2f M events/s (%.0f pkts/s)\n",
               pump.events_per_s / 1e6, pump.packets_per_s);
   const CrcResult crc = bench_crc();
+  std::printf("  crc32 dispatch:     %8.1f MB/s (impl=%s)\n",
+              crc.dispatch_mb_s, crc.impl);
+  if (crc.pclmul_mb_s > 0) {
+    std::printf("  crc32 pclmul:       %8.1f MB/s (%.1fx slice8)\n",
+                crc.pclmul_mb_s,
+                crc.slice8_mb_s > 0 ? crc.pclmul_mb_s / crc.slice8_mb_s : 0.0);
+  }
   std::printf("  crc32 slice-by-8:   %8.1f MB/s\n", crc.slice8_mb_s);
-  std::printf("  crc32 bytewise:     %8.1f MB/s (%.1fx speedup)\n",
-              crc.bytewise_mb_s,
-              crc.bytewise_mb_s > 0 ? crc.slice8_mb_s / crc.bytewise_mb_s
-                                    : 0.0);
+  std::printf("  crc32 bytewise:     %8.1f MB/s\n", crc.bytewise_mb_s);
   const CodecResult codec = bench_codec();
   std::printf("  codec encode:       %8.2f M segs/s\n",
               codec.encode_per_s / 1e6);
@@ -381,10 +436,18 @@ int main(int argc, char** argv) {
   iq::harness::JsonWriter w;
   w.begin_object()
       .field("event_churn_eps", churn)
-      .field("sched_cancel_ops", sc)
+      .field("sched_cancel_ops", sc_heap)
+      .field("wheel_sched_cancel_ops_1k", sc_wheel_1k)
+      .field("wheel_sched_cancel_ops_10k", sc_wheel_10k)
+      .field("wheel_churn_steady_allocs", wheel_allocs)
       .field("packet_pump_eps", pump.events_per_s)
       .field("packet_pump_pps", pump.packets_per_s)
-      .field("crc_mb_s", crc.slice8_mb_s)
+      .field("crc_impl", crc.impl)
+      .field("crc_mb_s", crc.dispatch_mb_s)
+      .field("crc_pclmul_mb_s", crc.pclmul_mb_s)
+      .field("crc_slice8_mb_s", crc.slice8_mb_s)
+      .field("crc_pclmul_speedup",
+             crc.slice8_mb_s > 0 ? crc.pclmul_mb_s / crc.slice8_mb_s : 0.0)
       .field("crc_bytewise_mb_s", crc.bytewise_mb_s)
       .field("codec_encode_per_s", codec.encode_per_s)
       .field("codec_decode_per_s", codec.decode_per_s)
@@ -405,8 +468,9 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   // Invariant failures (not throughput — that is machine-dependent): the
-  // parallel runner must reproduce serial rows, and the codec fast path
-  // must stay allocation-free at steady state.
-  const bool ok = runner.identical && codec.steady_roundtrip_allocs == 0;
+  // parallel runner must reproduce serial rows, and both zero-alloc fast
+  // paths (codec round trip, wheel rearm churn) must stay allocation-free.
+  const bool ok = runner.identical && codec.steady_roundtrip_allocs == 0 &&
+                  wheel_allocs == 0;
   return ok ? 0 : 1;
 }

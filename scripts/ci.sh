@@ -4,7 +4,10 @@
 #   1. the default RelWithDebInfo build (the tier-1 verify),
 #   2. an ASan+UBSan build (IQ_SANITIZE=ON) to catch memory and UB errors
 #      that pass silently in the default build (this build also runs the
-#      randomized event-queue property test under the sanitizers), and
+#      randomized event-queue and timer-wheel property tests under the
+#      sanitizers, then reruns the CRC/codec golden suites once per forced
+#      IQ_CRC_IMPL tier so every dispatchable kernel — pclmul's unaligned
+#      SIMD loads included — is sanitizer-clean and wire-identical), and
 #   3. a Release build of bench_perf whose BENCH_PERF.json is archived so
 #      every commit carries a hot-path perf baseline (docs/PERFORMANCE.md).
 # `--chaos` instead runs the deterministic fault-matrix sweep — fixed seeds
@@ -70,8 +73,10 @@ cm_filter='^(ApportionTest|CongestionManagerTest|CmAuditorTest|CmIntegrationTest
 
 # The sharded-determinism matrix: engine lockstep/ordering units, the
 # city-scale scenario (shard counts 1/2/4/7, serial and threaded, inside
-# the tests), membership churn edges, pool affinity, runner env overrides.
-scale_filter='^(ShardedSimTest|CityScaleTest|GroupMembershipTest|MboneTraceTest|ObjectPoolTest|RunnerThreadsTest)'
+# the tests), membership churn edges, pool affinity, runner env overrides,
+# and the timing-wheel property suite (the scheduler every shard now runs
+# on — its fire order is what keeps the cross-shard digests bit-identical).
+scale_filter='^(ShardedSimTest|CityScaleTest|GroupMembershipTest|MboneTraceTest|ObjectPoolTest|RunnerThreadsTest|TimerWheelPropertyTest)'
 
 # The hostile-network scenario matrix: the survivable file transfer and its
 # resume bookkeeping, the fault-plan precedence rows, the failure detectors
@@ -311,6 +316,17 @@ fi
 if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== CI: sanitized build (ASan+UBSan) =="
   run_suite build-sanitize -DIQ_SANITIZE=ON
+  # CRC dispatch tiers under sanitizers: force each kernel the dispatcher
+  # can select and rerun the tier-identity and wire-freeze suites, so the
+  # pclmul path's unaligned SIMD loads and the table kernels' indexing are
+  # sanitizer-clean AND seal identical bytes. On CPUs without pclmul the
+  # env override falls back (with a warning) and the forced-tier tests
+  # skip that kernel internally — the loop stays green everywhere.
+  for impl in pclmul slice8 bytewise; do
+    echo "== CI: CRC tier $impl, sanitized build =="
+    IQ_CRC_IMPL="$impl" ctest --test-dir build-sanitize --output-on-failure \
+      -j "$(nproc)" -R '^(CrcDispatchTest|CodecGoldenTest)'
+  done
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--perf-only" ]]; then

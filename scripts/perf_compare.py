@@ -29,6 +29,12 @@ CM_FAIL_PCT = 5.0
 CM_JAIN_FLOOR = 0.95
 CM_PRIO_RANGE = (1.8, 2.2)
 
+# The PCLMUL CRC kernel must actually pay for its dispatch machinery: when
+# the fresh run selected it (crc_impl == "pclmul"), its measured throughput
+# must beat slice-by-8 by at least this factor (measured ~14x on the CI
+# container; 5x is the acceptance floor from the hot-path-v3 issue).
+CRC_PCLMUL_SPEEDUP_FLOOR = 5.0
+
 # Non-throughput scalars: excluded from the warn pass (each is either an
 # invariant checked exactly below or a machine property).
 EXACT_KEYS = {
@@ -36,6 +42,7 @@ EXACT_KEYS = {
     "runner_threads",
     "hardware_concurrency",
     "codec_steady_roundtrip_allocs",
+    "wheel_churn_steady_allocs",
     "scale_mailbox_steady_allocs",
     "scale_sim_seconds",
     "wire_blast_count",
@@ -137,12 +144,35 @@ def main() -> int:
                 f"{key} is not true: parallel/sharded output diverged from"
                 " the serial reference"
             )
-    for key in ("codec_steady_roundtrip_allocs", "scale_mailbox_steady_allocs"):
+    for key in (
+        "codec_steady_roundtrip_allocs",
+        "scale_mailbox_steady_allocs",
+        "wheel_churn_steady_allocs",
+    ):
         if key in base and fresh.get(key) != 0:
             failures.append(
                 f"{key} = {fresh.get(key)} (expected 0: this path must not"
                 " allocate in steady state)"
             )
+
+    # CRC dispatch: absolute gates on the fresh run. The pclmul kernel must
+    # clear its speedup floor whenever the dispatcher picked it, and a tier
+    # change between baseline and fresh (different machine, or IQ_CRC_IMPL
+    # leaked into the bench environment) makes crc_mb_s incomparable.
+    if fresh.get("crc_impl") == "pclmul":
+        speedup = fresh.get("crc_pclmul_speedup", 0.0)
+        if speedup < CRC_PCLMUL_SPEEDUP_FLOOR:
+            failures.append(
+                f"crc_pclmul_speedup = {speedup:.2f} below the"
+                f" {CRC_PCLMUL_SPEEDUP_FLOOR}x floor over slice-by-8: the"
+                " folding kernel is not earning its dispatch"
+            )
+    if "crc_impl" in base and base["crc_impl"] != fresh.get("crc_impl"):
+        print(
+            f"warn: crc_impl changed ({base['crc_impl']} ->"
+            f" {fresh.get('crc_impl')}); dispatch-tier throughput rows are"
+            " not comparable across this pair"
+        )
 
     # Scenario-matrix survivability: absolute gates on the fresh run.
     for key in sorted(fresh):

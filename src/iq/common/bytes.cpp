@@ -2,6 +2,9 @@
 
 #include <array>
 #include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "iq/common/check.hpp"
 
@@ -202,7 +205,7 @@ std::uint32_t crc32_update_bytewise(std::uint32_t state, BytesView chunk) {
   return state;
 }
 
-std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
+std::uint32_t crc32_update_slice8(std::uint32_t state, BytesView chunk) {
   const std::uint8_t* p = chunk.data();
   std::size_t n = chunk.size();
   if constexpr (std::endian::native == std::endian::little) {
@@ -221,6 +224,62 @@ std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
     }
   }
   return crc32_update_bytewise(state, {p, n});
+}
+
+namespace {
+
+using CrcKernel = std::uint32_t (*)(std::uint32_t, BytesView);
+
+struct CrcDispatch {
+  CrcKernel fn;
+  const char* name;
+};
+
+/// Map a tier name to its kernel; nullptr for unknown/unsupported names.
+/// "pclmul" is only honoured when CPUID reports the instructions — callers
+/// forcing tiers (tests, IQ_CRC_IMPL) get a hard refusal, not a silent
+/// downgrade, so a "pclmul" result always measured the pclmul kernel.
+CrcDispatch resolve_crc_impl(const char* name) {
+  const std::string_view want{name == nullptr ? "" : name};
+  if (want == "pclmul" && crc32_pclmul_supported()) {
+    return {&crc32_update_pclmul, "pclmul"};
+  }
+  if (want == "slice8") return {&crc32_update_slice8, "slice8"};
+  if (want == "bytewise") return {&crc32_update_bytewise, "bytewise"};
+  return {nullptr, nullptr};
+}
+
+/// Startup selection: IQ_CRC_IMPL override first, then the fastest kernel
+/// the CPU supports. Resolved once (magic static) and cached.
+CrcDispatch& crc_dispatch() {
+  static CrcDispatch active = [] {
+    if (const char* env = std::getenv("IQ_CRC_IMPL")) {
+      const CrcDispatch forced = resolve_crc_impl(env);
+      if (forced.fn != nullptr) return forced;
+      std::fprintf(stderr, "IQ_CRC_IMPL=%s unknown/unsupported; using auto\n",
+                   env);
+    }
+    if (crc32_pclmul_supported()) {
+      return CrcDispatch{&crc32_update_pclmul, "pclmul"};
+    }
+    return CrcDispatch{&crc32_update_slice8, "slice8"};
+  }();
+  return active;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView chunk) {
+  return crc_dispatch().fn(state, chunk);
+}
+
+const char* crc32_impl_name() { return crc_dispatch().name; }
+
+bool crc32_select_impl(const char* name) {
+  const CrcDispatch want = resolve_crc_impl(name);
+  if (want.fn == nullptr) return false;
+  crc_dispatch() = want;
+  return true;
 }
 
 std::uint32_t crc32(BytesView data) {

@@ -25,13 +25,33 @@ using BytesView = std::span<const std::uint8_t>;
 std::uint32_t crc32(BytesView data);
 /// Incremental form: seed with kCrc32Init, feed chunks, finish by XOR with
 /// kCrc32Init. crc32(d) == crc32_update(kCrc32Init, d) ^ kCrc32Init.
-/// Implemented slice-by-8 (8 bytes per table round); chunk boundaries do
-/// not affect the result.
+/// Chunk boundaries do not affect the result.
+///
+/// Runtime-dispatched: the first call selects the fastest kernel the CPU
+/// supports — a PCLMULQDQ carry-less-multiply folding kernel where CPUID
+/// reports it, otherwise slice-by-8 tables — and every tier produces
+/// bit-identical output (tests/crc_dispatch_test.cpp pins this against the
+/// sealed-v2 golden datagram and a fuzzed bytewise oracle). The env var
+/// IQ_CRC_IMPL=pclmul|slice8|bytewise forces a tier for tests and benches.
 inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
 std::uint32_t crc32_update(std::uint32_t state, BytesView chunk);
 /// Byte-at-a-time reference implementation of the same polynomial. Kept as
-/// the oracle the slice-by-8 fast path is tested and benchmarked against.
+/// the oracle the dispatched fast paths are tested and benchmarked against.
 std::uint32_t crc32_update_bytewise(std::uint32_t state, BytesView chunk);
+/// Slice-by-8 table kernel (8 bytes per round) — the portable fast tier.
+std::uint32_t crc32_update_slice8(std::uint32_t state, BytesView chunk);
+/// PCLMULQDQ folding kernel (x86). Callable only when
+/// crc32_pclmul_supported(); elsewhere it delegates to slice-by-8.
+std::uint32_t crc32_update_pclmul(std::uint32_t state, BytesView chunk);
+/// True when this build and CPU can run the carry-less-multiply kernel.
+bool crc32_pclmul_supported();
+/// Name of the tier crc32_update currently dispatches to
+/// ("pclmul" | "slice8" | "bytewise").
+const char* crc32_impl_name();
+/// Force a dispatch tier by name (test/bench hook; same names as
+/// IQ_CRC_IMPL). Returns false — leaving the selection unchanged — for an
+/// unknown name or an unsupported tier.
+bool crc32_select_impl(const char* name);
 
 class ByteWriter {
  public:

@@ -1,0 +1,128 @@
+// PCLMULQDQ folding kernel for the IEEE CRC-32 (reflected poly 0xEDB88320).
+//
+// Technique (Gopal et al., "Fast CRC Computation for Generic Polynomials
+// Using PCLMULQDQ Instruction", the scheme zlib and the Linux kernel use):
+// the CRC state is carried in 128-bit lanes and "folded" forward across the
+// input with carry-less multiplies. Folding a lane by the constant pair
+// (x^(8n-32) mod P, x^(8n-96) mod P) is congruent to shifting its
+// polynomial n bytes toward the end of the message, so four independent
+// lanes eat 64 bytes per iteration with no serial dependency — the
+// throughput limit becomes the pclmulqdq issue rate, not a table lookup
+// chain. Constants below are the standard reflected-IEEE pair set:
+//   k1/k2 (64-byte fold)  = x^544 mod P, x^480 mod P  (bit-reflected form)
+//   k3/k4 (16-byte fold)  = x^160 mod P, x^96  mod P
+//
+// Final reduction: instead of the 128→64→32 Barrett step, the folded
+// 16-byte accumulator is streamed through the slice-by-8 table kernel with
+// a zero seed. The fold invariant is exactly
+//     crc_raw(state, message) == crc_raw(0, accumulator_bytes ++ tail)
+// so the table pass finishes the job with code already proven against the
+// bytewise oracle; tests/crc_dispatch_test.cpp fuzzes every length and
+// alignment across tiers to pin bit-identity.
+//
+// This file is the only TU compiled with pclmul/sse4.1 codegen (via target
+// attributes, not global -m flags), so the binary still boots on CPUs
+// without the instructions — iq/common/bytes.cpp selects this kernel at
+// startup only when __builtin_cpu_supports says it can run.
+
+#include "iq/common/bytes.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace iq {
+
+bool crc32_pclmul_supported() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_update_pclmul(
+    std::uint32_t state, BytesView chunk) {
+  const std::uint8_t* p = chunk.data();
+  std::size_t n = chunk.size();
+  // Folding needs four full lanes to start; short inputs (most RUDP
+  // headers) go straight to the table kernel — same result, no SIMD
+  // spin-up cost.
+  if (n < 64) return crc32_update_slice8(state, chunk);
+
+  const __m128i k1k2 = _mm_set_epi64x(0x00000001c6e41596,   // k2: x^480
+                                      0x0000000154442bd4);  // k1: x^544
+  const __m128i k3k4 = _mm_set_epi64x(0x00000000ccaa009e,   // k4: x^96
+                                      0x00000001751997d0);  // k3: x^160
+
+  const auto* blocks = reinterpret_cast<const __m128i*>(p);
+  __m128i x1 = _mm_loadu_si128(blocks + 0);
+  __m128i x2 = _mm_loadu_si128(blocks + 1);
+  __m128i x3 = _mm_loadu_si128(blocks + 2);
+  __m128i x4 = _mm_loadu_si128(blocks + 3);
+  // Seed: the running state XORs into the first four message bytes (the
+  // low 32 bits of the little-endian lane), the same identity the table
+  // kernels apply byte by byte.
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+  p += 64;
+  n -= 64;
+
+  while (n >= 64) {
+    const auto* in = reinterpret_cast<const __m128i*>(p);
+    __m128i t;
+    t = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t), _mm_loadu_si128(in + 0));
+    t = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, t), _mm_loadu_si128(in + 1));
+    t = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, t), _mm_loadu_si128(in + 2));
+    t = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, t), _mm_loadu_si128(in + 3));
+    p += 64;
+    n -= 64;
+  }
+
+  // Fold the four lanes into one (each step shifts 16 bytes forward).
+  __m128i t;
+  t = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x2 = _mm_xor_si128(x2, _mm_xor_si128(x1, t));
+  t = _mm_clmulepi64_si128(x2, k3k4, 0x00);
+  x2 = _mm_clmulepi64_si128(x2, k3k4, 0x11);
+  x3 = _mm_xor_si128(x3, _mm_xor_si128(x2, t));
+  t = _mm_clmulepi64_si128(x3, k3k4, 0x00);
+  x3 = _mm_clmulepi64_si128(x3, k3k4, 0x11);
+  x4 = _mm_xor_si128(x4, _mm_xor_si128(x3, t));
+
+  // Single-lane folds over whatever 16-byte blocks remain.
+  while (n >= 16) {
+    t = _mm_clmulepi64_si128(x4, k3k4, 0x00);
+    x4 = _mm_clmulepi64_si128(x4, k3k4, 0x11);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, t),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    n -= 16;
+  }
+
+  // Reduce: stream the accumulator bytes, then the sub-16-byte tail,
+  // through the table kernel (see the invariant in the header comment).
+  alignas(16) std::uint8_t acc[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(acc), x4);
+  const std::uint32_t mid = crc32_update_slice8(0, BytesView{acc, 16});
+  return crc32_update_slice8(mid, BytesView{p, n});
+}
+
+}  // namespace iq
+
+#else  // non-x86 build: keep the symbols, report unsupported.
+
+namespace iq {
+
+bool crc32_pclmul_supported() { return false; }
+
+std::uint32_t crc32_update_pclmul(std::uint32_t state, BytesView chunk) {
+  return crc32_update_slice8(state, chunk);
+}
+
+}  // namespace iq
+
+#endif

@@ -9,8 +9,8 @@
 #include <functional>
 
 #include "iq/common/time.hpp"
-#include "iq/sim/event_queue.hpp"
 #include "iq/sim/executor.hpp"
+#include "iq/sim/timer_wheel.hpp"
 
 namespace iq::sim {
 
@@ -63,7 +63,10 @@ class Simulator final : public Executor {
  private:
   void execute_next();
 
-  EventQueue queue_;
+  /// Hierarchical timing wheel (O(1) schedule/rearm/cancel) with the same
+  /// (time, seq) fire order as the 4-ary EventQueue it replaced — see
+  /// iq/sim/timer_wheel.hpp for the determinism contract.
+  TimerWheel queue_;
   TimePoint now_ = TimePoint::zero();
   std::uint64_t executed_ = 0;
   std::uint64_t event_budget_ = 0;

@@ -1,0 +1,267 @@
+#include "iq/sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "iq/common/check.hpp"
+
+namespace iq::sim {
+
+namespace {
+// An EventId packs (slot index + 1) in the high 32 bits and the slot's
+// generation at schedule time in the low 32 — the same encoding as the
+// event heap's, so handles behave identically across both schedulers.
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(slot) + 1) << 32 | generation;
+}
+}  // namespace
+
+TimerWheel::TimerWheel() { heads_.fill(kNil); }
+
+std::uint32_t TimerWheel::alloc_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  IQ_CHECK_MSG(slot != kNil, "timer wheel slot space exhausted");
+  slots_.emplace_back();
+  return slot;
+}
+
+void TimerWheel::release(std::uint32_t slot) {
+  Entry& e = slots_[slot];
+  ++e.generation;
+  e.fn.reset();
+  e.bucket = kBucketFree;
+  e.prev = kNil;
+  e.next = free_head_;
+  free_head_ = slot;
+}
+
+void TimerWheel::place(std::uint32_t slot) {
+  Entry& e = slots_[slot];
+  // Late deadlines (at or before the wheel position — legal on the realtime
+  // path) are clamped into the current bucket; e.at_ns stays the sort key.
+  std::uint64_t d = cur_;
+  if (e.at_ns > 0 && static_cast<std::uint64_t>(e.at_ns) > cur_) {
+    d = static_cast<std::uint64_t>(e.at_ns);
+  }
+  const std::uint64_t diff = d ^ cur_;
+  const std::uint32_t level =
+      diff == 0
+          ? 0u
+          : static_cast<std::uint32_t>(63 - std::countl_zero(diff)) /
+                kLevelBits;
+  const auto idx = static_cast<std::uint32_t>(d >> (level * kLevelBits)) &
+                   (kSlotsPerLevel - 1);
+  const std::uint32_t bucket = level * kSlotsPerLevel + idx;
+  std::uint32_t& head = heads_[bucket];
+  if (head == kNil) {
+    head = slot;
+    e.prev = e.next = slot;
+    occupied_[level] |= 1ull << idx;
+  } else {
+    const std::uint32_t tail = slots_[head].prev;
+    e.prev = tail;
+    e.next = head;
+    slots_[tail].next = slot;
+    slots_[head].prev = slot;
+  }
+  e.bucket = static_cast<std::uint16_t>(bucket);
+}
+
+void TimerWheel::unlink(std::uint32_t slot) {
+  Entry& e = slots_[slot];
+  const std::uint32_t bucket = e.bucket;
+  if (e.next == slot) {
+    heads_[bucket] = kNil;
+    occupied_[bucket / kSlotsPerLevel] &=
+        ~(1ull << (bucket % kSlotsPerLevel));
+  } else {
+    slots_[e.prev].next = e.next;
+    slots_[e.next].prev = e.prev;
+    if (heads_[bucket] == slot) heads_[bucket] = e.next;
+  }
+  e.prev = e.next = kNil;
+  e.bucket = kBucketFree;
+}
+
+void TimerWheel::advance_to(std::uint64_t t) {
+  const std::uint64_t old = cur_;
+  if (t <= old) return;
+  cur_ = t;
+  // Every level whose slot address changed may leave the wheel standing
+  // inside a bucket that still holds entries placed when that bucket was
+  // "the future"; drain those buckets top-down — each entry re-places at a
+  // strictly lower level (its deadline now agrees with cur_ on this level's
+  // field, see the header proof), so one pass settles everything.
+  const std::uint64_t diff = old ^ t;
+  const std::uint32_t top =
+      static_cast<std::uint32_t>(63 - std::countl_zero(diff)) / kLevelBits;
+  for (std::uint32_t level = top; level >= 1; --level) {
+    const auto idx = static_cast<std::uint32_t>(t >> (level * kLevelBits)) &
+                     (kSlotsPerLevel - 1);
+    const std::uint32_t bucket = level * kSlotsPerLevel + idx;
+    while (heads_[bucket] != kNil) {
+      const std::uint32_t slot = heads_[bucket];
+      unlink(slot);
+      place(slot);
+    }
+  }
+}
+
+std::uint32_t TimerWheel::earliest_bucket() const {
+  // Levels partition pending time ranges in ascending order (level 0 is the
+  // wheel's own 64 ns block, level 1 the rest of its 4096 ns block, ...), so
+  // the lowest occupied level's lowest set bit is the earliest range.
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    if (occupied_[level] != 0) {
+      return level * kSlotsPerLevel +
+             static_cast<std::uint32_t>(std::countr_zero(occupied_[level]));
+    }
+  }
+  IQ_CHECK_MSG(false, "earliest_bucket() on empty wheel");
+  return 0;
+}
+
+std::uint32_t TimerWheel::bucket_min(std::uint32_t bucket) const {
+  const std::uint32_t head = heads_[bucket];
+  std::uint32_t best = head;
+  for (std::uint32_t s = slots_[head].next; s != head; s = slots_[s].next) {
+    const Entry& e = slots_[s];
+    const Entry& b = slots_[best];
+    if (e.at_ns < b.at_ns || (e.at_ns == b.at_ns && e.seq < b.seq)) best = s;
+  }
+  return best;
+}
+
+bool TimerWheel::fire_buffer_front() const {
+  const auto later = [](const FireRef& a, const FireRef& b) {
+    return ref_before(b, a);
+  };
+  while (!fire_.empty()) {
+    const FireRef& top = fire_.front();
+    if (slots_[top.slot].generation == top.generation) return true;
+    // A cancel invalidated this reference after it was buffered; discard.
+    std::pop_heap(fire_.begin(), fire_.end(), later);
+    fire_.pop_back();
+  }
+  return false;
+}
+
+void TimerWheel::drain_bucket(std::uint32_t bucket) {
+  const auto later = [](const FireRef& a, const FireRef& b) {
+    return ref_before(b, a);
+  };
+  while (heads_[bucket] != kNil) {
+    const std::uint32_t slot = heads_[bucket];
+    unlink(slot);
+    Entry& e = slots_[slot];
+    e.bucket = kBucketFireBuf;
+    fire_.push_back(FireRef{e.at_ns, e.seq, slot, e.generation});
+    std::push_heap(fire_.begin(), fire_.end(), later);
+    ++buffered_live_;
+  }
+}
+
+EventId TimerWheel::schedule(TimePoint at, EventFn fn) {
+  const std::uint32_t slot = alloc_slot();
+  Entry& e = slots_[slot];
+  e.at_ns = at.ns();
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  place(slot);
+  ++live_;
+  return make_id(slot, e.generation);
+}
+
+bool TimerWheel::cancel(EventId id) {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(hi - 1);
+  Entry& e = slots_[slot];
+  // Generation mismatch = the handle's event already fired or was cancelled;
+  // stale handles are rejected without touching any accounting.
+  if (e.generation != static_cast<std::uint32_t>(id) ||
+      e.bucket == kBucketFree) {
+    return false;
+  }
+  if (e.bucket == kBucketFireBuf) {
+    // Already staged for firing: the generation bump below turns its
+    // buffered reference stale; fire_buffer_front() will discard it.
+    --buffered_live_;
+  } else {
+    unlink(slot);
+  }
+  release(slot);
+  --live_;
+  return true;
+}
+
+TimePoint TimerWheel::next_time() const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  bool any = false;
+  if (fire_buffer_front()) {
+    best = fire_.front().at_ns;
+    any = true;
+  }
+  if (live_ - buffered_live_ > 0) {
+    const std::uint32_t m = bucket_min(earliest_bucket());
+    if (!any || slots_[m].at_ns < best) best = slots_[m].at_ns;
+    any = true;
+  }
+  return any ? TimePoint::from_ns(best) : TimePoint::max();
+}
+
+TimerWheel::Popped TimerWheel::pop() {
+  IQ_CHECK_MSG(live_ > 0, "pop() on empty TimerWheel");
+  const bool have_buffered = fire_buffer_front();
+  if (live_ - buffered_live_ > 0) {
+    // Walk the wheel position to the earliest pending bucket, cascading
+    // higher-level buckets down to exact lower-level slots as it enters
+    // them, until the earliest work sits in a one-nanosecond level-0 bucket.
+    std::uint32_t bucket = earliest_bucket();
+    while (bucket >= kSlotsPerLevel) {
+      const std::uint32_t level = bucket / kSlotsPerLevel;
+      const std::uint32_t idx = bucket % kSlotsPerLevel;
+      const std::uint32_t shift = level * kLevelBits;
+      const std::uint32_t above = shift + kLevelBits;
+      const std::uint64_t high =
+          above >= 64 ? 0ull : cur_ & ~((1ull << above) - 1);
+      advance_to(high | (static_cast<std::uint64_t>(idx) << shift));
+      bucket = earliest_bucket();
+    }
+    advance_to((cur_ & ~static_cast<std::uint64_t>(kSlotsPerLevel - 1)) |
+               bucket);
+    // The linked minimum lives in this bucket (clamped entries always sit in
+    // the wheel's own bucket, which is the earliest whenever occupied). Move
+    // the batch into the fire heap unless a leftover buffered entry still
+    // precedes it.
+    bool absorb = !have_buffered;
+    if (!absorb) {
+      const Entry& m = slots_[bucket_min(bucket)];
+      const FireRef& top = fire_.front();
+      absorb = m.at_ns < top.at_ns ||
+               (m.at_ns == top.at_ns && m.seq < top.seq);
+    }
+    if (absorb) drain_bucket(bucket);
+  }
+  // The fire heap's top is now the global (at, seq) minimum.
+  const auto later = [](const FireRef& a, const FireRef& b) {
+    return ref_before(b, a);
+  };
+  std::pop_heap(fire_.begin(), fire_.end(), later);
+  const FireRef ref = fire_.back();
+  fire_.pop_back();
+  Entry& e = slots_[ref.slot];
+  Popped out{TimePoint::from_ns(ref.at_ns), std::move(e.fn)};
+  release(ref.slot);
+  --buffered_live_;
+  --live_;
+  return out;
+}
+
+}  // namespace iq::sim

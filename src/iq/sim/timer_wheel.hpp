@@ -1,0 +1,164 @@
+#pragma once
+// Hierarchical timing wheel: the O(1) successor to the 4-ary event heap.
+//
+// The RUDP hot path is timer *churn*: every connection owns five timers
+// (rto, connect, keepalive, ack, fec_flush) that are rearmed on nearly
+// every segment and almost never allowed to fire. Through the heap each
+// rearm costs two O(log n) sift passes, and at CityScale's 10k flows the
+// heap is the dominant cost of the whole simulation. A timing wheel makes
+// schedule, rearm and cancel O(1): an entry is appended to the bucket its
+// deadline hashes to and unlinked in place by handle.
+//
+// Structure (classic Varghese–Lauck hierarchy): 11 levels of 64 buckets.
+// Level k buckets span 2^(6k) ns, so level 0 buckets are a single
+// nanosecond wide and the top level covers the whole int64 time range —
+// no overflow list, every representable deadline has a bucket. An entry
+// whose deadline is d lands at the lowest level whose bucket resolution
+// separates d from the wheel's current time (level = highest differing
+// bit of d ^ cur, divided by 6 — one XOR and a count-leading-zeros, no
+// loop). As the wheel's time advances into a higher-level bucket, that
+// bucket's entries cascade down to their exact lower-level position; an
+// entry cascades at most 10 times over its whole life, so the amortized
+// cost per event stays O(1) regardless of how far out it was scheduled.
+//
+// Determinism contract — the wheel fires in EXACTLY the event heap's
+// order, which is what keeps CityScale's FNV-1a digests bit-identical at
+// every shard count:
+//
+//   1. Total order is (deadline, schedule-seq): a strictly increasing
+//      sequence number breaks same-nanosecond ties in insertion order,
+//      identical to EventQueue.
+//   2. Level-0 buckets are one nanosecond wide, so all entries in a
+//      bucket share a deadline and only the seq decides among them. A
+//      bucket with several entries is drained through a sort-once fire
+//      buffer (O(m log m) for an m-entry pileup, not the O(m^2) a
+//      rescan-per-pop would cost when thousands of flows share a tick).
+//   3. Late schedules — a deadline at or before the wheel's current time
+//      (legal on the realtime path) — are clamped into the current
+//      bucket but keep their original deadline as the sort key, so they
+//      order against pending work exactly as the heap would order them.
+//
+// tests/timer_wheel_property_test.cpp drives random schedule/rearm/
+// cancel/fire interleavings (seeds 1–24) against the EventQueue as a
+// reference model and requires identical fire order, identical cancel
+// results (stale and double cancels structurally rejected by the same
+// generation-validated handle scheme) and identical next_time().
+//
+// The wheel is allocation-free at steady state: entries live in a pooled
+// slot table (freelist reuse, InlineFn callables), buckets are intrusive
+// circular doubly-linked lists threaded through the slots, and the fire
+// buffer is a reused vector that keeps its high-water capacity.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "iq/common/inline_fn.hpp"
+#include "iq/common/time.hpp"
+
+namespace iq::sim {
+
+using EventFn = InlineFn<void()>;
+
+/// Opaque handle identifying a scheduled event; 0 is never used.
+using EventId = std::uint64_t;
+
+class TimerWheel {
+ public:
+  TimerWheel();
+
+  /// Schedule `fn` at absolute time `at`. O(1). Deadlines at or before
+  /// the wheel's current position fire as soon as possible but keep `at`
+  /// as their ordering key (see header contract, rule 3).
+  EventId schedule(TimePoint at, EventFn fn);
+  /// Cancel a pending event; returns false (and does nothing) if it
+  /// already fired or was cancelled before — stale handles are rejected
+  /// by the generation check. O(1): unlink from the bucket in place.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+  /// Exact timestamp of the earliest live event; max() when empty.
+  TimePoint next_time() const;
+
+  struct Popped {
+    TimePoint at;
+    EventFn fn;
+  };
+  /// Remove and return the earliest live event (order contract above).
+  /// Wheel must not be empty.
+  Popped pop();
+
+ private:
+  static constexpr std::uint32_t kLevelBits = 6;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kLevelBits;  // 64
+  static constexpr std::uint32_t kLevels = 11;  // 2^66 ns > any int64
+  static constexpr std::uint32_t kBuckets = kLevels * kSlotsPerLevel;
+  static constexpr std::uint32_t kNil = 0xffffffff;
+  /// Bucket markers for entries not linked into any bucket list.
+  static constexpr std::uint16_t kBucketFree = 0xffff;
+  static constexpr std::uint16_t kBucketFireBuf = 0xfffe;
+
+  struct Entry {
+    std::int64_t at_ns = 0;    ///< original deadline (ordering key)
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t prev = kNil;  ///< intrusive bucket links (slot indices)
+    std::uint32_t next = kNil;  ///< doubles as the freelist link
+    std::uint16_t bucket = kBucketFree;  ///< owning bucket, or marker
+    EventFn fn;
+  };
+
+  /// A fire-buffer reference: the sort keys plus a generation-validated
+  /// slot reference, so a cancel between buffering and draining turns
+  /// the reference stale instead of corrupting the batch.
+  struct FireRef {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  std::uint32_t alloc_slot();
+  void release(std::uint32_t slot);
+  /// Link `slot` into the bucket its (clamped) deadline belongs to,
+  /// relative to the wheel's current time. O(1).
+  void place(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
+  /// Move the wheel's position to `t` (start of a bucket about to fire),
+  /// cascading every higher-level bucket the new position lands in down
+  /// to its exact lower-level location.
+  void advance_to(std::uint64_t t);
+  /// Earliest occupied bucket: lowest occupied level, lowest index.
+  /// Precondition: at least one linked entry.
+  std::uint32_t earliest_bucket() const;
+  /// Scan a bucket's list for its (at, seq)-minimal entry. O(length).
+  std::uint32_t bucket_min(std::uint32_t bucket) const;
+  /// Move the cancelled references that bubbled to the fire heap's top
+  /// out of the way; returns true if a live buffered entry remains.
+  /// Lazily mutates fire_ (benign under const — order is unaffected).
+  bool fire_buffer_front() const;
+  /// Move the earliest linked bucket's entries into the fire heap.
+  void drain_bucket(std::uint32_t bucket);
+  /// (at, seq) ordering — identical to EventQueue::before.
+  static bool ref_before(const FireRef& a, const FireRef& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    return a.seq < b.seq;
+  }
+
+  std::array<std::uint32_t, kBuckets> heads_;  ///< kNil when empty
+  std::array<std::uint64_t, kLevels> occupied_{};
+  std::vector<Entry> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::uint64_t cur_ = 0;        ///< wheel position, ns (only advances)
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;         ///< live entries (linked + buffered)
+  std::size_t buffered_live_ = 0;
+
+  /// Min-heap by (at, seq) — the same-ns batch currently being drained,
+  /// plus any not-yet-fired leftovers. Cancelled entries are invalidated
+  /// lazily and skipped when they surface at the top.
+  mutable std::vector<FireRef> fire_;
+};
+
+}  // namespace iq::sim

@@ -18,7 +18,7 @@
 #include "iq/common/bytes.hpp"
 #include "iq/common/rng.hpp"
 #include "iq/rudp/segment_wire.hpp"
-#include "iq/sim/event_queue.hpp"
+#include "iq/sim/timer_wheel.hpp"
 
 // Forward-declared here so <sys/socket.h> stays out of this header.
 struct mmsghdr;
@@ -102,7 +102,9 @@ class RealtimeLoop final : public sim::Executor {
   int epoll_fd_ = -1;
   int timer_fd_ = -1;
   std::int64_t armed_ns_ = -1;  ///< timerfd target (absolute ns); -1 disarmed
-  sim::EventQueue timers_;
+  /// O(1) timing wheel; the timerfd is armed at its next_time() through the
+  /// cached armed_ns_ coalescing in arm_timerfd().
+  sim::TimerWheel timers_;
   std::vector<std::unique_ptr<Watcher>> fds_;
   bool dispatching_ = false;
   bool compact_needed_ = false;

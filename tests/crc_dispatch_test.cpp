@@ -1,0 +1,211 @@
+// Runtime-dispatched CRC-32 (docs/PERFORMANCE.md): every tier — pclmul,
+// slice8, bytewise — must be bit-identical, or a CPU upgrade would silently
+// change the wire format. Three lines of defence here:
+//
+//   1. The sealed-v2 golden datagram re-encoded under each forced tier
+//      (the codec path the transport actually takes).
+//   2. A fuzz sweep over lengths and buffer alignments against the
+//      bytewise oracle, directly on the kernels.
+//   3. Streaming chunk-boundary invariance per tier: splitting a message
+//      at any point and threading the state through must not change the
+//      result (the contract `crc32_update` promises its callers).
+//
+// Tiers are forced in-process via crc32_select_impl(); scripts/ci.sh
+// additionally reruns the golden suites with IQ_CRC_IMPL set per tier so
+// the env-var startup path gets the same coverage under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "iq/common/bytes.hpp"
+#include "iq/common/rng.hpp"
+#include "iq/rudp/codec.hpp"
+#include "iq/rudp/segment.hpp"
+
+namespace iq {
+namespace {
+
+/// Restores whatever tier the binary started with, so a forced selection
+/// in one test can't leak into later tests (or the other suites linked
+/// into a future combined binary).
+class ScopedCrcImpl {
+ public:
+  explicit ScopedCrcImpl(const char* name) : saved_(crc32_impl_name()) {
+    forced_ = crc32_select_impl(name);
+  }
+  ~ScopedCrcImpl() { crc32_select_impl(saved_.c_str()); }
+  bool forced() const { return forced_; }
+
+ private:
+  std::string saved_;
+  bool forced_ = false;
+};
+
+std::vector<const char*> available_tiers() {
+  std::vector<const char*> tiers;
+  if (crc32_pclmul_supported()) tiers.push_back("pclmul");
+  tiers.push_back("slice8");
+  tiers.push_back("bytewise");
+  return tiers;
+}
+
+// The standard IEEE check vector: crc32("123456789") == 0xCBF43926. Pins
+// the polynomial, reflection and init/final XOR for every kernel at once.
+TEST(CrcDispatchTest, CheckVectorHoldsForEveryTier) {
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const BytesView v{msg, sizeof(msg)};
+  const auto finish = [&](std::uint32_t raw) { return raw ^ kCrc32Init; };
+  EXPECT_EQ(finish(crc32_update_bytewise(kCrc32Init, v)), 0xCBF43926u);
+  EXPECT_EQ(finish(crc32_update_slice8(kCrc32Init, v)), 0xCBF43926u);
+  if (crc32_pclmul_supported()) {
+    // Too short for folding (goes through the slice8 path) — extend past
+    // 64 bytes below in the fuzz test; this pins the short-input path.
+    EXPECT_EQ(finish(crc32_update_pclmul(kCrc32Init, v)), 0xCBF43926u);
+  }
+}
+
+// The sealed v2 datagram from rudp_codec_test's wire freeze, re-encoded
+// under every tier the CPU offers. The checksum bytes at offset 4 are the
+// CRC of the whole sealed image — any tier disagreement flips them.
+TEST(CrcDispatchTest, SealedV2GoldenBitIdenticalAcrossTiers) {
+  rudp::Segment s;
+  s.type = rudp::SegmentType::Data;
+  s.conn_id = 7;
+  s.seq = 0x01020304;
+  s.cum_ack = 0x0a0b0c0d;
+  s.rwnd_packets = 512;
+  s.ts_us = 0x1122334455ull;
+  s.ts_echo_us = 0x5544332211ull;
+  s.msg_id = 9;
+  s.frag_index = 0;
+  s.frag_count = 1;
+  s.marked = true;
+  s.payload_bytes = 8;
+  const Bytes payload{1, 2, 3, 4, 5, 6, 7, 8};
+
+  static const std::uint8_t kChecksum[] = {0xf2, 0x56, 0x5d, 0xcb};
+
+  for (const char* tier : available_tiers()) {
+    ScopedCrcImpl impl(tier);
+    ASSERT_TRUE(impl.forced()) << tier;
+    ASSERT_STREQ(crc32_impl_name(), tier);
+    const Bytes wire = rudp::encode_segment(s, payload);
+    ASSERT_EQ(wire.size(), 60u) << tier;
+    EXPECT_EQ(std::memcmp(wire.data() + 4, kChecksum, 4), 0)
+        << "checksum drifted under tier " << tier;
+    // Decode must accept its own seal under the same tier…
+    EXPECT_TRUE(rudp::decode_segment(wire).has_value()) << tier;
+  }
+
+  // …and across tiers: a datagram sealed by one kernel must verify under
+  // any other (receiver and sender need not share a CPU generation).
+  Bytes sealed;
+  {
+    ScopedCrcImpl impl("bytewise");
+    sealed = rudp::encode_segment(s, payload);
+  }
+  for (const char* tier : available_tiers()) {
+    ScopedCrcImpl impl(tier);
+    EXPECT_TRUE(rudp::decode_segment(sealed).has_value()) << tier;
+  }
+}
+
+// Fuzz lengths and alignments against the bytewise oracle. Lengths cover
+// every interesting boundary of both fast kernels (slice8's 8-byte word
+// loop, pclmul's 64-byte fold entry, 16-byte single-lane folds, sub-16
+// tails); alignments 0..15 shift the buffer start across a 16-byte line
+// so unaligned SIMD loads are exercised.
+TEST(CrcDispatchTest, FuzzedLengthsAndAlignmentsMatchBytewiseOracle) {
+  Rng rng(20260808);
+  std::vector<std::uint8_t> arena(5000 + 16);
+  for (auto& b : arena) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+
+  std::vector<std::size_t> lengths = {0,  1,  7,  8,  9,  15,  16,  17,
+                                      63, 64, 65, 79, 80, 127, 128, 1400};
+  for (int i = 0; i < 24; ++i) {
+    lengths.push_back(static_cast<std::size_t>(rng.uniform_int(0, 5000)));
+  }
+
+  for (std::size_t len : lengths) {
+    for (std::size_t align = 0; align < 16; ++align) {
+      const BytesView v{arena.data() + align, len};
+      const std::uint32_t want = crc32_update_bytewise(kCrc32Init, v);
+      EXPECT_EQ(crc32_update_slice8(kCrc32Init, v), want)
+          << "slice8 len=" << len << " align=" << align;
+      if (crc32_pclmul_supported()) {
+        EXPECT_EQ(crc32_update_pclmul(kCrc32Init, v), want)
+            << "pclmul len=" << len << " align=" << align;
+      }
+      // Nonzero running state (mid-stream seed) must agree too — the
+      // pclmul seed injection XORs state into the first lane and is easy
+      // to get wrong in exactly this case.
+      const std::uint32_t seed = 0xdeadbeef;
+      EXPECT_EQ(crc32_update_slice8(seed, v), crc32_update_bytewise(seed, v))
+          << "slice8 seeded len=" << len << " align=" << align;
+      if (crc32_pclmul_supported()) {
+        EXPECT_EQ(crc32_update_pclmul(seed, v), crc32_update_bytewise(seed, v))
+            << "pclmul seeded len=" << len << " align=" << align;
+      }
+    }
+  }
+}
+
+// The streaming contract: crc32_update over a whole buffer equals any
+// chained sequence of updates over its pieces, for every tier. Split
+// points land on and around the kernels' internal block sizes.
+TEST(CrcDispatchTest, StreamingChunkBoundariesAreInvariantPerTier) {
+  Rng rng(42);
+  std::vector<std::uint8_t> buf(777);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const BytesView whole{buf.data(), buf.size()};
+
+  const std::size_t splits[] = {1, 7, 8, 15, 16, 63, 64, 65, 200, 776};
+  for (const char* tier : available_tiers()) {
+    ScopedCrcImpl impl(tier);
+    ASSERT_TRUE(impl.forced()) << tier;
+    const std::uint32_t want = crc32_update(kCrc32Init, whole);
+    for (std::size_t cut : splits) {
+      std::uint32_t st = crc32_update(kCrc32Init, whole.subspan(0, cut));
+      st = crc32_update(st, whole.subspan(cut));
+      EXPECT_EQ(st, want) << tier << " cut=" << cut;
+    }
+    // Three-way split with a tiny middle chunk (degenerate stream).
+    std::uint32_t st = crc32_update(kCrc32Init, whole.subspan(0, 100));
+    st = crc32_update(st, whole.subspan(100, 1));
+    st = crc32_update(st, whole.subspan(101));
+    EXPECT_EQ(st, want) << tier << " three-way";
+  }
+}
+
+// Selection semantics: unknown names are refused, "pclmul" is refused
+// (not downgraded) when the CPU lacks the instructions, and the active
+// tier's name always reflects the kernel in use.
+TEST(CrcDispatchTest, SelectionRefusesUnknownAndUnsupportedTiers) {
+  const std::string before = crc32_impl_name();
+  EXPECT_FALSE(crc32_select_impl("sse42"));
+  EXPECT_FALSE(crc32_select_impl(""));
+  EXPECT_FALSE(crc32_select_impl(nullptr));
+  EXPECT_STREQ(crc32_impl_name(), before.c_str());  // refusals change nothing
+
+  if (!crc32_pclmul_supported()) {
+    EXPECT_FALSE(crc32_select_impl("pclmul"));
+  } else {
+    ScopedCrcImpl impl("pclmul");
+    EXPECT_TRUE(impl.forced());
+    EXPECT_STREQ(crc32_impl_name(), "pclmul");
+  }
+  {
+    ScopedCrcImpl impl("slice8");
+    EXPECT_TRUE(impl.forced());
+    EXPECT_STREQ(crc32_impl_name(), "slice8");
+  }
+  EXPECT_STREQ(crc32_impl_name(), before.c_str());
+}
+
+}  // namespace
+}  // namespace iq

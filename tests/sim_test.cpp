@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "iq/sim/event_queue.hpp"
 #include "iq/sim/simulator.hpp"
 #include "iq/sim/timer.hpp"
 

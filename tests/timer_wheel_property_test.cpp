@@ -1,0 +1,228 @@
+// Differential test of the hierarchical TimerWheel against the indexed
+// 4-ary EventQueue as the reference model.
+//
+// The wheel replaces the heap inside Simulator and RealtimeLoop, so its
+// observable behaviour must be *identical*: the same (time, insertion-seq)
+// fire order (this is what keeps CityScale's cross-shard digests
+// bit-identical at every shard count), the same cancel results for live,
+// fired, stale and double-cancelled handles, the same size accounting and
+// the same next_time() at every step. Random interleavings of
+// schedule/rearm/cancel/fire across seeds 1–24 drive deadlines through
+// every wheel level: same-nanosecond collisions (level-0 FIFO pileups),
+// near rearm-style horizons, far-future deadlines that must cascade down
+// multiple levels before firing, and deadlines behind the wheel's position
+// (legal on the realtime path) that clamp but keep their ordering key.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "iq/common/rng.hpp"
+#include "iq/sim/event_queue.hpp"
+#include "iq/sim/timer_wheel.hpp"
+
+namespace iq::sim {
+namespace {
+
+TEST(TimerWheelPropertyTest, MatchesEventHeapUnderRandomChurn) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed);
+    TimerWheel wheel;
+    EventQueue ref;
+
+    std::vector<std::size_t> wheel_fired;
+    std::vector<std::size_t> ref_fired;
+    std::vector<EventId> wheel_ids;  // schedule order -> handle
+    std::vector<EventId> ref_ids;
+    std::size_t scheduled = 0;
+    std::int64_t fired_at = 0;  // time of the last fired event
+
+    const auto schedule_both = [&](TimePoint at) {
+      const std::size_t tag = scheduled++;
+      wheel_ids.push_back(wheel.schedule(
+          at, [&wheel_fired, tag] { wheel_fired.push_back(tag); }));
+      ref_ids.push_back(ref.schedule(
+          at, [&ref_fired, tag] { ref_fired.push_back(tag); }));
+    };
+
+    const auto random_deadline = [&]() {
+      const double kind = rng.uniform01();
+      if (kind < 0.40) {
+        // Coarse near-term offsets: plenty of same-ns collisions.
+        return TimePoint::from_ns(fired_at + rng.uniform_int(0, 199));
+      }
+      if (kind < 0.70) {
+        // Rearm-style horizons (RTO/keepalive scale).
+        return TimePoint::from_ns(fired_at +
+                                  rng.uniform_int(1'000, 400'000'000));
+      }
+      if (kind < 0.90) {
+        // Far future: forces placement at high wheel levels and multi-step
+        // cascades back down before firing.
+        const int shift = static_cast<int>(rng.uniform_int(30, 55));
+        return TimePoint::from_ns(fired_at + (std::int64_t{1} << shift) +
+                                  rng.uniform_int(0, 9999));
+      }
+      // Behind the last fired deadline — the realtime path schedules these;
+      // both sides must order them by their original timestamp.
+      return TimePoint::from_ns(
+          std::max<std::int64_t>(0, fired_at - rng.uniform_int(0, 5000)));
+    };
+
+    for (int op = 0; op < 15'000; ++op) {
+      const double roll = rng.uniform01();
+      if (roll < 0.40 || wheel.empty()) {
+        schedule_both(random_deadline());
+      } else if (roll < 0.55) {
+        // Rearm: cancel a random handle and, if it was live, reschedule.
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(wheel_ids.size()) - 1));
+        const bool wheel_ok = wheel.cancel(wheel_ids[pick]);
+        const bool ref_ok = ref.cancel(ref_ids[pick]);
+        ASSERT_EQ(wheel_ok, ref_ok) << "rearm-cancel divergence at op " << op
+                                    << " seed " << seed;
+        if (wheel_ok) schedule_both(random_deadline());
+      } else if (roll < 0.75) {
+        // Cancel a random handle — live, fired, or already cancelled; the
+        // generation check must reject stale handles identically.
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(wheel_ids.size()) - 1));
+        EXPECT_EQ(wheel.cancel(wheel_ids[pick]), ref.cancel(ref_ids[pick]))
+            << "cancel divergence at op " << op << " seed " << seed;
+      } else {
+        ASSERT_FALSE(wheel.empty());
+        ASSERT_EQ(wheel.next_time(), ref.next_time())
+            << "next_time divergence at op " << op << " seed " << seed;
+        auto from_wheel = wheel.pop();
+        auto from_ref = ref.pop();
+        ASSERT_EQ(from_wheel.at, from_ref.at)
+            << "pop-time divergence at op " << op << " seed " << seed;
+        fired_at = from_wheel.at.ns();
+        from_wheel.fn();
+        from_ref.fn();
+        ASSERT_EQ(wheel_fired.back(), ref_fired.back())
+            << "fire-order divergence at op " << op << " seed " << seed;
+      }
+      ASSERT_EQ(wheel.size(), ref.size())
+          << "size divergence at op " << op << " seed " << seed;
+      ASSERT_EQ(wheel.empty(), ref.empty());
+    }
+
+    // Drain both completely; the full tag sequences must be identical.
+    while (!wheel.empty()) {
+      ASSERT_EQ(wheel.next_time(), ref.next_time()) << "seed " << seed;
+      auto from_wheel = wheel.pop();
+      auto from_ref = ref.pop();
+      ASSERT_EQ(from_wheel.at, from_ref.at) << "seed " << seed;
+      from_wheel.fn();
+      from_ref.fn();
+    }
+    EXPECT_TRUE(ref.empty());
+    EXPECT_EQ(wheel.next_time(), TimePoint::max());
+    ASSERT_EQ(wheel_fired, ref_fired) << "seed " << seed;
+  }
+}
+
+TEST(TimerWheelPropertyTest, EqualTimestampsFireFifoUnderChurn) {
+  Rng rng(5);
+  TimerWheel wheel;
+  // Interleave schedules at one timestamp with noise at other times; the
+  // single-timestamp group must fire in insertion order even though the
+  // wheel batches the pileup through its fire heap.
+  std::vector<int> fired;
+  std::vector<EventId> noise;
+  int next_tag = 0;
+  for (int round = 0; round < 300; ++round) {
+    const int tag = next_tag++;
+    wheel.schedule(TimePoint::from_ns(1000),
+                   [&fired, tag] { fired.push_back(tag); });
+    noise.push_back(
+        wheel.schedule(TimePoint::from_ns(rng.uniform_int(0, 2000)), [] {}));
+    if (round % 3 == 0 && !noise.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(noise.size()) - 1));
+      wheel.cancel(noise[pick]);
+    }
+  }
+  while (!wheel.empty()) wheel.pop().fn();
+  ASSERT_EQ(fired.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(TimerWheelPropertyTest, StaleAndDoubleCancelStructurallyRejected) {
+  TimerWheel wheel;
+  const EventId a = wheel.schedule(TimePoint::from_ns(10), [] {});
+  const EventId b = wheel.schedule(TimePoint::from_ns(20), [] {});
+
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(a)) << "double cancel must be rejected";
+
+  (void)wheel.pop();  // fires b
+  EXPECT_FALSE(wheel.cancel(b)) << "cancel-after-fire must be rejected";
+
+  // A recycled slot gets a fresh generation, so the old handle stays dead
+  // even once the slot is reused.
+  const EventId c = wheel.schedule(TimePoint::from_ns(30), [] {});
+  EXPECT_FALSE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(b));
+  EXPECT_TRUE(wheel.cancel(c));
+
+  // Garbage ids.
+  EXPECT_FALSE(wheel.cancel(0));
+  EXPECT_FALSE(wheel.cancel(~EventId{0}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelPropertyTest, CancelOfBatchedSameNsEntryIsHonoured) {
+  // Force a same-ns pileup, fire part of it, then cancel an entry that is
+  // already staged in the wheel's internal fire batch — the cancel must
+  // still return true exactly once and the entry must not fire.
+  TimerWheel wheel;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(wheel.schedule(TimePoint::from_ns(100),
+                                 [&fired, i] { fired.push_back(i); }));
+  }
+  wheel.pop().fn();  // fires 0; 1..7 are now staged internally
+  EXPECT_TRUE(wheel.cancel(ids[3]));
+  EXPECT_FALSE(wheel.cancel(ids[3]));
+  EXPECT_EQ(wheel.size(), 6u);
+  while (!wheel.empty()) wheel.pop().fn();
+  ASSERT_EQ(fired, (std::vector<int>{0, 1, 2, 4, 5, 6, 7}));
+}
+
+TEST(TimerWheelPropertyTest, FarFutureDeadlinesCascadeInOrder) {
+  // Deadlines spread over ~16 orders of magnitude land on every wheel level
+  // and must still fire in exact (time, insertion) order, including the
+  // same-deadline pair planted at each magnitude.
+  TimerWheel wheel;
+  EventQueue ref;
+  std::vector<std::int64_t> wheel_order;
+  std::vector<std::int64_t> ref_order;
+  std::int64_t tag = 0;
+  for (int shift = 0; shift < 55; ++shift) {
+    const std::int64_t at = (std::int64_t{1} << shift) + shift;
+    for (int dup = 0; dup < 2; ++dup) {
+      const std::int64_t t = tag++;
+      wheel.schedule(TimePoint::from_ns(at),
+                     [&wheel_order, t] { wheel_order.push_back(t); });
+      ref.schedule(TimePoint::from_ns(at),
+                   [&ref_order, t] { ref_order.push_back(t); });
+    }
+  }
+  while (!wheel.empty()) {
+    ASSERT_EQ(wheel.next_time(), ref.next_time());
+    auto w = wheel.pop();
+    auto r = ref.pop();
+    ASSERT_EQ(w.at, r.at);
+    w.fn();
+    r.fn();
+  }
+  ASSERT_EQ(wheel_order, ref_order);
+  ASSERT_EQ(wheel_order.size(), 110u);
+}
+
+}  // namespace
+}  // namespace iq::sim

@@ -17,6 +17,7 @@
 #include "iq/cm/manager.hpp"
 #include "iq/rudp/connection.hpp"
 #include "iq/sim/simulator.hpp"
+#include "iq/sim/timer_wheel.hpp"
 #include "iq/wire/lossy_wire.hpp"
 
 namespace iq::rudp {
@@ -112,6 +113,57 @@ TEST(ZeroAllocTest, SteadyStateLossyTransferDoesNotAllocate) {
   EXPECT_GT(t.delivered, warm_delivered + 9900u);
   EXPECT_EQ(allocs, 0u) << "steady-state transfer touched the heap "
                         << allocs << " times";
+}
+
+// The timer-rearm hot path, pinned directly on the scheduler now backing
+// sim::Simulator and the RealtimeLoop. Every ack rearms the RTO timer and
+// every quiet interval rearms the keepalive, so at city scale the wheel
+// absorbs one cancel+schedule pair per delivered segment: its slot pool,
+// per-bucket intrusive lists and fire buffer must all be at high water
+// after warmup and never touch the heap again. The lossy-transfer pins
+// above cover the same path end to end (RudpConnection timers run through
+// sim::Simulator's wheel); this one isolates the wheel so a regression
+// points at the scheduler, not the transport.
+TEST(ZeroAllocTest, TimerWheelRearmChurnDoesNotAllocate) {
+  constexpr std::size_t kLive = 10'240;  // CityScale's armed-timer regime
+  sim::TimerWheel wheel;
+  std::vector<sim::EventId> ids(kLive, 0);
+  std::uint64_t fired = 0;
+  std::int64_t t = 0;
+
+  // One full churn round: every timer is cancelled and rearmed at an
+  // RTO-like horizon (sub-ms spread), a same-ns keepalive batch piles onto
+  // one deadline (exercising the FIFO fire buffer), then time advances and
+  // a slice of the population fires and is immediately rearmed — the
+  // retransmission-timer lifecycle, compressed.
+  const auto churn_round = [&] {
+    for (std::size_t i = 0; i < kLive; ++i) {
+      if (ids[i] != 0) wheel.cancel(ids[i]);
+      ids[i] = wheel.schedule(
+          TimePoint::from_ns(t + 200'000 + static_cast<std::int64_t>(i * 131) %
+                                               800'000),
+          [&fired] { ++fired; });
+    }
+    t += 300'000;  // overtake ~1/3 of the deadlines
+    while (!wheel.empty() && wheel.next_time().ns() <= t) {
+      auto popped = wheel.pop();
+      popped.fn();
+    }
+  };
+
+  // Warmup: grow the slot pool, bucket lists and fire buffer to the
+  // population's high-water mark while allocation is still allowed.
+  for (int round = 0; round < 4; ++round) churn_round();
+
+  const std::uint64_t before = iq::bench::alloc_count();
+  for (int round = 0; round < 32; ++round) churn_round();
+  const std::uint64_t allocs = iq::bench::alloc_count() - before;
+
+  // ~1/8 of the deadlines land inside each round's 300 us advance, so 36
+  // rounds fire the population several times over.
+  EXPECT_GT(fired, 4 * kLive);
+  EXPECT_EQ(allocs, 0u) << "timer rearm churn touched the heap " << allocs
+                        << " times";
 }
 
 TEST(ZeroAllocTest, SteadyStateTransferWithCongestionManagerDoesNotAllocate) {
